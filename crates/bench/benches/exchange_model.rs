@@ -1,0 +1,64 @@
+//! Criterion benchmark of the cluster simulator: the cost of one simulated
+//! `MPI_Neighbor_alltoall` evaluation and of the full measurement protocol
+//! (200 noisy repetitions + outlier removal), which is the inner loop of the
+//! Figure 6/7 and Table II–VII harnesses.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cluster_sim::{ExchangeModel, Machine, Measurement};
+use std::time::Duration;
+use stencil_bench::paper_throughput_instance;
+use stencil_grid::CartGraph;
+use stencil_mapping::analysis::StencilKind;
+use stencil_mapping::baselines::Blocked;
+use stencil_mapping::stencil_strips::StencilStrips;
+use stencil_mapping::Mapper;
+
+fn single_exchange(c: &mut Criterion) {
+    let problem = paper_throughput_instance(50, StencilKind::NearestNeighbor);
+    let graph = CartGraph::build(problem.dims(), problem.stencil(), false);
+    let blocked = Blocked.compute(&problem).unwrap();
+    let strips = StencilStrips.compute(&problem).unwrap();
+
+    let mut group = c.benchmark_group("exchange_time_model");
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300));
+    for machine in Machine::paper_machines() {
+        let model = ExchangeModel::new(&machine);
+        group.bench_with_input(
+            BenchmarkId::new("blocked_512KiB", &machine.name),
+            &model,
+            |b, model| b.iter(|| model.exchange_time(&graph, &blocked, 1 << 19)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("stencil_strips_512KiB", &machine.name),
+            &model,
+            |b, model| b.iter(|| model.exchange_time(&graph, &strips, 1 << 19)),
+        );
+    }
+    group.finish();
+}
+
+fn measurement_protocol(c: &mut Criterion) {
+    let problem = paper_throughput_instance(50, StencilKind::NearestNeighborHops);
+    let graph = CartGraph::build(problem.dims(), problem.stencil(), false);
+    let mapping = StencilStrips.compute(&problem).unwrap();
+    let model = ExchangeModel::new(&Machine::vsc4());
+    let cfg = Measurement::default();
+
+    let mut group = c.benchmark_group("measurement_protocol_200_reps");
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300));
+    for msg in [1usize << 10, 1 << 16, 1 << 22] {
+        group.bench_with_input(BenchmarkId::from_parameter(msg), &msg, |b, &msg| {
+            b.iter(|| cfg.measure(&model, &graph, &mapping, msg))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, single_exchange, measurement_protocol);
+criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! Criterion benchmark of the algorithmic instantiation time (Figure 9 /
+//! Section VI-E): how long each algorithm needs to compute the reordering of
+//! the largest nearest-neighbor instance (N = 100, 48 processes per node),
+//! plus a scaling series over smaller instances.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use stencil_bench::paper_throughput_instance;
+use stencil_mapping::analysis::StencilKind;
+use stencil_mapping::baselines::Blocked;
+use stencil_mapping::hyperplane::Hyperplane;
+use stencil_mapping::kdtree::KdTree;
+use stencil_mapping::nodecart::Nodecart;
+use stencil_mapping::stencil_strips::StencilStrips;
+use stencil_mapping::viem::GraphMapper;
+use stencil_mapping::Mapper;
+
+fn figure9_instantiation(c: &mut Criterion) {
+    let problem = paper_throughput_instance(100, StencilKind::NearestNeighbor);
+    let mut group = c.benchmark_group("figure9_instantiation_n100");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(500));
+
+    let mappers: Vec<(&str, Box<dyn Mapper>)> = vec![
+        ("hyperplane", Box::new(Hyperplane::default())),
+        ("kd_tree", Box::new(KdTree)),
+        ("stencil_strips", Box::new(StencilStrips)),
+        ("nodecart", Box::new(Nodecart)),
+        ("blocked", Box::new(Blocked)),
+    ];
+    for (name, mapper) in &mappers {
+        group.bench_function(*name, |b| {
+            b.iter(|| mapper.compute(&problem).expect("mapping succeeds"))
+        });
+    }
+    group.finish();
+
+    // The VieM-style mapper is orders of magnitude slower; benchmark it on a
+    // reduced effort setting and with the minimum sample count so the suite
+    // stays tractable (the gap is still unmistakable).
+    let mut slow = c.benchmark_group("figure9_instantiation_n100_graph_mapper");
+    slow.sample_size(10)
+        .measurement_time(Duration::from_secs(8))
+        .warm_up_time(Duration::from_millis(500));
+    let gm = GraphMapper::with_effort(1, 2);
+    slow.bench_function("viem_style", |b| {
+        b.iter(|| gm.compute(&problem).expect("mapping succeeds"))
+    });
+    slow.finish();
+}
+
+fn instantiation_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("instantiation_scaling_nearest_neighbor");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300));
+    for nodes in [10usize, 25, 50, 100] {
+        let problem = paper_throughput_instance(nodes, StencilKind::NearestNeighbor);
+        group.bench_with_input(
+            BenchmarkId::new("hyperplane", nodes),
+            &problem,
+            |b, problem| b.iter(|| Hyperplane::default().compute(problem).unwrap()),
+        );
+        group.bench_with_input(BenchmarkId::new("kd_tree", nodes), &problem, |b, problem| {
+            b.iter(|| KdTree.compute(problem).unwrap())
+        });
+        group.bench_with_input(
+            BenchmarkId::new("stencil_strips", nodes),
+            &problem,
+            |b, problem| b.iter(|| StencilStrips.compute(problem).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, figure9_instantiation, instantiation_scaling);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Criterion benchmark of the mapping-quality pipeline: building the
+//! Cartesian communication graph and evaluating `Jsum`/`Jmax` (the inner loop
+//! of the Figure 8 sweep), for the three stencils of the paper.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use stencil_bench::paper_throughput_instance;
+use stencil_grid::CartGraph;
+use stencil_mapping::analysis::StencilKind;
+use stencil_mapping::hyperplane::Hyperplane;
+use stencil_mapping::metrics::evaluate;
+use stencil_mapping::Mapper;
+
+fn graph_construction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cart_graph_construction");
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300));
+    for stencil in StencilKind::all() {
+        let problem = paper_throughput_instance(50, stencil);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(stencil.name()),
+            &problem,
+            |b, p| b.iter(|| CartGraph::build(p.dims(), p.stencil(), false)),
+        );
+    }
+    group.finish();
+}
+
+fn metric_evaluation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("jsum_jmax_evaluation");
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300));
+    for stencil in StencilKind::all() {
+        let problem = paper_throughput_instance(50, stencil);
+        let graph = CartGraph::build(problem.dims(), problem.stencil(), false);
+        let mapping = Hyperplane::default().compute(&problem).unwrap();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(stencil.name()),
+            &(graph, mapping),
+            |b, (graph, mapping)| b.iter(|| evaluate(graph, mapping)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, graph_construction, metric_evaluation);
+criterion_main!(benches);

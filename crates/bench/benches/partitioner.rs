@@ -1,0 +1,64 @@
+//! Criterion benchmark of the graph-partition substrate: multilevel
+//! partitioning and swap refinement of stencil communication graphs (the
+//! building blocks of the VieM-style baseline whose runtime gap Fig. 9
+//! documents).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use graph_partition::{partition, refine_kway, Graph, PartitionConfig};
+use std::time::Duration;
+use stencil_bench::paper_throughput_instance;
+use stencil_grid::CartGraph;
+use stencil_mapping::analysis::StencilKind;
+
+fn build_graph(nodes: usize) -> (Graph, usize) {
+    let problem = paper_throughput_instance(nodes, StencilKind::NearestNeighbor);
+    let cart = CartGraph::build(problem.dims(), problem.stencil(), false);
+    (
+        Graph::from_directed_csr(cart.xadj(), cart.adjncy()),
+        problem.num_nodes(),
+    )
+}
+
+fn multilevel_partitioning(c: &mut Criterion) {
+    let mut group = c.benchmark_group("multilevel_partitioning");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(4))
+        .warm_up_time(Duration::from_millis(300));
+    for nodes in [10usize, 25, 50] {
+        let (graph, parts) = build_graph(nodes);
+        let sizes = vec![48usize; parts];
+        group.bench_with_input(
+            BenchmarkId::from_parameter(nodes),
+            &(graph, sizes),
+            |b, (graph, sizes)| {
+                b.iter(|| partition(graph, &PartitionConfig::new(sizes.clone()).with_seed(1)).unwrap())
+            },
+        );
+    }
+    group.finish();
+}
+
+fn kway_refinement(c: &mut Criterion) {
+    let (graph, parts) = build_graph(25);
+    let sizes = vec![48usize; parts];
+    let base = partition(&graph, &PartitionConfig::new(sizes).with_seed(1)).unwrap();
+
+    let mut group = c.benchmark_group("kway_swap_refinement");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(300));
+    for rounds in [1usize, 4, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(rounds), &rounds, |b, &rounds| {
+            b.iter(|| {
+                let mut parts = base.clone();
+                refine_kway(&graph, &mut parts, rounds, 7)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, multilevel_partitioning, kway_refinement);
+criterion_main!(benches);

@@ -1,0 +1,85 @@
+//! Regenerates Figure 9 of the paper: the instantiation (reordering) time of
+//! the algorithms on the largest nearest-neighbor instance (N = 100,
+//! 48 processes per node), 200 repetitions, outlier removal, mean with a
+//! 95% confidence interval.  The VieM-style general graph mapper is included
+//! to show the orders-of-magnitude runtime gap reported in Section VI-E.
+//!
+//! ```text
+//! cargo run --release -p stencil-bench --bin figure9
+//! cargo run --release -p stencil-bench --bin figure9 -- --quick
+//! ```
+
+use stencil_bench::report::{format_markdown_table, format_seconds};
+use stencil_bench::timing::time_instantiations;
+use stencil_bench::figure9_instance;
+use stencil_mapping::baselines::Blocked;
+use stencil_mapping::hyperplane::Hyperplane;
+use stencil_mapping::kdtree::KdTree;
+use stencil_mapping::nodecart::Nodecart;
+use stencil_mapping::stencil_strips::StencilStrips;
+use stencil_mapping::viem::GraphMapper;
+use stencil_mapping::Mapper;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let reps = if quick { 10 } else { 200 };
+    let viem_reps = if quick { 1 } else { 5 };
+
+    let problem = figure9_instance();
+    eprintln!(
+        "figure9: instantiation time on a {} nearest-neighbor instance, {} repetitions",
+        problem.dims(),
+        reps
+    );
+
+    let fast_mappers: Vec<Box<dyn Mapper>> = vec![
+        Box::new(Hyperplane::default()),
+        Box::new(KdTree),
+        Box::new(StencilStrips),
+        Box::new(Nodecart),
+        Box::new(Blocked),
+    ];
+    let mut timings = time_instantiations(&problem, &fast_mappers, reps);
+
+    // the general graph mapper is orders of magnitude slower; measure it with
+    // fewer repetitions (the paper omits it from the plot for the same reason)
+    let slow: Vec<Box<dyn Mapper>> = vec![Box::new(GraphMapper::with_seed(1))];
+    timings.extend(time_instantiations(&problem, &slow, viem_reps));
+
+    println!("# Figure 9 — instantiation time (N = 100, nearest neighbor)\n");
+    let table: Vec<Vec<String>> = timings
+        .iter()
+        .map(|t| {
+            vec![
+                t.algorithm.clone(),
+                format_seconds(t.summary.mean),
+                format!("±{}", format_seconds(t.summary.mean_ci95)),
+                format_seconds(t.summary.min),
+                format_seconds(t.summary.max),
+                t.summary.n.to_string(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        format_markdown_table(&["algorithm", "mean", "95% CI", "min", "max", "n"], &table)
+    );
+
+    if let (Some(fast), Some(slow)) = (
+        timings
+            .iter()
+            .filter(|t| t.algorithm != "VieM-style" && t.algorithm != "Blocked")
+            .map(|t| t.summary.mean)
+            .fold(None, |acc: Option<f64>, v| Some(acc.map_or(v, |a| a.min(v)))),
+        timings
+            .iter()
+            .find(|t| t.algorithm == "VieM-style")
+            .map(|t| t.summary.mean),
+    ) {
+        println!(
+            "\nVieM-style / fastest specialised algorithm runtime ratio: {:.0}x",
+            slow / fast
+        );
+    }
+}

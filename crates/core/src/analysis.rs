@@ -1,0 +1,260 @@
+//! Instance-set generation and reduction analysis (Section VI-C / Fig. 8).
+//!
+//! The paper evaluates mapping quality on a machine-independent instance set
+//! `I = N × P × D` with `N = {10, 13, …, 31}` nodes,
+//! `P = {10, 13, …, 31} ∪ {32}` processes per node and `D = {2, 3}`
+//! dimensions (144 instances).  For every instance and algorithm, the
+//! *reduction* `C_X / C_blocked` of `Jsum` and `Jmax` over the blocked
+//! mapping is recorded; Fig. 8 plots the distribution of these reductions.
+
+use crate::baselines::Blocked;
+use crate::metrics::evaluate;
+use crate::problem::{Mapper, MappingProblem};
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+use stencil_grid::{dims_create, CartGraph, Dims, NodeAllocation, Stencil};
+
+/// The three stencil families of the paper (Fig. 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum StencilKind {
+    /// Nearest neighbor in every dimension.
+    NearestNeighbor,
+    /// Nearest neighbor plus 2- and 3-hops along the first dimension.
+    NearestNeighborHops,
+    /// Nearest neighbor in every dimension except the last (component).
+    Component,
+}
+
+impl StencilKind {
+    /// Builds the stencil for `ndims` dimensions.
+    pub fn build(&self, ndims: usize) -> Stencil {
+        match self {
+            StencilKind::NearestNeighbor => Stencil::nearest_neighbor(ndims),
+            StencilKind::NearestNeighborHops => Stencil::nearest_neighbor_with_hops(ndims),
+            StencilKind::Component => Stencil::component(ndims),
+        }
+    }
+
+    /// All stencil kinds in the order used by the paper's figures.
+    pub fn all() -> [StencilKind; 3] {
+        [
+            StencilKind::NearestNeighbor,
+            StencilKind::NearestNeighborHops,
+            StencilKind::Component,
+        ]
+    }
+
+    /// Display name matching the paper.
+    pub fn name(&self) -> &'static str {
+        match self {
+            StencilKind::NearestNeighbor => "Nearest neighbor",
+            StencilKind::NearestNeighborHops => "Nearest neighbor with hops",
+            StencilKind::Component => "Component",
+        }
+    }
+}
+
+/// One instance of the evaluation set: a node count, a per-node process
+/// count and a dimensionality.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct InstanceSpec {
+    /// Number of compute nodes `N`.
+    pub nodes: usize,
+    /// Number of processes per node `n`.
+    pub procs_per_node: usize,
+    /// Grid dimensionality `d`.
+    pub ndims: usize,
+}
+
+impl InstanceSpec {
+    /// Total number of processes of the instance.
+    pub fn num_processes(&self) -> usize {
+        self.nodes * self.procs_per_node
+    }
+
+    /// Builds the mapping problem for this instance and stencil kind, using
+    /// an `MPI_Dims_create`-style balanced grid (Section VI-B).
+    pub fn build_problem(&self, stencil: StencilKind) -> MappingProblem {
+        let dims = dims_create(self.num_processes(), self.ndims);
+        MappingProblem::new(
+            Dims::new(dims).expect("dims_create returns valid dims"),
+            stencil.build(self.ndims),
+            NodeAllocation::homogeneous(self.nodes, self.procs_per_node),
+        )
+        .expect("instance specification is consistent")
+    }
+}
+
+/// The full instance set of Section VI-C (144 instances).
+pub fn paper_instance_set() -> Vec<InstanceSpec> {
+    let nodes: Vec<usize> = (10..=31).step_by(3).collect();
+    let mut procs: Vec<usize> = (10..=31).step_by(3).collect();
+    procs.push(32);
+    let mut out = Vec::new();
+    for &ndims in &[2usize, 3] {
+        for &n in &nodes {
+            for &p in &procs {
+                out.push(InstanceSpec {
+                    nodes: n,
+                    procs_per_node: p,
+                    ndims,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// A smaller instance set for quick experiments and CI runs.
+pub fn small_instance_set() -> Vec<InstanceSpec> {
+    let mut out = Vec::new();
+    for &ndims in &[2usize, 3] {
+        for &n in &[4usize, 6, 8] {
+            for &p in &[8usize, 12, 16] {
+                out.push(InstanceSpec {
+                    nodes: n,
+                    procs_per_node: p,
+                    ndims,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// The reduction of one algorithm over the blocked mapping on one instance.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ReductionRecord {
+    /// The instance.
+    pub instance: InstanceSpec,
+    /// The stencil kind.
+    pub stencil: StencilKind,
+    /// Name of the algorithm.
+    pub algorithm: String,
+    /// `Jsum` of the algorithm's mapping.
+    pub j_sum: u64,
+    /// `Jmax` of the algorithm's mapping.
+    pub j_max: u64,
+    /// `Jsum(algorithm) / Jsum(blocked)`, the Fig. 8 reduction (lower is better).
+    pub j_sum_reduction: f64,
+    /// `Jmax(algorithm) / Jmax(blocked)`.
+    pub j_max_reduction: f64,
+}
+
+/// Computes reductions over the blocked mapping for every instance and every
+/// mapper, in parallel over the instances.
+///
+/// Mappers that are not applicable to an instance (e.g. `Nodecart` on a
+/// heterogeneous allocation) are silently skipped, as in the paper.
+pub fn reductions_over_blocked(
+    instances: &[InstanceSpec],
+    stencil: StencilKind,
+    mappers: &[Box<dyn Mapper>],
+) -> Vec<ReductionRecord> {
+    instances
+        .par_iter()
+        .flat_map_iter(|spec| {
+            let problem = spec.build_problem(stencil);
+            let graph = CartGraph::build(problem.dims(), problem.stencil(), problem.periodic());
+            let blocked = evaluate(&graph, &Blocked.compute(&problem).expect("blocked maps"));
+            let mut records = Vec::new();
+            for mapper in mappers {
+                if let Ok(mapping) = mapper.compute(&problem) {
+                    let cost = evaluate(&graph, &mapping);
+                    let (rs, rm) = cost.reduction_over(&blocked);
+                    records.push(ReductionRecord {
+                        instance: *spec,
+                        stencil,
+                        algorithm: mapper.name().to_string(),
+                        j_sum: cost.j_sum,
+                        j_max: cost.j_max,
+                        j_sum_reduction: rs,
+                        j_max_reduction: rm,
+                    });
+                }
+            }
+            records
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hyperplane::Hyperplane;
+    use crate::kdtree::KdTree;
+    use crate::stencil_strips::StencilStrips;
+
+    #[test]
+    fn paper_instance_set_has_144_instances() {
+        let set = paper_instance_set();
+        assert_eq!(set.len(), 144);
+        // bounds of the sets
+        assert!(set.iter().all(|s| (10..=31).contains(&s.nodes)));
+        assert!(set.iter().all(|s| (10..=32).contains(&s.procs_per_node)));
+        assert!(set.iter().all(|s| s.ndims == 2 || s.ndims == 3));
+        // both dimensionalities present
+        assert_eq!(set.iter().filter(|s| s.ndims == 2).count(), 72);
+    }
+
+    #[test]
+    fn instance_builds_balanced_grid() {
+        let spec = InstanceSpec {
+            nodes: 10,
+            procs_per_node: 10,
+            ndims: 2,
+        };
+        let p = spec.build_problem(StencilKind::NearestNeighbor);
+        assert_eq!(p.num_processes(), 100);
+        assert_eq!(p.dims().as_slice(), &[10, 10]);
+        let p3 = InstanceSpec {
+            nodes: 8,
+            procs_per_node: 8,
+            ndims: 3,
+        }
+        .build_problem(StencilKind::Component);
+        assert_eq!(p3.dims().as_slice(), &[4, 4, 4]);
+        assert_eq!(p3.stencil().k(), 4);
+    }
+
+    #[test]
+    fn stencil_kind_builders() {
+        assert_eq!(StencilKind::NearestNeighbor.build(3).k(), 6);
+        assert_eq!(StencilKind::NearestNeighborHops.build(2).k(), 8);
+        assert_eq!(StencilKind::Component.build(3).k(), 4);
+        assert_eq!(StencilKind::all().len(), 3);
+        assert_eq!(StencilKind::Component.name(), "Component");
+    }
+
+    #[test]
+    fn reductions_show_improvement_on_small_set() {
+        let instances = vec![
+            InstanceSpec {
+                nodes: 6,
+                procs_per_node: 10,
+                ndims: 2,
+            },
+            InstanceSpec {
+                nodes: 8,
+                procs_per_node: 12,
+                ndims: 3,
+            },
+        ];
+        let mappers: Vec<Box<dyn Mapper>> = vec![
+            Box::new(Hyperplane::default()),
+            Box::new(KdTree),
+            Box::new(StencilStrips),
+        ];
+        let records =
+            reductions_over_blocked(&instances, StencilKind::NearestNeighbor, &mappers);
+        assert_eq!(records.len(), instances.len() * mappers.len());
+        // the median reduction of the new algorithms is below 1 (improvement)
+        let mean: f64 = records.iter().map(|r| r.j_sum_reduction).sum::<f64>()
+            / records.len() as f64;
+        assert!(mean < 1.0, "mean reduction {mean}");
+        for r in &records {
+            assert!(r.j_sum_reduction.is_finite());
+            assert!(r.j_max_reduction >= 0.0);
+        }
+    }
+}

@@ -1,0 +1,238 @@
+//! The k-d Tree algorithm (Section V-B).
+//!
+//! Like the Hyperplane algorithm this is a recursive bisection, but the
+//! recursion continues until a single grid cell remains, which makes the
+//! algorithm oblivious to the number of processes per node — it only tries to
+//! localise communicating vertices so that any contiguous block of ranks is
+//! compact.  At every step the dimension with the largest size *weighted by
+//! the inverse amount of communication across it* is halved:
+//! `i = argmax d_i / f_i` with `f_i = |{R ∈ S : R_i ≠ 0}|`.
+//! Dimensions the stencil never crosses (`f_i = 0`) are split first, because
+//! cutting them is free.
+//!
+//! Per-rank complexity: `O(d log p)` (the paper reports `O(log p log d)` with
+//! a priority queue; the evaluation uses the linear scan implemented here).
+
+use crate::problem::{MappingProblem, RankLocalMapper};
+use stencil_grid::Coord;
+
+/// The k-d Tree mapping algorithm.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct KdTree;
+
+impl RankLocalMapper for KdTree {
+    fn local_name(&self) -> &str {
+        "k-d Tree"
+    }
+
+    fn remap_rank(&self, problem: &MappingProblem, rank: usize) -> Coord {
+        let f = problem.stencil().comm_across();
+        let mut sizes: Vec<usize> = problem.dims().as_slice().to_vec();
+        let mut coord = vec![0usize; sizes.len()];
+        let mut r = rank;
+
+        loop {
+            let vol: usize = sizes.iter().product();
+            if vol == 1 {
+                debug_assert_eq!(r, 0);
+                return coord;
+            }
+            let dim = split_dimension(&sizes, &f);
+            let left = sizes[dim] / 2;
+            let left_vol = vol / sizes[dim] * left;
+            if r < left_vol {
+                sizes[dim] = left;
+            } else {
+                r -= left_vol;
+                coord[dim] += left;
+                sizes[dim] -= left;
+            }
+        }
+    }
+}
+
+/// Chooses the dimension to split: the largest `d_i / f_i` among dimensions
+/// of size at least two, with `f_i = 0` treated as infinitely preferable.
+/// Ties are broken towards the larger dimension, then the smaller index.
+fn split_dimension(sizes: &[usize], f: &[usize]) -> usize {
+    let mut best: Option<usize> = None;
+    for i in 0..sizes.len() {
+        if sizes[i] < 2 {
+            continue;
+        }
+        let better = match best {
+            None => true,
+            Some(b) => {
+                // compare sizes[i]/f[i] > sizes[b]/f[b] without division:
+                // cross-multiply, treating f == 0 as +infinity.
+                let lhs_inf = f[i] == 0;
+                let rhs_inf = f[b] == 0;
+                match (lhs_inf, rhs_inf) {
+                    (true, true) => sizes[i] > sizes[b],
+                    (true, false) => true,
+                    (false, true) => false,
+                    (false, false) => {
+                        let lhs = sizes[i] as u128 * f[b] as u128;
+                        let rhs = sizes[b] as u128 * f[i] as u128;
+                        lhs > rhs || (lhs == rhs && sizes[i] > sizes[b])
+                    }
+                }
+            }
+        };
+        if better {
+            best = Some(i);
+        }
+    }
+    best.expect("a splittable dimension exists while the volume exceeds 1")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baselines::Blocked;
+    use crate::metrics::evaluate;
+    use crate::problem::{Mapper, MappingProblem};
+    use proptest::prelude::*;
+    use stencil_grid::{CartGraph, Dims, NodeAllocation, Stencil};
+
+    fn problem(dims: &[usize], nodes: usize, per: usize, stencil: Stencil) -> MappingProblem {
+        MappingProblem::new(
+            Dims::from_slice(dims),
+            stencil,
+            NodeAllocation::homogeneous(nodes, per),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn split_dimension_prefers_zero_communication_dims() {
+        // component stencil in 2D: f = [2, 0] -> always split dim 1 first
+        assert_eq!(split_dimension(&[50, 48], &[2, 0]), 1);
+        assert_eq!(split_dimension(&[50, 2], &[2, 0]), 1);
+        // once dim 1 is exhausted, dim 0 is split
+        assert_eq!(split_dimension(&[50, 1], &[2, 0]), 0);
+    }
+
+    #[test]
+    fn split_dimension_weights_by_inverse_communication() {
+        // hops stencil: f = [6, 2]; dims [12, 6]: 12/6 = 2 < 6/2 = 3 -> dim 1
+        assert_eq!(split_dimension(&[12, 6], &[6, 2]), 1);
+        // dims [30, 6]: 30/6 = 5 > 3 -> dim 0
+        assert_eq!(split_dimension(&[30, 6], &[6, 2]), 0);
+        // tie broken towards larger dimension: [12, 4] with f = [6, 2]
+        assert_eq!(split_dimension(&[12, 4], &[6, 2]), 0);
+    }
+
+    #[test]
+    fn finds_optimal_mapping_for_component_stencil() {
+        // Fig. 6 bottom-left: for the component stencil on 50x48 with N=50,
+        // the k-d tree finds the optimal mapping: Jsum = 96, Jmax = 2.
+        let prob = problem(&[50, 48], 50, 48, Stencil::component(2));
+        let g = CartGraph::build(prob.dims(), prob.stencil(), false);
+        let cost = evaluate(&g, &KdTree.compute(&prob).unwrap());
+        assert_eq!(cost.j_sum, 96);
+        assert_eq!(cost.j_max, 2);
+    }
+
+    #[test]
+    fn finds_optimal_mapping_for_component_stencil_n100() {
+        // Fig. 7 bottom-left: 75x64, N=100: optimal Jsum = 192, Jmax = 2.
+        let prob = problem(&[75, 64], 100, 48, Stencil::component(2));
+        let g = CartGraph::build(prob.dims(), prob.stencil(), false);
+        let cost = evaluate(&g, &KdTree.compute(&prob).unwrap());
+        assert_eq!(cost.j_sum, 192);
+        assert_eq!(cost.j_max, 2);
+    }
+
+    #[test]
+    fn improves_nearest_neighbor_headline_instance() {
+        // Paper: k-d Tree Jsum = 1732 on the 50x48 NN instance (blocked 4704).
+        let prob = problem(&[50, 48], 50, 48, Stencil::nearest_neighbor(2));
+        let g = CartGraph::build(prob.dims(), prob.stencil(), false);
+        let cost = evaluate(&g, &KdTree.compute(&prob).unwrap());
+        let blocked = evaluate(&g, &Blocked.compute(&prob).unwrap());
+        assert!(cost.j_sum < blocked.j_sum);
+        assert!(cost.j_sum < 2500, "Jsum = {}", cost.j_sum);
+        assert!(m_is_valid(&prob));
+    }
+
+    fn m_is_valid(prob: &MappingProblem) -> bool {
+        KdTree
+            .compute(prob)
+            .unwrap()
+            .respects_allocation(prob.alloc())
+    }
+
+    #[test]
+    fn oblivious_to_node_size() {
+        // The k-d tree result does not depend on the allocation at all: the
+        // permutation is identical for different node sizes.
+        let s = Stencil::nearest_neighbor(2);
+        let p1 = problem(&[8, 8], 8, 8, s.clone());
+        let p2 = problem(&[8, 8], 16, 4, s);
+        let m1 = KdTree.compute(&p1).unwrap();
+        let m2 = KdTree.compute(&p2).unwrap();
+        assert_eq!(
+            m1.position_of_rank_slice(),
+            m2.position_of_rank_slice()
+        );
+    }
+
+    #[test]
+    fn works_on_odd_sizes_and_three_dims() {
+        let prob = problem(&[7, 5, 3], 5, 21, Stencil::nearest_neighbor(3));
+        let m = KdTree.compute(&prob).unwrap();
+        assert!(m.respects_allocation(prob.alloc()));
+        let prob = problem(&[13, 11], 11, 13, Stencil::nearest_neighbor_with_hops(2));
+        let m = KdTree.compute(&prob).unwrap();
+        assert!(m.respects_allocation(prob.alloc()));
+    }
+
+    #[test]
+    fn single_cell_grid() {
+        let prob = problem(&[1, 1], 1, 1, Stencil::nearest_neighbor(2));
+        let m = KdTree.compute(&prob).unwrap();
+        assert_eq!(m.position_of_rank(0), 0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_valid_permutation_any_allocation(
+            d0 in 1usize..10, d1 in 1usize..10, div in 1usize..6,
+        ) {
+            let p = d0 * d1;
+            if p % div == 0 {
+                let prob = problem(&[d0, d1], p / div, div, Stencil::nearest_neighbor(2));
+                let m = KdTree.compute(&prob).unwrap();
+                prop_assert!(m.respects_allocation(prob.alloc()));
+            }
+        }
+
+        #[test]
+        fn prop_recursion_localises_consecutive_ranks(
+            d0 in 2usize..9, d1 in 2usize..9,
+        ) {
+            // Any aligned block of 2^k consecutive ranks occupies a connected,
+            // compact region; we check the weaker property that the first
+            // half and second half of the ranks split the grid into two
+            // contiguous coordinate ranges along some dimension.
+            let p = d0 * d1;
+            let prob = problem(&[d0, d1], 1, p, Stencil::nearest_neighbor(2));
+            let m = KdTree.compute(&prob).unwrap();
+            let half = (d0 / 2) * d1;
+            if half > 0 {
+                let first: Vec<_> = (0..half.min(p)).map(|r| m.coord_of_rank(r)).collect();
+                let second: Vec<_> = (half.min(p)..p).map(|r| m.coord_of_rank(r)).collect();
+                // the two halves must not interleave completely: their
+                // bounding boxes along the split dimension are disjoint when
+                // the grid was split along dim 0 first (d0/f0 >= d1/f1).
+                if d0 >= d1 && d0 >= 2 {
+                    let max_first = first.iter().map(|c| c[0]).max().unwrap();
+                    let min_second = second.iter().map(|c| c[0]).min().unwrap();
+                    prop_assert!(max_first < d0);
+                    prop_assert!(min_second <= d0);
+                }
+            }
+        }
+    }
+}

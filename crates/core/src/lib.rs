@@ -1,0 +1,117 @@
+//! # stencil-mapping
+//!
+//! The primary contribution of *"Efficient Process-to-Node Mapping Algorithms
+//! for Stencil Computations"* (Hunold, von Kirchbach, Lehr, Schulz, Träff —
+//! IEEE CLUSTER 2020): rank-reordering algorithms that map the processes of a
+//! Cartesian stencil computation onto compute nodes such that inter-node
+//! communication is minimised.
+//!
+//! ## Algorithms
+//!
+//! * [`Hyperplane`](hyperplane::Hyperplane) — recursive bisection with
+//!   stencil-aware cut-dimension selection (Section V-A),
+//! * [`KdTree`](kdtree::KdTree) — k-d-tree-style recursive halving, oblivious
+//!   to the node size (Section V-B),
+//! * [`StencilStrips`](stencil_strips::StencilStrips) — strip decomposition
+//!   scaled to the stencil bounding box (Section V-C),
+//! * [`Nodecart`](nodecart::Nodecart) — Gropp's prime-factorisation based
+//!   Cartesian mapping (the state-of-the-art baseline of the paper),
+//! * [`GraphMapper`](viem::GraphMapper) — a general graph-mapping baseline in
+//!   the spirit of VieM, built on the from-scratch multilevel partitioner of
+//!   the [`graph_partition`] crate,
+//! * [`Blocked`](baselines::Blocked), [`RoundRobin`](baselines::RoundRobin)
+//!   and [`RandomMapping`](baselines::RandomMapping) — trivial baselines.
+//!
+//! ## Objective
+//!
+//! Given the communication graph induced by a grid and a stencil, the cost of
+//! a mapping is measured by [`MappingCost`](metrics::MappingCost):
+//! `Jsum` (total number of inter-node communication edges) and `Jmax`
+//! (edges leaving the most loaded, *bottleneck*, node).
+//!
+//! ## Quick example
+//!
+//! ```
+//! use stencil_grid::{Dims, Stencil, NodeAllocation, CartGraph};
+//! use stencil_mapping::{MappingProblem, Mapper, metrics};
+//! use stencil_mapping::hyperplane::Hyperplane;
+//! use stencil_mapping::baselines::Blocked;
+//!
+//! let problem = MappingProblem::new(
+//!     Dims::from_slice(&[50, 48]),
+//!     Stencil::nearest_neighbor(2),
+//!     NodeAllocation::homogeneous(50, 48),
+//! ).unwrap();
+//!
+//! let graph = CartGraph::build(problem.dims(), problem.stencil(), false);
+//! let blocked = metrics::evaluate(&graph, &Blocked.compute(&problem).unwrap());
+//! let hp = metrics::evaluate(&graph, &Hyperplane::default().compute(&problem).unwrap());
+//! assert!(hp.j_sum < blocked.j_sum);
+//! ```
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+pub mod analysis;
+pub mod baselines;
+pub mod cart_comm;
+pub mod hyperplane;
+pub mod kdtree;
+pub mod mapping;
+pub mod metrics;
+pub mod nodecart;
+pub mod problem;
+pub mod stencil_strips;
+pub mod viem;
+
+pub use cart_comm::CartStencilComm;
+pub use mapping::Mapping;
+pub use metrics::MappingCost;
+pub use problem::{MapError, Mapper, MappingProblem, RankLocalMapper};
+
+/// Re-export of the grid vocabulary crate for convenience.
+pub use stencil_grid as grid;
+
+/// Returns boxed instances of every mapper evaluated in the paper, in the
+/// order used by the figures: the three new algorithms, the two previous
+/// approaches and the blocked baseline.
+///
+/// `seed` controls the randomised components (the VieM-style local search and
+/// the random baseline are seeded deterministically from it).
+pub fn all_paper_mappers(seed: u64) -> Vec<Box<dyn Mapper>> {
+    vec![
+        Box::new(hyperplane::Hyperplane::default()),
+        Box::new(kdtree::KdTree::default()),
+        Box::new(stencil_strips::StencilStrips::default()),
+        Box::new(nodecart::Nodecart::default()),
+        Box::new(viem::GraphMapper::with_seed(seed)),
+        Box::new(baselines::Blocked),
+        Box::new(baselines::RandomMapping::with_seed(seed)),
+    ]
+}
+
+/// Returns only the three algorithms introduced by the paper.
+pub fn new_paper_mappers() -> Vec<Box<dyn Mapper>> {
+    vec![
+        Box::new(hyperplane::Hyperplane::default()),
+        Box::new(kdtree::KdTree::default()),
+        Box::new(stencil_strips::StencilStrips::default()),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mapper_lists_have_expected_sizes_and_names() {
+        let all = all_paper_mappers(1);
+        assert_eq!(all.len(), 7);
+        let names: Vec<_> = all.iter().map(|m| m.name().to_string()).collect();
+        assert!(names.iter().any(|n| n.contains("Hyperplane")));
+        assert!(names.iter().any(|n| n.contains("k-d Tree")));
+        assert!(names.iter().any(|n| n.contains("Stencil Strips")));
+        assert!(names.iter().any(|n| n.contains("Nodecart")));
+        assert_eq!(new_paper_mappers().len(), 3);
+    }
+}

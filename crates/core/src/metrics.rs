@@ -1,0 +1,341 @@
+//! Mapping quality metrics: `Jsum`, `Jmax` and per-node communication loads.
+//!
+//! Following Section II of the paper, the cost function
+//! `σ(u, v) ∈ {0, 1}` indicates whether the directed communication edge
+//! `(u, v)` of the Cartesian graph crosses a compute-node boundary.
+//! `Jsum = Σ_{(u,v) ∈ E} σ(u,v)` is the total amount of inter-node
+//! communication and `Jmax` is the number of outgoing inter-node edges of the
+//! *bottleneck* node (the node with the most outgoing inter-node edges).
+
+use crate::mapping::Mapping;
+use serde::{Deserialize, Serialize};
+use stencil_grid::CartGraph;
+
+/// The communication cost of a mapping.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MappingCost {
+    /// Total number of directed inter-node communication edges (`Jsum`).
+    pub j_sum: u64,
+    /// Outgoing inter-node edges of the bottleneck node (`Jmax`).
+    pub j_max: u64,
+    /// Outgoing inter-node edges of every node (`j_max = max(per_node_egress)`).
+    pub per_node_egress: Vec<u64>,
+}
+
+impl MappingCost {
+    /// Index of the bottleneck node.
+    pub fn bottleneck_node(&self) -> usize {
+        self.per_node_egress
+            .iter()
+            .enumerate()
+            .max_by_key(|&(_, &e)| e)
+            .map(|(i, _)| i)
+            .unwrap_or(0)
+    }
+
+    /// Average egress per node.
+    pub fn mean_egress(&self) -> f64 {
+        if self.per_node_egress.is_empty() {
+            0.0
+        } else {
+            self.j_sum as f64 / self.per_node_egress.len() as f64
+        }
+    }
+
+    /// Reduction of this cost relative to a reference cost (typically the
+    /// blocked mapping), as used in Fig. 8 of the paper:
+    /// `(Jsum_self / Jsum_ref, Jmax_self / Jmax_ref)`.
+    ///
+    /// Values below 1 mean an improvement over the reference.  If the
+    /// reference cost is zero, the reduction is reported as 1 when this cost
+    /// is also zero and as infinity otherwise.
+    pub fn reduction_over(&self, reference: &MappingCost) -> (f64, f64) {
+        (
+            ratio(self.j_sum, reference.j_sum),
+            ratio(self.j_max, reference.j_max),
+        )
+    }
+}
+
+fn ratio(a: u64, b: u64) -> f64 {
+    if b == 0 {
+        if a == 0 {
+            1.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        a as f64 / b as f64
+    }
+}
+
+/// Evaluates the communication cost of a mapping on the given Cartesian
+/// communication graph.
+///
+/// # Panics
+///
+/// Panics if the graph and the mapping were built for different grid sizes.
+pub fn evaluate(graph: &CartGraph, mapping: &Mapping) -> MappingCost {
+    assert_eq!(
+        graph.num_vertices(),
+        mapping.num_processes(),
+        "graph and mapping must describe the same grid"
+    );
+    let mut per_node_egress = vec![0u64; mapping.num_nodes()];
+    let mut j_sum = 0u64;
+    for u in 0..graph.num_vertices() {
+        let nu = mapping.node_of_position(u);
+        for &v in graph.neighbors(u) {
+            let nv = mapping.node_of_position(v as usize);
+            if nu != nv {
+                j_sum += 1;
+                per_node_egress[nu] += 1;
+            }
+        }
+    }
+    let j_max = per_node_egress.iter().copied().max().unwrap_or(0);
+    MappingCost {
+        j_sum,
+        j_max,
+        per_node_egress,
+    }
+}
+
+/// Per-node traffic matrix entry: number of directed edges from `from` to `to`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NodeTraffic {
+    /// Source compute node.
+    pub from: usize,
+    /// Destination compute node.
+    pub to: usize,
+    /// Number of directed communication edges between the two nodes.
+    pub edges: u64,
+}
+
+/// Computes the inter-node traffic matrix (sparse, only non-zero entries) of
+/// a mapping.  Used by the cluster simulator to derive link loads.
+pub fn node_traffic(graph: &CartGraph, mapping: &Mapping) -> Vec<NodeTraffic> {
+    use std::collections::HashMap;
+    let mut acc: HashMap<(usize, usize), u64> = HashMap::new();
+    for u in 0..graph.num_vertices() {
+        let nu = mapping.node_of_position(u);
+        for &v in graph.neighbors(u) {
+            let nv = mapping.node_of_position(v as usize);
+            if nu != nv {
+                *acc.entry((nu, nv)).or_insert(0) += 1;
+            }
+        }
+    }
+    let mut out: Vec<NodeTraffic> = acc
+        .into_iter()
+        .map(|((from, to), edges)| NodeTraffic { from, to, edges })
+        .collect();
+    out.sort_by_key(|t| (t.from, t.to));
+    out
+}
+
+/// Counts, for every process (grid position), how many of its communication
+/// partners live on a different node.  The maximum of this vector is the
+/// per-process inter-node degree used by the communication time model.
+pub fn per_process_offnode_degree(graph: &CartGraph, mapping: &Mapping) -> Vec<u32> {
+    (0..graph.num_vertices())
+        .map(|u| {
+            let nu = mapping.node_of_position(u);
+            graph
+                .neighbors(u)
+                .iter()
+                .filter(|&&v| mapping.node_of_position(v as usize) != nu)
+                .count() as u32
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baselines::Blocked;
+    use crate::problem::{Mapper, MappingProblem};
+    use proptest::prelude::*;
+    use stencil_grid::{Dims, NodeAllocation, Stencil};
+
+    fn paper_headline_problem() -> (MappingProblem, CartGraph) {
+        let p = MappingProblem::new(
+            Dims::from_slice(&[50, 48]),
+            Stencil::nearest_neighbor(2),
+            NodeAllocation::homogeneous(50, 48),
+        )
+        .unwrap();
+        let g = CartGraph::build(p.dims(), p.stencil(), false);
+        (p, g)
+    }
+
+    #[test]
+    fn blocked_cost_matches_paper_figure6_nearest_neighbor() {
+        // Fig. 6 (left column, top): Standard (blocked) Jsum = 4704, Jmax = 96.
+        let (p, g) = paper_headline_problem();
+        let m = Blocked.compute(&p).unwrap();
+        let c = evaluate(&g, &m);
+        assert_eq!(c.j_sum, 4704);
+        assert_eq!(c.j_max, 96);
+    }
+
+    #[test]
+    fn blocked_cost_matches_paper_figure6_hops_and_component() {
+        // Fig. 6 middle/bottom: Standard Jsum = 13824 (hops), 4704 (component).
+        let dims = Dims::from_slice(&[50, 48]);
+        let alloc = NodeAllocation::homogeneous(50, 48);
+        let hops = MappingProblem::new(
+            dims.clone(),
+            Stencil::nearest_neighbor_with_hops(2),
+            alloc.clone(),
+        )
+        .unwrap();
+        let g = CartGraph::build(hops.dims(), hops.stencil(), false);
+        let c = evaluate(&g, &Blocked.compute(&hops).unwrap());
+        assert_eq!(c.j_sum, 13824);
+        assert_eq!(c.j_max, 288);
+
+        let comp =
+            MappingProblem::new(dims, Stencil::component(2), alloc).unwrap();
+        let g = CartGraph::build(comp.dims(), comp.stencil(), false);
+        let c = evaluate(&g, &Blocked.compute(&comp).unwrap());
+        assert_eq!(c.j_sum, 4704);
+        assert_eq!(c.j_max, 96);
+    }
+
+    #[test]
+    fn blocked_cost_matches_paper_figure7_blocked_scores() {
+        // Fig. 7 (N = 100, grid 75 x 64): Standard Jsum = 9622? The paper
+        // reports 9622 for nearest neighbor.  Our blocked mapping assigns
+        // ranks row-major over a 75x64 grid with 48 ranks per node, which is
+        // exactly the "Standard" mapping of the paper.
+        let p = MappingProblem::new(
+            Dims::from_slice(&[75, 64]),
+            Stencil::nearest_neighbor(2),
+            NodeAllocation::homogeneous(100, 48),
+        )
+        .unwrap();
+        let g = CartGraph::build(p.dims(), p.stencil(), false);
+        let c = evaluate(&g, &Blocked.compute(&p).unwrap());
+        assert_eq!(c.j_sum, 9622);
+        // component stencil: Standard Jsum = 9472
+        let p2 = MappingProblem::new(
+            Dims::from_slice(&[75, 64]),
+            Stencil::component(2),
+            NodeAllocation::homogeneous(100, 48),
+        )
+        .unwrap();
+        let g2 = CartGraph::build(p2.dims(), p2.stencil(), false);
+        let c2 = evaluate(&g2, &Blocked.compute(&p2).unwrap());
+        assert_eq!(c2.j_sum, 9472);
+        assert_eq!(c2.j_max, 96);
+        // nearest neighbor with hops: Standard Jsum = 28182, Jmax = 290
+        let p3 = MappingProblem::new(
+            Dims::from_slice(&[75, 64]),
+            Stencil::nearest_neighbor_with_hops(2),
+            NodeAllocation::homogeneous(100, 48),
+        )
+        .unwrap();
+        let g3 = CartGraph::build(p3.dims(), p3.stencil(), false);
+        let c3 = evaluate(&g3, &Blocked.compute(&p3).unwrap());
+        assert_eq!(c3.j_sum, 28182);
+        assert_eq!(c3.j_max, 290);
+        let _ = c;
+    }
+
+    #[test]
+    fn jsum_is_sum_of_per_node_egress() {
+        let (p, g) = paper_headline_problem();
+        let c = evaluate(&g, &Blocked.compute(&p).unwrap());
+        assert_eq!(c.per_node_egress.iter().sum::<u64>(), c.j_sum);
+        assert_eq!(
+            c.per_node_egress.iter().copied().max().unwrap(),
+            c.j_max
+        );
+        assert!(c.mean_egress() > 0.0);
+    }
+
+    #[test]
+    fn single_node_has_zero_cost() {
+        let p = MappingProblem::new(
+            Dims::from_slice(&[4, 4]),
+            Stencil::nearest_neighbor(2),
+            NodeAllocation::homogeneous(1, 16),
+        )
+        .unwrap();
+        let g = CartGraph::build(p.dims(), p.stencil(), false);
+        let c = evaluate(&g, &Blocked.compute(&p).unwrap());
+        assert_eq!(c.j_sum, 0);
+        assert_eq!(c.j_max, 0);
+        assert_eq!(c.bottleneck_node(), 0);
+    }
+
+    #[test]
+    fn reduction_over_blocked() {
+        let a = MappingCost {
+            j_sum: 50,
+            j_max: 5,
+            per_node_egress: vec![5, 45],
+        };
+        let b = MappingCost {
+            j_sum: 100,
+            j_max: 10,
+            per_node_egress: vec![10, 90],
+        };
+        let (rs, rm) = a.reduction_over(&b);
+        assert!((rs - 0.5).abs() < 1e-12);
+        assert!((rm - 0.5).abs() < 1e-12);
+        let zero = MappingCost {
+            j_sum: 0,
+            j_max: 0,
+            per_node_egress: vec![0, 0],
+        };
+        assert_eq!(zero.reduction_over(&zero), (1.0, 1.0));
+        assert_eq!(a.reduction_over(&zero), (f64::INFINITY, f64::INFINITY));
+        assert_eq!(b.bottleneck_node(), 1);
+    }
+
+    #[test]
+    fn node_traffic_is_symmetric_for_symmetric_stencils() {
+        let (p, g) = paper_headline_problem();
+        let m = Blocked.compute(&p).unwrap();
+        let t = node_traffic(&g, &m);
+        let total: u64 = t.iter().map(|e| e.edges).sum();
+        assert_eq!(total, evaluate(&g, &m).j_sum);
+        for e in &t {
+            let rev = t
+                .iter()
+                .find(|x| x.from == e.to && x.to == e.from)
+                .expect("reverse traffic entry");
+            assert_eq!(rev.edges, e.edges);
+        }
+    }
+
+    #[test]
+    fn per_process_offnode_degree_sums_to_jsum() {
+        let (p, g) = paper_headline_problem();
+        let m = Blocked.compute(&p).unwrap();
+        let deg = per_process_offnode_degree(&g, &m);
+        let total: u64 = deg.iter().map(|&d| d as u64).sum();
+        assert_eq!(total, evaluate(&g, &m).j_sum);
+        // In the blocked mapping of the 50x48 NN instance each process has at
+        // most 2 off-node neighbors (up/down).
+        assert!(deg.iter().all(|&d| d <= 2));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_jmax_bounds(nodes in 2usize..6, per in 2usize..6) {
+            let p = MappingProblem::new(
+                Dims::from_slice(&[nodes, per]),
+                Stencil::nearest_neighbor(2),
+                NodeAllocation::homogeneous(nodes, per),
+            ).unwrap();
+            let g = CartGraph::build(p.dims(), p.stencil(), false);
+            let c = evaluate(&g, &Blocked.compute(&p).unwrap());
+            // Jmax <= Jsum <= N * Jmax
+            prop_assert!(c.j_max <= c.j_sum);
+            prop_assert!(c.j_sum <= c.j_max * nodes as u64);
+        }
+    }
+}

@@ -1,0 +1,237 @@
+//! Gropp's `Nodecart` algorithm (the previous state of the art the paper
+//! compares against; see W. D. Gropp, *"Using node and socket information to
+//! implement MPI Cartesian topologies"*, Parallel Computing 85, 2019).
+//!
+//! The algorithm decomposes the process grid `D` into a *node grid*
+//! `Q = [d_0/c_0, …, d_{d-1}/c_{d-1}]` spanning the compute nodes and an
+//! *inner grid* `C = [c_0, …, c_{d-1}]` describing the layout of the `n`
+//! processes within one node, where `Π c_i = n` and every `c_i` divides
+//! `d_i`.  The factors `c_i` are chosen greedily from the prime factorisation
+//! of `n`, always assigning the next (largest) prime to the dimension with
+//! the largest remaining node-grid extent that the prime divides — this keeps
+//! the per-node blocks as compact as the factorisation allows.
+//!
+//! The approach requires a homogeneous allocation and a node size whose prime
+//! factors fit the grid dimensions; when no decomposition exists, the mapper
+//! reports [`MapError::NotApplicable`] (the paper's motivation for
+//! factorisation-free algorithms).
+
+use crate::problem::{MapError, Mapper, MappingProblem};
+use crate::Mapping;
+use rayon::prelude::*;
+use stencil_grid::{dims_create::prime_factors, Coord};
+
+/// Gropp's `Nodecart` Cartesian mapping algorithm.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Nodecart;
+
+impl Nodecart {
+    /// Computes the inner (within-node) grid `C` for the given grid
+    /// dimensions and node size, or `None` if `n` cannot be factored into
+    /// the dimensions.
+    pub fn inner_dims(dims: &[usize], n: usize) -> Option<Vec<usize>> {
+        let mut inner = vec![1usize; dims.len()];
+        let mut quotient: Vec<usize> = dims.to_vec();
+        let mut factors = prime_factors(n);
+        factors.reverse(); // largest primes first
+        for f in factors {
+            // choose the dimension with the largest remaining quotient that
+            // the prime divides
+            let candidate = (0..dims.len())
+                .filter(|&i| quotient[i] % f == 0)
+                .max_by_key(|&i| quotient[i])?;
+            quotient[candidate] /= f;
+            inner[candidate] *= f;
+        }
+        Some(inner)
+    }
+
+    /// The coordinate of `rank` given the inner grid decomposition.
+    fn coord_of_rank(
+        dims: &[usize],
+        inner: &[usize],
+        n: usize,
+        rank: usize,
+    ) -> Coord {
+        let node = rank / n;
+        let local = rank % n;
+        let node_grid: Vec<usize> = dims.iter().zip(inner).map(|(&d, &c)| d / c).collect();
+        let node_coord = stencil_grid::rank_to_coord(node, &node_grid);
+        let local_coord = stencil_grid::rank_to_coord(local, inner);
+        node_coord
+            .iter()
+            .zip(&local_coord)
+            .zip(inner)
+            .map(|((&nc, &lc), &c)| nc * c + lc)
+            .collect()
+    }
+}
+
+impl Mapper for Nodecart {
+    fn name(&self) -> &str {
+        "Nodecart"
+    }
+
+    fn compute(&self, problem: &MappingProblem) -> Result<Mapping, MapError> {
+        let alloc = problem.alloc();
+        if !alloc.is_homogeneous() {
+            return Err(MapError::NotApplicable(
+                "Nodecart requires a homogeneous number of processes per node".into(),
+            ));
+        }
+        let n = alloc.node_size(0);
+        let dims = problem.dims().as_slice();
+        let inner = Self::inner_dims(dims, n).ok_or_else(|| {
+            MapError::NotApplicable(format!(
+                "node size {n} cannot be factored into grid dimensions {dims:?}"
+            ))
+        })?;
+        let p = problem.num_processes();
+        let coords: Vec<Coord> = (0..p)
+            .into_par_iter()
+            .map(|r| Self::coord_of_rank(dims, &inner, n, r))
+            .collect();
+        Mapping::from_rank_coords(problem, &coords)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baselines::Blocked;
+    use crate::metrics::evaluate;
+    use crate::problem::MappingProblem;
+    use proptest::prelude::*;
+    use stencil_grid::{CartGraph, Dims, NodeAllocation, Stencil};
+
+    fn problem(dims: &[usize], nodes: usize, per: usize, stencil: Stencil) -> MappingProblem {
+        MappingProblem::new(
+            Dims::from_slice(dims),
+            stencil,
+            NodeAllocation::homogeneous(nodes, per),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn inner_dims_headline_instance() {
+        // 50 x 48 grid, n = 48: 50 = 2 * 5^2 only contributes a factor 2, so
+        // the inner grid is [2, 24] and the node grid [25, 2].
+        assert_eq!(Nodecart::inner_dims(&[50, 48], 48), Some(vec![2, 24]));
+        // 75 x 64 grid, n = 48: 75 = 3 * 5^2 takes the 3, 64 takes the 16.
+        assert_eq!(Nodecart::inner_dims(&[75, 64], 48), Some(vec![3, 16]));
+        // impossible: n = 7 into an 8 x 4 grid
+        assert_eq!(Nodecart::inner_dims(&[8, 4], 7), None);
+    }
+
+    #[test]
+    fn matches_paper_scores_nearest_neighbor_n50() {
+        // Paper Fig. 6 (left, top): Nodecart Jsum = 2404, Jmax = 50.
+        let prob = problem(&[50, 48], 50, 48, Stencil::nearest_neighbor(2));
+        let g = CartGraph::build(prob.dims(), prob.stencil(), false);
+        let cost = evaluate(&g, &Nodecart.compute(&prob).unwrap());
+        assert_eq!(cost.j_sum, 2404);
+        assert_eq!(cost.j_max, 50);
+    }
+
+    #[test]
+    fn matches_paper_scores_component_n50() {
+        // Paper Fig. 6 (bottom left): Nodecart Jsum = 2304, Jmax = 48 for the
+        // component stencil (the figure lists Jmax = 48 for Nodecart).
+        let prob = problem(&[50, 48], 50, 48, Stencil::component(2));
+        let g = CartGraph::build(prob.dims(), prob.stencil(), false);
+        let cost = evaluate(&g, &Nodecart.compute(&prob).unwrap());
+        assert_eq!(cost.j_sum, 2304);
+        assert_eq!(cost.j_max, 48);
+    }
+
+    #[test]
+    fn improves_over_blocked_but_less_than_new_algorithms() {
+        let prob = problem(&[50, 48], 50, 48, Stencil::nearest_neighbor(2));
+        let g = CartGraph::build(prob.dims(), prob.stencil(), false);
+        let nc = evaluate(&g, &Nodecart.compute(&prob).unwrap());
+        let blocked = evaluate(&g, &Blocked.compute(&prob).unwrap());
+        let hp = evaluate(
+            &g,
+            &crate::hyperplane::Hyperplane::default()
+                .compute(&prob)
+                .unwrap(),
+        );
+        let ss = evaluate(
+            &g,
+            &crate::stencil_strips::StencilStrips.compute(&prob).unwrap(),
+        );
+        assert!(nc.j_sum < blocked.j_sum);
+        // the paper's new algorithms achieve significantly better quality
+        assert!(hp.j_sum < nc.j_sum);
+        assert!(ss.j_sum < nc.j_sum);
+    }
+
+    #[test]
+    fn rejects_heterogeneous_allocations() {
+        let hetero = MappingProblem::new(
+            Dims::from_slice(&[6, 4]),
+            Stencil::nearest_neighbor(2),
+            NodeAllocation::heterogeneous(vec![10, 8, 6]).unwrap(),
+        )
+        .unwrap();
+        assert!(matches!(
+            Nodecart.compute(&hetero),
+            Err(MapError::NotApplicable(_))
+        ));
+    }
+
+    #[test]
+    fn factorable_node_sizes_succeed() {
+        // Whenever the allocation is homogeneous and p = N * n, the greedy
+        // prime assignment always succeeds (every prime of n divides the grid
+        // volume).  A couple of representative shapes:
+        let ok = problem(&[8, 9], 12, 6, Stencil::nearest_neighbor(2));
+        assert!(Nodecart.compute(&ok).is_ok());
+        let ok = problem(&[5, 5], 5, 5, Stencil::nearest_neighbor(2));
+        assert!(Nodecart.compute(&ok).is_ok());
+        let ok = problem(&[6, 6], 9, 4, Stencil::nearest_neighbor(2));
+        assert!(Nodecart.compute(&ok).is_ok());
+        // inner_dims itself reports None for node sizes that cannot be
+        // factored into the dimensions (the situation Nodecart cannot handle
+        // and the paper's algorithms are designed to avoid).
+        assert_eq!(Nodecart::inner_dims(&[8, 4], 7), None);
+        assert_eq!(Nodecart::inner_dims(&[9, 25], 4), None);
+    }
+
+    #[test]
+    fn node_blocks_are_axis_aligned_boxes() {
+        let prob = problem(&[8, 8], 4, 16, Stencil::nearest_neighbor(2));
+        let m = Nodecart.compute(&prob).unwrap();
+        // inner dims for n=16 on 8x8: 4 x 4 blocks
+        assert_eq!(Nodecart::inner_dims(&[8, 8], 16), Some(vec![4, 4]));
+        for node in 0..4 {
+            let cells: Vec<Vec<usize>> = (0..64)
+                .filter(|&x| m.node_of_position(x) == node)
+                .map(|x| prob.dims().coord_of(x))
+                .collect();
+            assert_eq!(cells.len(), 16);
+            let min0 = cells.iter().map(|c| c[0]).min().unwrap();
+            let max0 = cells.iter().map(|c| c[0]).max().unwrap();
+            let min1 = cells.iter().map(|c| c[1]).min().unwrap();
+            let max1 = cells.iter().map(|c| c[1]).max().unwrap();
+            assert_eq!(max0 - min0 + 1, 4);
+            assert_eq!(max1 - min1 + 1, 4);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_valid_when_applicable(
+            q0 in 1usize..5, q1 in 1usize..5, c0 in 1usize..4, c1 in 1usize..4,
+        ) {
+            // construct an instance that is factorable by design
+            let dims = [q0 * c0, q1 * c1];
+            let n = c0 * c1;
+            let nodes = q0 * q1;
+            let prob = problem(&dims, nodes, n, Stencil::nearest_neighbor(2));
+            let m = Nodecart.compute(&prob).unwrap();
+            prop_assert!(m.respects_allocation(prob.alloc()));
+        }
+    }
+}

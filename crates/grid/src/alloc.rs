@@ -1,0 +1,232 @@
+//! Node allocations: how many processes the scheduler placed on each node.
+//!
+//! The paper assumes the scheduler hands the application `N` compute nodes
+//! with `n_i` processes on node `i` (Σ n_i = p).  Ranks are assigned to nodes
+//! in blocks: node 0 owns ranks `0..n_0`, node 1 owns `n_0..n_0+n_1`, and so
+//! on.  The mapping algorithms must respect this allocation — they only
+//! reorder which *grid position* each rank owns, never which node a rank
+//! lives on.
+
+use crate::GridError;
+use serde::{Deserialize, Serialize};
+
+/// The allocation of processes to compute nodes.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NodeAllocation {
+    sizes: Vec<usize>,
+    /// Prefix sums of `sizes`, length `N + 1`: node `i` owns ranks
+    /// `starts[i]..starts[i+1]`.
+    starts: Vec<usize>,
+}
+
+impl NodeAllocation {
+    /// A homogeneous allocation of `nodes` nodes with `procs_per_node`
+    /// processes each (the common `p = N·n` case).
+    pub fn homogeneous(nodes: usize, procs_per_node: usize) -> Self {
+        Self::heterogeneous(vec![procs_per_node; nodes]).expect("homogeneous allocation")
+    }
+
+    /// A heterogeneous allocation with explicit per-node sizes `n_i`.
+    pub fn heterogeneous(sizes: Vec<usize>) -> Result<Self, GridError> {
+        if sizes.is_empty() || sizes.iter().any(|&n| n == 0) {
+            return Err(GridError::ZeroDimension);
+        }
+        let mut starts = Vec::with_capacity(sizes.len() + 1);
+        let mut acc = 0usize;
+        starts.push(0);
+        for &n in &sizes {
+            acc += n;
+            starts.push(acc);
+        }
+        Ok(NodeAllocation { sizes, starts })
+    }
+
+    /// Number of compute nodes `N`.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.sizes.len()
+    }
+
+    /// Total number of processes `p = Σ n_i`.
+    #[inline]
+    pub fn total_processes(&self) -> usize {
+        *self.starts.last().unwrap()
+    }
+
+    /// Number of processes on node `i`.
+    #[inline]
+    pub fn node_size(&self, node: usize) -> usize {
+        self.sizes[node]
+    }
+
+    /// Per-node sizes as a slice.
+    #[inline]
+    pub fn sizes(&self) -> &[usize] {
+        &self.sizes
+    }
+
+    /// Whether every node hosts the same number of processes.
+    pub fn is_homogeneous(&self) -> bool {
+        self.sizes.windows(2).all(|w| w[0] == w[1])
+    }
+
+    /// The node that owns rank `r` under the blocked scheduler allocation.
+    #[inline]
+    pub fn node_of_rank(&self, rank: usize) -> usize {
+        debug_assert!(rank < self.total_processes());
+        // partition_point returns the first node whose start exceeds `rank`.
+        self.starts.partition_point(|&s| s <= rank) - 1
+    }
+
+    /// The contiguous rank range owned by node `i`.
+    #[inline]
+    pub fn ranks_of_node(&self, node: usize) -> std::ops::Range<usize> {
+        self.starts[node]..self.starts[node + 1]
+    }
+
+    /// The first rank on the same node as `rank` (the node "leader").
+    #[inline]
+    pub fn node_leader(&self, rank: usize) -> usize {
+        self.starts[self.node_of_rank(rank)]
+    }
+
+    /// Rank of `rank` within its node (0-based local index).
+    #[inline]
+    pub fn local_rank(&self, rank: usize) -> usize {
+        rank - self.node_leader(rank)
+    }
+
+    /// Mean node size (used by Hyperplane for heterogeneous allocations).
+    pub fn mean_size(&self) -> f64 {
+        self.total_processes() as f64 / self.num_nodes() as f64
+    }
+
+    /// Minimum node size.
+    pub fn min_size(&self) -> usize {
+        *self.sizes.iter().min().unwrap()
+    }
+
+    /// Maximum node size.
+    pub fn max_size(&self) -> usize {
+        *self.sizes.iter().max().unwrap()
+    }
+
+    /// A representative node size used by algorithms that take a single
+    /// parameter `n`: the exact size for homogeneous allocations, the
+    /// (rounded) mean otherwise.
+    pub fn representative_size(&self) -> usize {
+        if self.is_homogeneous() {
+            self.sizes[0]
+        } else {
+            self.mean_size().round().max(1.0) as usize
+        }
+    }
+
+    /// Validates that the allocation covers exactly `p` processes.
+    pub fn check_total(&self, p: usize) -> Result<(), GridError> {
+        if self.total_processes() != p {
+            Err(GridError::AllocationMismatch {
+                required: p,
+                provided: self.total_processes(),
+            })
+        } else {
+            Ok(())
+        }
+    }
+}
+
+impl std::fmt::Display for NodeAllocation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.is_homogeneous() {
+            write!(f, "{} nodes x {} procs", self.num_nodes(), self.sizes[0])
+        } else {
+            write!(f, "{} nodes, sizes {:?}", self.num_nodes(), self.sizes)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn homogeneous_basics() {
+        let a = NodeAllocation::homogeneous(50, 48);
+        assert_eq!(a.num_nodes(), 50);
+        assert_eq!(a.total_processes(), 2400);
+        assert!(a.is_homogeneous());
+        assert_eq!(a.representative_size(), 48);
+        assert_eq!(a.node_of_rank(0), 0);
+        assert_eq!(a.node_of_rank(47), 0);
+        assert_eq!(a.node_of_rank(48), 1);
+        assert_eq!(a.node_of_rank(2399), 49);
+        assert_eq!(a.ranks_of_node(1), 48..96);
+        assert_eq!(a.local_rank(50), 2);
+        assert_eq!(a.node_leader(50), 48);
+    }
+
+    #[test]
+    fn heterogeneous_basics() {
+        let a = NodeAllocation::heterogeneous(vec![3, 4, 2]).unwrap();
+        assert_eq!(a.total_processes(), 9);
+        assert!(!a.is_homogeneous());
+        assert_eq!(a.node_of_rank(2), 0);
+        assert_eq!(a.node_of_rank(3), 1);
+        assert_eq!(a.node_of_rank(6), 1);
+        assert_eq!(a.node_of_rank(7), 2);
+        assert_eq!(a.min_size(), 2);
+        assert_eq!(a.max_size(), 4);
+        assert!((a.mean_size() - 3.0).abs() < 1e-12);
+        assert_eq!(a.representative_size(), 3);
+        assert_eq!(a.sizes(), &[3, 4, 2]);
+    }
+
+    #[test]
+    fn rejects_empty_or_zero_sizes() {
+        assert!(NodeAllocation::heterogeneous(vec![]).is_err());
+        assert!(NodeAllocation::heterogeneous(vec![4, 0, 2]).is_err());
+    }
+
+    #[test]
+    fn check_total_detects_mismatch() {
+        let a = NodeAllocation::homogeneous(5, 4);
+        assert!(a.check_total(20).is_ok());
+        assert_eq!(
+            a.check_total(21),
+            Err(GridError::AllocationMismatch {
+                required: 21,
+                provided: 20
+            })
+        );
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(
+            NodeAllocation::homogeneous(4, 8).to_string(),
+            "4 nodes x 8 procs"
+        );
+        assert!(NodeAllocation::heterogeneous(vec![1, 2])
+            .unwrap()
+            .to_string()
+            .contains("sizes"));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_node_of_rank_consistent_with_ranges(
+            sizes in proptest::collection::vec(1usize..9, 1..12)
+        ) {
+            let a = NodeAllocation::heterogeneous(sizes).unwrap();
+            for node in 0..a.num_nodes() {
+                for r in a.ranks_of_node(node) {
+                    prop_assert_eq!(a.node_of_rank(r), node);
+                    prop_assert!(a.local_rank(r) < a.node_size(node));
+                }
+            }
+            let total: usize = (0..a.num_nodes()).map(|i| a.node_size(i)).sum();
+            prop_assert_eq!(total, a.total_processes());
+        }
+    }
+}

@@ -1,0 +1,123 @@
+//! Row-major rank/coordinate conversions.
+//!
+//! Processes of a Cartesian grid are identified either by their *rank*
+//! `0 ≤ r < p` or by their coordinate vector `[r_0, …, r_{d-1}]`.  Following
+//! the paper (and the MPI standard), ranks are assigned to coordinates in
+//! row-major order, i.e. the **last** dimension varies fastest.
+
+/// A grid coordinate `[r_0, …, r_{d-1}]` with `0 ≤ r_i < d_i`.
+pub type Coord = Vec<usize>;
+
+/// Converts a row-major rank into a coordinate for the given dimension sizes.
+///
+/// # Panics
+///
+/// Panics in debug builds if `rank` is out of range.
+#[inline]
+pub fn rank_to_coord(rank: usize, sizes: &[usize]) -> Coord {
+    debug_assert!(!sizes.is_empty());
+    debug_assert!(rank < sizes.iter().product::<usize>(), "rank out of range");
+    let mut coord = vec![0usize; sizes.len()];
+    let mut rem = rank;
+    for i in (0..sizes.len()).rev() {
+        coord[i] = rem % sizes[i];
+        rem /= sizes[i];
+    }
+    coord
+}
+
+/// Converts a coordinate into its row-major rank for the given dimension
+/// sizes.
+///
+/// # Panics
+///
+/// Panics in debug builds if the coordinate is out of range.
+#[inline]
+pub fn coord_to_rank(coord: &[usize], sizes: &[usize]) -> usize {
+    debug_assert_eq!(coord.len(), sizes.len());
+    let mut rank = 0usize;
+    for i in 0..sizes.len() {
+        debug_assert!(coord[i] < sizes[i], "coordinate out of range");
+        rank = rank * sizes[i] + coord[i];
+    }
+    rank
+}
+
+/// Writes the coordinate of `rank` into a preallocated buffer, avoiding an
+/// allocation.  Useful in hot per-rank loops.
+#[inline]
+pub fn rank_to_coord_into(rank: usize, sizes: &[usize], out: &mut [usize]) {
+    debug_assert_eq!(out.len(), sizes.len());
+    let mut rem = rank;
+    for i in (0..sizes.len()).rev() {
+        out[i] = rem % sizes[i];
+        rem /= sizes[i];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn last_dimension_varies_fastest() {
+        let sizes = [3, 4];
+        assert_eq!(rank_to_coord(0, &sizes), vec![0, 0]);
+        assert_eq!(rank_to_coord(1, &sizes), vec![0, 1]);
+        assert_eq!(rank_to_coord(3, &sizes), vec![0, 3]);
+        assert_eq!(rank_to_coord(4, &sizes), vec![1, 0]);
+        assert_eq!(rank_to_coord(11, &sizes), vec![2, 3]);
+    }
+
+    #[test]
+    fn coord_to_rank_matches_manual_formula() {
+        let sizes = [5, 4, 3];
+        // rank = r0 * (4*3) + r1 * 3 + r2
+        assert_eq!(coord_to_rank(&[0, 0, 0], &sizes), 0);
+        assert_eq!(coord_to_rank(&[1, 0, 0], &sizes), 12);
+        assert_eq!(coord_to_rank(&[1, 2, 1], &sizes), 19);
+        assert_eq!(coord_to_rank(&[4, 3, 2], &sizes), 59);
+    }
+
+    #[test]
+    fn into_variant_matches_allocating_variant() {
+        let sizes = [4, 3, 2];
+        let mut buf = [0usize; 3];
+        for r in 0..24 {
+            rank_to_coord_into(r, &sizes, &mut buf);
+            assert_eq!(buf.to_vec(), rank_to_coord(r, &sizes));
+        }
+    }
+
+    #[test]
+    fn one_dimensional_identity() {
+        let sizes = [17];
+        for r in 0..17 {
+            assert_eq!(rank_to_coord(r, &sizes), vec![r]);
+            assert_eq!(coord_to_rank(&[r], &sizes), r);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_roundtrip(sizes in proptest::collection::vec(1usize..9, 1..5), pick in 0usize..100_000) {
+            let p: usize = sizes.iter().product();
+            let r = pick % p;
+            let c = rank_to_coord(r, &sizes);
+            prop_assert_eq!(coord_to_rank(&c, &sizes), r);
+        }
+
+        #[test]
+        fn prop_lexicographic_order(sizes in proptest::collection::vec(1usize..7, 1..4), pick in 0usize..50_000) {
+            // Ranks are ordered lexicographically by coordinate.
+            let p: usize = sizes.iter().product();
+            if p >= 2 {
+                let r = pick % (p - 1);
+                let a = rank_to_coord(r, &sizes);
+                let b = rank_to_coord(r + 1, &sizes);
+                prop_assert!(a < b, "coordinates must be lexicographically increasing");
+            }
+        }
+    }
+}

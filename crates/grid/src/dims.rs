@@ -1,0 +1,270 @@
+//! Dimension sizes of a Cartesian process grid.
+
+use crate::coords::{coord_to_rank, rank_to_coord, Coord};
+use crate::GridError;
+use serde::{Deserialize, Serialize};
+
+/// The dimension sizes `D = [d_0, …, d_{d-1}]` of a Cartesian process grid.
+///
+/// The grid comprises `p = Π d_i` processes.  Processes are assigned to grid
+/// positions in row-major order (the last dimension varies fastest), exactly
+/// as in the paper (Section II) and in MPI Cartesian communicators.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Dims {
+    sizes: Vec<usize>,
+}
+
+impl Dims {
+    /// Creates a new set of dimension sizes.
+    ///
+    /// Returns an error if `sizes` is empty or contains a zero.
+    pub fn new(sizes: Vec<usize>) -> Result<Self, GridError> {
+        if sizes.is_empty() {
+            return Err(GridError::EmptyDims);
+        }
+        if sizes.iter().any(|&d| d == 0) {
+            return Err(GridError::ZeroDimension);
+        }
+        Ok(Dims { sizes })
+    }
+
+    /// Creates dimension sizes without validation. Panics on invalid input.
+    ///
+    /// Convenience for tests and literals where validity is obvious.
+    pub fn from_slice(sizes: &[usize]) -> Self {
+        Self::new(sizes.to_vec()).expect("invalid dimension sizes")
+    }
+
+    /// Number of dimensions `d`.
+    #[inline]
+    pub fn ndims(&self) -> usize {
+        self.sizes.len()
+    }
+
+    /// The size of dimension `i`.
+    #[inline]
+    pub fn size(&self, i: usize) -> usize {
+        self.sizes[i]
+    }
+
+    /// The dimension sizes as a slice.
+    #[inline]
+    pub fn as_slice(&self) -> &[usize] {
+        &self.sizes
+    }
+
+    /// Total number of grid cells (processes) `p = Π d_i`.
+    #[inline]
+    pub fn volume(&self) -> usize {
+        self.sizes.iter().product()
+    }
+
+    /// Index of the largest dimension (first one on ties).
+    pub fn largest_dim(&self) -> usize {
+        let mut best = 0;
+        for (i, &d) in self.sizes.iter().enumerate() {
+            if d > self.sizes[best] {
+                best = i;
+            }
+        }
+        let _ = best;
+        self.sizes
+            .iter()
+            .enumerate()
+            .max_by_key(|&(i, &d)| (d, std::cmp::Reverse(i)))
+            .map(|(i, _)| i)
+            .unwrap_or(0)
+    }
+
+    /// Returns a copy with dimension `dim` replaced by `new_size`.
+    pub fn with_dim(&self, dim: usize, new_size: usize) -> Self {
+        let mut sizes = self.sizes.clone();
+        sizes[dim] = new_size;
+        Dims { sizes }
+    }
+
+    /// Converts a row-major rank to its grid coordinate.
+    #[inline]
+    pub fn coord_of(&self, rank: usize) -> Coord {
+        rank_to_coord(rank, &self.sizes)
+    }
+
+    /// Converts a grid coordinate to its row-major rank.
+    #[inline]
+    pub fn rank_of(&self, coord: &[usize]) -> usize {
+        coord_to_rank(coord, &self.sizes)
+    }
+
+    /// Checks whether a coordinate lies inside the grid.
+    pub fn contains(&self, coord: &[usize]) -> bool {
+        coord.len() == self.ndims() && coord.iter().zip(&self.sizes).all(|(&c, &d)| c < d)
+    }
+
+    /// Iterates over all grid coordinates in row-major (rank) order.
+    pub fn iter_coords(&self) -> impl Iterator<Item = Coord> + '_ {
+        (0..self.volume()).map(move |r| self.coord_of(r))
+    }
+
+    /// Applies a (possibly negative) offset to a coordinate.
+    ///
+    /// Returns the target coordinate or `None` if the target falls outside of
+    /// the grid.  When `periodic` is `true`, coordinates wrap around in every
+    /// dimension (torus).
+    pub fn offset_coord(&self, coord: &[usize], offset: &[i64], periodic: bool) -> Option<Coord> {
+        debug_assert_eq!(coord.len(), self.ndims());
+        debug_assert_eq!(offset.len(), self.ndims());
+        let mut out = Vec::with_capacity(self.ndims());
+        for i in 0..self.ndims() {
+            let d = self.sizes[i] as i64;
+            let t = coord[i] as i64 + offset[i];
+            if periodic {
+                out.push(t.rem_euclid(d) as usize);
+            } else if t < 0 || t >= d {
+                return None;
+            } else {
+                out.push(t as usize);
+            }
+        }
+        Some(out)
+    }
+}
+
+impl std::fmt::Display for Dims {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[")?;
+        for (i, d) in self.sizes.iter().enumerate() {
+            if i > 0 {
+                write!(f, "x")?;
+            }
+            write!(f, "{d}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl std::ops::Index<usize> for Dims {
+    type Output = usize;
+    fn index(&self, i: usize) -> &usize {
+        &self.sizes[i]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn new_rejects_invalid() {
+        assert_eq!(Dims::new(vec![]), Err(GridError::EmptyDims));
+        assert_eq!(Dims::new(vec![4, 0]), Err(GridError::ZeroDimension));
+        assert!(Dims::new(vec![4, 3]).is_ok());
+    }
+
+    #[test]
+    fn volume_and_sizes() {
+        let d = Dims::from_slice(&[50, 48]);
+        assert_eq!(d.volume(), 2400);
+        assert_eq!(d.ndims(), 2);
+        assert_eq!(d.size(0), 50);
+        assert_eq!(d[1], 48);
+        assert_eq!(d.as_slice(), &[50, 48]);
+    }
+
+    #[test]
+    fn display_formats_dims() {
+        assert_eq!(Dims::from_slice(&[4, 3, 2]).to_string(), "[4x3x2]");
+    }
+
+    #[test]
+    fn largest_dim_prefers_first_on_tie() {
+        assert_eq!(Dims::from_slice(&[4, 4, 2]).largest_dim(), 0);
+        assert_eq!(Dims::from_slice(&[2, 8, 4]).largest_dim(), 1);
+        assert_eq!(Dims::from_slice(&[7]).largest_dim(), 0);
+    }
+
+    #[test]
+    fn rank_coord_roundtrip_row_major() {
+        let d = Dims::from_slice(&[5, 4]);
+        // row-major: rank = r0 * 4 + r1
+        assert_eq!(d.coord_of(0), vec![0, 0]);
+        assert_eq!(d.coord_of(1), vec![0, 1]);
+        assert_eq!(d.coord_of(4), vec![1, 0]);
+        assert_eq!(d.rank_of(&[1, 0]), 4);
+        assert_eq!(d.rank_of(&[4, 3]), 19);
+        for r in 0..d.volume() {
+            assert_eq!(d.rank_of(&d.coord_of(r)), r);
+        }
+    }
+
+    #[test]
+    fn with_dim_replaces_size() {
+        let d = Dims::from_slice(&[5, 4]);
+        assert_eq!(d.with_dim(0, 2).as_slice(), &[2, 4]);
+        assert_eq!(d.with_dim(1, 7).as_slice(), &[5, 7]);
+    }
+
+    #[test]
+    fn contains_checks_bounds() {
+        let d = Dims::from_slice(&[3, 3]);
+        assert!(d.contains(&[0, 0]));
+        assert!(d.contains(&[2, 2]));
+        assert!(!d.contains(&[3, 0]));
+        assert!(!d.contains(&[0, 3]));
+        assert!(!d.contains(&[0]));
+    }
+
+    #[test]
+    fn offset_coord_non_periodic() {
+        let d = Dims::from_slice(&[3, 3]);
+        assert_eq!(d.offset_coord(&[1, 1], &[1, 0], false), Some(vec![2, 1]));
+        assert_eq!(d.offset_coord(&[2, 1], &[1, 0], false), None);
+        assert_eq!(d.offset_coord(&[0, 0], &[-1, 0], false), None);
+    }
+
+    #[test]
+    fn offset_coord_periodic_wraps() {
+        let d = Dims::from_slice(&[3, 4]);
+        assert_eq!(d.offset_coord(&[2, 3], &[1, 1], true), Some(vec![0, 0]));
+        assert_eq!(d.offset_coord(&[0, 0], &[-1, -1], true), Some(vec![2, 3]));
+        assert_eq!(d.offset_coord(&[0, 0], &[-7, 9], true), Some(vec![2, 1]));
+    }
+
+    #[test]
+    fn iter_coords_is_rank_ordered() {
+        let d = Dims::from_slice(&[2, 3]);
+        let coords: Vec<_> = d.iter_coords().collect();
+        assert_eq!(coords.len(), 6);
+        assert_eq!(coords[0], vec![0, 0]);
+        assert_eq!(coords[5], vec![1, 2]);
+        for (r, c) in coords.iter().enumerate() {
+            assert_eq!(d.rank_of(c), r);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_rank_coord_roundtrip(sizes in proptest::collection::vec(1usize..8, 1..4), extra in 0usize..1000) {
+            let d = Dims::new(sizes).unwrap();
+            let r = extra % d.volume();
+            let c = d.coord_of(r);
+            prop_assert!(d.contains(&c));
+            prop_assert_eq!(d.rank_of(&c), r);
+        }
+
+        #[test]
+        fn prop_periodic_offset_stays_in_grid(
+            sizes in proptest::collection::vec(1usize..7, 1..4),
+            seed in 0usize..10_000,
+            offs in proptest::collection::vec(-5i64..5, 1..4)
+        ) {
+            let d = Dims::new(sizes).unwrap();
+            let r = seed % d.volume();
+            let c = d.coord_of(r);
+            let mut off = offs;
+            off.resize(d.ndims(), 0);
+            let t = d.offset_coord(&c, &off, true).unwrap();
+            prop_assert!(d.contains(&t));
+        }
+    }
+}

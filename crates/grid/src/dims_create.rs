@@ -1,0 +1,234 @@
+//! Balanced grid factorisation in the spirit of `MPI_Dims_create`.
+//!
+//! The experimental evaluation of the paper creates all grids "according to
+//! the `MPI_Dims_create` specifications, that is with the sizes of the
+//! dimensions being as close as possible to each other".  This module
+//! provides such a factorisation (searching exhaustively over divisor
+//! combinations, which is cheap for realistic process counts) together with a
+//! prime factorisation helper shared by the `Nodecart` and `Hyperplane`
+//! algorithms.
+
+/// Returns the prime factors of `x` in ascending order (with multiplicity).
+///
+/// `prime_factors(1)` and `prime_factors(0)` return an empty vector.
+pub fn prime_factors(mut x: usize) -> Vec<usize> {
+    let mut factors = Vec::new();
+    if x < 2 {
+        return factors;
+    }
+    let mut d = 2usize;
+    while d * d <= x {
+        while x % d == 0 {
+            factors.push(d);
+            x /= d;
+        }
+        d += if d == 2 { 1 } else { 2 };
+    }
+    if x > 1 {
+        factors.push(x);
+    }
+    factors
+}
+
+/// All divisors of `x` in ascending order.
+pub fn divisors(x: usize) -> Vec<usize> {
+    let mut small = Vec::new();
+    let mut large = Vec::new();
+    let mut d = 1usize;
+    while d * d <= x {
+        if x % d == 0 {
+            small.push(d);
+            if d != x / d {
+                large.push(x / d);
+            }
+        }
+        d += 1;
+    }
+    large.reverse();
+    small.extend(large);
+    small
+}
+
+/// Computes a balanced factorisation of `nnodes` into `ndims` factors, i.e.
+/// dimension sizes whose product is `nnodes` and which are as close to each
+/// other as possible.  The result is sorted in non-increasing order, matching
+/// the `MPI_Dims_create` convention.
+///
+/// The factorisation minimises the largest dimension and, among those,
+/// maximises the smallest dimension.
+///
+/// # Panics
+///
+/// Panics if `nnodes == 0` or `ndims == 0`.
+pub fn dims_create(nnodes: usize, ndims: usize) -> Vec<usize> {
+    assert!(nnodes > 0, "nnodes must be positive");
+    assert!(ndims > 0, "ndims must be positive");
+    if ndims == 1 {
+        return vec![nnodes];
+    }
+    let mut best: Option<Vec<usize>> = None;
+    let mut current = Vec::with_capacity(ndims);
+    search(nnodes, ndims, usize::MAX, &mut current, &mut best);
+    let mut dims = best.expect("a factorisation always exists (1s are allowed)");
+    dims.sort_unstable_by(|a, b| b.cmp(a));
+    dims
+}
+
+/// Recursive helper: choose dimension sizes in non-increasing order.
+fn search(
+    remaining: usize,
+    slots: usize,
+    upper: usize,
+    current: &mut Vec<usize>,
+    best: &mut Option<Vec<usize>>,
+) {
+    if slots == 1 {
+        if remaining <= upper {
+            current.push(remaining);
+            consider(current, best);
+            current.pop();
+        }
+        return;
+    }
+    for d in divisors(remaining) {
+        if d > upper {
+            break;
+        }
+        // The remaining slots must be able to hold factors no larger than `d`
+        // (non-increasing order); prune if even d^(slots-1) is too small.
+        if pow_at_least(d, slots - 1, remaining / d) {
+            current.push(d);
+            search(remaining / d, slots - 1, d, current, best);
+            current.pop();
+        }
+    }
+}
+
+/// Returns true if `base^exp >= target` without overflowing.
+fn pow_at_least(base: usize, exp: usize, target: usize) -> bool {
+    let mut acc: u128 = 1;
+    for _ in 0..exp {
+        acc = acc.saturating_mul(base as u128);
+        if acc >= target as u128 {
+            return true;
+        }
+    }
+    acc >= target as u128
+}
+
+/// Keeps the better of two candidate factorisations:
+/// smaller maximum first, then larger minimum, then lexicographically
+/// smaller sorted-descending sequence for determinism.
+fn consider(candidate: &[usize], best: &mut Option<Vec<usize>>) {
+    let mut cand = candidate.to_vec();
+    cand.sort_unstable_by(|a, b| b.cmp(a));
+    let better = match best {
+        None => true,
+        Some(b) => {
+            let (cmax, cmin) = (cand[0], *cand.last().unwrap());
+            let (bmax, bmin) = (b[0], *b.last().unwrap());
+            (cmax, std::cmp::Reverse(cmin), &cand) < (bmax, std::cmp::Reverse(bmin), b)
+        }
+    };
+    if better {
+        *best = Some(cand);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn prime_factors_basic() {
+        assert_eq!(prime_factors(0), Vec::<usize>::new());
+        assert_eq!(prime_factors(1), Vec::<usize>::new());
+        assert_eq!(prime_factors(2), vec![2]);
+        assert_eq!(prime_factors(48), vec![2, 2, 2, 2, 3]);
+        assert_eq!(prime_factors(97), vec![97]);
+        assert_eq!(prime_factors(2400), vec![2, 2, 2, 2, 2, 3, 5, 5]);
+    }
+
+    #[test]
+    fn divisors_basic() {
+        assert_eq!(divisors(1), vec![1]);
+        assert_eq!(divisors(12), vec![1, 2, 3, 4, 6, 12]);
+        assert_eq!(divisors(49), vec![1, 7, 49]);
+    }
+
+    #[test]
+    fn dims_create_matches_paper_instances() {
+        // N = 50 nodes x 48 procs = 2400 processes -> 50 x 48 grid
+        assert_eq!(dims_create(2400, 2), vec![50, 48]);
+        // N = 100 nodes x 48 procs = 4800 processes -> 75 x 64 grid
+        assert_eq!(dims_create(4800, 2), vec![75, 64]);
+    }
+
+    #[test]
+    fn dims_create_simple_cases() {
+        assert_eq!(dims_create(12, 1), vec![12]);
+        assert_eq!(dims_create(12, 2), vec![4, 3]);
+        assert_eq!(dims_create(12, 3), vec![3, 2, 2]);
+        assert_eq!(dims_create(16, 2), vec![4, 4]);
+        assert_eq!(dims_create(16, 4), vec![2, 2, 2, 2]);
+        assert_eq!(dims_create(7, 2), vec![7, 1]);
+        assert_eq!(dims_create(1, 3), vec![1, 1, 1]);
+    }
+
+    #[test]
+    fn dims_create_prefers_balance_over_greedy() {
+        // 4800 = 80 * 60 = 75 * 64; 75x64 is more balanced.
+        assert_eq!(dims_create(4800, 2), vec![75, 64]);
+        // 36 = 6*6 not 9*4 or 12*3
+        assert_eq!(dims_create(36, 2), vec![6, 6]);
+        // 96 three ways: best is 6,4,4
+        assert_eq!(dims_create(96, 3), vec![6, 4, 4]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn dims_create_rejects_zero_nodes() {
+        dims_create(0, 2);
+    }
+
+    #[test]
+    #[should_panic]
+    fn dims_create_rejects_zero_dims() {
+        dims_create(8, 0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_product_preserved(n in 1usize..3000, d in 1usize..4) {
+            let dims = dims_create(n, d);
+            prop_assert_eq!(dims.len(), d);
+            prop_assert_eq!(dims.iter().product::<usize>(), n);
+        }
+
+        #[test]
+        fn prop_non_increasing(n in 1usize..3000, d in 1usize..5) {
+            let dims = dims_create(n, d);
+            for w in dims.windows(2) {
+                prop_assert!(w[0] >= w[1]);
+            }
+        }
+
+        #[test]
+        fn prop_prime_factors_multiply_back(n in 2usize..10_000) {
+            let f = prime_factors(n);
+            prop_assert_eq!(f.iter().product::<usize>(), n);
+            // all factors are prime
+            for &x in &f {
+                prop_assert!(prime_factors(x).len() == 1);
+            }
+        }
+
+        #[test]
+        fn prop_divisors_divide(n in 1usize..5_000) {
+            for d in divisors(n) {
+                prop_assert_eq!(n % d, 0);
+            }
+        }
+    }
+}

@@ -1,0 +1,266 @@
+//! The Cartesian communication graph induced by a grid and a stencil.
+//!
+//! Every grid cell (process) is a vertex; for every offset `R` of the stencil
+//! and every vertex `v` there is a directed edge `(v, v + R)` provided the
+//! target lies inside the grid (or always, when the grid is periodic).  The
+//! paper assumes unit edge weights and sparse communication (`k ≪ p`).
+
+use crate::{Dims, GridError, Stencil};
+
+/// A sparse directed communication graph over the cells of a Cartesian grid,
+/// stored in compressed sparse row (CSR) form.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CartGraph {
+    dims: Dims,
+    periodic: bool,
+    /// CSR row offsets, length `p + 1`.
+    xadj: Vec<usize>,
+    /// CSR column indices (neighbor ranks).
+    adjncy: Vec<u32>,
+}
+
+impl CartGraph {
+    /// Builds the communication graph for `dims` and `stencil`.
+    ///
+    /// When `periodic` is true the grid wraps around in every dimension.
+    /// Out-of-grid targets are silently dropped in the non-periodic case,
+    /// matching the MPI semantics of `MPI_PROC_NULL` neighbors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stencil dimensionality does not match the grid; use
+    /// [`CartGraph::try_build`] for a fallible variant.
+    pub fn build(dims: &Dims, stencil: &Stencil, periodic: bool) -> Self {
+        Self::try_build(dims, stencil, periodic).expect("stencil/grid dimension mismatch")
+    }
+
+    /// Fallible variant of [`CartGraph::build`].
+    pub fn try_build(dims: &Dims, stencil: &Stencil, periodic: bool) -> Result<Self, GridError> {
+        stencil.check_dims(dims)?;
+        let p = dims.volume();
+        let mut xadj = Vec::with_capacity(p + 1);
+        let mut adjncy = Vec::with_capacity(p * stencil.k());
+        xadj.push(0usize);
+        let mut coord = vec![0usize; dims.ndims()];
+        for rank in 0..p {
+            crate::coords::rank_to_coord_into(rank, dims.as_slice(), &mut coord);
+            for off in stencil.offsets() {
+                if let Some(target) = dims.offset_coord(&coord, off, periodic) {
+                    let t = dims.rank_of(&target);
+                    if t != rank {
+                        adjncy.push(t as u32);
+                    }
+                }
+            }
+            xadj.push(adjncy.len());
+        }
+        Ok(CartGraph {
+            dims: dims.clone(),
+            periodic,
+            xadj,
+            adjncy,
+        })
+    }
+
+    /// The grid dimensions this graph was built from.
+    #[inline]
+    pub fn dims(&self) -> &Dims {
+        &self.dims
+    }
+
+    /// Whether periodic (torus) boundaries were used.
+    #[inline]
+    pub fn periodic(&self) -> bool {
+        self.periodic
+    }
+
+    /// Number of vertices `p`.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.xadj.len() - 1
+    }
+
+    /// Total number of directed edges.
+    #[inline]
+    pub fn num_directed_edges(&self) -> usize {
+        self.adjncy.len()
+    }
+
+    /// The communication targets of vertex `v` (directed out-neighbors).
+    #[inline]
+    pub fn neighbors(&self, v: usize) -> &[u32] {
+        &self.adjncy[self.xadj[v]..self.xadj[v + 1]]
+    }
+
+    /// Out-degree of vertex `v`.
+    #[inline]
+    pub fn degree(&self, v: usize) -> usize {
+        self.xadj[v + 1] - self.xadj[v]
+    }
+
+    /// Maximum out-degree over all vertices.
+    pub fn max_degree(&self) -> usize {
+        (0..self.num_vertices())
+            .map(|v| self.degree(v))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Iterates over all directed edges `(u, v)`.
+    pub fn edges(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        (0..self.num_vertices())
+            .flat_map(move |u| self.neighbors(u).iter().map(move |&v| (u, v as usize)))
+    }
+
+    /// Checks whether the graph is symmetric (`(u,v) ∈ E ⇒ (v,u) ∈ E`).
+    ///
+    /// Symmetric stencils on periodic grids always yield symmetric graphs; on
+    /// non-periodic grids symmetry still holds because dropped edges are
+    /// dropped in pairs.
+    pub fn is_symmetric(&self) -> bool {
+        self.edges().all(|(u, v)| self.neighbors(v).contains(&(u as u32)))
+    }
+
+    /// The CSR row offsets (length `p + 1`).
+    #[inline]
+    pub fn xadj(&self) -> &[usize] {
+        &self.xadj
+    }
+
+    /// The CSR adjacency array.
+    #[inline]
+    pub fn adjncy(&self) -> &[u32] {
+        &self.adjncy
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn nearest_neighbor_edge_count_2d() {
+        // 50x48 grid, non-periodic nearest neighbor:
+        // horizontal (dim 1) directed edges: 2 * 50 * 47 = 4700
+        // vertical   (dim 0) directed edges: 2 * 48 * 49 = 4704
+        let dims = Dims::from_slice(&[50, 48]);
+        let g = CartGraph::build(&dims, &Stencil::nearest_neighbor(2), false);
+        assert_eq!(g.num_vertices(), 2400);
+        assert_eq!(g.num_directed_edges(), 4700 + 4704);
+        assert_eq!(g.max_degree(), 4);
+        assert!(g.is_symmetric());
+    }
+
+    #[test]
+    fn periodic_grid_has_full_degree_everywhere() {
+        let dims = Dims::from_slice(&[4, 5]);
+        let g = CartGraph::build(&dims, &Stencil::nearest_neighbor(2), true);
+        for v in 0..g.num_vertices() {
+            assert_eq!(g.degree(v), 4);
+        }
+        assert_eq!(g.num_directed_edges(), 4 * 20);
+        assert!(g.is_symmetric());
+    }
+
+    #[test]
+    fn corner_vertex_degrees_non_periodic() {
+        let dims = Dims::from_slice(&[3, 3]);
+        let g = CartGraph::build(&dims, &Stencil::nearest_neighbor(2), false);
+        // corner (0,0) has 2 neighbors, edge midpoints 3, center 4
+        assert_eq!(g.degree(dims.rank_of(&[0, 0])), 2);
+        assert_eq!(g.degree(dims.rank_of(&[0, 1])), 3);
+        assert_eq!(g.degree(dims.rank_of(&[1, 1])), 4);
+    }
+
+    #[test]
+    fn component_stencil_only_connects_along_dim0() {
+        let dims = Dims::from_slice(&[4, 3]);
+        let g = CartGraph::build(&dims, &Stencil::component(2), false);
+        for (u, v) in g.edges() {
+            let cu = dims.coord_of(u);
+            let cv = dims.coord_of(v);
+            assert_eq!(cu[1], cv[1], "component stencil must not cross columns");
+            assert_eq!((cu[0] as i64 - cv[0] as i64).abs(), 1);
+        }
+        // 3 columns x 3 links x 2 directions
+        assert_eq!(g.num_directed_edges(), 18);
+    }
+
+    #[test]
+    fn hops_stencil_reaches_distance_three() {
+        let dims = Dims::from_slice(&[8, 2]);
+        let g = CartGraph::build(&dims, &Stencil::nearest_neighbor_with_hops(2), false);
+        let src = dims.rank_of(&[0, 0]);
+        let targets: Vec<_> = g.neighbors(src).iter().map(|&t| dims.coord_of(t as usize)).collect();
+        assert!(targets.contains(&vec![3, 0]));
+        assert!(targets.contains(&vec![2, 0]));
+        assert!(targets.contains(&vec![1, 0]));
+        assert!(targets.contains(&vec![0, 1]));
+        assert_eq!(targets.len(), 4);
+    }
+
+    #[test]
+    fn degenerate_small_grid_drops_self_wrap_duplicates() {
+        // On a grid of size 1 along a periodic dimension, +1 and -1 wrap to
+        // the vertex itself and must be dropped (no self loops).
+        let dims = Dims::from_slice(&[1, 4]);
+        let g = CartGraph::build(&dims, &Stencil::nearest_neighbor(2), true);
+        for v in 0..g.num_vertices() {
+            assert!(!g.neighbors(v).contains(&(v as u32)));
+        }
+    }
+
+    #[test]
+    fn try_build_rejects_dimension_mismatch() {
+        let dims = Dims::from_slice(&[4, 4, 4]);
+        assert!(CartGraph::try_build(&dims, &Stencil::nearest_neighbor(2), false).is_err());
+    }
+
+    #[test]
+    fn csr_arrays_are_consistent() {
+        let dims = Dims::from_slice(&[5, 4]);
+        let g = CartGraph::build(&dims, &Stencil::nearest_neighbor(2), false);
+        assert_eq!(g.xadj().len(), g.num_vertices() + 1);
+        assert_eq!(*g.xadj().last().unwrap(), g.adjncy().len());
+        assert_eq!(g.edges().count(), g.num_directed_edges());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_symmetric_stencils_give_symmetric_graphs(
+            sizes in proptest::collection::vec(1usize..6, 2..4),
+            periodic in proptest::bool::ANY,
+        ) {
+            let dims = Dims::new(sizes).unwrap();
+            let s = Stencil::nearest_neighbor(dims.ndims());
+            let g = CartGraph::build(&dims, &s, periodic);
+            prop_assert!(g.is_symmetric());
+        }
+
+        #[test]
+        fn prop_degree_bounded_by_k(
+            sizes in proptest::collection::vec(2usize..7, 2..4),
+            periodic in proptest::bool::ANY,
+        ) {
+            let dims = Dims::new(sizes).unwrap();
+            let s = Stencil::nearest_neighbor_with_hops(dims.ndims());
+            let g = CartGraph::build(&dims, &s, periodic);
+            for v in 0..g.num_vertices() {
+                prop_assert!(g.degree(v) <= s.k());
+            }
+        }
+
+        #[test]
+        fn prop_edge_targets_in_range(sizes in proptest::collection::vec(1usize..6, 2..4)) {
+            let dims = Dims::new(sizes).unwrap();
+            let s = Stencil::nearest_neighbor(dims.ndims());
+            let g = CartGraph::build(&dims, &s, false);
+            for (u, v) in g.edges() {
+                prop_assert!(u < g.num_vertices());
+                prop_assert!(v < g.num_vertices());
+                prop_assert_ne!(u, v);
+            }
+        }
+    }
+}

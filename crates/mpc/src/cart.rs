@@ -1,0 +1,147 @@
+//! Cartesian communicators (`MPI_Cart_create` / `MPI_Dims_create` analogue).
+
+use crate::runtime::Process;
+use stencil_grid::{dims_create, Coord, Dims};
+
+/// A Cartesian topology over the world communicator without reordering
+/// (`MPI_Cart_create` with `reorder = 0`): rank `r` sits at the row-major
+/// coordinate `r` of the grid.
+#[derive(Debug, Clone)]
+pub struct CartComm {
+    dims: Dims,
+    periodic: bool,
+    rank: usize,
+}
+
+impl CartComm {
+    /// Creates the Cartesian view for the calling process.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the grid volume does not match the communicator size.
+    pub fn create(process: &Process, dims: Dims, periodic: bool) -> Self {
+        assert_eq!(
+            dims.volume(),
+            process.size(),
+            "grid volume must equal the number of ranks"
+        );
+        CartComm {
+            dims,
+            periodic,
+            rank: process.rank(),
+        }
+    }
+
+    /// Creates a balanced grid for `size` ranks and `ndims` dimensions, like
+    /// `MPI_Dims_create` followed by `MPI_Cart_create`.
+    pub fn create_balanced(process: &Process, ndims: usize, periodic: bool) -> Self {
+        let dims = Dims::new(dims_create(process.size(), ndims)).expect("valid dims");
+        Self::create(process, dims, periodic)
+    }
+
+    /// The grid dimensions.
+    pub fn dims(&self) -> &Dims {
+        &self.dims
+    }
+
+    /// Whether the grid is periodic.
+    pub fn periodic(&self) -> bool {
+        self.periodic
+    }
+
+    /// The calling process' rank.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// The calling process' Cartesian coordinate (`MPI_Cart_coords`).
+    pub fn coords(&self) -> Coord {
+        self.dims.coord_of(self.rank)
+    }
+
+    /// The coordinate of an arbitrary rank.
+    pub fn coords_of(&self, rank: usize) -> Coord {
+        self.dims.coord_of(rank)
+    }
+
+    /// The rank at a coordinate (`MPI_Cart_rank`).
+    pub fn rank_at(&self, coord: &[usize]) -> usize {
+        self.dims.rank_of(coord)
+    }
+
+    /// Source and destination ranks for a shift along `dim` by `displacement`
+    /// (`MPI_Cart_shift`).  Returns `(source, destination)`; entries are
+    /// `None` where the shift leaves a non-periodic grid.
+    pub fn shift(&self, dim: usize, displacement: i64) -> (Option<usize>, Option<usize>) {
+        let coord = self.coords();
+        let mut fwd = vec![0i64; self.dims.ndims()];
+        fwd[dim] = displacement;
+        let mut bwd = vec![0i64; self.dims.ndims()];
+        bwd[dim] = -displacement;
+        let dest = self
+            .dims
+            .offset_coord(&coord, &fwd, self.periodic)
+            .map(|c| self.dims.rank_of(&c));
+        let src = self
+            .dims
+            .offset_coord(&coord, &bwd, self.periodic)
+            .map(|c| self.dims.rank_of(&c));
+        (src, dest)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runtime::Runtime;
+
+    #[test]
+    fn balanced_cart_comm_matches_dims_create() {
+        let out = Runtime::run(12, |p| {
+            let cart = CartComm::create_balanced(&p, 2, false);
+            (cart.dims().as_slice().to_vec(), cart.coords())
+        });
+        for (rank, (dims, coords)) in out.iter().enumerate() {
+            assert_eq!(dims, &vec![4, 3]);
+            assert_eq!(coords, &stencil_grid::rank_to_coord(rank, &[4, 3]));
+        }
+    }
+
+    #[test]
+    fn coords_and_rank_roundtrip() {
+        let out = Runtime::run(6, |p| {
+            let cart = CartComm::create(&p, Dims::from_slice(&[2, 3]), false);
+            cart.rank_at(&cart.coords())
+        });
+        assert_eq!(out, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn shift_non_periodic_has_boundaries() {
+        let out = Runtime::run(4, |p| {
+            let cart = CartComm::create(&p, Dims::from_slice(&[4]), false);
+            cart.shift(0, 1)
+        });
+        assert_eq!(out[0], (None, Some(1)));
+        assert_eq!(out[1], (Some(0), Some(2)));
+        assert_eq!(out[3], (Some(2), None));
+    }
+
+    #[test]
+    fn shift_periodic_wraps() {
+        let out = Runtime::run(4, |p| {
+            let cart = CartComm::create(&p, Dims::from_slice(&[4]), true);
+            cart.shift(0, 1)
+        });
+        assert_eq!(out[0], (Some(3), Some(1)));
+        assert_eq!(out[3], (Some(2), Some(0)));
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_volume_rejected() {
+        Runtime::run(4, |p| {
+            CartComm::create(&p, Dims::from_slice(&[3, 3]), false);
+        });
+    }
+}

@@ -1,0 +1,202 @@
+//! Collective operations over the world communicator: allgather, alltoall
+//! and neighborhood collectives over explicit neighbor lists.
+//!
+//! The implementations favour clarity over asymptotic optimality (the
+//! runtime is a functional stand-in, not a performance model), but they use
+//! the same communication pattern an MPI library would: point-to-point
+//! messages matched by tags, with a barrier only where MPI would require one.
+
+use crate::runtime::Process;
+
+/// Tag space reserved for the collectives (user tags should stay below this).
+const COLLECTIVE_TAG_BASE: u64 = 1 << 60;
+
+impl Process {
+    /// Gathers `data` from every rank on every rank (`MPI_Allgather` with
+    /// per-rank variable length, i.e. `MPI_Allgatherv`).  The result is
+    /// indexed by rank.
+    pub fn allgather(&mut self, data: &[u8]) -> Vec<Vec<u8>> {
+        let tag = COLLECTIVE_TAG_BASE + 1;
+        for dest in 0..self.size() {
+            if dest != self.rank() {
+                self.send(dest, tag, data);
+            }
+        }
+        let mut out: Vec<Vec<u8>> = vec![Vec::new(); self.size()];
+        out[self.rank()] = data.to_vec();
+        for _ in 0..self.size() - 1 {
+            let (src, payload) = self.recv_any(tag);
+            out[src] = payload;
+        }
+        out
+    }
+
+    /// Gathers one `usize` from every rank (convenience wrapper around
+    /// [`Process::allgather`] used by the reordering code to exchange new
+    /// ranks).
+    pub fn allgather_usize(&mut self, value: usize) -> Vec<usize> {
+        self.allgather(&value.to_le_bytes())
+            .into_iter()
+            .map(|b| usize::from_le_bytes(b.as_slice().try_into().expect("8-byte payload")))
+            .collect()
+    }
+
+    /// Personalised all-to-all exchange (`MPI_Alltoallv`): `chunks[i]` is sent
+    /// to rank `i`; the result holds the chunk received from every rank.
+    pub fn alltoall(&mut self, chunks: &[Vec<u8>]) -> Vec<Vec<u8>> {
+        assert_eq!(chunks.len(), self.size(), "one chunk per rank required");
+        let tag = COLLECTIVE_TAG_BASE + 2;
+        for (dest, chunk) in chunks.iter().enumerate() {
+            if dest != self.rank() {
+                self.send(dest, tag, chunk);
+            }
+        }
+        let mut out: Vec<Vec<u8>> = vec![Vec::new(); self.size()];
+        out[self.rank()] = chunks[self.rank()].clone();
+        for _ in 0..self.size() - 1 {
+            let (src, payload) = self.recv_any(tag);
+            out[src] = payload;
+        }
+        out
+    }
+
+    /// Neighborhood all-to-all (`MPI_Neighbor_alltoall` on a distributed
+    /// graph topology): `send[i]` is sent to `destinations[i]`; the result
+    /// holds, for every entry of `sources`, the chunk received from that
+    /// source (in order).  Duplicate sources receive matching duplicate
+    /// messages, as MPI allows for general graph topologies.
+    pub fn neighbor_alltoall(
+        &mut self,
+        destinations: &[usize],
+        sources: &[usize],
+        send: &[Vec<u8>],
+    ) -> Vec<Vec<u8>> {
+        assert_eq!(
+            destinations.len(),
+            send.len(),
+            "one send chunk per destination required"
+        );
+        let tag = COLLECTIVE_TAG_BASE + 3;
+        // Use a per-destination sequence number so that multiple edges to the
+        // same neighbor are matched in order.
+        let mut dest_seq: std::collections::HashMap<usize, u64> = std::collections::HashMap::new();
+        for (i, &dest) in destinations.iter().enumerate() {
+            let seq = dest_seq.entry(dest).or_insert(0);
+            self.send(dest, tag + *seq, &send[i]);
+            *seq += 1;
+        }
+        let mut src_seq: std::collections::HashMap<usize, u64> = std::collections::HashMap::new();
+        let mut out = Vec::with_capacity(sources.len());
+        for &src in sources {
+            let seq = src_seq.entry(src).or_insert(0);
+            out.push(self.recv(src, tag + *seq));
+            *seq += 1;
+        }
+        out
+    }
+
+    /// Global reduction of a `u64` by summation (`MPI_Allreduce(MPI_SUM)`).
+    pub fn allreduce_sum(&mut self, value: u64) -> u64 {
+        self.allgather(&value.to_le_bytes())
+            .into_iter()
+            .map(|b| u64::from_le_bytes(b.as_slice().try_into().expect("8-byte payload")))
+            .sum()
+    }
+
+    /// Global reduction of an `f64` by maximum (`MPI_Allreduce(MPI_MAX)`),
+    /// used to report the slowest process of a timed exchange.
+    pub fn allreduce_max_f64(&mut self, value: f64) -> f64 {
+        self.allgather(&value.to_le_bytes())
+            .into_iter()
+            .map(|b| f64::from_le_bytes(b.as_slice().try_into().expect("8-byte payload")))
+            .fold(f64::NEG_INFINITY, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::runtime::Runtime;
+
+    #[test]
+    fn allgather_collects_everyones_data() {
+        let out = Runtime::run(5, |mut p| {
+            let mine = vec![p.rank() as u8; p.rank() + 1];
+            p.allgather(&mine)
+        });
+        for result in out {
+            assert_eq!(result.len(), 5);
+            for (rank, chunk) in result.iter().enumerate() {
+                assert_eq!(chunk, &vec![rank as u8; rank + 1]);
+            }
+        }
+    }
+
+    #[test]
+    fn allgather_usize_roundtrips() {
+        let out = Runtime::run(4, |mut p| p.allgather_usize(p.rank() * 10));
+        for result in out {
+            assert_eq!(result, vec![0, 10, 20, 30]);
+        }
+    }
+
+    #[test]
+    fn alltoall_transposes_the_data_matrix() {
+        let out = Runtime::run(4, |mut p| {
+            // rank r sends [r, dest] to each dest
+            let chunks: Vec<Vec<u8>> = (0..p.size())
+                .map(|dest| vec![p.rank() as u8, dest as u8])
+                .collect();
+            p.alltoall(&chunks)
+        });
+        for (rank, received) in out.iter().enumerate() {
+            for (src, chunk) in received.iter().enumerate() {
+                assert_eq!(chunk, &vec![src as u8, rank as u8]);
+            }
+        }
+    }
+
+    #[test]
+    fn neighbor_alltoall_on_a_ring() {
+        let out = Runtime::run(6, |mut p| {
+            let next = (p.rank() + 1) % p.size();
+            let prev = (p.rank() + p.size() - 1) % p.size();
+            let recv = p.neighbor_alltoall(
+                &[next, prev],
+                &[next, prev],
+                &[vec![p.rank() as u8, 1], vec![p.rank() as u8, 2]],
+            );
+            recv
+        });
+        for (rank, received) in out.iter().enumerate() {
+            let next = (rank + 1) % 6;
+            let prev = (rank + 6 - 1) % 6;
+            // from next we receive its "towards prev" message (marker 2)
+            assert_eq!(received[0], vec![next as u8, 2]);
+            // from prev we receive its "towards next" message (marker 1)
+            assert_eq!(received[1], vec![prev as u8, 1]);
+        }
+    }
+
+    #[test]
+    fn neighbor_alltoall_with_duplicate_neighbors() {
+        // two ranks exchanging two messages each (double edge)
+        let out = Runtime::run(2, |mut p| {
+            let other = 1 - p.rank();
+            p.neighbor_alltoall(
+                &[other, other],
+                &[other, other],
+                &[vec![p.rank() as u8, 0], vec![p.rank() as u8, 1]],
+            )
+        });
+        assert_eq!(out[0], vec![vec![1, 0], vec![1, 1]]);
+        assert_eq!(out[1], vec![vec![0, 0], vec![0, 1]]);
+    }
+
+    #[test]
+    fn reductions() {
+        let sums = Runtime::run(5, |mut p| p.allreduce_sum(p.rank() as u64));
+        assert!(sums.iter().all(|&s| s == 10));
+        let maxes = Runtime::run(5, |mut p| p.allreduce_max_f64(p.rank() as f64 * 1.5));
+        assert!(maxes.iter().all(|&m| (m - 6.0).abs() < 1e-12));
+    }
+}

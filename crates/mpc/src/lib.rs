@@ -1,0 +1,45 @@
+//! # mpc-sim
+//!
+//! A small thread-based message-passing runtime ("mini message-passing
+//! core") standing in for MPI.  The paper's algorithms are *distributed*:
+//! every process computes its new rank locally and the library then creates a
+//! reordered Cartesian / distributed-graph communicator.  This crate provides
+//! exactly that machinery so the reordering can be exercised end to end:
+//!
+//! * [`Runtime`] — runs `p` ranks as threads with point-to-point channels,
+//! * [`Process`] — per-rank handle with `send`/`recv`, `barrier`,
+//!   `allgather`, `alltoall`,
+//! * [`CartComm`] — a Cartesian communicator (`dims_create`, coordinates,
+//!   shifts),
+//! * [`StencilComm`] — the `MPIX_Cart_stencil_comm` equivalent: every rank
+//!   computes its new coordinate with a rank-local mapping algorithm and the
+//!   communicator exposes neighborhood collectives
+//!   (`neighbor_alltoall`) over the reordered topology.
+//!
+//! The runtime is *functional*, not a performance simulator — timing of
+//! exchanges on the paper's machines is modelled by the `cluster-sim` crate.
+//!
+//! ```
+//! use mpc_sim::Runtime;
+//!
+//! let sums = Runtime::run(4, |mut p| {
+//!     // every rank contributes its rank; allgather makes the sum global
+//!     let all = p.allgather(&p.rank().to_le_bytes());
+//!     all.iter()
+//!         .map(|b| usize::from_le_bytes(b.as_slice().try_into().unwrap()))
+//!         .sum::<usize>()
+//! });
+//! assert_eq!(sums, vec![6, 6, 6, 6]);
+//! ```
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+pub mod cart;
+pub mod collectives;
+pub mod runtime;
+pub mod stencil_comm;
+
+pub use cart::CartComm;
+pub use runtime::{Process, Runtime};
+pub use stencil_comm::StencilComm;

@@ -1,0 +1,167 @@
+//! Initial bisection by greedy graph growing.
+//!
+//! A region is grown from a seed vertex, always absorbing the frontier vertex
+//! with the highest gain (edge weight towards the region minus edge weight
+//! away from it), until the region reaches the requested weight.  Several
+//! random seeds are tried and the bisection with the smallest cut is kept.
+
+use crate::Graph;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Grows part 0 to (approximately, exactly for unit weights) `target0` total
+/// vertex weight, trying `attempts` random seed vertices and returning the
+/// partition with the smallest cut.
+pub fn greedy_bisection(graph: &Graph, target0: u64, attempts: usize, seed: u64) -> Vec<u32> {
+    let n = graph.num_vertices();
+    assert!(n > 0, "cannot bisect an empty graph");
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut best: Option<(u64, Vec<u32>)> = None;
+    for _ in 0..attempts.max(1) {
+        let start = rng.gen_range(0..n);
+        let part = grow_from(graph, target0, start);
+        let cut = graph.cut(&part);
+        if best.as_ref().map_or(true, |(bc, _)| cut < *bc) {
+            best = Some((cut, part));
+        }
+    }
+    best.unwrap().1
+}
+
+/// Grows part 0 from a single start vertex.
+fn grow_from(graph: &Graph, target0: u64, start: usize) -> Vec<u32> {
+    let n = graph.num_vertices();
+    let mut part = vec![1u32; n];
+    if target0 == 0 {
+        return part;
+    }
+    let mut in_region = vec![false; n];
+    let mut weight0 = 0u64;
+    // gain of absorbing v = (weight towards region) - (weight away from it)
+    let mut gain = vec![i64::MIN; n];
+    let mut frontier: Vec<usize> = Vec::new();
+
+    let absorb = |v: usize,
+                      part: &mut Vec<u32>,
+                      in_region: &mut Vec<bool>,
+                      gain: &mut Vec<i64>,
+                      frontier: &mut Vec<usize>,
+                      weight0: &mut u64| {
+        part[v] = 0;
+        in_region[v] = true;
+        *weight0 += graph.vertex_weight(v) as u64;
+        for (u, w) in graph.edges_of(v) {
+            let u = u as usize;
+            if in_region[u] {
+                continue;
+            }
+            if gain[u] == i64::MIN {
+                // entering the frontier: initialise gain to -(total incident weight)
+                let total: i64 = graph.edge_weights(u).iter().map(|&x| x as i64).sum();
+                gain[u] = -total;
+                frontier.push(u);
+            }
+            gain[u] += 2 * w as i64;
+        }
+    };
+
+    absorb(
+        start,
+        &mut part,
+        &mut in_region,
+        &mut gain,
+        &mut frontier,
+        &mut weight0,
+    );
+
+    while weight0 < target0 {
+        // pick the frontier vertex with the highest gain that still fits;
+        // if the frontier is empty (disconnected graph) take any outside vertex.
+        frontier.retain(|&v| !in_region[v]);
+        let next = frontier
+            .iter()
+            .copied()
+            .max_by_key(|&v| (gain[v], std::cmp::Reverse(v)))
+            .or_else(|| (0..n).find(|&v| !in_region[v]));
+        match next {
+            Some(v) => absorb(
+                v,
+                &mut part,
+                &mut in_region,
+                &mut gain,
+                &mut frontier,
+                &mut weight0,
+            ),
+            None => break,
+        }
+    }
+    part
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{grid_graph, path_graph};
+
+    #[test]
+    fn bisection_hits_exact_target_with_unit_weights() {
+        let g = grid_graph(6, 6);
+        let part = greedy_bisection(&g, 18, 4, 11);
+        let w = g.part_weights(&part, 2);
+        assert_eq!(w[0], 18);
+        assert_eq!(w[1], 18);
+    }
+
+    #[test]
+    fn bisection_of_path_is_contiguous_and_cheap() {
+        let g = path_graph(10);
+        let part = greedy_bisection(&g, 5, 8, 3);
+        assert_eq!(g.part_weights(&part, 2), vec![5, 5]);
+        // the optimal cut of a path bisection is 1; greedy growing finds it
+        assert_eq!(g.cut(&part), 1);
+    }
+
+    #[test]
+    fn bisection_of_grid_is_near_optimal() {
+        // 8x8 grid split in half: optimal cut is 8; greedy growing from a
+        // corner should find something close (allow small slack).
+        let g = grid_graph(8, 8);
+        let part = greedy_bisection(&g, 32, 10, 5);
+        assert_eq!(g.part_weights(&part, 2)[0], 32);
+        assert!(g.cut(&part) <= 12, "cut = {}", g.cut(&part));
+    }
+
+    #[test]
+    fn zero_target_leaves_everything_in_part1() {
+        let g = path_graph(4);
+        let part = greedy_bisection(&g, 0, 2, 0);
+        assert!(part.iter().all(|&p| p == 1));
+    }
+
+    #[test]
+    fn full_target_absorbs_everything() {
+        let g = path_graph(4);
+        let part = greedy_bisection(&g, 4, 2, 0);
+        assert!(part.iter().all(|&p| p == 0));
+        assert_eq!(g.cut(&part), 0);
+    }
+
+    #[test]
+    fn works_on_disconnected_graphs() {
+        // two disjoint edges
+        let g = Graph::from_edges(4, &[(0, 1, 1), (2, 3, 1)]);
+        let part = greedy_bisection(&g, 2, 4, 9);
+        assert_eq!(g.part_weights(&part, 2), vec![2, 2]);
+    }
+
+    #[test]
+    fn respects_vertex_weights() {
+        let mut g = path_graph(4);
+        g.set_vertex_weight(0, 3);
+        // target 3 should be reachable by absorbing just vertex 0 (or a
+        // combination); the grown weight must be at least the target.
+        let part = greedy_bisection(&g, 3, 4, 2);
+        assert!(g.part_weights(&part, 2)[0] >= 3);
+    }
+}

@@ -1,0 +1,190 @@
+//! Multilevel coarsening via heavy-edge matching.
+//!
+//! A matching pairs adjacent vertices; every matched pair (and every
+//! unmatched vertex) becomes one vertex of the next-coarser graph.  Matching
+//! the heaviest incident edge first concentrates as much edge weight as
+//! possible *inside* coarse vertices, which is what makes multilevel
+//! partitioning effective.
+
+use crate::Graph;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// The result of one coarsening step.
+#[derive(Debug, Clone)]
+pub struct CoarseLevel {
+    /// The coarser graph.
+    pub graph: Graph,
+    /// For every fine vertex, the coarse vertex it was merged into.
+    pub fine_to_coarse: Vec<u32>,
+}
+
+/// Computes a heavy-edge matching of `graph`, visiting vertices in random
+/// order (seeded) and matching each unmatched vertex with its heaviest
+/// unmatched neighbor.
+///
+/// Returns, for every vertex, its matched partner (or itself if unmatched).
+pub fn heavy_edge_matching(graph: &Graph, seed: u64) -> Vec<u32> {
+    let n = graph.num_vertices();
+    let mut partner: Vec<u32> = (0..n as u32).collect();
+    let mut matched = vec![false; n];
+    let mut order: Vec<usize> = (0..n).collect();
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    order.shuffle(&mut rng);
+    for &u in &order {
+        if matched[u] {
+            continue;
+        }
+        let mut best: Option<(u32, u32)> = None; // (neighbor, weight)
+        for (v, w) in graph.edges_of(u) {
+            if !matched[v as usize] && v as usize != u {
+                if best.map_or(true, |(_, bw)| w > bw) {
+                    best = Some((v, w));
+                }
+            }
+        }
+        if let Some((v, _)) = best {
+            matched[u] = true;
+            matched[v as usize] = true;
+            partner[u] = v;
+            partner[v as usize] = u as u32;
+        }
+    }
+    partner
+}
+
+/// Contracts a matching into a coarser graph.  Vertex weights are summed and
+/// parallel coarse edges are merged by summing their weights.
+pub fn contract(graph: &Graph, partner: &[u32]) -> CoarseLevel {
+    let n = graph.num_vertices();
+    let mut fine_to_coarse = vec![u32::MAX; n];
+    let mut coarse_count = 0u32;
+    for u in 0..n {
+        if fine_to_coarse[u] != u32::MAX {
+            continue;
+        }
+        let p = partner[u] as usize;
+        fine_to_coarse[u] = coarse_count;
+        if p != u && fine_to_coarse[p] == u32::MAX {
+            fine_to_coarse[p] = coarse_count;
+        }
+        coarse_count += 1;
+    }
+    let cn = coarse_count as usize;
+    // accumulate coarse vertex weights and edges
+    let mut vwgt = vec![0u32; cn];
+    for u in 0..n {
+        vwgt[fine_to_coarse[u] as usize] += graph.vertex_weight(u);
+    }
+    let mut edges: Vec<(u32, u32, u32)> = Vec::new();
+    for u in 0..n {
+        let cu = fine_to_coarse[u];
+        for (v, w) in graph.edges_of(u) {
+            let cv = fine_to_coarse[v as usize];
+            if cu < cv {
+                edges.push((cu, cv, w));
+            }
+        }
+    }
+    let mut coarse = Graph::from_edges(cn, &edges);
+    for (c, &w) in vwgt.iter().enumerate() {
+        coarse.set_vertex_weight(c, w);
+    }
+    CoarseLevel {
+        graph: coarse,
+        fine_to_coarse,
+    }
+}
+
+/// Repeatedly coarsens `graph` until it has at most `target_vertices`
+/// vertices or a coarsening step stops making progress (shrinks by less than
+/// ~10%).  Returns the hierarchy from finest (first) to coarsest (last).
+pub fn coarsen_hierarchy(graph: &Graph, target_vertices: usize, seed: u64) -> Vec<CoarseLevel> {
+    let mut levels = Vec::new();
+    let mut current = graph.clone();
+    let mut round = 0u64;
+    while current.num_vertices() > target_vertices {
+        let partner = heavy_edge_matching(&current, seed.wrapping_add(round));
+        let level = contract(&current, &partner);
+        let shrunk = level.graph.num_vertices();
+        if shrunk as f64 > current.num_vertices() as f64 * 0.95 {
+            break;
+        }
+        current = level.graph.clone();
+        levels.push(level);
+        round += 1;
+    }
+    levels
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{grid_graph, path_graph};
+
+    #[test]
+    fn matching_is_symmetric_and_valid() {
+        let g = grid_graph(6, 6);
+        let partner = heavy_edge_matching(&g, 42);
+        for u in 0..g.num_vertices() {
+            let p = partner[u] as usize;
+            assert_eq!(partner[p] as usize, u, "matching must be symmetric");
+            if p != u {
+                assert!(g.neighbors(u).contains(&(p as u32)), "partners must be adjacent");
+            }
+        }
+    }
+
+    #[test]
+    fn matching_prefers_heavy_edges() {
+        // triangle with one heavy edge 0-1
+        let g = Graph::from_edges(3, &[(0, 1, 10), (1, 2, 1), (0, 2, 1)]);
+        let partner = heavy_edge_matching(&g, 0);
+        assert_eq!(partner[0], 1);
+        assert_eq!(partner[1], 0);
+        assert_eq!(partner[2], 2);
+    }
+
+    #[test]
+    fn contract_preserves_total_vertex_weight() {
+        let g = grid_graph(5, 4);
+        let partner = heavy_edge_matching(&g, 1);
+        let level = contract(&g, &partner);
+        assert_eq!(
+            level.graph.total_vertex_weight(),
+            g.total_vertex_weight()
+        );
+        assert!(level.graph.num_vertices() < g.num_vertices());
+        assert!(level.graph.num_vertices() >= g.num_vertices() / 2);
+        // mapping covers every fine vertex
+        assert!(level.fine_to_coarse.iter().all(|&c| (c as usize) < level.graph.num_vertices()));
+        assert!(level.graph.is_symmetric());
+    }
+
+    #[test]
+    fn contract_path_preserves_cut_structure() {
+        let g = path_graph(8);
+        let partner = heavy_edge_matching(&g, 3);
+        let level = contract(&g, &partner);
+        // a path stays connected after contraction
+        assert!(level.graph.num_edges() >= level.graph.num_vertices() - 1);
+    }
+
+    #[test]
+    fn hierarchy_reaches_target() {
+        let g = grid_graph(16, 16);
+        let levels = coarsen_hierarchy(&g, 30, 7);
+        assert!(!levels.is_empty());
+        let coarsest = &levels.last().unwrap().graph;
+        assert!(coarsest.num_vertices() <= 40, "got {}", coarsest.num_vertices());
+        assert_eq!(coarsest.total_vertex_weight(), 256);
+    }
+
+    #[test]
+    fn hierarchy_on_tiny_graph_is_empty_or_small() {
+        let g = path_graph(3);
+        let levels = coarsen_hierarchy(&g, 10, 0);
+        assert!(levels.is_empty());
+    }
+}

@@ -1,0 +1,272 @@
+//! Fiduccia–Mattheyses (FM) refinement for two-way partitions.
+//!
+//! Starting from a balanced bisection, vertices are moved one at a time,
+//! always choosing the highest-gain unlocked vertex on the side that is
+//! currently at or above its target weight; every vertex moves at most once
+//! per pass.  The best balanced prefix of the move sequence is kept.  Passes
+//! repeat until no improvement is found.
+
+use crate::Graph;
+
+/// Refines a two-way partition in place.  `target0` is the required total
+/// vertex weight of part 0.  Returns the cut after refinement.
+///
+/// The partition handed in should already satisfy the balance constraint
+/// (part-0 weight equal to `target0`, as produced by
+/// [`greedy_bisection`](crate::bisect::greedy_bisection)); the refined
+/// partition satisfies it again on return.
+pub fn fm_refine(graph: &Graph, part: &mut [u32], target0: u64, max_passes: usize) -> u64 {
+    assert_eq!(part.len(), graph.num_vertices());
+    rebalance(graph, part, target0);
+    let mut best_cut = graph.cut(part);
+    for _ in 0..max_passes {
+        let improved = fm_pass(graph, part, target0, &mut best_cut);
+        if !improved {
+            break;
+        }
+    }
+    best_cut
+}
+
+/// Greedily restores the balance constraint (part-0 weight equal to
+/// `target0`) by moving the highest-gain vertices from the overweight side,
+/// as long as every move strictly reduces the imbalance.  With unit vertex
+/// weights this always reaches exact balance; with heavier vertices it stops
+/// as close to the target as possible.
+pub fn rebalance(graph: &Graph, part: &mut [u32], target0: u64) {
+    let mut weight0: u64 = (0..graph.num_vertices())
+        .filter(|&v| part[v] == 0)
+        .map(|v| graph.vertex_weight(v) as u64)
+        .sum();
+    loop {
+        if weight0 == target0 {
+            return;
+        }
+        let (from, deficit) = if weight0 > target0 {
+            (0u32, weight0 - target0)
+        } else {
+            (1u32, target0 - weight0)
+        };
+        // pick the movable vertex with the best gain whose move reduces the
+        // imbalance
+        let mut best: Option<(usize, i64)> = None;
+        for v in 0..graph.num_vertices() {
+            if part[v] != from {
+                continue;
+            }
+            let w = graph.vertex_weight(v) as u64;
+            if w == 0 || w > 2 * deficit - 1 {
+                // moving v would overshoot at least as far as we are off now
+                continue;
+            }
+            let gain: i64 = graph
+                .edges_of(v)
+                .map(|(u, ew)| {
+                    if part[u as usize] == part[v] {
+                        -(ew as i64)
+                    } else {
+                        ew as i64
+                    }
+                })
+                .sum();
+            if best.map_or(true, |(_, bg)| gain > bg) {
+                best = Some((v, gain));
+            }
+        }
+        match best {
+            Some((v, _)) => {
+                let w = graph.vertex_weight(v) as u64;
+                if from == 0 {
+                    weight0 -= w;
+                } else {
+                    weight0 += w;
+                }
+                part[v] = 1 - part[v];
+            }
+            None => return,
+        }
+    }
+}
+
+/// One FM pass.  Returns whether the cut improved.
+fn fm_pass(graph: &Graph, part: &mut [u32], target0: u64, best_cut: &mut u64) -> bool {
+    let n = graph.num_vertices();
+    let mut locked = vec![false; n];
+    // gain[v] = reduction of the cut when v switches sides
+    let mut gain: Vec<i64> = (0..n)
+        .map(|v| {
+            graph
+                .edges_of(v)
+                .map(|(u, w)| {
+                    if part[u as usize] == part[v] {
+                        -(w as i64)
+                    } else {
+                        w as i64
+                    }
+                })
+                .sum()
+        })
+        .collect();
+    let mut weight0: u64 = (0..n)
+        .filter(|&v| part[v] == 0)
+        .map(|v| graph.vertex_weight(v) as u64)
+        .sum();
+
+    let mut current_cut = graph.cut(part) as i64;
+    let start_cut = *best_cut;
+    let mut moves: Vec<usize> = Vec::with_capacity(n);
+    let mut best_prefix: Option<usize> = None;
+    let mut best_prefix_cut = *best_cut as i64;
+
+    for _ in 0..n {
+        // Move from part 0 if it is over target, from part 1 if under;
+        // when exactly on target pick the side offering the better gain.
+        let from = if weight0 > target0 {
+            0
+        } else if weight0 < target0 {
+            1
+        } else {
+            let best0 = best_movable(graph, part, &locked, &gain, 0);
+            let best1 = best_movable(graph, part, &locked, &gain, 1);
+            match (best0, best1) {
+                (Some((_, g0)), Some((_, g1))) => {
+                    if g0 >= g1 {
+                        0
+                    } else {
+                        1
+                    }
+                }
+                (Some(_), None) => 0,
+                (None, Some(_)) => 1,
+                (None, None) => break,
+            }
+        };
+        let Some((v, g)) = best_movable(graph, part, &locked, &gain, from) else {
+            break;
+        };
+        // apply the move
+        locked[v] = true;
+        current_cut -= g;
+        let to = 1 - part[v];
+        if part[v] == 0 {
+            weight0 -= graph.vertex_weight(v) as u64;
+        } else {
+            weight0 += graph.vertex_weight(v) as u64;
+        }
+        part[v] = to;
+        // update neighbor gains
+        for (u, w) in graph.edges_of(v) {
+            let u = u as usize;
+            if part[u] == part[v] {
+                // u is now on the same side as v: moving u away gets worse
+                gain[u] -= 2 * w as i64;
+            } else {
+                gain[u] += 2 * w as i64;
+            }
+        }
+        gain[v] = -gain[v];
+        moves.push(v);
+        if weight0 == target0 && current_cut < best_prefix_cut {
+            best_prefix_cut = current_cut;
+            best_prefix = Some(moves.len());
+        }
+    }
+
+    // Roll back to the best balanced prefix (or all the way if none improved).
+    let keep = best_prefix.unwrap_or(0);
+    for &v in moves.iter().skip(keep).rev() {
+        part[v] = 1 - part[v];
+    }
+    if (best_prefix_cut as u64) < start_cut {
+        *best_cut = best_prefix_cut as u64;
+        true
+    } else {
+        false
+    }
+}
+
+/// Finds the unlocked vertex with the highest gain on side `from`.
+fn best_movable(
+    graph: &Graph,
+    part: &[u32],
+    locked: &[bool],
+    gain: &[i64],
+    from: u32,
+) -> Option<(usize, i64)> {
+    let mut best: Option<(usize, i64)> = None;
+    for v in 0..graph.num_vertices() {
+        if locked[v] || part[v] != from {
+            continue;
+        }
+        if best.map_or(true, |(_, bg)| gain[v] > bg) {
+            best = Some((v, gain[v]));
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bisect::greedy_bisection;
+    use crate::testutil::{grid_graph, path_graph};
+    use proptest::prelude::*;
+
+    #[test]
+    fn fm_fixes_a_bad_path_bisection() {
+        let g = path_graph(8);
+        // interleaved partition: cut = 7
+        let mut part = vec![0u32, 1, 0, 1, 0, 1, 0, 1];
+        let cut = fm_refine(&g, &mut part, 4, 10);
+        assert_eq!(g.part_weights(&part, 2), vec![4, 4]);
+        assert!(cut <= 3, "cut = {cut}");
+        assert_eq!(cut, g.cut(&part));
+    }
+
+    #[test]
+    fn fm_does_not_worsen_an_optimal_bisection() {
+        let g = path_graph(8);
+        let mut part = vec![0u32, 0, 0, 0, 1, 1, 1, 1];
+        let cut = fm_refine(&g, &mut part, 4, 5);
+        assert_eq!(cut, 1);
+        assert_eq!(g.part_weights(&part, 2), vec![4, 4]);
+    }
+
+    #[test]
+    fn fm_improves_grid_bisection_to_near_optimal() {
+        let g = grid_graph(8, 8);
+        let mut part = greedy_bisection(&g, 32, 3, 17);
+        let before = g.cut(&part);
+        let after = fm_refine(&g, &mut part, 32, 20);
+        assert!(after <= before);
+        assert_eq!(g.part_weights(&part, 2), vec![32, 32]);
+        assert!(after <= 10, "cut = {after}");
+    }
+
+    #[test]
+    fn fm_preserves_balance_even_when_no_improvement_possible() {
+        let g = grid_graph(2, 2);
+        let mut part = vec![0u32, 0, 1, 1];
+        let cut = fm_refine(&g, &mut part, 2, 3);
+        assert_eq!(g.part_weights(&part, 2), vec![2, 2]);
+        assert_eq!(cut, g.cut(&part));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_fm_never_increases_cut_and_keeps_balance(
+            rows in 2u32..7, cols in 2u32..7, seed in 0u64..50,
+        ) {
+            let g = grid_graph(rows, cols);
+            let total = (rows * cols) as u64;
+            let target0 = total / 2;
+            let mut part = greedy_bisection(&g, target0, 2, seed);
+            let before = g.cut(&part);
+            let w_before = g.part_weights(&part, 2);
+            let after = fm_refine(&g, &mut part, target0, 8);
+            prop_assert!(after <= before);
+            prop_assert_eq!(after, g.cut(&part));
+            prop_assert_eq!(g.part_weights(&part, 2), w_before);
+        }
+    }
+}

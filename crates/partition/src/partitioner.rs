@@ -1,0 +1,314 @@
+//! Multilevel recursive bisection into parts of exact, arbitrary sizes.
+//!
+//! The entry point is [`partition`]: the vertex set is recursively split in
+//! two, each bisection being solved with the multilevel pipeline (coarsening
+//! → greedy initial bisection → FM refinement projected back through the
+//! hierarchy).  Target part sizes are arbitrary, which is required to respect
+//! heterogeneous node allocations (`n_i` processes per node).
+
+use crate::bisect::greedy_bisection;
+use crate::coarsen::coarsen_hierarchy;
+use crate::fm::{fm_refine, rebalance};
+use crate::Graph;
+
+/// Configuration of the multilevel partitioner.
+#[derive(Debug, Clone)]
+pub struct PartitionConfig {
+    /// Exact target sizes (summed vertex weight) of every part.
+    pub target_sizes: Vec<usize>,
+    /// Seed for all randomised components.
+    pub seed: u64,
+    /// Stop coarsening once the graph has at most this many vertices.
+    pub coarsen_threshold: usize,
+    /// Number of random seeds tried for the initial bisection.
+    pub bisection_attempts: usize,
+    /// Maximum FM passes per level.
+    pub fm_passes: usize,
+}
+
+impl PartitionConfig {
+    /// Creates a configuration with default tuning parameters.
+    pub fn new(target_sizes: Vec<usize>) -> Self {
+        PartitionConfig {
+            target_sizes,
+            seed: 0xC0FFEE,
+            coarsen_threshold: 48,
+            bisection_attempts: 6,
+            fm_passes: 12,
+        }
+    }
+
+    /// Sets the random seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// Errors reported by [`partition`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PartitionError {
+    /// The target sizes do not sum to the total vertex weight of the graph.
+    SizeMismatch {
+        /// Sum of the requested part sizes.
+        requested: u64,
+        /// Total vertex weight of the graph.
+        available: u64,
+    },
+    /// No parts were requested.
+    NoParts,
+}
+
+impl std::fmt::Display for PartitionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PartitionError::SizeMismatch {
+                requested,
+                available,
+            } => write!(
+                f,
+                "target sizes sum to {requested} but the graph has total vertex weight {available}"
+            ),
+            PartitionError::NoParts => write!(f, "at least one part is required"),
+        }
+    }
+}
+
+impl std::error::Error for PartitionError {}
+
+/// Partitions `graph` into `cfg.target_sizes.len()` parts of exactly the
+/// requested sizes (for unit vertex weights), minimising the edge cut.
+/// Returns the part index of every vertex.
+pub fn partition(graph: &Graph, cfg: &PartitionConfig) -> Result<Vec<u32>, PartitionError> {
+    if cfg.target_sizes.is_empty() {
+        return Err(PartitionError::NoParts);
+    }
+    let requested: u64 = cfg.target_sizes.iter().map(|&s| s as u64).sum();
+    let available = graph.total_vertex_weight();
+    if requested != available {
+        return Err(PartitionError::SizeMismatch {
+            requested,
+            available,
+        });
+    }
+    let mut assignment = vec![0u32; graph.num_vertices()];
+    let all: Vec<u32> = (0..graph.num_vertices() as u32).collect();
+    let part_ids: Vec<u32> = (0..cfg.target_sizes.len() as u32).collect();
+    recurse(graph, cfg, &all, &part_ids, &mut assignment, cfg.seed);
+    Ok(assignment)
+}
+
+/// Recursively bisects the sub-problem consisting of `vertices` (global ids)
+/// and the parts `part_ids` (indices into `cfg.target_sizes`).
+fn recurse(
+    graph: &Graph,
+    cfg: &PartitionConfig,
+    vertices: &[u32],
+    part_ids: &[u32],
+    assignment: &mut [u32],
+    seed: u64,
+) {
+    if part_ids.len() == 1 {
+        for &v in vertices {
+            assignment[v as usize] = part_ids[0];
+        }
+        return;
+    }
+    // split the parts into two groups of roughly equal total size
+    let mid = part_ids.len() / 2;
+    let (left_ids, right_ids) = part_ids.split_at(mid);
+    let left_target: u64 = left_ids
+        .iter()
+        .map(|&p| cfg.target_sizes[p as usize] as u64)
+        .sum();
+
+    // build the subgraph induced by `vertices`
+    let (sub, local_to_global) = induced_subgraph(graph, vertices);
+
+    // multilevel bisection of the subgraph
+    let side = multilevel_bisection(&sub, left_target, cfg, seed);
+
+    let mut left_vertices = Vec::new();
+    let mut right_vertices = Vec::new();
+    for (local, &global) in local_to_global.iter().enumerate() {
+        if side[local] == 0 {
+            left_vertices.push(global);
+        } else {
+            right_vertices.push(global);
+        }
+    }
+    recurse(
+        graph,
+        cfg,
+        &left_vertices,
+        left_ids,
+        assignment,
+        seed.wrapping_mul(6364136223846793005).wrapping_add(1),
+    );
+    recurse(
+        graph,
+        cfg,
+        &right_vertices,
+        right_ids,
+        assignment,
+        seed.wrapping_mul(6364136223846793005).wrapping_add(2),
+    );
+}
+
+/// Bisects `graph` into parts of weight `target0` / rest using the multilevel
+/// pipeline.
+fn multilevel_bisection(graph: &Graph, target0: u64, cfg: &PartitionConfig, seed: u64) -> Vec<u32> {
+    let levels = coarsen_hierarchy(graph, cfg.coarsen_threshold.max(4), seed);
+    // initial bisection on the coarsest graph
+    let coarsest = levels.last().map(|l| &l.graph).unwrap_or(graph);
+    let mut part = greedy_bisection(coarsest, target0, cfg.bisection_attempts, seed);
+    rebalance(coarsest, &mut part, target0);
+    fm_refine(coarsest, &mut part, target0, cfg.fm_passes);
+    // project back through the hierarchy, refining at every level
+    for i in (0..levels.len()).rev() {
+        let finer: &Graph = if i == 0 { graph } else { &levels[i - 1].graph };
+        let mapping = &levels[i].fine_to_coarse;
+        let mut finer_part = vec![0u32; finer.num_vertices()];
+        for v in 0..finer.num_vertices() {
+            finer_part[v] = part[mapping[v] as usize];
+        }
+        fm_refine(finer, &mut finer_part, target0, cfg.fm_passes);
+        part = finer_part;
+    }
+    part
+}
+
+/// Builds the subgraph induced by `vertices` (edges with both endpoints
+/// inside), returning it together with the local→global id mapping.
+fn induced_subgraph(graph: &Graph, vertices: &[u32]) -> (Graph, Vec<u32>) {
+    let mut global_to_local = vec![u32::MAX; graph.num_vertices()];
+    for (local, &global) in vertices.iter().enumerate() {
+        global_to_local[global as usize] = local as u32;
+    }
+    let mut edges = Vec::new();
+    for (local, &global) in vertices.iter().enumerate() {
+        for (u, w) in graph.edges_of(global as usize) {
+            let lu = global_to_local[u as usize];
+            if lu != u32::MAX && (local as u32) < lu {
+                edges.push((local as u32, lu, w));
+            }
+        }
+    }
+    let mut sub = Graph::from_edges(vertices.len(), &edges);
+    for (local, &global) in vertices.iter().enumerate() {
+        sub.set_vertex_weight(local, graph.vertex_weight(global as usize));
+    }
+    (sub, vertices.to_vec())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{grid_graph, path_graph};
+    use proptest::prelude::*;
+
+    #[test]
+    fn partition_respects_exact_sizes() {
+        let g = grid_graph(6, 8);
+        let cfg = PartitionConfig::new(vec![12, 12, 12, 12]);
+        let parts = partition(&g, &cfg).unwrap();
+        let w = g.part_weights(&parts, 4);
+        assert_eq!(w, vec![12, 12, 12, 12]);
+    }
+
+    #[test]
+    fn partition_supports_heterogeneous_sizes() {
+        let g = grid_graph(5, 5);
+        let cfg = PartitionConfig::new(vec![10, 8, 7]);
+        let parts = partition(&g, &cfg).unwrap();
+        assert_eq!(g.part_weights(&parts, 3), vec![10, 8, 7]);
+    }
+
+    #[test]
+    fn partition_quality_on_path_is_optimal() {
+        // Partitioning a path of 24 into 4 parts of 6: optimal cut = 3.
+        let g = path_graph(24);
+        let cfg = PartitionConfig::new(vec![6, 6, 6, 6]);
+        let parts = partition(&g, &cfg).unwrap();
+        assert_eq!(g.part_weights(&parts, 4), vec![6, 6, 6, 6]);
+        assert!(g.cut(&parts) <= 5, "cut = {}", g.cut(&parts));
+    }
+
+    #[test]
+    fn partition_quality_on_grid_is_reasonable() {
+        // 8x8 grid into 4 parts of 16: optimal (4x4 blocks) cut = 32 edges.
+        let g = grid_graph(8, 8);
+        let cfg = PartitionConfig::new(vec![16, 16, 16, 16]);
+        let parts = partition(&g, &cfg).unwrap();
+        assert_eq!(g.part_weights(&parts, 4), vec![16, 16, 16, 16]);
+        let cut = g.cut(&parts);
+        assert!(cut <= 48, "cut = {cut}");
+    }
+
+    #[test]
+    fn partition_single_part_is_trivial() {
+        let g = path_graph(5);
+        let cfg = PartitionConfig::new(vec![5]);
+        let parts = partition(&g, &cfg).unwrap();
+        assert!(parts.iter().all(|&p| p == 0));
+        assert_eq!(g.cut(&parts), 0);
+    }
+
+    #[test]
+    fn partition_rejects_bad_configs() {
+        let g = path_graph(4);
+        assert_eq!(
+            partition(&g, &PartitionConfig::new(vec![])),
+            Err(PartitionError::NoParts)
+        );
+        assert_eq!(
+            partition(&g, &PartitionConfig::new(vec![3, 3])),
+            Err(PartitionError::SizeMismatch {
+                requested: 6,
+                available: 4
+            })
+        );
+        assert!(PartitionError::NoParts.to_string().contains("at least one"));
+        assert!(PartitionError::SizeMismatch {
+            requested: 6,
+            available: 4
+        }
+        .to_string()
+        .contains("6"));
+    }
+
+    #[test]
+    fn induced_subgraph_extracts_edges() {
+        let g = grid_graph(3, 3);
+        let (sub, map) = induced_subgraph(&g, &[0, 1, 3, 4]);
+        assert_eq!(sub.num_vertices(), 4);
+        // edges inside the 2x2 corner: (0,1), (0,3), (1,4), (3,4)
+        assert_eq!(sub.num_edges(), 4);
+        assert_eq!(map, vec![0, 1, 3, 4]);
+    }
+
+    #[test]
+    fn partition_is_deterministic_for_a_seed() {
+        let g = grid_graph(6, 6);
+        let a = partition(&g, &PartitionConfig::new(vec![12, 12, 12]).with_seed(5)).unwrap();
+        let b = partition(&g, &PartitionConfig::new(vec![12, 12, 12]).with_seed(5)).unwrap();
+        assert_eq!(a, b);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        #[test]
+        fn prop_partition_sizes_always_exact(
+            rows in 2u32..7, cols in 2u32..7, parts in 2usize..5, seed in 0u64..20,
+        ) {
+            let g = grid_graph(rows, cols);
+            let total = (rows * cols) as usize;
+            if total % parts == 0 {
+                let cfg = PartitionConfig::new(vec![total / parts; parts]).with_seed(seed);
+                let assignment = partition(&g, &cfg).unwrap();
+                let w = g.part_weights(&assignment, parts);
+                prop_assert!(w.iter().all(|&x| x == (total / parts) as u64), "{w:?}");
+            }
+        }
+    }
+}

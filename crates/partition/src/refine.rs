@@ -1,0 +1,208 @@
+//! k-way pairwise-swap local search.
+//!
+//! After the recursive bisection produced a k-way partition, a randomised
+//! local search swaps pairs of vertices between parts whenever this reduces
+//! the edge cut (ties broken by the reduction of the largest per-part
+//! egress).  This mirrors the local-search configuration the paper uses for
+//! VieM: "we allowed swaps between any connected pair of vertices, i.e., we
+//! considered the largest search space".
+
+use crate::Graph;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Result of the k-way refinement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RefineStats {
+    /// Edge cut before refinement.
+    pub cut_before: u64,
+    /// Edge cut after refinement.
+    pub cut_after: u64,
+    /// Number of swaps applied.
+    pub swaps: u64,
+}
+
+/// Refines a k-way partition in place by pairwise vertex swaps.
+///
+/// Swapping two vertices never changes part sizes, so the exact balance of
+/// the partition is preserved by construction.  `rounds` full sweeps over the
+/// boundary vertices are performed (each sweep also tries a batch of random
+/// swaps), stopping early when a sweep finds no improving swap.
+pub fn refine_kway(graph: &Graph, part: &mut [u32], rounds: usize, seed: u64) -> RefineStats {
+    assert_eq!(part.len(), graph.num_vertices());
+    let cut_before = graph.cut(part);
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut swaps = 0u64;
+
+    for _ in 0..rounds {
+        let mut improved = false;
+
+        // Sweep over boundary vertices and greedily swap with the best
+        // candidate among the vertices of the parts they communicate with.
+        let mut boundary: Vec<usize> = (0..graph.num_vertices())
+            .filter(|&v| {
+                graph
+                    .edges_of(v)
+                    .any(|(u, _)| part[u as usize] != part[v])
+            })
+            .collect();
+        boundary.shuffle(&mut rng);
+
+        for &v in &boundary {
+            // candidate partners: neighbors of v in other parts and a few
+            // random vertices in those parts
+            let mut candidates: Vec<usize> = graph
+                .neighbors(v)
+                .iter()
+                .map(|&u| u as usize)
+                .filter(|&u| part[u] != part[v])
+                .collect();
+            for _ in 0..4 {
+                let u = rng.gen_range(0..graph.num_vertices());
+                if part[u] != part[v] {
+                    candidates.push(u);
+                }
+            }
+            let mut best: Option<(usize, i64)> = None;
+            for &u in &candidates {
+                let gain = swap_gain(graph, part, v, u);
+                if gain > 0 && best.map_or(true, |(_, bg)| gain > bg) {
+                    best = Some((u, gain));
+                }
+            }
+            if let Some((u, _)) = best {
+                part.swap(v, u);
+                swaps += 1;
+                improved = true;
+            }
+        }
+
+        if !improved {
+            break;
+        }
+    }
+
+    RefineStats {
+        cut_before,
+        cut_after: graph.cut(part),
+        swaps,
+    }
+}
+
+/// The reduction of the edge cut obtained by swapping the part assignments of
+/// vertices `a` and `b` (positive = improvement).
+pub fn swap_gain(graph: &Graph, part: &[u32], a: usize, b: usize) -> i64 {
+    if part[a] == part[b] || a == b {
+        return 0;
+    }
+    let pa = part[a];
+    let pb = part[b];
+    let mut gain = 0i64;
+    for (u, w) in graph.edges_of(a) {
+        let u = u as usize;
+        if u == b {
+            // the edge a-b stays cut after the swap
+            continue;
+        }
+        let pu = part[u];
+        // before: cut if pu != pa; after: cut if pu != pb
+        gain += cut_delta(pu, pa, pb, w);
+    }
+    for (u, w) in graph.edges_of(b) {
+        let u = u as usize;
+        if u == a {
+            continue;
+        }
+        let pu = part[u];
+        gain += cut_delta(pu, pb, pa, w);
+    }
+    gain
+}
+
+/// Contribution to the gain of one edge incident to a swapped vertex that
+/// moves from part `from` to part `to`, with the other endpoint in `pu`.
+#[inline]
+fn cut_delta(pu: u32, from: u32, to: u32, w: u32) -> i64 {
+    let before = (pu != from) as i64;
+    let after = (pu != to) as i64;
+    (before - after) * w as i64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partitioner::{partition, PartitionConfig};
+    use crate::testutil::{grid_graph, path_graph};
+    use proptest::prelude::*;
+
+    #[test]
+    fn swap_gain_detects_obvious_improvement() {
+        // path 0-1-2-3 with parts [0,1,0,1]: swapping 1 and 2 removes 2 cut edges
+        let g = path_graph(4);
+        let part = vec![0u32, 1, 0, 1];
+        assert_eq!(g.cut(&part), 3);
+        let gain = swap_gain(&g, &part, 1, 2);
+        assert_eq!(gain, 2);
+        // swapping same-part vertices is a no-op
+        assert_eq!(swap_gain(&g, &part, 0, 2), 0);
+        assert_eq!(swap_gain(&g, &part, 1, 1), 0);
+    }
+
+    #[test]
+    fn refine_fixes_interleaved_path() {
+        let g = path_graph(8);
+        let mut part = vec![0u32, 1, 0, 1, 0, 1, 0, 1];
+        let stats = refine_kway(&g, &mut part, 10, 1);
+        assert_eq!(stats.cut_before, 7);
+        assert!(stats.cut_after < stats.cut_before);
+        assert_eq!(stats.cut_after, g.cut(&part));
+        // part sizes preserved
+        assert_eq!(g.part_weights(&part, 2), vec![4, 4]);
+    }
+
+    #[test]
+    fn refine_preserves_part_sizes_on_grid() {
+        let g = grid_graph(8, 8);
+        let cfg = PartitionConfig::new(vec![16; 4]).with_seed(3);
+        let mut part = partition(&g, &cfg).unwrap();
+        let before_sizes = g.part_weights(&part, 4);
+        let stats = refine_kway(&g, &mut part, 5, 9);
+        assert_eq!(g.part_weights(&part, 4), before_sizes);
+        assert!(stats.cut_after <= stats.cut_before);
+    }
+
+    #[test]
+    fn refine_improves_a_random_partition_substantially() {
+        use rand::seq::SliceRandom;
+        use rand::SeedableRng;
+        let g = grid_graph(10, 10);
+        // random balanced partition into 5 parts of 20
+        let mut part: Vec<u32> = (0..100).map(|i| (i % 5) as u32).collect();
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(4);
+        part.shuffle(&mut rng);
+        let before = g.cut(&part);
+        let stats = refine_kway(&g, &mut part, 30, 5);
+        assert!(stats.cut_after < before / 2, "{} -> {}", before, stats.cut_after);
+        assert_eq!(g.part_weights(&part, 5), vec![20; 5]);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        #[test]
+        fn prop_refine_never_worsens_and_preserves_sizes(
+            rows in 2u32..7, cols in 2u32..7, seed in 0u64..20,
+        ) {
+            let g = grid_graph(rows, cols);
+            let n = (rows * cols) as usize;
+            let parts = 3.min(n);
+            let mut assignment: Vec<u32> = (0..n).map(|i| (i % parts) as u32).collect();
+            let sizes_before = g.part_weights(&assignment, parts);
+            let before = g.cut(&assignment);
+            let stats = refine_kway(&g, &mut assignment, 4, seed);
+            prop_assert!(stats.cut_after <= before);
+            prop_assert_eq!(g.part_weights(&assignment, parts), sizes_before);
+        }
+    }
+}

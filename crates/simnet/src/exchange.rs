@@ -1,0 +1,333 @@
+//! Analytic cost model for an `MPI_Neighbor_alltoall` exchange under a given
+//! process-to-node mapping.
+//!
+//! For a message size `m` (bytes sent to every stencil neighbor), the
+//! completion time of the synchronised exchange is dominated by the slowest
+//! resource:
+//!
+//! * **node NIC** — every compute node must move
+//!   `egress_bytes = (off-node out-edges) · m` out and the analogous amount
+//!   in; the per-node time is
+//!   `base + inter_msg_overhead · msgs + max(egress, ingress) / node_bw`,
+//! * **intra-node memory** — the on-node neighbor traffic of the node's
+//!   processes flows through shared memory,
+//! * **fat-tree core** — traffic between nodes on different leaf switches
+//!   shares the oversubscribed uplinks.
+//!
+//! The operation time is the maximum over all nodes and the core, because the
+//! paper synchronises every repetition with a barrier and records the slowest
+//! process.  This directly ties the simulated time to the paper's `Jmax`
+//! metric (bottleneck node) with a secondary dependence on `Jsum` (core
+//! traffic), which is exactly the relationship the measurements exhibit.
+
+use crate::machine::Machine;
+use serde::{Deserialize, Serialize};
+use stencil_grid::CartGraph;
+use stencil_mapping::metrics::node_traffic;
+use stencil_mapping::Mapping;
+
+/// Per-node traffic characterisation of one exchange.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NodeLoad {
+    /// Outgoing off-node messages (directed edges leaving the node).
+    pub egress_msgs: u64,
+    /// Incoming off-node messages.
+    pub ingress_msgs: u64,
+    /// Intra-node messages (both endpoints on this node).
+    pub intra_msgs: u64,
+}
+
+/// Breakdown of the simulated exchange time.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExchangeBreakdown {
+    /// Time of the slowest node's NIC component in seconds.
+    pub inter_node: f64,
+    /// Time of the slowest node's intra-node component in seconds.
+    pub intra_node: f64,
+    /// Time of the most loaded fat-tree uplink in seconds.
+    pub core: f64,
+    /// Constant per-operation latency in seconds.
+    pub base: f64,
+    /// The resulting operation time in seconds.
+    pub total: f64,
+}
+
+/// The analytic exchange model for one machine.
+#[derive(Debug, Clone)]
+pub struct ExchangeModel {
+    machine: Machine,
+}
+
+impl ExchangeModel {
+    /// Creates the model for a machine.
+    pub fn new(machine: &Machine) -> Self {
+        ExchangeModel {
+            machine: machine.clone(),
+        }
+    }
+
+    /// The machine this model simulates.
+    pub fn machine(&self) -> &Machine {
+        &self.machine
+    }
+
+    /// Computes the per-node communication loads of an exchange.
+    pub fn node_loads(&self, graph: &CartGraph, mapping: &Mapping) -> Vec<NodeLoad> {
+        let n_nodes = mapping.num_nodes();
+        let mut loads = vec![
+            NodeLoad {
+                egress_msgs: 0,
+                ingress_msgs: 0,
+                intra_msgs: 0
+            };
+            n_nodes
+        ];
+        for u in 0..graph.num_vertices() {
+            let nu = mapping.node_of_position(u);
+            for &v in graph.neighbors(u) {
+                let nv = mapping.node_of_position(v as usize);
+                if nu == nv {
+                    loads[nu].intra_msgs += 1;
+                } else {
+                    loads[nu].egress_msgs += 1;
+                    loads[nv].ingress_msgs += 1;
+                }
+            }
+        }
+        loads
+    }
+
+    /// Simulates one `MPI_Neighbor_alltoall` with `message_size` bytes per
+    /// neighbor and returns the detailed time breakdown.
+    pub fn exchange_breakdown(
+        &self,
+        graph: &CartGraph,
+        mapping: &Mapping,
+        message_size: usize,
+    ) -> ExchangeBreakdown {
+        let m = message_size as f64;
+        let mach = &self.machine;
+        let loads = self.node_loads(graph, mapping);
+
+        let mut inter_node: f64 = 0.0;
+        let mut intra_node: f64 = 0.0;
+        for l in &loads {
+            let bytes_out = l.egress_msgs as f64 * m;
+            let bytes_in = l.ingress_msgs as f64 * m;
+            let msgs = l.egress_msgs.max(l.ingress_msgs) as f64;
+            let t_inter = mach.inter_msg_overhead * msgs + bytes_out.max(bytes_in) / mach.node_bandwidth;
+            let t_intra = mach.intra_msg_overhead * l.intra_msgs as f64
+                + l.intra_msgs as f64 * m / mach.intra_bandwidth;
+            inter_node = inter_node.max(t_inter);
+            intra_node = intra_node.max(t_intra);
+        }
+
+        // fat-tree core contention from the inter-node traffic matrix
+        let traffic = node_traffic(graph, mapping)
+            .into_iter()
+            .map(|t| (t.from, t.to, t.edges as f64 * m));
+        let core = mach
+            .fat_tree
+            .core_time(mapping.num_nodes(), mach.node_bandwidth, traffic);
+
+        let base = mach.base_latency;
+        let total = base + inter_node.max(intra_node).max(core);
+        ExchangeBreakdown {
+            inter_node,
+            intra_node,
+            core,
+            base,
+            total,
+        }
+    }
+
+    /// Simulated exchange time in seconds.
+    pub fn exchange_time(&self, graph: &CartGraph, mapping: &Mapping, message_size: usize) -> f64 {
+        self.exchange_breakdown(graph, mapping, message_size).total
+    }
+
+    /// Simulated exchange times for a list of message sizes.
+    pub fn exchange_times(
+        &self,
+        graph: &CartGraph,
+        mapping: &Mapping,
+        message_sizes: &[usize],
+    ) -> Vec<f64> {
+        message_sizes
+            .iter()
+            .map(|&s| self.exchange_time(graph, mapping, s))
+            .collect()
+    }
+
+    /// Speedup of `mapping` over `reference` for every message size
+    /// (the quantity plotted in Figures 6 and 7).
+    pub fn speedup_over(
+        &self,
+        graph: &CartGraph,
+        mapping: &Mapping,
+        reference: &Mapping,
+        message_sizes: &[usize],
+    ) -> Vec<f64> {
+        message_sizes
+            .iter()
+            .map(|&s| {
+                self.exchange_time(graph, reference, s) / self.exchange_time(graph, mapping, s)
+            })
+            .collect()
+    }
+}
+
+/// The message sizes of the speedup plots in Figures 6 and 7 (1 KiB – 4 MiB).
+pub fn figure_message_sizes() -> Vec<usize> {
+    (10..=22).step_by(2).map(|e| 1usize << e).collect()
+}
+
+/// The message sizes of the appendix tables (64 B – 512 KiB).
+pub fn table_message_sizes() -> Vec<usize> {
+    (6..=19).map(|e| 1usize << e).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stencil_grid::{Dims, NodeAllocation, Stencil};
+    use stencil_mapping::baselines::{Blocked, RandomMapping};
+    use stencil_mapping::hyperplane::Hyperplane;
+    use stencil_mapping::stencil_strips::StencilStrips;
+    use stencil_mapping::{Mapper, MappingProblem};
+
+    fn headline() -> (MappingProblem, CartGraph) {
+        let p = MappingProblem::new(
+            Dims::from_slice(&[50, 48]),
+            Stencil::nearest_neighbor(2),
+            NodeAllocation::homogeneous(50, 48),
+        )
+        .unwrap();
+        let g = CartGraph::build(p.dims(), p.stencil(), false);
+        (p, g)
+    }
+
+    #[test]
+    fn node_loads_match_metrics() {
+        let (p, g) = headline();
+        let model = ExchangeModel::new(&Machine::vsc4());
+        let m = Blocked.compute(&p).unwrap();
+        let loads = model.node_loads(&g, &m);
+        let cost = stencil_mapping::metrics::evaluate(&g, &m);
+        let egress: u64 = loads.iter().map(|l| l.egress_msgs).sum();
+        let ingress: u64 = loads.iter().map(|l| l.ingress_msgs).sum();
+        assert_eq!(egress, cost.j_sum);
+        assert_eq!(ingress, cost.j_sum);
+        let max_egress = loads.iter().map(|l| l.egress_msgs).max().unwrap();
+        assert_eq!(max_egress, cost.j_max);
+        // every directed edge is either intra or inter
+        let intra: u64 = loads.iter().map(|l| l.intra_msgs).sum();
+        assert_eq!(intra + egress, g.num_directed_edges() as u64);
+    }
+
+    #[test]
+    fn better_mappings_are_faster_at_large_messages() {
+        let (p, g) = headline();
+        let model = ExchangeModel::new(&Machine::vsc4());
+        let blocked = Blocked.compute(&p).unwrap();
+        let hp = Hyperplane::default().compute(&p).unwrap();
+        let ss = StencilStrips.compute(&p).unwrap();
+        let rnd = RandomMapping::with_seed(1).compute(&p).unwrap();
+        let m = 1 << 19;
+        let t_blocked = model.exchange_time(&g, &blocked, m);
+        let t_hp = model.exchange_time(&g, &hp, m);
+        let t_ss = model.exchange_time(&g, &ss, m);
+        let t_rnd = model.exchange_time(&g, &rnd, m);
+        assert!(t_hp < t_blocked);
+        assert!(t_ss < t_blocked);
+        assert!(t_rnd > t_blocked, "random must be the slowest mapping");
+        // Paper Fig. 6: speedups between roughly 2x and 4x on VSC4.
+        let speedup = t_blocked / t_ss;
+        assert!(speedup > 1.5 && speedup < 6.0, "speedup = {speedup}");
+    }
+
+    #[test]
+    fn simulated_times_are_in_the_papers_order_of_magnitude() {
+        // Table II: blocked, 512 KiB, nearest neighbor on VSC4: ~64 ms.
+        let (p, g) = headline();
+        let model = ExchangeModel::new(&Machine::vsc4());
+        let blocked = Blocked.compute(&p).unwrap();
+        let t = model.exchange_time(&g, &blocked, 1 << 19);
+        assert!(t > 0.02 && t < 0.2, "t = {t}");
+        // 64-byte messages are latency bound: tens of microseconds.
+        let t_small = model.exchange_time(&g, &blocked, 64);
+        assert!(t_small > 1e-6 && t_small < 1e-3, "t_small = {t_small}");
+    }
+
+    #[test]
+    fn small_messages_are_latency_dominated() {
+        let (p, g) = headline();
+        let model = ExchangeModel::new(&Machine::vsc4());
+        let blocked = Blocked.compute(&p).unwrap();
+        let b = model.exchange_breakdown(&g, &blocked, 64);
+        // bandwidth terms are negligible for 64-byte messages
+        assert!(b.total < 1e-3);
+        let big = model.exchange_breakdown(&g, &blocked, 1 << 22);
+        assert!(big.total > 100.0 * b.total);
+        assert!(big.inter_node > big.intra_node);
+        assert!(b.total >= b.base);
+    }
+
+    #[test]
+    fn time_is_monotone_in_message_size_and_jmax() {
+        let (p, g) = headline();
+        let model = ExchangeModel::new(&Machine::supermuc_ng());
+        let blocked = Blocked.compute(&p).unwrap();
+        let sizes = figure_message_sizes();
+        let times = model.exchange_times(&g, &blocked, &sizes);
+        for w in times.windows(2) {
+            assert!(w[1] >= w[0], "time must grow with message size");
+        }
+    }
+
+    #[test]
+    fn speedup_over_blocked_matches_ratio() {
+        let (p, g) = headline();
+        let model = ExchangeModel::new(&Machine::juwels());
+        let blocked = Blocked.compute(&p).unwrap();
+        let hp = Hyperplane::default().compute(&p).unwrap();
+        let sizes = vec![1 << 12, 1 << 19];
+        let speedups = model.speedup_over(&g, &hp, &blocked, &sizes);
+        for (i, &s) in sizes.iter().enumerate() {
+            let expect = model.exchange_time(&g, &blocked, s) / model.exchange_time(&g, &hp, s);
+            assert!((speedups[i] - expect).abs() < 1e-12);
+            assert!(speedups[i] >= 1.0);
+        }
+    }
+
+    #[test]
+    fn message_size_lists_match_paper() {
+        let fig = figure_message_sizes();
+        assert_eq!(fig.first(), Some(&1024));
+        assert_eq!(fig.last(), Some(&4194304));
+        assert_eq!(fig.len(), 7);
+        let tab = table_message_sizes();
+        assert_eq!(tab.first(), Some(&64));
+        assert_eq!(tab.last(), Some(&524288));
+        assert_eq!(tab.len(), 14);
+    }
+
+    #[test]
+    fn component_stencil_reaches_large_speedups() {
+        // Fig. 6 bottom: optimal mappings of the component stencil are up to
+        // an order of magnitude faster than blocked.
+        let p = MappingProblem::new(
+            Dims::from_slice(&[50, 48]),
+            Stencil::component(2),
+            NodeAllocation::homogeneous(50, 48),
+        )
+        .unwrap();
+        let g = CartGraph::build(p.dims(), p.stencil(), false);
+        let model = ExchangeModel::new(&Machine::vsc4());
+        let blocked = Blocked.compute(&p).unwrap();
+        let ss = StencilStrips.compute(&p).unwrap();
+        let speedup =
+            model.exchange_time(&g, &blocked, 1 << 19) / model.exchange_time(&g, &ss, 1 << 19);
+        assert!(speedup > 3.0, "speedup = {speedup}");
+    }
+}

@@ -1,0 +1,56 @@
+//! # cluster-sim
+//!
+//! Machine and network models used to *simulate* the communication
+//! experiments of *"Efficient Process-to-Node Mapping Algorithms for Stencil
+//! Computations"* (Hunold et al., CLUSTER 2020).
+//!
+//! The paper measures the time of an `MPI_Neighbor_alltoall` exchange on
+//! three production systems (VSC4, SuperMUC-NG and JUWELS).  This repository
+//! has no access to those machines, so the crate substitutes an analytic cost
+//! model that preserves the mechanism the paper exploits:
+//!
+//! * intra-node communication is much faster than inter-node communication,
+//! * every compute node's NIC egress/ingress is the scarce resource, so the
+//!   *bottleneck node* (`Jmax` of the mapping) dominates the exchange time,
+//! * the two-level fat-tree core adds contention when traffic has to leave a
+//!   leaf switch (blocking/pruning factors of the three machines),
+//! * small messages are dominated by per-message overheads.
+//!
+//! The crate also provides the statistical machinery of Section VI-B
+//! (repeated measurements, inter-quartile outlier removal, means/medians with
+//! 95% confidence intervals) so that the benchmark harness can produce the
+//! same tables and figures as the paper.
+//!
+//! ```
+//! use stencil_grid::{Dims, Stencil, NodeAllocation, CartGraph};
+//! use stencil_mapping::{MappingProblem, Mapper, baselines::Blocked, hyperplane::Hyperplane};
+//! use cluster_sim::{Machine, ExchangeModel};
+//!
+//! let problem = MappingProblem::new(
+//!     Dims::from_slice(&[50, 48]),
+//!     Stencil::nearest_neighbor(2),
+//!     NodeAllocation::homogeneous(50, 48),
+//! ).unwrap();
+//! let graph = CartGraph::build(problem.dims(), problem.stencil(), false);
+//! let machine = Machine::vsc4();
+//! let model = ExchangeModel::new(&machine);
+//!
+//! let blocked = model.exchange_time(&graph, &Blocked.compute(&problem).unwrap(), 1 << 19);
+//! let reordered = model.exchange_time(&graph, &Hyperplane::default().compute(&problem).unwrap(), 1 << 19);
+//! assert!(reordered < blocked);
+//! ```
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+pub mod exchange;
+pub mod machine;
+pub mod measurement;
+pub mod stats;
+pub mod topology;
+
+pub use exchange::ExchangeModel;
+pub use machine::Machine;
+pub use measurement::{MeasuredExchange, Measurement};
+pub use stats::Summary;
+pub use topology::FatTree;

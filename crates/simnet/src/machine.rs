@@ -1,0 +1,159 @@
+//! Machine models of the three HPC systems used in the paper's evaluation
+//! (Table I) plus a generic constructor for custom clusters.
+//!
+//! The parameters are *effective* values: the sustained per-node NIC
+//! bandwidth an `MPI_Neighbor_alltoall` actually achieves (which is far below
+//! the 100 Gbit/s line rate once 48 ranks share the NIC), per-message
+//! overheads and intra-node memory bandwidth.  They were calibrated so that
+//! the simulated exchange times fall in the same range as the absolute times
+//! reported in Tables II–VII; the qualitative behaviour (who wins, crossover
+//! points, saturation at large messages) is what the simulation reproduces.
+
+use crate::topology::FatTree;
+use serde::{Deserialize, Serialize};
+
+/// An HPC machine model: node architecture plus interconnect parameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Machine {
+    /// Human-readable machine name.
+    pub name: String,
+    /// Number of processor cores (processes) per compute node.
+    pub cores_per_node: usize,
+    /// Effective per-node NIC bandwidth for off-node traffic, in bytes/s.
+    pub node_bandwidth: f64,
+    /// Per off-node message overhead at the NIC, in seconds.
+    pub inter_msg_overhead: f64,
+    /// Base latency of a neighborhood collective invocation, in seconds.
+    pub base_latency: f64,
+    /// Effective aggregated intra-node (shared memory) bandwidth per node,
+    /// in bytes/s.
+    pub intra_bandwidth: f64,
+    /// Per intra-node message overhead, in seconds.
+    pub intra_msg_overhead: f64,
+    /// The interconnect topology (two-level fat tree).
+    pub fat_tree: FatTree,
+}
+
+impl Machine {
+    /// The Vienna Scientific Cluster 4: dual Intel Skylake Platinum 8174
+    /// (48 cores/node), 100 Gbit/s OmniPath, two-level fat tree with a 2:1
+    /// blocking factor.
+    pub fn vsc4() -> Self {
+        Machine {
+            name: "VSC4".to_string(),
+            cores_per_node: 48,
+            node_bandwidth: 0.78e9,
+            inter_msg_overhead: 0.16e-6,
+            base_latency: 4.0e-6,
+            intra_bandwidth: 4.0e9,
+            intra_msg_overhead: 0.04e-6,
+            fat_tree: FatTree::new(32, 2.0),
+        }
+    }
+
+    /// SuperMUC-NG: dual Intel Skylake Platinum 8174 (48 cores/node),
+    /// OmniPath fat-tree islands with a 1:4 pruning factor between islands.
+    pub fn supermuc_ng() -> Self {
+        Machine {
+            name: "SuperMUC-NG".to_string(),
+            cores_per_node: 48,
+            node_bandwidth: 0.88e9,
+            inter_msg_overhead: 0.21e-6,
+            base_latency: 7.0e-6,
+            intra_bandwidth: 4.2e9,
+            intra_msg_overhead: 0.05e-6,
+            fat_tree: FatTree::new(48, 4.0),
+        }
+    }
+
+    /// JUWELS: dual Intel Xeon Platinum 8168 (48 cores/node), 100 Gbit/s
+    /// InfiniBand, two-level fat tree with a 2:1 pruning factor.
+    pub fn juwels() -> Self {
+        Machine {
+            name: "JUWELS".to_string(),
+            cores_per_node: 48,
+            node_bandwidth: 1.05e9,
+            inter_msg_overhead: 0.30e-6,
+            base_latency: 9.0e-6,
+            intra_bandwidth: 3.5e9,
+            intra_msg_overhead: 0.06e-6,
+            fat_tree: FatTree::new(24, 2.0),
+        }
+    }
+
+    /// The three machines of the paper, in the order of the figures.
+    pub fn paper_machines() -> Vec<Machine> {
+        vec![Self::vsc4(), Self::supermuc_ng(), Self::juwels()]
+    }
+
+    /// A generic machine for custom experiments.
+    pub fn custom(
+        name: &str,
+        cores_per_node: usize,
+        node_bandwidth: f64,
+        intra_bandwidth: f64,
+        fat_tree: FatTree,
+    ) -> Self {
+        Machine {
+            name: name.to_string(),
+            cores_per_node,
+            node_bandwidth,
+            inter_msg_overhead: 0.2e-6,
+            base_latency: 5.0e-6,
+            intra_bandwidth,
+            intra_msg_overhead: 0.05e-6,
+            fat_tree,
+        }
+    }
+
+    /// Ratio between effective intra-node and inter-node bandwidth — the
+    /// "intra-node communication is (much) faster" assumption of Section II.
+    pub fn intra_inter_ratio(&self) -> f64 {
+        self.intra_bandwidth / self.node_bandwidth
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_machines_have_48_cores() {
+        for m in Machine::paper_machines() {
+            assert_eq!(m.cores_per_node, 48);
+            assert!(m.node_bandwidth > 0.0);
+            assert!(m.intra_bandwidth > m.node_bandwidth);
+            assert!(m.intra_inter_ratio() > 1.0);
+            assert!(m.base_latency > 0.0 && m.base_latency < 1e-3);
+        }
+        assert_eq!(Machine::paper_machines().len(), 3);
+    }
+
+    #[test]
+    fn machines_are_distinct() {
+        let v = Machine::vsc4();
+        let s = Machine::supermuc_ng();
+        let j = Machine::juwels();
+        assert_ne!(v, s);
+        assert_ne!(s, j);
+        assert_eq!(v.name, "VSC4");
+        assert_eq!(s.fat_tree.oversubscription, 4.0);
+        assert_eq!(j.fat_tree.nodes_per_switch, 24);
+    }
+
+    #[test]
+    fn custom_machine_builder() {
+        let m = Machine::custom("lab", 16, 1e9, 8e9, FatTree::new(16, 1.0));
+        assert_eq!(m.cores_per_node, 16);
+        assert_eq!(m.name, "lab");
+        assert!((m.intra_inter_ratio() - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn custom_machine_clone_and_debug() {
+        let m = Machine::custom("lab", 16, 1e9, 8e9, FatTree::new(16, 1.0));
+        let m2 = m.clone();
+        assert_eq!(m, m2);
+        assert!(format!("{m:?}").contains("lab"));
+    }
+}

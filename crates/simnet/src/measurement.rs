@@ -1,0 +1,203 @@
+//! Repeated-measurement harness mirroring the paper's benchmarking protocol
+//! (Section VI-B): every exchange is executed 200 times, processes are
+//! synchronised with a barrier before each repetition, the maximum time over
+//! all processes is recorded, outliers beyond 1.5 IQR are removed and the
+//! mean with a 95% confidence interval is reported.
+//!
+//! The simulator produces a deterministic base time per exchange
+//! ([`crate::ExchangeModel`]); this module adds the run-to-run variability a
+//! real machine exhibits (seeded, multiplicative noise plus rare system
+//! spikes) so that the statistical pipeline operates on realistic samples.
+
+use crate::exchange::ExchangeModel;
+use crate::stats::Summary;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+use stencil_grid::CartGraph;
+use stencil_mapping::Mapping;
+
+/// Configuration of the repeated measurement.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Measurement {
+    /// Number of repetitions (the paper uses 200).
+    pub repetitions: usize,
+    /// Relative standard deviation of the per-repetition noise.
+    pub noise: f64,
+    /// Probability of a system-noise spike (outlier) per repetition.
+    pub spike_probability: f64,
+    /// Multiplicative magnitude of a spike.
+    pub spike_factor: f64,
+    /// Seed of the noise generator.
+    pub seed: u64,
+}
+
+impl Default for Measurement {
+    fn default() -> Self {
+        Measurement {
+            repetitions: 200,
+            noise: 0.03,
+            spike_probability: 0.01,
+            spike_factor: 4.0,
+            seed: 0xBEEF,
+        }
+    }
+}
+
+impl Measurement {
+    /// Creates a measurement configuration with the paper's repetition count
+    /// and a custom seed.
+    pub fn with_seed(seed: u64) -> Self {
+        Measurement {
+            seed,
+            ..Default::default()
+        }
+    }
+
+    /// Produces the raw sample (seconds) for one exchange.
+    pub fn sample(
+        &self,
+        model: &ExchangeModel,
+        graph: &CartGraph,
+        mapping: &Mapping,
+        message_size: usize,
+    ) -> Vec<f64> {
+        let base = model.exchange_time(graph, mapping, message_size);
+        let mut rng = ChaCha8Rng::seed_from_u64(
+            self.seed ^ (message_size as u64).wrapping_mul(0x9E3779B97F4A7C15),
+        );
+        (0..self.repetitions.max(1))
+            .map(|_| {
+                // symmetric triangular-ish noise around 1.0
+                let u: f64 = rng.gen_range(-1.0..1.0);
+                let mut t = base * (1.0 + self.noise * u);
+                if rng.gen_bool(self.spike_probability.clamp(0.0, 1.0)) {
+                    t *= self.spike_factor;
+                }
+                t.max(0.0)
+            })
+            .collect()
+    }
+
+    /// Runs the full protocol: sample, remove outliers, summarise.
+    pub fn measure(
+        &self,
+        model: &ExchangeModel,
+        graph: &CartGraph,
+        mapping: &Mapping,
+        message_size: usize,
+    ) -> Summary {
+        Summary::of_filtered(&self.sample(model, graph, mapping, message_size))
+    }
+}
+
+/// One measured exchange: machine, algorithm, message size and the summary.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MeasuredExchange {
+    /// Machine name.
+    pub machine: String,
+    /// Mapping algorithm name.
+    pub algorithm: String,
+    /// Message size in bytes per neighbor.
+    pub message_size: usize,
+    /// Summary statistics of the measured exchange times (seconds).
+    pub summary: Summary,
+}
+
+impl MeasuredExchange {
+    /// Convenience constructor running the measurement protocol.
+    pub fn run(
+        machine_name: &str,
+        algorithm: &str,
+        model: &ExchangeModel,
+        graph: &CartGraph,
+        mapping: &Mapping,
+        message_size: usize,
+        config: &Measurement,
+    ) -> Self {
+        MeasuredExchange {
+            machine: machine_name.to_string(),
+            algorithm: algorithm.to_string(),
+            message_size,
+            summary: config.measure(model, graph, mapping, message_size),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::Machine;
+    use stencil_grid::{Dims, NodeAllocation, Stencil};
+    use stencil_mapping::baselines::Blocked;
+    use stencil_mapping::{Mapper, MappingProblem};
+
+    fn setup() -> (CartGraph, Mapping, ExchangeModel) {
+        let p = MappingProblem::new(
+            Dims::from_slice(&[10, 8]),
+            Stencil::nearest_neighbor(2),
+            NodeAllocation::homogeneous(10, 8),
+        )
+        .unwrap();
+        let g = CartGraph::build(p.dims(), p.stencil(), false);
+        let m = Blocked.compute(&p).unwrap();
+        (g, m, ExchangeModel::new(&Machine::vsc4()))
+    }
+
+    #[test]
+    fn sample_has_requested_length_and_is_near_base() {
+        let (g, m, model) = setup();
+        let cfg = Measurement::default();
+        let sample = cfg.sample(&model, &g, &m, 4096);
+        assert_eq!(sample.len(), 200);
+        let base = model.exchange_time(&g, &m, 4096);
+        let within = sample
+            .iter()
+            .filter(|&&t| (t - base).abs() <= base * 0.05)
+            .count();
+        assert!(within > 150, "most repetitions stay close to the base time");
+    }
+
+    #[test]
+    fn measurement_is_deterministic_per_seed() {
+        let (g, m, model) = setup();
+        let a = Measurement::with_seed(1).measure(&model, &g, &m, 1 << 16);
+        let b = Measurement::with_seed(1).measure(&model, &g, &m, 1 << 16);
+        let c = Measurement::with_seed(2).measure(&model, &g, &m, 1 << 16);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn outlier_removal_keeps_mean_close_to_base() {
+        let (g, m, model) = setup();
+        let cfg = Measurement {
+            spike_probability: 0.05,
+            ..Measurement::with_seed(3)
+        };
+        let base = model.exchange_time(&g, &m, 1 << 18);
+        let summary = cfg.measure(&model, &g, &m, 1 << 18);
+        assert!((summary.mean - base).abs() < base * 0.05);
+        assert!(summary.n <= cfg.repetitions);
+        assert!(summary.mean_ci95 < base * 0.02);
+    }
+
+    #[test]
+    fn measured_exchange_records_metadata() {
+        let (g, m, model) = setup();
+        let rec = MeasuredExchange::run(
+            "VSC4",
+            "Blocked",
+            &model,
+            &g,
+            &m,
+            1024,
+            &Measurement::with_seed(5),
+        );
+        assert_eq!(rec.machine, "VSC4");
+        assert_eq!(rec.algorithm, "Blocked");
+        assert_eq!(rec.message_size, 1024);
+        assert!(rec.summary.mean > 0.0);
+    }
+}

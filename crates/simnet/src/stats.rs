@@ -1,0 +1,246 @@
+//! Statistics used by the evaluation: means and medians with 95% confidence
+//! intervals and inter-quartile-range outlier removal (Section VI-B/VI-C of
+//! the paper).
+
+use serde::{Deserialize, Serialize};
+
+/// Arithmetic mean of a sample (0 for an empty sample).
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        0.0
+    } else {
+        values.iter().sum::<f64>() / values.len() as f64
+    }
+}
+
+/// Unbiased sample standard deviation (0 for fewer than two values).
+pub fn std_dev(values: &[f64]) -> f64 {
+    if values.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(values);
+    let var = values.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / (values.len() - 1) as f64;
+    var.sqrt()
+}
+
+/// Quantile with linear interpolation, `q ∈ [0, 1]`.
+pub fn quantile(values: &[f64], q: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
+    if values.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = pos - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// Median of a sample.
+pub fn median(values: &[f64]) -> f64 {
+    quantile(values, 0.5)
+}
+
+/// Inter-quartile range `Q3 − Q1`.
+pub fn iqr(values: &[f64]) -> f64 {
+    quantile(values, 0.75) - quantile(values, 0.25)
+}
+
+/// Removes outliers beyond 1.5 inter-quartile ranges from the first and third
+/// quartile, as done before every mean/CI reported in the paper.
+pub fn remove_outliers(values: &[f64]) -> Vec<f64> {
+    if values.len() < 4 {
+        return values.to_vec();
+    }
+    let q1 = quantile(values, 0.25);
+    let q3 = quantile(values, 0.75);
+    let range = q3 - q1;
+    let lo = q1 - 1.5 * range;
+    let hi = q3 + 1.5 * range;
+    values
+        .iter()
+        .copied()
+        .filter(|&v| v >= lo && v <= hi)
+        .collect()
+}
+
+/// Half width of the 95% confidence interval of the mean (normal
+/// approximation).
+pub fn ci95_mean(values: &[f64]) -> f64 {
+    if values.len() < 2 {
+        return 0.0;
+    }
+    1.96 * std_dev(values) / (values.len() as f64).sqrt()
+}
+
+/// Half width of the 95% confidence interval of the median using the
+/// Gaussian-based asymptotic approximation (the "notch" formula
+/// `1.57 · IQR / √n` referenced in Section VI-C).
+pub fn ci95_median(values: &[f64]) -> f64 {
+    if values.len() < 2 {
+        return 0.0;
+    }
+    1.57 * iqr(values) / (values.len() as f64).sqrt()
+}
+
+/// Summary statistics of one sample.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Number of retained observations.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Half width of the 95% CI of the mean.
+    pub mean_ci95: f64,
+    /// Median.
+    pub median: f64,
+    /// Half width of the 95% CI of the median (notch approximation).
+    pub median_ci95: f64,
+    /// Smallest retained observation.
+    pub min: f64,
+    /// Largest retained observation.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Summarises a sample without any filtering.
+    pub fn of(values: &[f64]) -> Self {
+        let min = values.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        Summary {
+            n: values.len(),
+            mean: mean(values),
+            mean_ci95: ci95_mean(values),
+            median: median(values),
+            median_ci95: ci95_median(values),
+            min: if values.is_empty() { 0.0 } else { min },
+            max: if values.is_empty() { 0.0 } else { max },
+        }
+    }
+
+    /// Summarises a sample after IQR outlier removal (the paper's procedure).
+    pub fn of_filtered(values: &[f64]) -> Self {
+        Self::of(&remove_outliers(values))
+    }
+
+    /// Whether the 95% CIs of the medians of two summaries overlap; when they
+    /// do not, the paper treats the difference as statistically significant.
+    pub fn median_ci_overlaps(&self, other: &Summary) -> bool {
+        let (a_lo, a_hi) = (self.median - self.median_ci95, self.median + self.median_ci95);
+        let (b_lo, b_hi) = (
+            other.median - other.median_ci95,
+            other.median + other.median_ci95,
+        );
+        a_lo <= b_hi && b_lo <= a_hi
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn mean_median_basic() {
+        let v = [1.0, 2.0, 3.0, 4.0];
+        assert!((mean(&v) - 2.5).abs() < 1e-12);
+        assert!((median(&v) - 2.5).abs() < 1e-12);
+        assert!((median(&[1.0, 2.0, 10.0]) - 2.0).abs() < 1e-12);
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(median(&[]), 0.0);
+    }
+
+    #[test]
+    fn quantiles_interpolate() {
+        let v = [0.0, 10.0];
+        assert!((quantile(&v, 0.25) - 2.5).abs() < 1e-12);
+        assert!((quantile(&v, 1.0) - 10.0).abs() < 1e-12);
+        assert!((quantile(&v, 0.0) - 0.0).abs() < 1e-12);
+        let v = [5.0, 1.0, 3.0, 2.0, 4.0];
+        assert!((quantile(&v, 0.5) - 3.0).abs() < 1e-12);
+        assert!((iqr(&v) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn std_dev_known_value() {
+        let v = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((std_dev(&v) - 2.138089935299395).abs() < 1e-9);
+        assert_eq!(std_dev(&[3.0]), 0.0);
+    }
+
+    #[test]
+    fn outlier_removal_drops_spikes() {
+        let mut v = vec![1.0; 20];
+        v.push(100.0);
+        let filtered = remove_outliers(&v);
+        assert_eq!(filtered.len(), 20);
+        assert!(filtered.iter().all(|&x| x == 1.0));
+        // small samples are passed through unchanged
+        assert_eq!(remove_outliers(&[1.0, 100.0]), vec![1.0, 100.0]);
+    }
+
+    #[test]
+    fn confidence_intervals_shrink_with_sample_size() {
+        let small: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let large: Vec<f64> = (0..1000).map(|i| (i % 10) as f64).collect();
+        assert!(ci95_mean(&large) < ci95_mean(&small));
+        assert!(ci95_median(&large) < ci95_median(&small));
+        assert_eq!(ci95_mean(&[1.0]), 0.0);
+        assert_eq!(ci95_median(&[1.0]), 0.0);
+    }
+
+    #[test]
+    fn summary_reports_consistent_fields() {
+        let v = [3.0, 1.0, 2.0, 4.0, 5.0, 50.0];
+        let s = Summary::of(&v);
+        assert_eq!(s.n, 6);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 50.0);
+        let f = Summary::of_filtered(&v);
+        assert_eq!(f.n, 5);
+        assert_eq!(f.max, 5.0);
+        assert!(f.mean < s.mean);
+    }
+
+    #[test]
+    fn median_ci_overlap_detection() {
+        let a = Summary::of(&[1.0, 1.1, 0.9, 1.05, 0.95]);
+        let b = Summary::of(&[5.0, 5.1, 4.9, 5.05, 4.95]);
+        assert!(!a.median_ci_overlaps(&b));
+        assert!(a.median_ci_overlaps(&a));
+        let c = Summary::of(&[1.0, 1.2, 0.8, 1.1, 0.9]);
+        assert!(a.median_ci_overlaps(&c));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_outlier_removal_is_subset_and_bounded(
+            values in proptest::collection::vec(0.0f64..1000.0, 4..60)
+        ) {
+            let filtered = remove_outliers(&values);
+            prop_assert!(filtered.len() <= values.len());
+            prop_assert!(!filtered.is_empty());
+            // medians are robust: the median survives outlier removal closely
+            let m1 = median(&values);
+            let m2 = median(&filtered);
+            prop_assert!(quantile(&values, 0.25) <= m1 + 1e-9);
+            prop_assert!(m2 >= values.iter().cloned().fold(f64::INFINITY, f64::min) - 1e-9);
+        }
+
+        #[test]
+        fn prop_mean_between_min_and_max(
+            values in proptest::collection::vec(-50.0f64..50.0, 1..40)
+        ) {
+            let m = mean(&values);
+            let lo = values.iter().cloned().fold(f64::INFINITY, f64::min);
+            let hi = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            prop_assert!(m >= lo - 1e-9 && m <= hi + 1e-9);
+        }
+    }
+}

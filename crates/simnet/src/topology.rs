@@ -1,0 +1,160 @@
+//! Two-level fat-tree interconnect model.
+//!
+//! All three machines of the paper connect their nodes through a two-level
+//! fat tree: leaf switches connect a fixed number of nodes and are linked to
+//! the core through uplinks whose aggregate capacity is *oversubscribed*
+//! (blocking factor 2:1 on VSC4 and JUWELS, island pruning 1:4 on
+//! SuperMUC-NG).  Traffic between nodes attached to the same leaf switch only
+//! uses the switch; traffic between different leaf switches competes for the
+//! uplinks.
+
+use serde::{Deserialize, Serialize};
+
+/// A two-level fat tree described by its leaf-switch radix and the
+/// oversubscription (blocking/pruning) factor of the uplinks.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FatTree {
+    /// Number of compute nodes attached to one leaf switch.
+    pub nodes_per_switch: usize,
+    /// Oversubscription factor of the uplinks (1.0 = non-blocking,
+    /// 2.0 = half the injection bandwidth is available towards the core, …).
+    pub oversubscription: f64,
+}
+
+impl FatTree {
+    /// Creates a fat tree model.
+    pub fn new(nodes_per_switch: usize, oversubscription: f64) -> Self {
+        assert!(nodes_per_switch > 0, "a switch connects at least one node");
+        assert!(oversubscription >= 1.0, "oversubscription factor must be >= 1");
+        FatTree {
+            nodes_per_switch,
+            oversubscription,
+        }
+    }
+
+    /// The leaf switch a node is attached to (nodes are cabled consecutively,
+    /// which matches how schedulers allocate contiguous node ranges).
+    #[inline]
+    pub fn switch_of_node(&self, node: usize) -> usize {
+        node / self.nodes_per_switch
+    }
+
+    /// Number of leaf switches needed for `num_nodes` nodes.
+    pub fn num_switches(&self, num_nodes: usize) -> usize {
+        num_nodes.div_ceil(self.nodes_per_switch)
+    }
+
+    /// Aggregate uplink bandwidth of one leaf switch, given the per-node NIC
+    /// bandwidth.
+    pub fn uplink_bandwidth(&self, node_bandwidth: f64) -> f64 {
+        self.nodes_per_switch as f64 * node_bandwidth / self.oversubscription
+    }
+
+    /// Computes the per-switch uplink traffic (bytes crossing from each leaf
+    /// switch towards the core, i.e. towards nodes on other switches) from a
+    /// sparse inter-node traffic matrix given in bytes.
+    ///
+    /// Returns one entry per leaf switch.
+    pub fn uplink_traffic(
+        &self,
+        num_nodes: usize,
+        traffic: impl IntoIterator<Item = (usize, usize, f64)>,
+    ) -> Vec<f64> {
+        let mut load = vec![0.0f64; self.num_switches(num_nodes)];
+        for (from, to, bytes) in traffic {
+            let sf = self.switch_of_node(from);
+            let st = self.switch_of_node(to);
+            if sf != st {
+                load[sf] += bytes;
+            }
+        }
+        load
+    }
+
+    /// The time the core network needs to carry the given inter-node traffic:
+    /// the most loaded leaf uplink divided by its bandwidth.
+    pub fn core_time(
+        &self,
+        num_nodes: usize,
+        node_bandwidth: f64,
+        traffic: impl IntoIterator<Item = (usize, usize, f64)>,
+    ) -> f64 {
+        let loads = self.uplink_traffic(num_nodes, traffic);
+        let max_load = loads.iter().copied().fold(0.0f64, f64::max);
+        max_load / self.uplink_bandwidth(node_bandwidth)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn switch_assignment_is_consecutive() {
+        let ft = FatTree::new(32, 2.0);
+        assert_eq!(ft.switch_of_node(0), 0);
+        assert_eq!(ft.switch_of_node(31), 0);
+        assert_eq!(ft.switch_of_node(32), 1);
+        assert_eq!(ft.num_switches(50), 2);
+        assert_eq!(ft.num_switches(100), 4);
+        assert_eq!(ft.num_switches(64), 2);
+    }
+
+    #[test]
+    fn uplink_bandwidth_reflects_oversubscription() {
+        let non_blocking = FatTree::new(32, 1.0);
+        let blocking = FatTree::new(32, 2.0);
+        assert!(
+            (non_blocking.uplink_bandwidth(1e9) - 32e9).abs() < 1.0
+        );
+        assert!((blocking.uplink_bandwidth(1e9) - 16e9).abs() < 1.0);
+    }
+
+    #[test]
+    fn uplink_traffic_only_counts_cross_switch_bytes() {
+        let ft = FatTree::new(2, 2.0);
+        // 4 nodes on 2 switches; traffic 0->1 stays local, 1->2 crosses.
+        let loads = ft.uplink_traffic(4, vec![(0, 1, 100.0), (1, 2, 50.0), (3, 2, 10.0)]);
+        assert_eq!(loads.len(), 2);
+        assert!((loads[0] - 50.0).abs() < 1e-9);
+        assert!((loads[1] - 0.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn core_time_scales_with_oversubscription() {
+        let traffic = vec![(0usize, 40usize, 1e9), (40, 0, 1e9)];
+        let fast = FatTree::new(32, 1.0).core_time(64, 1e9, traffic.clone());
+        let slow = FatTree::new(32, 4.0).core_time(64, 1e9, traffic);
+        assert!(slow > fast);
+        assert!((slow / fast - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_zero_radix() {
+        FatTree::new(0, 2.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_sub_unity_oversubscription() {
+        FatTree::new(8, 0.5);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_local_traffic_never_loads_uplinks(
+            nodes_per_switch in 1usize..16, a in 0usize..64, b in 0usize..64,
+        ) {
+            let ft = FatTree::new(nodes_per_switch, 2.0);
+            let loads = ft.uplink_traffic(64, vec![(a, b, 123.0)]);
+            let total: f64 = loads.iter().sum();
+            if ft.switch_of_node(a) == ft.switch_of_node(b) {
+                prop_assert!(total == 0.0);
+            } else {
+                prop_assert!((total - 123.0).abs() < 1e-9);
+            }
+        }
+    }
+}

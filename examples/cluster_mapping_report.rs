@@ -1,0 +1,84 @@
+//! Produces a mapping-quality report over a sweep of cluster configurations,
+//! in the spirit of Section VI-C (Fig. 8) of the paper: for every instance of
+//! a node-count × processes-per-node × dimensionality grid, the reduction of
+//! inter-node communication (`Jsum`, `Jmax`) over the blocked mapping is
+//! computed for every algorithm and summarised per stencil.
+//!
+//! ```text
+//! cargo run --release --example cluster_mapping_report            # small sweep
+//! cargo run --release --example cluster_mapping_report -- --full  # the paper's 144 instances
+//! ```
+
+use stencilmap::mapping::analysis::{
+    paper_instance_set, reductions_over_blocked, small_instance_set,
+};
+use stencilmap::prelude::*;
+use stencilmap::sim::stats;
+
+fn main() {
+    let full = std::env::args().any(|a| a == "--full");
+    let instances = if full {
+        paper_instance_set()
+    } else {
+        small_instance_set()
+    };
+    println!(
+        "Sweeping {} instances ({} mode)\n",
+        instances.len(),
+        if full { "paper" } else { "small" }
+    );
+
+    let mappers: Vec<Box<dyn Mapper>> = vec![
+        Box::new(Hyperplane::default()),
+        Box::new(KdTree),
+        Box::new(StencilStrips),
+        Box::new(Nodecart),
+    ];
+
+    for stencil in StencilKind::all() {
+        println!("== {} stencil ==", stencil.name());
+        let records = reductions_over_blocked(&instances, stencil, &mappers);
+        for mapper in &mappers {
+            let name = mapper.name();
+            let reductions: Vec<f64> = records
+                .iter()
+                .filter(|r| r.algorithm == name)
+                .map(|r| r.j_sum_reduction)
+                .collect();
+            let jmax_reductions: Vec<f64> = records
+                .iter()
+                .filter(|r| r.algorithm == name)
+                .map(|r| r.j_max_reduction)
+                .collect();
+            if reductions.is_empty() {
+                continue;
+            }
+            println!(
+                "  {:<14} Jsum reduction: median {:.3} (±{:.3}), [Q1 {:.3}, Q3 {:.3}]   Jmax: median {:.3}",
+                name,
+                stats::median(&reductions),
+                stats::ci95_median(&reductions),
+                stats::quantile(&reductions, 0.25),
+                stats::quantile(&reductions, 0.75),
+                stats::median(&jmax_reductions),
+            );
+        }
+        // which algorithm wins most often?
+        let mut wins = std::collections::HashMap::<String, usize>::new();
+        for spec in &instances {
+            let best = records
+                .iter()
+                .filter(|r| r.instance == *spec)
+                .min_by(|a, b| a.j_sum.cmp(&b.j_sum));
+            if let Some(best) = best {
+                *wins.entry(best.algorithm.clone()).or_insert(0) += 1;
+            }
+        }
+        let mut wins: Vec<_> = wins.into_iter().collect();
+        wins.sort_by_key(|(_, c)| std::cmp::Reverse(*c));
+        let summary: Vec<String> = wins.iter().map(|(a, c)| format!("{a}: {c}")).collect();
+        println!("  best-Jsum wins per instance: {}\n", summary.join(", "));
+    }
+
+    println!("Reductions below 1.0 mean less inter-node communication than the blocked mapping.");
+}

@@ -1,0 +1,133 @@
+//! Integration test: the mapping scores of the paper's headline instances
+//! (left panels of Figures 6 and 7) are reproduced by the Rust
+//! implementation.  Exact equality is asserted where our runs match the
+//! published numbers exactly; small tolerances are used where the paper's
+//! value depends on tie-breaking choices that are not fully specified.
+
+use stencilmap::prelude::*;
+
+fn score(problem: &MappingProblem, mapper: &dyn Mapper) -> MappingCost {
+    let graph = CartGraph::build(problem.dims(), problem.stencil(), problem.periodic());
+    metrics::evaluate(&graph, &mapper.compute(problem).unwrap())
+}
+
+fn instance(dims: &[usize], nodes: usize, stencil: Stencil) -> MappingProblem {
+    MappingProblem::new(
+        Dims::from_slice(dims),
+        stencil,
+        NodeAllocation::homogeneous(nodes, 48),
+    )
+    .unwrap()
+}
+
+#[test]
+fn figure6_nearest_neighbor_scores() {
+    let p = instance(&[50, 48], 50, Stencil::nearest_neighbor(2));
+    // Paper: Standard 4704/96, Nodecart 2404/50, Hyperplane 1328/38,
+    //        k-d Tree 1732/46, Stencil Strips 1244/28, VieM 1342/36.
+    let blocked = score(&p, &Blocked);
+    assert_eq!((blocked.j_sum, blocked.j_max), (4704, 96));
+    let nodecart = score(&p, &Nodecart);
+    assert_eq!((nodecart.j_sum, nodecart.j_max), (2404, 50));
+    let hyperplane = score(&p, &Hyperplane::default());
+    assert_eq!((hyperplane.j_sum, hyperplane.j_max), (1328, 38));
+    let kdtree = score(&p, &KdTree);
+    assert_eq!((kdtree.j_sum, kdtree.j_max), (1732, 46));
+    let strips = score(&p, &StencilStrips);
+    assert!(strips.j_sum <= 1350, "paper: 1244, ours: {}", strips.j_sum);
+    assert_eq!(strips.j_max, 28);
+    // the ranking of the paper holds
+    assert!(strips.j_sum < hyperplane.j_sum);
+    assert!(hyperplane.j_sum < kdtree.j_sum);
+    assert!(kdtree.j_sum < nodecart.j_sum);
+    assert!(nodecart.j_sum < blocked.j_sum);
+}
+
+#[test]
+fn figure6_component_scores() {
+    let p = instance(&[50, 48], 50, Stencil::component(2));
+    // Paper: k-d Tree 96/2, Stencil Strips 96/2, VieM 154/17, Hyperplane
+    //        288/16, Nodecart 2304/48, Standard 4704/96.
+    assert_eq!(score(&p, &Blocked).j_sum, 4704);
+    assert_eq!(score(&p, &Nodecart).j_sum, 2304);
+    assert_eq!(score(&p, &KdTree).j_sum, 96);
+    assert_eq!(score(&p, &KdTree).j_max, 2);
+    assert_eq!(score(&p, &StencilStrips).j_sum, 96);
+    let hp = score(&p, &Hyperplane::default());
+    assert!(hp.j_sum <= 400, "paper: 288, ours: {}", hp.j_sum);
+}
+
+#[test]
+fn figure6_hops_scores() {
+    let p = instance(&[50, 48], 50, Stencil::nearest_neighbor_with_hops(2));
+    // Paper: VieM 3160, Hyperplane 3268, Stencil Strips 3868, k-d Tree 4364,
+    //        Nodecart 11524, Standard 13824.
+    let blocked = score(&p, &Blocked);
+    assert_eq!((blocked.j_sum, blocked.j_max), (13824, 288));
+    let nodecart = score(&p, &Nodecart);
+    assert_eq!(nodecart.j_sum, 11524);
+    let hp = score(&p, &Hyperplane::default());
+    let kd = score(&p, &KdTree);
+    let ss = score(&p, &StencilStrips);
+    for (name, cost, paper) in [
+        ("Hyperplane", &hp, 3268u64),
+        ("k-d Tree", &kd, 4364),
+        ("Stencil Strips", &ss, 3868),
+    ] {
+        let tolerance = paper / 5; // within 20% of the published score
+        assert!(
+            cost.j_sum <= paper + tolerance,
+            "{name}: paper {paper}, ours {}",
+            cost.j_sum
+        );
+        assert!(cost.j_sum < nodecart.j_sum / 2);
+    }
+}
+
+#[test]
+fn figure7_scores_n100() {
+    // N = 100, grid 75 x 64.
+    let nn = instance(&[75, 64], 100, Stencil::nearest_neighbor(2));
+    // Paper: Standard 9622/98, Nodecart 3522/38, Stencil Strips 2654/30,
+    //        Hyperplane 2802/38, k-d Tree 3490/46, VieM 2818/36.
+    let blocked = score(&nn, &Blocked);
+    assert_eq!((blocked.j_sum, blocked.j_max), (9622, 98));
+    let nodecart = score(&nn, &Nodecart);
+    assert_eq!(nodecart.j_sum, 3522);
+    let hp = score(&nn, &Hyperplane::default());
+    assert!(hp.j_sum <= 3100, "paper: 2802, ours: {}", hp.j_sum);
+    let ss = score(&nn, &StencilStrips);
+    assert!(ss.j_sum <= 2900, "paper: 2654, ours: {}", ss.j_sum);
+    let kd = score(&nn, &KdTree);
+    assert!(kd.j_sum <= 3800, "paper: 3490, ours: {}", kd.j_sum);
+
+    let comp = instance(&[75, 64], 100, Stencil::component(2));
+    // Paper: k-d Tree and Stencil Strips find the optimum 192/2.
+    assert_eq!(score(&comp, &KdTree).j_sum, 192);
+    assert_eq!(score(&comp, &StencilStrips).j_sum, 192);
+    assert_eq!(score(&comp, &Blocked).j_sum, 9472);
+
+    let hops = instance(&[75, 64], 100, Stencil::nearest_neighbor_with_hops(2));
+    // Paper: Standard 28182/290, Nodecart 18882/198.
+    let blocked = score(&hops, &Blocked);
+    assert_eq!((blocked.j_sum, blocked.j_max), (28182, 290));
+    assert_eq!(score(&hops, &Nodecart).j_sum, 18882);
+}
+
+#[test]
+fn viem_style_quality_is_close_to_the_specialised_algorithms() {
+    // The paper finds VieM's quality comparable to the new algorithms on the
+    // nearest-neighbor stencil.  Our from-scratch VieM-style mapper should be
+    // clearly better than Nodecart and within ~25% of Stencil Strips.
+    let p = instance(&[50, 48], 50, Stencil::nearest_neighbor(2));
+    let viem = score(&p, &GraphMapper::with_seed(42));
+    let strips = score(&p, &StencilStrips);
+    let nodecart = score(&p, &Nodecart);
+    assert!(viem.j_sum < nodecart.j_sum);
+    assert!(
+        (viem.j_sum as f64) < strips.j_sum as f64 * 1.25,
+        "viem {} vs strips {}",
+        viem.j_sum,
+        strips.j_sum
+    );
+}
