@@ -3,8 +3,8 @@
 //! (200 noisy repetitions + outlier removal), which is the inner loop of the
 //! Figure 6/7 and Table II–VII harnesses.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use cluster_sim::{ExchangeModel, Machine, Measurement};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::time::Duration;
 use stencil_bench::paper_throughput_instance;
 use stencil_grid::CartGraph;

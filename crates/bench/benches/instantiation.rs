@@ -64,9 +64,11 @@ fn instantiation_scaling(c: &mut Criterion) {
             &problem,
             |b, problem| b.iter(|| Hyperplane::default().compute(problem).unwrap()),
         );
-        group.bench_with_input(BenchmarkId::new("kd_tree", nodes), &problem, |b, problem| {
-            b.iter(|| KdTree.compute(problem).unwrap())
-        });
+        group.bench_with_input(
+            BenchmarkId::new("kd_tree", nodes),
+            &problem,
+            |b, problem| b.iter(|| KdTree.compute(problem).unwrap()),
+        );
         group.bench_with_input(
             BenchmarkId::new("stencil_strips", nodes),
             &problem,

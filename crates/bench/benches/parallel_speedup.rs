@@ -1,0 +1,111 @@
+//! Criterion benchmark of the parallel mapping engine against its sequential
+//! baseline, at figure scale (`p = 2^16` processes) and at the paper's
+//! largest evaluation instance (`p = 4800`):
+//!
+//! * Hyperplane / k-d Tree / Stencil Strips full-mapping computation — the
+//!   chunked parallel path is the production path; the sequential baseline is
+//!   obtained with `RAYON_NUM_THREADS=1` (run the suite twice to compare on a
+//!   multi-core host),
+//! * multilevel partitioning with `PartitionConfig::parallel` on and off —
+//!   both run in-process, so one suite run reports the speedup directly,
+//! * streaming vs. CSR metric evaluation (the streaming evaluator also skips
+//!   the graph construction, which is charged to the CSR variant here).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use graph_partition::{partition, Graph, PartitionConfig};
+use std::time::Duration;
+use stencil_grid::{dims_create, CartGraph, Dims, NodeAllocation, Stencil};
+use stencil_mapping::hyperplane::Hyperplane;
+use stencil_mapping::kdtree::KdTree;
+use stencil_mapping::metrics;
+use stencil_mapping::stencil_strips::StencilStrips;
+use stencil_mapping::{Mapper, MappingProblem};
+
+/// A figure-scale instance: `nodes * 64` processes on a balanced 2-d grid.
+fn figure_scale_problem(nodes: usize) -> MappingProblem {
+    let per_node = 64usize;
+    let dims = dims_create(nodes * per_node, 2);
+    MappingProblem::new(
+        Dims::new(dims).expect("valid dims"),
+        Stencil::nearest_neighbor(2),
+        NodeAllocation::homogeneous(nodes, per_node),
+    )
+    .expect("consistent instance")
+}
+
+fn geometric_mappers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parallel_mapping_p65536");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(4))
+        .warm_up_time(Duration::from_millis(500));
+    // 1024 nodes x 64 procs = 65536 processes (p = 2^16)
+    let problem = figure_scale_problem(1024);
+    let mappers: Vec<(&str, Box<dyn Mapper>)> = vec![
+        ("hyperplane", Box::new(Hyperplane::default())),
+        ("kd_tree", Box::new(KdTree)),
+        ("stencil_strips", Box::new(StencilStrips)),
+    ];
+    for (name, mapper) in &mappers {
+        group.bench_function(*name, |b| {
+            b.iter(|| mapper.compute(&problem).expect("mapping succeeds"))
+        });
+    }
+    group.finish();
+}
+
+fn multilevel_partitioning(c: &mut Criterion) {
+    let mut group = c.benchmark_group("multilevel_partitioning_par_vs_seq");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(5))
+        .warm_up_time(Duration::from_millis(500));
+    // The paper's largest evaluation instance (N = 75 x 64 procs, p = 4800).
+    let problem = figure_scale_problem(75);
+    let cart = CartGraph::build(problem.dims(), problem.stencil(), false);
+    let graph = Graph::from_directed_csr(cart.xadj(), cart.adjncy());
+    let sizes: Vec<usize> = problem.alloc().sizes().to_vec();
+    for parallel in [true, false] {
+        let cfg = PartitionConfig::new(sizes.clone())
+            .with_seed(1)
+            .with_parallel(parallel);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(if parallel { "parallel" } else { "sequential" }),
+            &cfg,
+            |b, cfg| b.iter(|| partition(&graph, cfg).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+fn metric_evaluation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("metrics_streaming_vs_csr_p65536");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(4))
+        .warm_up_time(Duration::from_millis(500));
+    let problem = figure_scale_problem(1024);
+    let mapping = Hyperplane::default().compute(&problem).unwrap();
+    group.bench_function("streaming_no_graph", |b| {
+        b.iter(|| metrics::evaluate_streaming(problem.dims(), problem.stencil(), false, &mapping))
+    });
+    group.bench_function("csr_including_graph_build", |b| {
+        b.iter(|| {
+            let graph = CartGraph::build(problem.dims(), problem.stencil(), false);
+            metrics::evaluate(&graph, &mapping)
+        })
+    });
+    let graph = CartGraph::build(problem.dims(), problem.stencil(), false);
+    group.bench_function("csr_prebuilt_graph", |b| {
+        b.iter(|| metrics::evaluate(&graph, &mapping))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    geometric_mappers,
+    multilevel_partitioning,
+    metric_evaluation
+);
+criterion_main!(benches);

@@ -32,7 +32,9 @@ fn multilevel_partitioning(c: &mut Criterion) {
             BenchmarkId::from_parameter(nodes),
             &(graph, sizes),
             |b, (graph, sizes)| {
-                b.iter(|| partition(graph, &PartitionConfig::new(sizes.clone()).with_seed(1)).unwrap())
+                b.iter(|| {
+                    partition(graph, &PartitionConfig::new(sizes.clone()).with_seed(1)).unwrap()
+                })
             },
         );
     }
@@ -50,12 +52,16 @@ fn kway_refinement(c: &mut Criterion) {
         .measurement_time(Duration::from_secs(3))
         .warm_up_time(Duration::from_millis(300));
     for rounds in [1usize, 4, 8] {
-        group.bench_with_input(BenchmarkId::from_parameter(rounds), &rounds, |b, &rounds| {
-            b.iter(|| {
-                let mut parts = base.clone();
-                refine_kway(&graph, &mut parts, rounds, 7)
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(rounds),
+            &rounds,
+            |b, &rounds| {
+                b.iter(|| {
+                    let mut parts = base.clone();
+                    refine_kway(&graph, &mut parts, rounds, 7)
+                })
+            },
+        );
     }
     group.finish();
 }

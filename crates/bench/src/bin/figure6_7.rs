@@ -10,6 +10,7 @@
 //! ```
 
 use stencil_bench::figures::{figure67, Figure67Config};
+use stencil_bench::report::json::{Json, ToJson};
 use stencil_bench::report::{ascii_bar, format_markdown_table, format_seconds};
 
 fn main() {
@@ -31,7 +32,10 @@ fn main() {
 
     eprintln!(
         "figure6_7: N = {nodes}, machines = {:?}, {} message sizes{}",
-        cfg.machines.iter().map(|m| m.name.clone()).collect::<Vec<_>>(),
+        cfg.machines
+            .iter()
+            .map(|m| m.name.clone())
+            .collect::<Vec<_>>(),
         cfg.message_sizes.len(),
         if quick { " (quick mode)" } else { "" }
     );
@@ -73,7 +77,11 @@ fn main() {
     // ---- speedup panels ----------------------------------------------------
     println!("\n# Speedup over the blocked mapping\n");
     for machine in &cfg.machines {
-        for stencil in ["Nearest neighbor", "Nearest neighbor with hops", "Component"] {
+        for stencil in [
+            "Nearest neighbor",
+            "Nearest neighbor with hops",
+            "Component",
+        ] {
             let subset: Vec<_> = rows
                 .iter()
                 .filter(|r| r.machine == machine.name && r.stencil == stencil)
@@ -97,7 +105,14 @@ fn main() {
             println!(
                 "{}",
                 format_markdown_table(
-                    &["algorithm", "msg size [B]", "time", "blocked", "speedup", ""],
+                    &[
+                        "algorithm",
+                        "msg size [B]",
+                        "time",
+                        "blocked",
+                        "speedup",
+                        ""
+                    ],
                     &table
                 )
             );
@@ -105,8 +120,12 @@ fn main() {
     }
 
     if let Some(path) = json_path {
-        let payload = serde_json::json!({ "nodes": nodes, "scores": scores, "speedups": rows });
-        std::fs::write(&path, serde_json::to_string_pretty(&payload).unwrap())
+        let payload = Json::obj(vec![
+            ("nodes", Json::Num(nodes as f64)),
+            ("scores", scores.to_json()),
+            ("speedups", rows.to_json()),
+        ]);
+        std::fs::write(&path, payload.pretty())
             .unwrap_or_else(|e| eprintln!("could not write {path}: {e}"));
         eprintln!("wrote {path}");
     }

@@ -10,6 +10,7 @@
 
 use stencil_bench::figures::{figure8, Figure8Config};
 use stencil_bench::report::format_markdown_table;
+use stencil_bench::report::json::ToJson;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -34,7 +35,11 @@ fn main() {
     let rows = figure8(&cfg);
 
     println!("# Figure 8 — reduction over the blocked mapping (lower is better)\n");
-    for stencil in ["Nearest neighbor", "Nearest neighbor with hops", "Component"] {
+    for stencil in [
+        "Nearest neighbor",
+        "Nearest neighbor with hops",
+        "Component",
+    ] {
         let subset: Vec<_> = rows.iter().filter(|r| r.stencil == stencil).collect();
         if subset.is_empty() {
             continue;
@@ -66,7 +71,11 @@ fn main() {
     // Hyperplane and Stencil Strips is better than Nodecart's when the CIs do
     // not overlap.
     println!("## Median comparison vs. Nodecart (Jsum)\n");
-    for stencil in ["Nearest neighbor", "Nearest neighbor with hops", "Component"] {
+    for stencil in [
+        "Nearest neighbor",
+        "Nearest neighbor with hops",
+        "Component",
+    ] {
         let get = |alg: &str| {
             rows.iter()
                 .find(|r| r.stencil == stencil && r.algorithm == alg && r.metric == "Jsum")
@@ -91,7 +100,7 @@ fn main() {
     }
 
     if let Some(path) = json_path {
-        std::fs::write(&path, serde_json::to_string_pretty(&rows).unwrap())
+        std::fs::write(&path, rows.to_json().pretty())
             .unwrap_or_else(|e| eprintln!("could not write {path}: {e}"));
         eprintln!("wrote {path}");
     }

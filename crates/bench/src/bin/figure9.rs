@@ -9,9 +9,9 @@
 //! cargo run --release -p stencil-bench --bin figure9 -- --quick
 //! ```
 
+use stencil_bench::figure9_instance;
 use stencil_bench::report::{format_markdown_table, format_seconds};
 use stencil_bench::timing::time_instantiations;
-use stencil_bench::figure9_instance;
 use stencil_mapping::baselines::Blocked;
 use stencil_mapping::hyperplane::Hyperplane;
 use stencil_mapping::kdtree::KdTree;
@@ -71,7 +71,9 @@ fn main() {
             .iter()
             .filter(|t| t.algorithm != "VieM-style" && t.algorithm != "Blocked")
             .map(|t| t.summary.mean)
-            .fold(None, |acc: Option<f64>, v| Some(acc.map_or(v, |a| a.min(v)))),
+            .fold(None, |acc: Option<f64>, v| {
+                Some(acc.map_or(v, |a| a.min(v)))
+            }),
         timings
             .iter()
             .find(|t| t.algorithm == "VieM-style")

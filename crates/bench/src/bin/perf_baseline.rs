@@ -1,0 +1,195 @@
+//! Emits `BENCH_mapping.json` — the perf-trajectory baseline of the mapping
+//! engine: instantiation (reordering) time per algorithm and metric
+//! evaluation time (streaming vs. CSR), plus the parallel/sequential
+//! multilevel-partitioner timings.
+//!
+//! ```text
+//! cargo run --release -p stencil-bench --bin perf_baseline -- [--quick] [--out BENCH_mapping.json]
+//! ```
+
+use std::time::Instant;
+
+use graph_partition::{partition, Graph, PartitionConfig};
+use stencil_bench::paper_throughput_instance;
+use stencil_bench::report::json::Json;
+use stencil_bench::timing::time_instantiations;
+use stencil_grid::{dims_create, CartGraph, Dims, NodeAllocation, Stencil};
+use stencil_mapping::analysis::StencilKind;
+use stencil_mapping::hyperplane::Hyperplane;
+use stencil_mapping::kdtree::KdTree;
+use stencil_mapping::metrics;
+use stencil_mapping::stencil_strips::StencilStrips;
+use stencil_mapping::{Mapper, MappingProblem};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_mapping.json".to_string());
+
+    let repetitions = if quick { 3 } else { 20 };
+    let figure_nodes = if quick { 25 } else { 100 };
+    // figure-scale metric instance: p = 2^16 (1024 nodes x 64 procs)
+    let metric_nodes = if quick { 64 } else { 1024 };
+
+    eprintln!(
+        "perf_baseline: threads = {}, repetitions = {repetitions}",
+        rayon::current_num_threads()
+    );
+
+    // --- instantiation time (Fig. 9 protocol) -----------------------------
+    let problem = paper_throughput_instance(figure_nodes, StencilKind::NearestNeighbor);
+    let mappers: Vec<Box<dyn Mapper>> = vec![
+        Box::new(Hyperplane::default()),
+        Box::new(KdTree),
+        Box::new(StencilStrips),
+        Box::new(stencil_mapping::nodecart::Nodecart),
+    ];
+    let instantiation = time_instantiations(&problem, &mappers, repetitions);
+    let instantiation_json = Json::Arr(
+        instantiation
+            .iter()
+            .map(|t| {
+                Json::obj(vec![
+                    ("algorithm", Json::str(&t.algorithm)),
+                    ("mean_s", Json::Num(t.summary.mean)),
+                    ("median_s", Json::Num(t.summary.median)),
+                    ("min_s", Json::Num(t.summary.min)),
+                    ("n", Json::Num(t.summary.n as f64)),
+                ])
+            })
+            .collect(),
+    );
+    for t in &instantiation {
+        eprintln!(
+            "  instantiation {:<16} mean {:.6}s",
+            t.algorithm, t.summary.mean
+        );
+    }
+
+    // --- metric evaluation: streaming vs. CSR ------------------------------
+    let dims = dims_create(metric_nodes * 64, 2);
+    let metric_problem = MappingProblem::new(
+        Dims::new(dims).expect("valid dims"),
+        Stencil::nearest_neighbor(2),
+        NodeAllocation::homogeneous(metric_nodes, 64),
+    )
+    .expect("consistent instance");
+    let mapping = Hyperplane::default()
+        .compute(&metric_problem)
+        .expect("mapping succeeds");
+    let time_of = |f: &mut dyn FnMut()| -> f64 {
+        let mut best = f64::INFINITY;
+        for _ in 0..repetitions.max(3) {
+            let start = Instant::now();
+            f();
+            best = best.min(start.elapsed().as_secs_f64());
+        }
+        best
+    };
+    let streaming_s = time_of(&mut || {
+        std::hint::black_box(metrics::evaluate_streaming(
+            metric_problem.dims(),
+            metric_problem.stencil(),
+            false,
+            &mapping,
+        ));
+    });
+    let csr_with_build_s = time_of(&mut || {
+        let graph = CartGraph::build(metric_problem.dims(), metric_problem.stencil(), false);
+        std::hint::black_box(metrics::evaluate(&graph, &mapping));
+    });
+    let graph = CartGraph::build(metric_problem.dims(), metric_problem.stencil(), false);
+    let csr_prebuilt_s = time_of(&mut || {
+        std::hint::black_box(metrics::evaluate(&graph, &mapping));
+    });
+    // sanity: both evaluators agree bit for bit
+    assert_eq!(
+        metrics::evaluate(&graph, &mapping),
+        metrics::evaluate_streaming(
+            metric_problem.dims(),
+            metric_problem.stencil(),
+            false,
+            &mapping
+        ),
+        "streaming and CSR evaluation diverged"
+    );
+    eprintln!(
+        "  metrics p={}: streaming {streaming_s:.6}s, csr+build {csr_with_build_s:.6}s, csr {csr_prebuilt_s:.6}s",
+        metric_problem.num_processes()
+    );
+
+    // --- multilevel partitioner: parallel vs. sequential --------------------
+    let part_problem =
+        paper_throughput_instance(if quick { 25 } else { 100 }, StencilKind::NearestNeighbor);
+    let cart = CartGraph::build(part_problem.dims(), part_problem.stencil(), false);
+    let part_graph = Graph::from_directed_csr(cart.xadj(), cart.adjncy());
+    let sizes: Vec<usize> = part_problem.alloc().sizes().to_vec();
+    let par_s = time_of(&mut || {
+        std::hint::black_box(
+            partition(
+                &part_graph,
+                &PartitionConfig::new(sizes.clone()).with_seed(1),
+            )
+            .unwrap(),
+        );
+    });
+    let seq_s = time_of(&mut || {
+        std::hint::black_box(
+            partition(
+                &part_graph,
+                &PartitionConfig::new(sizes.clone())
+                    .with_seed(1)
+                    .with_parallel(false),
+            )
+            .unwrap(),
+        );
+    });
+    eprintln!(
+        "  partitioner p={}: parallel {par_s:.6}s, sequential {seq_s:.6}s",
+        part_problem.num_processes()
+    );
+
+    let doc = Json::obj(vec![
+        ("schema", Json::str("stencilmap/perf-baseline/v1")),
+        ("threads", Json::Num(rayon::current_num_threads() as f64)),
+        ("quick", Json::Bool(quick)),
+        (
+            "instantiation",
+            Json::obj(vec![
+                ("nodes", Json::Num(figure_nodes as f64)),
+                ("processes", Json::Num(problem.num_processes() as f64)),
+                ("timings", instantiation_json),
+            ]),
+        ),
+        (
+            "metric_evaluation",
+            Json::obj(vec![
+                (
+                    "processes",
+                    Json::Num(metric_problem.num_processes() as f64),
+                ),
+                ("streaming_s", Json::Num(streaming_s)),
+                ("csr_including_graph_build_s", Json::Num(csr_with_build_s)),
+                ("csr_prebuilt_graph_s", Json::Num(csr_prebuilt_s)),
+            ]),
+        ),
+        (
+            "partitioner",
+            Json::obj(vec![
+                ("processes", Json::Num(part_problem.num_processes() as f64)),
+                ("parallel_s", Json::Num(par_s)),
+                ("sequential_s", Json::Num(seq_s)),
+            ]),
+        ),
+    ]);
+    std::fs::write(&out_path, doc.pretty()).unwrap_or_else(|e| {
+        eprintln!("could not write {out_path}: {e}");
+        std::process::exit(1);
+    });
+    eprintln!("wrote {out_path}");
+}

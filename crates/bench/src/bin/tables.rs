@@ -14,6 +14,7 @@
 
 use cluster_sim::Machine;
 use stencil_bench::figures::{appendix_table, TableConfig};
+use stencil_bench::report::json::ToJson;
 use stencil_bench::report::{format_markdown_table, format_seconds};
 
 fn main() {
@@ -63,7 +64,11 @@ fn main() {
         "# Table {table_number}: MPI_Neighbor_alltoall time on {} (N = {nodes}, p = 48)\n",
         machine.name
     );
-    for stencil in ["Nearest neighbor", "Nearest neighbor with hops", "Component"] {
+    for stencil in [
+        "Nearest neighbor",
+        "Nearest neighbor with hops",
+        "Component",
+    ] {
         let subset: Vec<_> = rows.iter().filter(|r| r.stencil == stencil).collect();
         if subset.is_empty() {
             continue;
@@ -83,7 +88,11 @@ fn main() {
             .map(|r| {
                 let mut row = vec![r.message_size.to_string()];
                 for (_, mean, ci) in &r.entries {
-                    row.push(format!("{} ±{:.1}%", format_seconds(*mean), ci / mean * 100.0));
+                    row.push(format!(
+                        "{} ±{:.1}%",
+                        format_seconds(*mean),
+                        ci / mean * 100.0
+                    ));
                 }
                 row
             })
@@ -92,7 +101,7 @@ fn main() {
     }
 
     if let Some(path) = json_path {
-        std::fs::write(&path, serde_json::to_string_pretty(&rows).unwrap())
+        std::fs::write(&path, rows.to_json().pretty())
             .unwrap_or_else(|e| eprintln!("could not write {path}: {e}"));
         eprintln!("wrote {path}");
     }

@@ -3,7 +3,6 @@
 use cluster_sim::measurement::Measurement;
 use cluster_sim::{ExchangeModel, Machine};
 use rayon::prelude::*;
-use serde::{Deserialize, Serialize};
 use stencil_grid::CartGraph;
 use stencil_mapping::analysis::{reductions_over_blocked, InstanceSpec, StencilKind};
 use stencil_mapping::baselines::{Blocked, RandomMapping};
@@ -42,7 +41,7 @@ pub fn table_mappers(seed: u64) -> Vec<Box<dyn Mapper>> {
 }
 
 /// One row of the score panels (left column of Figures 6 and 7).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ScoreRow {
     /// Stencil name.
     pub stencil: String,
@@ -74,7 +73,7 @@ pub fn score_table(
             });
         }
     }
-    rows.sort_by_key(|r| (r.stencil.clone(), r.j_sum));
+    rows.sort_by(|a, b| a.stencil.cmp(&b.stencil).then(a.j_sum.cmp(&b.j_sum)));
     rows
 }
 
@@ -122,7 +121,7 @@ impl Figure67Config {
 }
 
 /// One speedup data point of Figures 6/7.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Figure67Row {
     /// Machine name.
     pub machine: String,
@@ -233,7 +232,7 @@ impl Figure8Config {
 
 /// Aggregated reduction statistics of one algorithm on one stencil — the
 /// quantity visualised by one box of Figure 8.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Figure8Row {
     /// Stencil name.
     pub stencil: String,
@@ -330,7 +329,7 @@ impl TableConfig {
 
 /// One row of an appendix table: mean exchange time (and CI) per algorithm
 /// for one stencil and message size.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct TableRow {
     /// Stencil name.
     pub stencil: String,
@@ -378,6 +377,75 @@ pub fn appendix_table(cfg: &TableConfig) -> Vec<TableRow> {
     rows
 }
 
+mod json_impls {
+    use super::{Figure67Row, Figure8Row, ScoreRow, TableRow};
+    use crate::report::json::{Json, ToJson};
+
+    impl ToJson for ScoreRow {
+        fn to_json(&self) -> Json {
+            Json::obj(vec![
+                ("stencil", Json::str(&self.stencil)),
+                ("algorithm", Json::str(&self.algorithm)),
+                ("j_sum", Json::Num(self.j_sum as f64)),
+                ("j_max", Json::Num(self.j_max as f64)),
+            ])
+        }
+    }
+
+    impl ToJson for Figure67Row {
+        fn to_json(&self) -> Json {
+            Json::obj(vec![
+                ("machine", Json::str(&self.machine)),
+                ("stencil", Json::str(&self.stencil)),
+                ("algorithm", Json::str(&self.algorithm)),
+                ("message_size", Json::Num(self.message_size as f64)),
+                ("mean_time", Json::Num(self.mean_time)),
+                ("blocked_time", Json::Num(self.blocked_time)),
+                ("speedup", Json::Num(self.speedup)),
+            ])
+        }
+    }
+
+    impl ToJson for Figure8Row {
+        fn to_json(&self) -> Json {
+            Json::obj(vec![
+                ("stencil", Json::str(&self.stencil)),
+                ("algorithm", Json::str(&self.algorithm)),
+                ("metric", Json::str(&self.metric)),
+                ("median", Json::Num(self.median)),
+                ("median_ci95", Json::Num(self.median_ci95)),
+                ("q1", Json::Num(self.q1)),
+                ("q3", Json::Num(self.q3)),
+                ("n", Json::Num(self.n as f64)),
+            ])
+        }
+    }
+
+    impl ToJson for TableRow {
+        fn to_json(&self) -> Json {
+            Json::obj(vec![
+                ("stencil", Json::str(&self.stencil)),
+                ("message_size", Json::Num(self.message_size as f64)),
+                (
+                    "entries",
+                    Json::Arr(
+                        self.entries
+                            .iter()
+                            .map(|(name, mean, ci)| {
+                                Json::obj(vec![
+                                    ("algorithm", Json::str(name)),
+                                    ("mean", Json::Num(*mean)),
+                                    ("ci95", Json::Num(*ci)),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+            ])
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -401,14 +469,11 @@ mod tests {
         // override the instance size through the quick helper: nodes=8 uses
         // the same code path as the paper (dims_create of 8*48) — keep the
         // test fast by using only one machine and three sizes (already set).
-        let cfg = Figure67Config {
-            nodes: 8,
-            ..cfg
-        };
+        let cfg = Figure67Config { nodes: 8, ..cfg };
         let (scores, rows) = figure67(&cfg);
         assert!(!scores.is_empty());
         // 3 stencils x 1 machine x 3 sizes x 5 algorithms
-        assert_eq!(rows.len(), 3 * 1 * 3 * 5);
+        assert_eq!(rows.len(), 3 * 3 * 5);
         // speedups at the largest message size are above 1 for the new
         // algorithms on the nearest neighbor stencil
         let best = rows

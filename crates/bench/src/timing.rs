@@ -8,12 +8,11 @@
 //! computations are embarrassingly parallel.
 
 use cluster_sim::stats::Summary;
-use serde::{Deserialize, Serialize};
 use std::time::Instant;
 use stencil_mapping::{Mapper, MappingProblem};
 
 /// Instantiation-time measurement of one algorithm.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct InstantiationTiming {
     /// Algorithm name.
     pub algorithm: String,
@@ -93,14 +92,15 @@ mod tests {
         // The central claim of Fig. 9 / Section VI-E: the specialised
         // algorithms are orders of magnitude faster than the general graph
         // mapper.  On a small instance the gap is already pronounced.
-        let mappers: Vec<Box<dyn Mapper>> = vec![
-            Box::new(KdTree),
-            Box::new(GraphMapper::with_seed(1)),
-        ];
+        let mappers: Vec<Box<dyn Mapper>> =
+            vec![Box::new(KdTree), Box::new(GraphMapper::with_seed(1))];
         let timings = time_instantiations(&medium_problem(), &mappers, 3);
         assert_eq!(timings.len(), 2);
         let kd = timings.iter().find(|t| t.algorithm == "k-d Tree").unwrap();
-        let gm = timings.iter().find(|t| t.algorithm == "VieM-style").unwrap();
+        let gm = timings
+            .iter()
+            .find(|t| t.algorithm == "VieM-style")
+            .unwrap();
         assert!(
             gm.summary.mean > kd.summary.mean,
             "general graph mapping must be slower ({} vs {})",
@@ -117,8 +117,7 @@ mod tests {
             NodeAllocation::heterogeneous(vec![6, 6, 4]).unwrap(),
         )
         .unwrap();
-        let mappers: Vec<Box<dyn Mapper>> =
-            vec![Box::new(Nodecart), Box::new(KdTree)];
+        let mappers: Vec<Box<dyn Mapper>> = vec![Box::new(Nodecart), Box::new(KdTree)];
         let timings = time_instantiations(&hetero, &mappers, 2);
         assert_eq!(timings.len(), 1);
         assert_eq!(timings[0].algorithm, "k-d Tree");

@@ -11,11 +11,10 @@ use crate::baselines::Blocked;
 use crate::metrics::evaluate;
 use crate::problem::{Mapper, MappingProblem};
 use rayon::prelude::*;
-use serde::{Deserialize, Serialize};
 use stencil_grid::{dims_create, CartGraph, Dims, NodeAllocation, Stencil};
 
 /// The three stencil families of the paper (Fig. 2).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum StencilKind {
     /// Nearest neighbor in every dimension.
     NearestNeighbor,
@@ -56,7 +55,7 @@ impl StencilKind {
 
 /// One instance of the evaluation set: a node count, a per-node process
 /// count and a dimensionality.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct InstanceSpec {
     /// Number of compute nodes `N`.
     pub nodes: usize,
@@ -123,7 +122,7 @@ pub fn small_instance_set() -> Vec<InstanceSpec> {
 }
 
 /// The reduction of one algorithm over the blocked mapping on one instance.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ReductionRecord {
     /// The instance.
     pub instance: InstanceSpec,
@@ -245,12 +244,11 @@ mod tests {
             Box::new(KdTree),
             Box::new(StencilStrips),
         ];
-        let records =
-            reductions_over_blocked(&instances, StencilKind::NearestNeighbor, &mappers);
+        let records = reductions_over_blocked(&instances, StencilKind::NearestNeighbor, &mappers);
         assert_eq!(records.len(), instances.len() * mappers.len());
         // the median reduction of the new algorithms is below 1 (improvement)
-        let mean: f64 = records.iter().map(|r| r.j_sum_reduction).sum::<f64>()
-            / records.len() as f64;
+        let mean: f64 =
+            records.iter().map(|r| r.j_sum_reduction).sum::<f64>() / records.len() as f64;
         assert!(mean < 1.0, "mean reduction {mean}");
         for r in &records {
             assert!(r.j_sum_reduction.is_finite());

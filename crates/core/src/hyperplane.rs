@@ -17,8 +17,10 @@
 //! from the grid, the stencil, the node size and its rank in
 //! `O(log N · Σ d_i)` time.
 
-use crate::problem::{MappingProblem, RankLocalMapper};
-use stencil_grid::{Coord, Dims, Stencil};
+use crate::problem::{MapWorkspace, MappingProblem, RankLocalMapper};
+use stencil_grid::Coord;
+#[cfg(test)]
+use stencil_grid::Stencil;
 
 /// How the single node-size parameter `n` is derived from a heterogeneous
 /// allocation (Section V-A: "one can use the mean, minimum or maximum of the
@@ -64,33 +66,69 @@ impl RankLocalMapper for Hyperplane {
     }
 
     fn remap_rank(&self, problem: &MappingProblem, rank: usize) -> Coord {
+        let mut ws = MapWorkspace::new();
+        let mut out = vec![0usize; problem.dims().ndims()];
+        self.remap_rank_into(problem, rank, &mut ws, &mut out);
+        out
+    }
+
+    fn remap_rank_into(
+        &self,
+        problem: &MappingProblem,
+        rank: usize,
+        ws: &mut MapWorkspace,
+        out: &mut [usize],
+    ) {
         let stencil = problem.stencil();
         let n = self.node_size_parameter(problem);
-        let mut sizes: Vec<usize> = problem.dims().as_slice().to_vec();
-        let mut origin = vec![0usize; sizes.len()];
+        // rank-independent: computed once per workspace (one workspace serves
+        // exactly one problem, see MapWorkspace)
+        if ws.cos2.is_empty() {
+            stencil.cos2_sums_into(&mut ws.cos2);
+        }
+        ws.sizes.clear();
+        ws.sizes.extend_from_slice(problem.dims().as_slice());
+        ws.origin.clear();
+        ws.origin.resize(ws.sizes.len(), 0);
         let mut r = rank;
 
         loop {
-            let vol: usize = sizes.iter().product();
+            let vol: usize = ws.sizes.iter().product();
             if vol <= 2 * n {
-                let local = base_case_coord(&sizes, stencil, r);
-                for (o, l) in origin.iter_mut().zip(local) {
+                cut_order_into(&ws.cos2, &ws.sizes, &mut ws.order);
+                base_case_coord_into(&ws.sizes, &ws.order, r, out);
+                for (o, l) in out.iter_mut().zip(&ws.origin) {
                     *o += l;
                 }
-                return origin;
+                return;
             }
-            let (dim, d1, _d2) = find_split(&sizes, stencil, n)
-                .unwrap_or_else(|| fallback_split(&sizes));
-            let lhs_vol = vol / sizes[dim] * d1;
+            let (dim, d1, _d2) = find_split_with(&ws.sizes, &ws.cos2, n, &mut ws.order)
+                .unwrap_or_else(|| fallback_split(&ws.sizes));
+            let lhs_vol = vol / ws.sizes[dim] * d1;
             if r < lhs_vol {
-                sizes[dim] = d1;
+                ws.sizes[dim] = d1;
             } else {
                 r -= lhs_vol;
-                origin[dim] += d1;
-                sizes[dim] -= d1;
+                ws.origin[dim] += d1;
+                ws.sizes[dim] -= d1;
             }
         }
     }
+}
+
+/// Writes the dimensions sorted by cut preference into `out`: ascending cos²
+/// sum (Eq. 2), ties broken by descending dimension size, then ascending
+/// index.  The allocation-free core of `Stencil::preferred_cut_order`.
+fn cut_order_into(cos2: &[f64], sizes: &[usize], out: &mut Vec<usize>) {
+    out.clear();
+    out.extend(0..sizes.len());
+    out.sort_by(|&a, &b| {
+        cos2[a]
+            .partial_cmp(&cos2[b])
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| sizes[b].cmp(&sizes[a]))
+            .then_with(|| a.cmp(&b))
+    });
 }
 
 /// Finds a cut dimension and hyperplane position such that both induced
@@ -100,15 +138,25 @@ impl RankLocalMapper for Hyperplane {
 /// larger dimension); within a dimension, positions are tried from the centre
 /// outwards so the resulting sub-grids are as balanced as possible
 /// (Theorem V.2: the size ratio lies in `[1/2, 1]`).
+#[cfg(test)]
 pub(crate) fn find_split(
     sizes: &[usize],
     stencil: &Stencil,
     n: usize,
 ) -> Option<(usize, usize, usize)> {
-    let dims = Dims::new(sizes.to_vec()).expect("valid sub-grid sizes");
-    let vol = dims.volume();
-    let order = stencil.preferred_cut_order(&dims);
-    for &dim in &order {
+    find_split_with(sizes, &stencil.cos2_sums(), n, &mut Vec::new())
+}
+
+/// [`find_split`] with precomputed cos² sums and a reusable order buffer.
+fn find_split_with(
+    sizes: &[usize],
+    cos2: &[f64],
+    n: usize,
+    order: &mut Vec<usize>,
+) -> Option<(usize, usize, usize)> {
+    let vol: usize = sizes.iter().product();
+    cut_order_into(cos2, sizes, order);
+    for &dim in order.iter() {
         let di = sizes[dim];
         if di < 2 {
             continue;
@@ -122,7 +170,7 @@ pub(crate) fn find_split(
                 }
                 let lhs = cand * rest;
                 let rhs = (di - cand) * rest;
-                if lhs % n == 0 && rhs % n == 0 {
+                if lhs.is_multiple_of(n) && rhs.is_multiple_of(n) {
                     return Some((dim, cand, di - cand));
                 }
             }
@@ -148,17 +196,25 @@ fn fallback_split(sizes: &[usize]) -> (usize, usize, usize) {
 /// of a traversal in which the preferred cut dimensions vary slowest (and the
 /// dimensions most parallel to the stencil vary fastest), so that the cells
 /// of one node stay as coherent as possible.
+#[cfg(test)]
 pub(crate) fn base_case_coord(sizes: &[usize], stencil: &Stencil, r: usize) -> Coord {
-    let dims = Dims::new(sizes.to_vec()).expect("valid sub-grid sizes");
-    let order = stencil.preferred_cut_order(&dims);
+    let mut order = Vec::new();
+    cut_order_into(&stencil.cos2_sums(), sizes, &mut order);
     let mut coord = vec![0usize; sizes.len()];
+    base_case_coord_into(sizes, &order, r, &mut coord);
+    coord
+}
+
+/// Allocation-free core of [`base_case_coord`]: decodes `r` under the given
+/// cut order into `out`.
+fn base_case_coord_into(sizes: &[usize], order: &[usize], r: usize, out: &mut [usize]) {
     let mut rem = r;
+    out.fill(0);
     for &dim in order.iter().rev() {
-        coord[dim] = rem % sizes[dim];
+        out[dim] = rem % sizes[dim];
         rem /= sizes[dim];
     }
     debug_assert_eq!(rem, 0, "rank exceeds sub-grid volume");
-    coord
 }
 
 #[cfg(test)]
@@ -268,14 +324,15 @@ mod tests {
             NodeAllocation::heterogeneous(vec![10, 8, 6]).unwrap(),
         )
         .unwrap();
-        for choice in [NodeSizeChoice::Mean, NodeSizeChoice::Min, NodeSizeChoice::Max] {
+        for choice in [
+            NodeSizeChoice::Mean,
+            NodeSizeChoice::Min,
+            NodeSizeChoice::Max,
+        ] {
             let m = Hyperplane::with_node_size(choice).compute(&prob).unwrap();
             assert!(m.respects_allocation(prob.alloc()));
         }
-        assert_eq!(
-            Hyperplane::default().node_size_parameter(&prob),
-            8
-        );
+        assert_eq!(Hyperplane::default().node_size_parameter(&prob), 8);
         assert_eq!(
             Hyperplane::with_node_size(NodeSizeChoice::Min).node_size_parameter(&prob),
             6

@@ -13,7 +13,7 @@
 //! Per-rank complexity: `O(d log p)` (the paper reports `O(log p log d)` with
 //! a priority queue; the evaluation uses the linear scan implemented here).
 
-use crate::problem::{MappingProblem, RankLocalMapper};
+use crate::problem::{MapWorkspace, MappingProblem, RankLocalMapper};
 use stencil_grid::Coord;
 
 /// The k-d Tree mapping algorithm.
@@ -26,26 +26,44 @@ impl RankLocalMapper for KdTree {
     }
 
     fn remap_rank(&self, problem: &MappingProblem, rank: usize) -> Coord {
-        let f = problem.stencil().comm_across();
-        let mut sizes: Vec<usize> = problem.dims().as_slice().to_vec();
-        let mut coord = vec![0usize; sizes.len()];
+        let mut ws = MapWorkspace::new();
+        let mut out = vec![0usize; problem.dims().ndims()];
+        self.remap_rank_into(problem, rank, &mut ws, &mut out);
+        out
+    }
+
+    fn remap_rank_into(
+        &self,
+        problem: &MappingProblem,
+        rank: usize,
+        ws: &mut MapWorkspace,
+        out: &mut [usize],
+    ) {
+        // rank-independent: computed once per workspace (one workspace serves
+        // exactly one problem, see MapWorkspace)
+        if ws.comm.is_empty() {
+            problem.stencil().comm_across_into(&mut ws.comm);
+        }
+        ws.sizes.clear();
+        ws.sizes.extend_from_slice(problem.dims().as_slice());
+        out.fill(0);
         let mut r = rank;
 
         loop {
-            let vol: usize = sizes.iter().product();
+            let vol: usize = ws.sizes.iter().product();
             if vol == 1 {
                 debug_assert_eq!(r, 0);
-                return coord;
+                return;
             }
-            let dim = split_dimension(&sizes, &f);
-            let left = sizes[dim] / 2;
-            let left_vol = vol / sizes[dim] * left;
+            let dim = split_dimension(&ws.sizes, &ws.comm);
+            let left = ws.sizes[dim] / 2;
+            let left_vol = vol / ws.sizes[dim] * left;
             if r < left_vol {
-                sizes[dim] = left;
+                ws.sizes[dim] = left;
             } else {
                 r -= left_vol;
-                coord[dim] += left;
-                sizes[dim] -= left;
+                out[dim] += left;
+                ws.sizes[dim] -= left;
             }
         }
     }
@@ -172,10 +190,7 @@ mod tests {
         let p2 = problem(&[8, 8], 16, 4, s);
         let m1 = KdTree.compute(&p1).unwrap();
         let m2 = KdTree.compute(&p2).unwrap();
-        assert_eq!(
-            m1.position_of_rank_slice(),
-            m2.position_of_rank_slice()
-        );
+        assert_eq!(m1.position_of_rank_slice(), m2.position_of_rank_slice());
     }
 
     #[test]

@@ -81,9 +81,9 @@ pub use stencil_grid as grid;
 pub fn all_paper_mappers(seed: u64) -> Vec<Box<dyn Mapper>> {
     vec![
         Box::new(hyperplane::Hyperplane::default()),
-        Box::new(kdtree::KdTree::default()),
-        Box::new(stencil_strips::StencilStrips::default()),
-        Box::new(nodecart::Nodecart::default()),
+        Box::new(kdtree::KdTree),
+        Box::new(stencil_strips::StencilStrips),
+        Box::new(nodecart::Nodecart),
         Box::new(viem::GraphMapper::with_seed(seed)),
         Box::new(baselines::Blocked),
         Box::new(baselines::RandomMapping::with_seed(seed)),
@@ -94,8 +94,8 @@ pub fn all_paper_mappers(seed: u64) -> Vec<Box<dyn Mapper>> {
 pub fn new_paper_mappers() -> Vec<Box<dyn Mapper>> {
     vec![
         Box::new(hyperplane::Hyperplane::default()),
-        Box::new(kdtree::KdTree::default()),
-        Box::new(stencil_strips::StencilStrips::default()),
+        Box::new(kdtree::KdTree),
+        Box::new(stencil_strips::StencilStrips),
     ]
 }
 

@@ -2,7 +2,6 @@
 //! the induced process-to-node assignment.
 
 use crate::problem::{MapError, MappingProblem};
-use serde::{Deserialize, Serialize};
 use stencil_grid::{Coord, Dims, NodeAllocation};
 
 /// A process-to-node mapping.
@@ -14,7 +13,7 @@ use stencil_grid::{Coord, Dims, NodeAllocation};
 /// represented as a permutation between ranks and grid positions: rank `r`
 /// owns grid position `position_of_rank(r)`, and consequently that position
 /// is located on node `alloc.node_of_rank(r)`.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Mapping {
     dims: Dims,
     num_nodes: usize,
@@ -32,7 +31,7 @@ impl Mapping {
     ///
     /// Fails if the coordinates do not form a permutation of the grid cells.
     pub fn from_rank_coords(problem: &MappingProblem, coords: &[Coord]) -> Result<Self, MapError> {
-        let dims = problem.dims().clone();
+        let dims = problem.dims();
         let p = dims.volume();
         if coords.len() != p {
             return Err(MapError::InvalidResult(format!(
@@ -352,9 +351,9 @@ mod tests {
             let mut positions: Vec<usize> = (0..24).collect();
             positions.shuffle(&mut rng);
             let m = Mapping::from_positions(&p, positions.clone()).unwrap();
-            for r in 0..24 {
-                prop_assert_eq!(m.position_of_rank(r), positions[r]);
-                prop_assert_eq!(m.rank_of_position(positions[r]), r);
+            for (r, &pos) in positions.iter().enumerate() {
+                prop_assert_eq!(m.position_of_rank(r), pos);
+                prop_assert_eq!(m.rank_of_position(pos), r);
                 prop_assert_eq!(m.old_rank_of(m.new_rank_of(r)), r);
             }
             prop_assert!(m.respects_allocation(p.alloc()));

@@ -6,13 +6,22 @@
 //! `Jsum = Σ_{(u,v) ∈ E} σ(u,v)` is the total amount of inter-node
 //! communication and `Jmax` is the number of outgoing inter-node edges of the
 //! *bottleneck* node (the node with the most outgoing inter-node edges).
+//!
+//! Two evaluators are provided:
+//!
+//! * [`evaluate`] walks a materialised [`CartGraph`] (CSR) — use it when the
+//!   graph already exists for other purposes,
+//! * [`evaluate_streaming`] enumerates the stencil neighbors of every grid
+//!   position on the fly from [`Dims`] + [`Stencil`], so figure-scale runs
+//!   score a mapping in `O(p)` memory without ever materialising the
+//!   `O(p·k)` graph.  Both evaluators agree bit for bit.
 
 use crate::mapping::Mapping;
-use serde::{Deserialize, Serialize};
-use stencil_grid::CartGraph;
+use rayon::prelude::*;
+use stencil_grid::{CartGraph, Dims, Stencil};
 
 /// The communication cost of a mapping.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MappingCost {
     /// Total number of directed inter-node communication edges (`Jsum`).
     pub j_sum: u64,
@@ -101,8 +110,83 @@ pub fn evaluate(graph: &CartGraph, mapping: &Mapping) -> MappingCost {
     }
 }
 
+/// Evaluates the communication cost of a mapping directly from the grid
+/// dimensions and the stencil, without materialising the `O(p·k)`
+/// communication graph.
+///
+/// Neighbors are enumerated on the fly (offsets applied to each position's
+/// coordinate with periodic wrap-around when requested); self-targets are
+/// dropped exactly as [`CartGraph::try_build`] drops them, so the result is
+/// bit-for-bit identical to [`evaluate`] on the corresponding graph.  The
+/// position range is scored in parallel chunks, each with its own dense
+/// per-node egress accumulator and a reused scratch coordinate, and the
+/// chunk accumulators are merged at the end — `O(p)` work, `O(p)` memory,
+/// deterministic for every thread count.
+///
+/// # Panics
+///
+/// Panics if the stencil dimensionality does not match the grid or the
+/// mapping was built for a different grid size.
+pub fn evaluate_streaming(
+    dims: &Dims,
+    stencil: &Stencil,
+    periodic: bool,
+    mapping: &Mapping,
+) -> MappingCost {
+    stencil
+        .check_dims(dims)
+        .expect("stencil and grid dimensionality must match");
+    let p = dims.volume();
+    assert_eq!(
+        p,
+        mapping.num_processes(),
+        "grid and mapping must describe the same number of processes"
+    );
+    let num_nodes = mapping.num_nodes();
+    let chunk_size = (p / (rayon::current_num_threads() * 4).max(1))
+        .clamp(1024, 1 << 16)
+        .min(p.max(1));
+    let num_chunks = p.div_ceil(chunk_size).max(1);
+
+    let partials: Vec<Vec<u64>> = (0..num_chunks)
+        .into_par_iter()
+        .map(|c| {
+            let lo = c * chunk_size;
+            let hi = ((c + 1) * chunk_size).min(p);
+            let mut egress = vec![0u64; num_nodes];
+            let mut coord = vec![0usize; dims.ndims()];
+            for u in lo..hi {
+                stencil_grid::coords::rank_to_coord_into(u, dims.as_slice(), &mut coord);
+                let nu = mapping.node_of_position(u);
+                for off in stencil.offsets() {
+                    if let Some(v) = dims.rank_after_offset(&coord, off, periodic) {
+                        if v != u && mapping.node_of_position(v) != nu {
+                            egress[nu] += 1;
+                        }
+                    }
+                }
+            }
+            egress
+        })
+        .collect();
+
+    let mut per_node_egress = vec![0u64; num_nodes];
+    for partial in &partials {
+        for (total, x) in per_node_egress.iter_mut().zip(partial) {
+            *total += x;
+        }
+    }
+    let j_sum = per_node_egress.iter().sum();
+    let j_max = per_node_egress.iter().copied().max().unwrap_or(0);
+    MappingCost {
+        j_sum,
+        j_max,
+        per_node_egress,
+    }
+}
+
 /// Per-node traffic matrix entry: number of directed edges from `from` to `to`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct NodeTraffic {
     /// Source compute node.
     pub from: usize,
@@ -114,24 +198,75 @@ pub struct NodeTraffic {
 
 /// Computes the inter-node traffic matrix (sparse, only non-zero entries) of
 /// a mapping.  Used by the cluster simulator to derive link loads.
+///
+/// The accumulation walks the positions grouped by their source node (every
+/// node owns a contiguous rank block, so its positions are enumerated via the
+/// rank permutation) and accumulates one dense per-node row at a time —
+/// `O(N)` scratch reused across rows instead of a hash map keyed by node
+/// pairs.  Entries come out sorted by `(from, to)` by construction.
 pub fn node_traffic(graph: &CartGraph, mapping: &Mapping) -> Vec<NodeTraffic> {
-    use std::collections::HashMap;
-    let mut acc: HashMap<(usize, usize), u64> = HashMap::new();
-    for u in 0..graph.num_vertices() {
-        let nu = mapping.node_of_position(u);
-        for &v in graph.neighbors(u) {
-            let nv = mapping.node_of_position(v as usize);
-            if nu != nv {
-                *acc.entry((nu, nv)).or_insert(0) += 1;
+    assert_eq!(
+        graph.num_vertices(),
+        mapping.num_processes(),
+        "graph and mapping must describe the same grid"
+    );
+    let num_nodes = mapping.num_nodes();
+    let mut row = vec![0u64; num_nodes];
+    let mut touched: Vec<usize> = Vec::new();
+    let mut out: Vec<NodeTraffic> = Vec::new();
+    for from in 0..num_nodes {
+        for rank in mapping_ranks_of_node(mapping, from) {
+            let u = mapping.position_of_rank(rank);
+            for &v in graph.neighbors(u) {
+                let to = mapping.node_of_position(v as usize);
+                if to != from {
+                    if row[to] == 0 {
+                        touched.push(to);
+                    }
+                    row[to] += 1;
+                }
             }
         }
+        touched.sort_unstable();
+        for &to in &touched {
+            out.push(NodeTraffic {
+                from,
+                to,
+                edges: row[to],
+            });
+            row[to] = 0;
+        }
+        touched.clear();
     }
-    let mut out: Vec<NodeTraffic> = acc
-        .into_iter()
-        .map(|((from, to), edges)| NodeTraffic { from, to, edges })
-        .collect();
-    out.sort_by_key(|t| (t.from, t.to));
     out
+}
+
+/// The contiguous rank range owned by `node` (ranks are allocated to nodes in
+/// blocks; see `NodeAllocation`).  Derived from the mapping itself so the
+/// metrics module needs no allocation argument.
+fn mapping_ranks_of_node(mapping: &Mapping, node: usize) -> std::ops::Range<usize> {
+    // Scan is avoided: node blocks are contiguous in rank space, so binary
+    // search the boundaries via node_of_position(position_of_rank(r)).
+    let p = mapping.num_processes();
+    let node_of_rank = |r: usize| mapping.node_of_position(mapping.position_of_rank(r));
+    let start = partition_point(p, |r| node_of_rank(r) < node);
+    let end = partition_point(p, |r| node_of_rank(r) <= node);
+    start..end
+}
+
+/// First index in `0..p` for which `pred` turns false (`pred` must be
+/// monotone).
+fn partition_point(p: usize, pred: impl Fn(usize) -> bool) -> usize {
+    let (mut lo, mut hi) = (0usize, p);
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        if pred(mid) {
+            lo = mid + 1;
+        } else {
+            hi = mid;
+        }
+    }
+    lo
 }
 
 /// Counts, for every process (grid position), how many of its communication
@@ -195,8 +330,7 @@ mod tests {
         assert_eq!(c.j_sum, 13824);
         assert_eq!(c.j_max, 288);
 
-        let comp =
-            MappingProblem::new(dims, Stencil::component(2), alloc).unwrap();
+        let comp = MappingProblem::new(dims, Stencil::component(2), alloc).unwrap();
         let g = CartGraph::build(comp.dims(), comp.stencil(), false);
         let c = evaluate(&g, &Blocked.compute(&comp).unwrap());
         assert_eq!(c.j_sum, 4704);
@@ -248,10 +382,7 @@ mod tests {
         let (p, g) = paper_headline_problem();
         let c = evaluate(&g, &Blocked.compute(&p).unwrap());
         assert_eq!(c.per_node_egress.iter().sum::<u64>(), c.j_sum);
-        assert_eq!(
-            c.per_node_egress.iter().copied().max().unwrap(),
-            c.j_max
-        );
+        assert_eq!(c.per_node_egress.iter().copied().max().unwrap(), c.j_max);
         assert!(c.mean_egress() > 0.0);
     }
 
@@ -321,6 +452,47 @@ mod tests {
         // In the blocked mapping of the 50x48 NN instance each process has at
         // most 2 off-node neighbors (up/down).
         assert!(deg.iter().all(|&d| d <= 2));
+    }
+
+    #[test]
+    fn streaming_matches_csr_on_paper_instances() {
+        let (p, g) = paper_headline_problem();
+        for mapping in [
+            Blocked.compute(&p).unwrap(),
+            crate::hyperplane::Hyperplane::default()
+                .compute(&p)
+                .unwrap(),
+            crate::stencil_strips::StencilStrips.compute(&p).unwrap(),
+        ] {
+            let csr = evaluate(&g, &mapping);
+            let streaming = evaluate_streaming(p.dims(), p.stencil(), false, &mapping);
+            assert_eq!(csr, streaming);
+        }
+    }
+
+    #[test]
+    fn streaming_matches_csr_periodic() {
+        let p = MappingProblem::with_periodicity(
+            Dims::from_slice(&[6, 5]),
+            Stencil::nearest_neighbor_with_hops(2),
+            NodeAllocation::homogeneous(6, 5),
+            true,
+        )
+        .unwrap();
+        let g = CartGraph::build(p.dims(), p.stencil(), true);
+        let m = Blocked.compute(&p).unwrap();
+        assert_eq!(
+            evaluate(&g, &m),
+            evaluate_streaming(p.dims(), p.stencil(), true, &m)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensionality")]
+    fn streaming_rejects_mismatched_stencil() {
+        let (p, _) = paper_headline_problem();
+        let m = Blocked.compute(&p).unwrap();
+        evaluate_streaming(p.dims(), &Stencil::nearest_neighbor(3), false, &m);
     }
 
     proptest! {

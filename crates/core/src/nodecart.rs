@@ -19,7 +19,7 @@
 use crate::problem::{MapError, Mapper, MappingProblem};
 use crate::Mapping;
 use rayon::prelude::*;
-use stencil_grid::{dims_create::prime_factors, Coord};
+use stencil_grid::dims_create::prime_factors;
 
 /// Gropp's `Nodecart` Cartesian mapping algorithm.
 #[derive(Debug, Clone, Copy, Default)]
@@ -38,32 +38,12 @@ impl Nodecart {
             // choose the dimension with the largest remaining quotient that
             // the prime divides
             let candidate = (0..dims.len())
-                .filter(|&i| quotient[i] % f == 0)
+                .filter(|&i| quotient[i].is_multiple_of(f))
                 .max_by_key(|&i| quotient[i])?;
             quotient[candidate] /= f;
             inner[candidate] *= f;
         }
         Some(inner)
-    }
-
-    /// The coordinate of `rank` given the inner grid decomposition.
-    fn coord_of_rank(
-        dims: &[usize],
-        inner: &[usize],
-        n: usize,
-        rank: usize,
-    ) -> Coord {
-        let node = rank / n;
-        let local = rank % n;
-        let node_grid: Vec<usize> = dims.iter().zip(inner).map(|(&d, &c)| d / c).collect();
-        let node_coord = stencil_grid::rank_to_coord(node, &node_grid);
-        let local_coord = stencil_grid::rank_to_coord(local, inner);
-        node_coord
-            .iter()
-            .zip(&local_coord)
-            .zip(inner)
-            .map(|((&nc, &lc), &c)| nc * c + lc)
-            .collect()
     }
 }
 
@@ -86,12 +66,33 @@ impl Mapper for Nodecart {
                 "node size {n} cannot be factored into grid dimensions {dims:?}"
             ))
         })?;
+        let node_grid: Vec<usize> = dims.iter().zip(&inner).map(|(&d, &c)| d / c).collect();
         let p = problem.num_processes();
-        let coords: Vec<Coord> = (0..p)
-            .into_par_iter()
-            .map(|r| Self::coord_of_rank(dims, &inner, n, r))
-            .collect();
-        Mapping::from_rank_coords(problem, &coords)
+        let d = dims.len();
+        let chunk_size = (p / (rayon::current_num_threads() * 4).max(1))
+            .clamp(256, 1 << 16)
+            .min(p.max(1));
+        let mut positions = vec![0usize; p];
+        positions
+            .par_chunks_mut(chunk_size)
+            .enumerate()
+            .for_each(|(chunk_index, chunk)| {
+                let mut node_coord = vec![0usize; d];
+                let mut local_coord = vec![0usize; d];
+                let base = chunk_index * chunk_size;
+                for (i, slot) in chunk.iter_mut().enumerate() {
+                    let rank = base + i;
+                    stencil_grid::coords::rank_to_coord_into(rank / n, &node_grid, &mut node_coord);
+                    stencil_grid::coords::rank_to_coord_into(rank % n, &inner, &mut local_coord);
+                    // row-major rank of the combined coordinate
+                    let mut pos = 0usize;
+                    for j in 0..d {
+                        pos = pos * dims[j] + (node_coord[j] * inner[j] + local_coord[j]);
+                    }
+                    *slot = pos;
+                }
+            });
+        Mapping::from_positions(problem, positions)
     }
 }
 

@@ -14,7 +14,7 @@
 //! distortion factors) plus a walk over the strips to locate the rank's
 //! strip; the number of strips is small (`O(p / n)` at most).
 
-use crate::problem::{MappingProblem, RankLocalMapper};
+use crate::problem::{MapWorkspace, MappingProblem, RankLocalMapper};
 use stencil_grid::{Coord, Stencil};
 
 /// The Stencil Strips mapping algorithm.
@@ -117,26 +117,45 @@ impl StripLayout {
 
     /// Decodes the `t`-th strip of the serpentine traversal into per-dimension
     /// strip indices (only meaningful for dimensions other than `along`).
+    #[cfg(test)]
     fn strip_indices(&self, t: usize) -> Vec<usize> {
-        let counts = self.strip_counts();
+        let mut digits = Vec::new();
+        self.strip_indices_into(t, &mut digits);
+        digits
+    }
+
+    /// Allocation-free variant of [`StripLayout::strip_indices`] writing into
+    /// a reused buffer.
+    fn strip_indices_into(&self, t: usize, digits: &mut Vec<usize>) {
+        let d = self.widths.len();
+        digits.clear();
+        digits.resize(d, 0);
         // Row-major decode (first dimension slowest) …
-        let mut digits = vec![0usize; counts.len()];
         let mut rem = t;
-        for i in (0..counts.len()).rev() {
-            digits[i] = rem % counts[i];
-            rem /= counts[i];
+        for i in (0..d).rev() {
+            let count = if i == self.along {
+                1
+            } else {
+                self.widths[i].len()
+            };
+            digits[i] = rem % count;
+            rem /= count;
         }
         // … then reflect digits whose more significant digits have odd sum,
         // producing a boustrophedon path over the strip grid.
         let mut parity = 0usize;
-        for i in 0..counts.len() {
-            let original = digits[i];
+        for (i, digit) in digits.iter_mut().enumerate() {
+            let count = if i == self.along {
+                1
+            } else {
+                self.widths[i].len()
+            };
+            let original = *digit;
             if parity % 2 == 1 {
-                digits[i] = counts[i] - 1 - digits[i];
+                *digit = count - 1 - *digit;
             }
             parity += original;
         }
-        digits
     }
 
     /// Cross-section area of the strip with the given per-dimension indices.
@@ -162,10 +181,46 @@ impl RankLocalMapper for StencilStrips {
         let layout = StripLayout::new(dims, problem.stencil(), problem.node_size_parameter());
         rank_to_coord(dims, &layout, rank)
     }
+
+    fn remap_rank_into(
+        &self,
+        problem: &MappingProblem,
+        rank: usize,
+        ws: &mut MapWorkspace,
+        out: &mut [usize],
+    ) {
+        let dims = problem.dims().as_slice();
+        // The strip geometry only depends on the problem, not the rank; a
+        // workspace serves exactly one problem, so compute it once and reuse
+        // it for every rank of the chunk.
+        if ws.strips.is_none() {
+            ws.strips = Some(StripLayout::new(
+                dims,
+                problem.stencil(),
+                problem.node_size_parameter(),
+            ));
+        }
+        let layout = ws.strips.as_ref().expect("layout cached above");
+        rank_to_coord_into(dims, layout, rank, &mut ws.indices, out);
+    }
 }
 
 /// Computes the coordinate of `rank` under a strip layout.
 pub(crate) fn rank_to_coord(dims: &[usize], layout: &StripLayout, rank: usize) -> Coord {
+    let mut coord = vec![0usize; dims.len()];
+    rank_to_coord_into(dims, layout, rank, &mut Vec::new(), &mut coord);
+    coord
+}
+
+/// Allocation-free core of [`rank_to_coord`]: decodes `rank` into `out`,
+/// using `indices` as the reused strip-index buffer.
+pub(crate) fn rank_to_coord_into(
+    dims: &[usize],
+    layout: &StripLayout,
+    rank: usize,
+    indices: &mut Vec<usize>,
+    out: &mut [usize],
+) {
     let along = layout.along;
     let len_along = dims[along];
     let num_strips = layout.num_strips();
@@ -173,8 +228,8 @@ pub(crate) fn rank_to_coord(dims: &[usize], layout: &StripLayout, rank: usize) -
     // Locate the strip containing `rank` by walking the serpentine order.
     let mut acc = 0usize;
     let mut strip_t = 0usize;
-    let mut indices = layout.strip_indices(0);
-    let mut area = layout.strip_area(&indices);
+    layout.strip_indices_into(0, indices);
+    let mut area = layout.strip_area(indices);
     loop {
         let volume = area * len_along;
         if rank < acc + volume || strip_t + 1 == num_strips {
@@ -182,8 +237,8 @@ pub(crate) fn rank_to_coord(dims: &[usize], layout: &StripLayout, rank: usize) -
         }
         acc += volume;
         strip_t += 1;
-        indices = layout.strip_indices(strip_t);
-        area = layout.strip_area(&indices);
+        layout.strip_indices_into(strip_t, indices);
+        area = layout.strip_area(indices);
     }
     let local = rank - acc;
 
@@ -193,24 +248,23 @@ pub(crate) fn rank_to_coord(dims: &[usize], layout: &StripLayout, rank: usize) -
 
     // Alternate the traversal direction along the strip per Fig. 5 so that
     // consecutive strips hand over at the same end of the grid.
-    let pos_along = if strip_t % 2 == 0 {
+    let pos_along = if strip_t.is_multiple_of(2) {
         slab
     } else {
         len_along - 1 - slab
     };
 
     // Decode the cross-section index (row-major over the non-`along` dims).
-    let mut coord = vec![0usize; dims.len()];
-    coord[along] = pos_along;
+    out.fill(0);
+    out[along] = pos_along;
     for i in (0..dims.len()).rev() {
         if i == along {
             continue;
         }
         let w = layout.widths[i][indices[i]];
-        coord[i] = layout.strip_offset(i, indices[i]) + cross % w;
+        out[i] = layout.strip_offset(i, indices[i]) + cross % w;
         cross /= w;
     }
-    coord
 }
 
 /// The distortion factors `α_i = e_i / ᵈᵇ√V_b` of Section V-C, where `e_i`
@@ -331,7 +385,10 @@ mod tests {
         // ranks 5 and 6 are consecutive and live in adjacent strips
         let a = m.coord_of_rank(5);
         let b = m.coord_of_rank(6);
-        assert_eq!(a[0], b[0], "hand-over must be at the same row: {a:?} vs {b:?}");
+        assert_eq!(
+            a[0], b[0],
+            "hand-over must be at the same row: {a:?} vs {b:?}"
+        );
         assert_eq!((a[1] as i64 - b[1] as i64).abs(), 1);
     }
 

@@ -121,7 +121,12 @@ mod tests {
         let viem = evaluate(&g, &GraphMapper::with_seed(3).compute(&p).unwrap());
         let blocked = evaluate(&g, &Blocked.compute(&p).unwrap());
         let nodecart = evaluate(&g, &Nodecart.compute(&p).unwrap());
-        assert!(viem.j_sum < blocked.j_sum, "{} vs {}", viem.j_sum, blocked.j_sum);
+        assert!(
+            viem.j_sum < blocked.j_sum,
+            "{} vs {}",
+            viem.j_sum,
+            blocked.j_sum
+        );
         // VieM-style quality should at least be in the same ballpark as
         // Nodecart (the paper shows it is usually better than Nodecart).
         assert!(

@@ -8,10 +8,9 @@
 //! lives on.
 
 use crate::GridError;
-use serde::{Deserialize, Serialize};
 
 /// The allocation of processes to compute nodes.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct NodeAllocation {
     sizes: Vec<usize>,
     /// Prefix sums of `sizes`, length `N + 1`: node `i` owns ranks
@@ -28,7 +27,7 @@ impl NodeAllocation {
 
     /// A heterogeneous allocation with explicit per-node sizes `n_i`.
     pub fn heterogeneous(sizes: Vec<usize>) -> Result<Self, GridError> {
-        if sizes.is_empty() || sizes.iter().any(|&n| n == 0) {
+        if sizes.is_empty() || sizes.contains(&0) {
             return Err(GridError::ZeroDimension);
         }
         let mut starts = Vec::with_capacity(sizes.len() + 1);

@@ -2,14 +2,13 @@
 
 use crate::coords::{coord_to_rank, rank_to_coord, Coord};
 use crate::GridError;
-use serde::{Deserialize, Serialize};
 
 /// The dimension sizes `D = [d_0, …, d_{d-1}]` of a Cartesian process grid.
 ///
 /// The grid comprises `p = Π d_i` processes.  Processes are assigned to grid
 /// positions in row-major order (the last dimension varies fastest), exactly
 /// as in the paper (Section II) and in MPI Cartesian communicators.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Dims {
     sizes: Vec<usize>,
 }
@@ -22,7 +21,7 @@ impl Dims {
         if sizes.is_empty() {
             return Err(GridError::EmptyDims);
         }
-        if sizes.iter().any(|&d| d == 0) {
+        if sizes.contains(&0) {
             return Err(GridError::ZeroDimension);
         }
         Ok(Dims { sizes })
@@ -127,6 +126,38 @@ impl Dims {
         }
         Some(out)
     }
+
+    /// The row-major rank of `coord + offset`, or `None` if the target falls
+    /// outside of the grid (non-periodic case).
+    ///
+    /// This is the allocation-free fusion of [`Dims::offset_coord`] and
+    /// [`Dims::rank_of`] used by the streaming metrics evaluator and the
+    /// parallel graph builder: the target rank is accumulated directly, so no
+    /// intermediate coordinate vector is materialised.
+    #[inline]
+    pub fn rank_after_offset(
+        &self,
+        coord: &[usize],
+        offset: &[i64],
+        periodic: bool,
+    ) -> Option<usize> {
+        debug_assert_eq!(coord.len(), self.ndims());
+        debug_assert_eq!(offset.len(), self.ndims());
+        let mut rank = 0usize;
+        for i in 0..self.ndims() {
+            let d = self.sizes[i] as i64;
+            let t = coord[i] as i64 + offset[i];
+            let t = if periodic {
+                t.rem_euclid(d)
+            } else if t < 0 || t >= d {
+                return None;
+            } else {
+                t
+            };
+            rank = rank * self.sizes[i] + t as usize;
+        }
+        Some(rank)
+    }
 }
 
 impl std::fmt::Display for Dims {
@@ -220,6 +251,21 @@ mod tests {
         assert_eq!(d.offset_coord(&[1, 1], &[1, 0], false), Some(vec![2, 1]));
         assert_eq!(d.offset_coord(&[2, 1], &[1, 0], false), None);
         assert_eq!(d.offset_coord(&[0, 0], &[-1, 0], false), None);
+    }
+
+    #[test]
+    fn rank_after_offset_matches_offset_coord() {
+        let d = Dims::from_slice(&[4, 3, 2]);
+        let offsets: [[i64; 3]; 5] = [[1, 0, 0], [-1, 0, 0], [0, -2, 1], [3, 2, -1], [-7, 9, 4]];
+        for periodic in [false, true] {
+            for r in 0..d.volume() {
+                let c = d.coord_of(r);
+                for off in &offsets {
+                    let expected = d.offset_coord(&c, off, periodic).map(|t| d.rank_of(&t));
+                    assert_eq!(d.rank_after_offset(&c, off, periodic), expected);
+                }
+            }
+        }
     }
 
     #[test]

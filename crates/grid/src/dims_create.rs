@@ -18,7 +18,7 @@ pub fn prime_factors(mut x: usize) -> Vec<usize> {
     }
     let mut d = 2usize;
     while d * d <= x {
-        while x % d == 0 {
+        while x.is_multiple_of(d) {
             factors.push(d);
             x /= d;
         }
@@ -36,7 +36,7 @@ pub fn divisors(x: usize) -> Vec<usize> {
     let mut large = Vec::new();
     let mut d = 1usize;
     while d * d <= x {
-        if x % d == 0 {
+        if x.is_multiple_of(d) {
             small.push(d);
             if d != x / d {
                 large.push(x / d);

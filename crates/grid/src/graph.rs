@@ -6,6 +6,7 @@
 //! paper assumes unit edge weights and sparse communication (`k ≪ p`).
 
 use crate::{Dims, GridError, Stencil};
+use rayon::prelude::*;
 
 /// A sparse directed communication graph over the cells of a Cartesian grid,
 /// stored in compressed sparse row (CSR) form.
@@ -35,24 +36,53 @@ impl CartGraph {
     }
 
     /// Fallible variant of [`CartGraph::build`].
+    ///
+    /// Rows are constructed in parallel: the rank range is split into
+    /// contiguous chunks, every chunk builds its adjacency segment with a
+    /// reused scratch coordinate (no per-rank allocation), and the segments
+    /// are stitched into the final CSR arrays.  The result is identical for
+    /// every thread count.
     pub fn try_build(dims: &Dims, stencil: &Stencil, periodic: bool) -> Result<Self, GridError> {
         stencil.check_dims(dims)?;
         let p = dims.volume();
-        let mut xadj = Vec::with_capacity(p + 1);
-        let mut adjncy = Vec::with_capacity(p * stencil.k());
-        xadj.push(0usize);
-        let mut coord = vec![0usize; dims.ndims()];
-        for rank in 0..p {
-            crate::coords::rank_to_coord_into(rank, dims.as_slice(), &mut coord);
-            for off in stencil.offsets() {
-                if let Some(target) = dims.offset_coord(&coord, off, periodic) {
-                    let t = dims.rank_of(&target);
-                    if t != rank {
-                        adjncy.push(t as u32);
+        let k = stencil.k();
+        let chunk_size = chunk_size_for(p);
+        let num_chunks = p.div_ceil(chunk_size).max(1);
+
+        // Per chunk: the packed adjacency segment and the degree of each rank.
+        let segments: Vec<(Vec<u32>, Vec<u32>)> = (0..num_chunks)
+            .into_par_iter()
+            .map(|c| {
+                let lo = c * chunk_size;
+                let hi = ((c + 1) * chunk_size).min(p);
+                let mut adj = Vec::with_capacity((hi - lo) * k);
+                let mut degrees = Vec::with_capacity(hi - lo);
+                let mut coord = vec![0usize; dims.ndims()];
+                for rank in lo..hi {
+                    crate::coords::rank_to_coord_into(rank, dims.as_slice(), &mut coord);
+                    let before = adj.len();
+                    for off in stencil.offsets() {
+                        if let Some(t) = dims.rank_after_offset(&coord, off, periodic) {
+                            if t != rank {
+                                adj.push(t as u32);
+                            }
+                        }
                     }
+                    degrees.push((adj.len() - before) as u32);
                 }
+                (adj, degrees)
+            })
+            .collect();
+
+        let total_edges: usize = segments.iter().map(|(a, _)| a.len()).sum();
+        let mut xadj = Vec::with_capacity(p + 1);
+        let mut adjncy = Vec::with_capacity(total_edges);
+        xadj.push(0usize);
+        for (adj, degrees) in &segments {
+            for &d in degrees {
+                xadj.push(xadj.last().expect("non-empty") + d as usize);
             }
-            xadj.push(adjncy.len());
+            adjncy.extend_from_slice(adj);
         }
         Ok(CartGraph {
             dims: dims.clone(),
@@ -118,7 +148,8 @@ impl CartGraph {
     /// non-periodic grids symmetry still holds because dropped edges are
     /// dropped in pairs.
     pub fn is_symmetric(&self) -> bool {
-        self.edges().all(|(u, v)| self.neighbors(v).contains(&(u as u32)))
+        self.edges()
+            .all(|(u, v)| self.neighbors(v).contains(&(u as u32)))
     }
 
     /// The CSR row offsets (length `p + 1`).
@@ -132,6 +163,15 @@ impl CartGraph {
     pub fn adjncy(&self) -> &[u32] {
         &self.adjncy
     }
+}
+
+/// Chunk size for parallel row construction: large enough to amortise thread
+/// hand-off, small enough to give every worker several chunks.
+fn chunk_size_for(p: usize) -> usize {
+    let workers = rayon::current_num_threads();
+    (p / (workers * 4).max(1))
+        .clamp(1024, 1 << 16)
+        .min(p.max(1))
 }
 
 #[cfg(test)]
@@ -192,7 +232,11 @@ mod tests {
         let dims = Dims::from_slice(&[8, 2]);
         let g = CartGraph::build(&dims, &Stencil::nearest_neighbor_with_hops(2), false);
         let src = dims.rank_of(&[0, 0]);
-        let targets: Vec<_> = g.neighbors(src).iter().map(|&t| dims.coord_of(t as usize)).collect();
+        let targets: Vec<_> = g
+            .neighbors(src)
+            .iter()
+            .map(|&t| dims.coord_of(t as usize))
+            .collect();
         assert!(targets.contains(&vec![3, 0]));
         assert!(targets.contains(&vec![2, 0]));
         assert!(targets.contains(&vec![1, 0]));

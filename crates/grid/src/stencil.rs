@@ -7,14 +7,13 @@
 //! arbitrary `k`-neighborhoods.
 
 use crate::{Dims, GridError};
-use serde::{Deserialize, Serialize};
 
 /// A relative offset vector `R = [R_0, …, R_{d-1}]`.
 pub type Offset = Vec<i64>;
 
 /// A `k`-neighborhood: the set of relative communication targets of every
 /// process in the grid.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Stencil {
     ndims: usize,
     offsets: Vec<Offset>,
@@ -59,7 +58,7 @@ impl Stencil {
     /// `MPIX_Cart_stencil_comm` interface of the paper (Listing 1):
     /// `flat` has length `k * ndims`, holding `k` offsets back to back.
     pub fn from_flat(ndims: usize, flat: &[i64]) -> Result<Self, GridError> {
-        if ndims == 0 || flat.len() % ndims != 0 {
+        if ndims == 0 || !flat.len().is_multiple_of(ndims) {
             return Err(GridError::DimensionMismatch {
                 expected: ndims,
                 found: flat.len(),
@@ -90,7 +89,10 @@ impl Stencil {
     /// except the last one.  For two dimensions this is a one-dimensional
     /// chain along dimension 0.
     pub fn component(ndims: usize) -> Self {
-        assert!(ndims >= 2, "component stencil requires at least 2 dimensions");
+        assert!(
+            ndims >= 2,
+            "component stencil requires at least 2 dimensions"
+        );
         let mut offsets = Vec::with_capacity(2 * (ndims - 1));
         for i in 0..ndims - 1 {
             let mut plus = vec![0i64; ndims];
@@ -186,31 +188,47 @@ impl Stencil {
     /// (the dimension is "orthogonal" to the stencil) which makes `j` a good
     /// candidate for a hyperplane cut.
     pub fn cos2_sums(&self) -> Vec<f64> {
-        let mut sums = vec![0.0f64; self.ndims];
+        let mut sums = Vec::new();
+        self.cos2_sums_into(&mut sums);
+        sums
+    }
+
+    /// Allocation-free variant of [`Stencil::cos2_sums`]: clears `out` and
+    /// fills it with the per-dimension sums, reusing its capacity.
+    pub fn cos2_sums_into(&self, out: &mut Vec<f64>) {
+        out.clear();
+        out.resize(self.ndims, 0.0);
         for o in &self.offsets {
             let norm2: f64 = o.iter().map(|&x| (x * x) as f64).sum();
             if norm2 == 0.0 {
                 continue;
             }
             for j in 0..self.ndims {
-                sums[j] += (o[j] * o[j]) as f64 / norm2;
+                out[j] += (o[j] * o[j]) as f64 / norm2;
             }
         }
-        sums
     }
 
     /// The amount of communication across each dimension `j` used by the k-d
     /// tree algorithm: `f_j = |{R ∈ S : R_j ≠ 0}|`.
     pub fn comm_across(&self) -> Vec<usize> {
-        let mut f = vec![0usize; self.ndims];
+        let mut f = Vec::new();
+        self.comm_across_into(&mut f);
+        f
+    }
+
+    /// Allocation-free variant of [`Stencil::comm_across`]: clears `out` and
+    /// fills it with the per-dimension counts, reusing its capacity.
+    pub fn comm_across_into(&self, out: &mut Vec<usize>) {
+        out.clear();
+        out.resize(self.ndims, 0);
         for o in &self.offsets {
             for j in 0..self.ndims {
                 if o[j] != 0 {
-                    f[j] += 1;
+                    out[j] += 1;
                 }
             }
         }
-        f
     }
 
     /// The extension `e_i = max R_i − min R_i` of the stencil along every

@@ -160,12 +160,12 @@ mod tests {
         let out = Runtime::run(6, |mut p| {
             let next = (p.rank() + 1) % p.size();
             let prev = (p.rank() + p.size() - 1) % p.size();
-            let recv = p.neighbor_alltoall(
+
+            p.neighbor_alltoall(
                 &[next, prev],
                 &[next, prev],
                 &[vec![p.rank() as u8, 1], vec![p.rank() as u8, 2]],
-            );
-            recv
+            )
         });
         for (rank, received) in out.iter().enumerate() {
             let next = (rank + 1) % 6;

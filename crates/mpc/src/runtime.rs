@@ -66,7 +66,10 @@ impl Runtime {
                 }
             }
         });
-        results.into_iter().map(|r| r.expect("rank produced a result")).collect()
+        results
+            .into_iter()
+            .map(|r| r.expect("rank produced a result"))
+            .collect()
     }
 }
 
@@ -111,13 +114,18 @@ impl Process {
     /// Receives a message from `src` with the given `tag`, blocking until it
     /// arrives.  Messages from other sources/tags received in the meantime
     /// are buffered and matched by later calls (MPI-style tag matching).
+    ///
+    /// The pending buffer is drained with order-preserving removal: two
+    /// in-flight messages with the same `(src, tag)` (e.g. consecutive
+    /// un-barriered iterations of an exchange) must be matched in send order,
+    /// so a `swap_remove` would silently deliver them out of order.
     pub fn recv(&mut self, src: usize, tag: u64) -> Vec<u8> {
         if let Some(pos) = self
             .pending
             .iter()
             .position(|m| m.src == src && m.tag == tag)
         {
-            return self.pending.swap_remove(pos).data;
+            return self.pending.remove(pos).data;
         }
         loop {
             let msg = self
@@ -134,7 +142,7 @@ impl Process {
     /// Receives from any source with the given tag; returns `(src, data)`.
     pub fn recv_any(&mut self, tag: u64) -> (usize, Vec<u8>) {
         if let Some(pos) = self.pending.iter().position(|m| m.tag == tag) {
-            let m = self.pending.swap_remove(pos);
+            let m = self.pending.remove(pos);
             return (m.src, m.data);
         }
         loop {
@@ -204,6 +212,36 @@ mod tests {
             }
         });
         assert_eq!(out, vec![0, 1]);
+    }
+
+    #[test]
+    fn same_tag_messages_keep_send_order_after_pending_reorder() {
+        // Regression test: three messages are buffered out of band (tags B,
+        // A, A); consuming B from the middle of the pending buffer must not
+        // reorder the two remaining tag-A messages (a swap_remove would).
+        let out = Runtime::run(2, |mut p| {
+            const A: u64 = 1;
+            const B: u64 = 2;
+            const C: u64 = 3;
+            if p.rank() == 0 {
+                p.send(1, B, b"b");
+                p.send(1, A, b"first");
+                p.send(1, A, b"second");
+                p.send(1, C, b"c");
+                Vec::new()
+            } else {
+                // forces all four messages into the pending buffer in
+                // arrival order [B, A1, A2] before any tag-A match
+                let c = p.recv(0, C);
+                assert_eq!(c, b"c");
+                let b = p.recv(0, B);
+                assert_eq!(b, b"b");
+                let a1 = p.recv(0, A);
+                let a2 = p.recv(0, A);
+                vec![a1, a2]
+            }
+        });
+        assert_eq!(out[1], vec![b"first".to_vec(), b"second".to_vec()]);
     }
 
     #[test]

@@ -51,8 +51,9 @@ impl StencilComm {
             process.size(),
             "grid volume must equal the communicator size"
         );
-        let problem = MappingProblem::with_periodicity(dims.clone(), stencil.clone(), alloc, periodic)
-            .expect("consistent communicator arguments");
+        let problem =
+            MappingProblem::with_periodicity(dims.clone(), stencil.clone(), alloc, periodic)
+                .expect("consistent communicator arguments");
 
         // --- compute this rank's new position -------------------------------
         let my_position = match reorder {

@@ -4,7 +4,12 @@
 //! with the highest gain (edge weight towards the region minus edge weight
 //! away from it), until the region reaches the requested weight.  Several
 //! random seeds are tried and the bisection with the smallest cut is kept.
+//!
+//! Scratch state (region flags, gains, frontier, candidate partitions) lives
+//! in a [`Workspace`] so repeated bisections allocate nothing but the
+//! returned partition vector.
 
+use crate::workspace::Workspace;
 use crate::Graph;
 use rand::Rng;
 use rand::SeedableRng;
@@ -14,89 +19,89 @@ use rand_chacha::ChaCha8Rng;
 /// vertex weight, trying `attempts` random seed vertices and returning the
 /// partition with the smallest cut.
 pub fn greedy_bisection(graph: &Graph, target0: u64, attempts: usize, seed: u64) -> Vec<u32> {
+    greedy_bisection_with(graph, target0, attempts, seed, &mut Workspace::new())
+}
+
+/// [`greedy_bisection`] with caller-provided scratch buffers.
+pub fn greedy_bisection_with(
+    graph: &Graph,
+    target0: u64,
+    attempts: usize,
+    seed: u64,
+    ws: &mut Workspace,
+) -> Vec<u32> {
     let n = graph.num_vertices();
     assert!(n > 0, "cannot bisect an empty graph");
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     let mut best: Option<(u64, Vec<u32>)> = None;
     for _ in 0..attempts.max(1) {
         let start = rng.gen_range(0..n);
-        let part = grow_from(graph, target0, start);
-        let cut = graph.cut(&part);
-        if best.as_ref().map_or(true, |(bc, _)| cut < *bc) {
-            best = Some((cut, part));
+        grow_from(graph, target0, start, ws);
+        let cut = graph.cut(&ws.grow_part);
+        if best.as_ref().is_none_or(|(bc, _)| cut < *bc) {
+            match best.as_mut() {
+                Some((bc, part)) => {
+                    *bc = cut;
+                    part.copy_from_slice(&ws.grow_part);
+                }
+                None => best = Some((cut, ws.grow_part.clone())),
+            }
         }
     }
-    best.unwrap().1
+    best.expect("at least one attempt ran").1
 }
 
-/// Grows part 0 from a single start vertex.
-fn grow_from(graph: &Graph, target0: u64, start: usize) -> Vec<u32> {
+/// Grows part 0 from a single start vertex into `ws.grow_part`.
+fn grow_from(graph: &Graph, target0: u64, start: usize, ws: &mut Workspace) {
     let n = graph.num_vertices();
-    let mut part = vec![1u32; n];
+    Workspace::reset(&mut ws.grow_part, n, 1u32);
     if target0 == 0 {
-        return part;
+        return;
     }
-    let mut in_region = vec![false; n];
+    Workspace::reset(&mut ws.in_region, n, false);
+    // gain of absorbing v = (weight towards region) - (weight away from it);
+    // i64::MIN marks "never on the frontier"
+    Workspace::reset(&mut ws.gain, n, i64::MIN);
+    ws.frontier.clear();
     let mut weight0 = 0u64;
-    // gain of absorbing v = (weight towards region) - (weight away from it)
-    let mut gain = vec![i64::MIN; n];
-    let mut frontier: Vec<usize> = Vec::new();
 
-    let absorb = |v: usize,
-                      part: &mut Vec<u32>,
-                      in_region: &mut Vec<bool>,
-                      gain: &mut Vec<i64>,
-                      frontier: &mut Vec<usize>,
-                      weight0: &mut u64| {
-        part[v] = 0;
-        in_region[v] = true;
-        *weight0 += graph.vertex_weight(v) as u64;
-        for (u, w) in graph.edges_of(v) {
-            let u = u as usize;
-            if in_region[u] {
-                continue;
-            }
-            if gain[u] == i64::MIN {
-                // entering the frontier: initialise gain to -(total incident weight)
-                let total: i64 = graph.edge_weights(u).iter().map(|&x| x as i64).sum();
-                gain[u] = -total;
-                frontier.push(u);
-            }
-            gain[u] += 2 * w as i64;
-        }
-    };
-
-    absorb(
-        start,
-        &mut part,
-        &mut in_region,
-        &mut gain,
-        &mut frontier,
-        &mut weight0,
-    );
-
+    absorb(graph, start, ws, &mut weight0);
     while weight0 < target0 {
         // pick the frontier vertex with the highest gain that still fits;
         // if the frontier is empty (disconnected graph) take any outside vertex.
-        frontier.retain(|&v| !in_region[v]);
-        let next = frontier
+        let in_region = &ws.in_region;
+        ws.frontier.retain(|&v| !in_region[v]);
+        let next = ws
+            .frontier
             .iter()
             .copied()
-            .max_by_key(|&v| (gain[v], std::cmp::Reverse(v)))
-            .or_else(|| (0..n).find(|&v| !in_region[v]));
+            .max_by_key(|&v| (ws.gain[v], std::cmp::Reverse(v)))
+            .or_else(|| (0..n).find(|&v| !ws.in_region[v]));
         match next {
-            Some(v) => absorb(
-                v,
-                &mut part,
-                &mut in_region,
-                &mut gain,
-                &mut frontier,
-                &mut weight0,
-            ),
+            Some(v) => absorb(graph, v, ws, &mut weight0),
             None => break,
         }
     }
-    part
+}
+
+/// Moves `v` into the region and updates the frontier gains.
+fn absorb(graph: &Graph, v: usize, ws: &mut Workspace, weight0: &mut u64) {
+    ws.grow_part[v] = 0;
+    ws.in_region[v] = true;
+    *weight0 += graph.vertex_weight(v) as u64;
+    for (u, w) in graph.edges_of(v) {
+        let u = u as usize;
+        if ws.in_region[u] {
+            continue;
+        }
+        if ws.gain[u] == i64::MIN {
+            // entering the frontier: initialise gain to -(total incident weight)
+            let total: i64 = graph.edge_weights(u).iter().map(|&x| x as i64).sum();
+            ws.gain[u] = -total;
+            ws.frontier.push(u);
+        }
+        ws.gain[u] += 2 * w as i64;
+    }
 }
 
 #[cfg(test)]
@@ -163,5 +168,15 @@ mod tests {
         // combination); the grown weight must be at least the target.
         let part = greedy_bisection(&g, 3, 4, 2);
         assert!(g.part_weights(&part, 2)[0] >= 3);
+    }
+
+    #[test]
+    fn workspace_reuse_is_deterministic() {
+        let g = grid_graph(9, 9);
+        let mut ws = Workspace::new();
+        let a = greedy_bisection_with(&g, 40, 4, 3, &mut ws);
+        let b = greedy_bisection_with(&g, 40, 4, 3, &mut ws);
+        assert_eq!(a, b);
+        assert_eq!(a, greedy_bisection(&g, 40, 4, 3));
     }
 }

@@ -5,7 +5,12 @@
 //! the heaviest incident edge first concentrates as much edge weight as
 //! possible *inside* coarse vertices, which is what makes multilevel
 //! partitioning effective.
+//!
+//! All stages thread a [`Workspace`] so that repeated coarsening performs no
+//! per-level scratch allocation; contraction builds the coarse CSR arrays
+//! directly with a marker-based row merge instead of per-vertex tree maps.
 
+use crate::workspace::Workspace;
 use crate::Graph;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -26,27 +31,39 @@ pub struct CoarseLevel {
 ///
 /// Returns, for every vertex, its matched partner (or itself if unmatched).
 pub fn heavy_edge_matching(graph: &Graph, seed: u64) -> Vec<u32> {
+    heavy_edge_matching_with(graph, seed, &mut Workspace::new())
+}
+
+/// [`heavy_edge_matching`] with caller-provided scratch buffers.
+///
+/// The returned vector is *taken from* the workspace's partner buffer (so
+/// the result can outlive further workspace use).  To keep repeated calls
+/// allocation-free, hand it back when done — `ws.partner = partner;` — as
+/// [`coarsen_hierarchy_with`] does; otherwise each call allocates a fresh
+/// partner vector.
+pub fn heavy_edge_matching_with(graph: &Graph, seed: u64, ws: &mut Workspace) -> Vec<u32> {
     let n = graph.num_vertices();
-    let mut partner: Vec<u32> = (0..n as u32).collect();
-    let mut matched = vec![false; n];
-    let mut order: Vec<usize> = (0..n).collect();
+    let mut partner = std::mem::take(&mut ws.partner);
+    partner.clear();
+    partner.extend(0..n as u32);
+    Workspace::reset(&mut ws.matched, n, false);
+    ws.order.clear();
+    ws.order.extend(0..n);
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
-    order.shuffle(&mut rng);
-    for &u in &order {
-        if matched[u] {
+    ws.order.shuffle(&mut rng);
+    for &u in &ws.order {
+        if ws.matched[u] {
             continue;
         }
         let mut best: Option<(u32, u32)> = None; // (neighbor, weight)
         for (v, w) in graph.edges_of(u) {
-            if !matched[v as usize] && v as usize != u {
-                if best.map_or(true, |(_, bw)| w > bw) {
-                    best = Some((v, w));
-                }
+            if !ws.matched[v as usize] && v as usize != u && best.is_none_or(|(_, bw)| w > bw) {
+                best = Some((v, w));
             }
         }
         if let Some((v, _)) = best {
-            matched[u] = true;
-            matched[v as usize] = true;
+            ws.matched[u] = true;
+            ws.matched[v as usize] = true;
             partner[u] = v;
             partner[v as usize] = u as u32;
         }
@@ -57,6 +74,16 @@ pub fn heavy_edge_matching(graph: &Graph, seed: u64) -> Vec<u32> {
 /// Contracts a matching into a coarser graph.  Vertex weights are summed and
 /// parallel coarse edges are merged by summing their weights.
 pub fn contract(graph: &Graph, partner: &[u32]) -> CoarseLevel {
+    contract_with(graph, partner, &mut Workspace::new())
+}
+
+/// [`contract`] with caller-provided scratch buffers.
+///
+/// The coarse graph is assembled directly in CSR form: the members of every
+/// coarse vertex are gathered with a counting sort, and each coarse row is
+/// merged with a marker array (one slot per coarse vertex) instead of a tree
+/// map, so the only allocations are the returned level's own arrays.
+pub fn contract_with(graph: &Graph, partner: &[u32], ws: &mut Workspace) -> CoarseLevel {
     let n = graph.num_vertices();
     let mut fine_to_coarse = vec![u32::MAX; n];
     let mut coarse_count = 0u32;
@@ -72,46 +99,100 @@ pub fn contract(graph: &Graph, partner: &[u32]) -> CoarseLevel {
         coarse_count += 1;
     }
     let cn = coarse_count as usize;
-    // accumulate coarse vertex weights and edges
+
+    // Gather the members of every coarse vertex (counting sort).
+    Workspace::reset(&mut ws.member_offsets, cn + 1, 0);
+    for &c in fine_to_coarse.iter() {
+        ws.member_offsets[c as usize + 1] += 1;
+    }
+    for c in 0..cn {
+        ws.member_offsets[c + 1] += ws.member_offsets[c];
+    }
+    Workspace::reset(&mut ws.members, n, 0);
+    {
+        // scatter using a moving cursor per coarse vertex
+        let mut cursor = std::mem::take(&mut ws.order);
+        cursor.clear();
+        cursor.extend_from_slice(&ws.member_offsets[..cn]);
+        for (u, &c) in fine_to_coarse.iter().enumerate() {
+            ws.members[cursor[c as usize]] = u as u32;
+            cursor[c as usize] += 1;
+        }
+        ws.order = cursor;
+    }
+
+    // Accumulate coarse vertex weights and merge rows.
     let mut vwgt = vec![0u32; cn];
     for u in 0..n {
         vwgt[fine_to_coarse[u] as usize] += graph.vertex_weight(u);
     }
-    let mut edges: Vec<(u32, u32, u32)> = Vec::new();
-    for u in 0..n {
-        let cu = fine_to_coarse[u];
-        for (v, w) in graph.edges_of(u) {
-            let cv = fine_to_coarse[v as usize];
-            if cu < cv {
-                edges.push((cu, cv, w));
+    Workspace::reset(&mut ws.marker, cn, u32::MAX);
+    Workspace::reset(&mut ws.acc, cn, 0);
+    let mut xadj = Vec::with_capacity(cn + 1);
+    let mut adjncy = Vec::new();
+    let mut adjwgt = Vec::new();
+    xadj.push(0usize);
+    for cu in 0..cn as u32 {
+        ws.row.clear();
+        for &u in &ws.members[ws.member_offsets[cu as usize]..ws.member_offsets[cu as usize + 1]] {
+            for (v, w) in graph.edges_of(u as usize) {
+                let cv = fine_to_coarse[v as usize];
+                if cv == cu {
+                    continue;
+                }
+                if ws.marker[cv as usize] != cu {
+                    ws.marker[cv as usize] = cu;
+                    ws.acc[cv as usize] = w;
+                    ws.row.push(cv);
+                } else {
+                    ws.acc[cv as usize] += w;
+                }
             }
         }
+        ws.row.sort_unstable();
+        for &cv in &ws.row {
+            adjncy.push(cv);
+            adjwgt.push(ws.acc[cv as usize]);
+        }
+        xadj.push(adjncy.len());
     }
-    let mut coarse = Graph::from_edges(cn, &edges);
-    for (c, &w) in vwgt.iter().enumerate() {
-        coarse.set_vertex_weight(c, w);
-    }
+
     CoarseLevel {
-        graph: coarse,
+        graph: Graph::from_csr(xadj, adjncy, adjwgt, vwgt),
         fine_to_coarse,
     }
 }
 
 /// Repeatedly coarsens `graph` until it has at most `target_vertices`
 /// vertices or a coarsening step stops making progress (shrinks by less than
-/// ~10%).  Returns the hierarchy from finest (first) to coarsest (last).
+/// ~5%).  Returns the hierarchy from finest (first) to coarsest (last).
 pub fn coarsen_hierarchy(graph: &Graph, target_vertices: usize, seed: u64) -> Vec<CoarseLevel> {
-    let mut levels = Vec::new();
-    let mut current = graph.clone();
+    coarsen_hierarchy_with(graph, target_vertices, seed, &mut Workspace::new())
+}
+
+/// [`coarsen_hierarchy`] with caller-provided scratch buffers.
+pub fn coarsen_hierarchy_with(
+    graph: &Graph,
+    target_vertices: usize,
+    seed: u64,
+    ws: &mut Workspace,
+) -> Vec<CoarseLevel> {
+    let mut levels: Vec<CoarseLevel> = Vec::new();
     let mut round = 0u64;
-    while current.num_vertices() > target_vertices {
-        let partner = heavy_edge_matching(&current, seed.wrapping_add(round));
-        let level = contract(&current, &partner);
-        let shrunk = level.graph.num_vertices();
-        if shrunk as f64 > current.num_vertices() as f64 * 0.95 {
-            break;
-        }
-        current = level.graph.clone();
+    loop {
+        let level = {
+            let current: &Graph = levels.last().map(|l| &l.graph).unwrap_or(graph);
+            if current.num_vertices() <= target_vertices {
+                break;
+            }
+            let partner = heavy_edge_matching_with(current, seed.wrapping_add(round), ws);
+            let level = contract_with(current, &partner, ws);
+            ws.partner = partner;
+            if level.graph.num_vertices() as f64 > current.num_vertices() as f64 * 0.95 {
+                break;
+            }
+            level
+        };
         levels.push(level);
         round += 1;
     }
@@ -131,7 +212,10 @@ mod tests {
             let p = partner[u] as usize;
             assert_eq!(partner[p] as usize, u, "matching must be symmetric");
             if p != u {
-                assert!(g.neighbors(u).contains(&(p as u32)), "partners must be adjacent");
+                assert!(
+                    g.neighbors(u).contains(&(p as u32)),
+                    "partners must be adjacent"
+                );
             }
         }
     }
@@ -151,15 +235,40 @@ mod tests {
         let g = grid_graph(5, 4);
         let partner = heavy_edge_matching(&g, 1);
         let level = contract(&g, &partner);
-        assert_eq!(
-            level.graph.total_vertex_weight(),
-            g.total_vertex_weight()
-        );
+        assert_eq!(level.graph.total_vertex_weight(), g.total_vertex_weight());
         assert!(level.graph.num_vertices() < g.num_vertices());
         assert!(level.graph.num_vertices() >= g.num_vertices() / 2);
         // mapping covers every fine vertex
-        assert!(level.fine_to_coarse.iter().all(|&c| (c as usize) < level.graph.num_vertices()));
+        assert!(level
+            .fine_to_coarse
+            .iter()
+            .all(|&c| (c as usize) < level.graph.num_vertices()));
         assert!(level.graph.is_symmetric());
+    }
+
+    #[test]
+    fn contract_matches_edge_list_construction() {
+        // the direct-CSR contraction must agree with the reference
+        // construction via Graph::from_edges
+        let g = grid_graph(7, 5);
+        let partner = heavy_edge_matching(&g, 9);
+        let level = contract(&g, &partner);
+        let mut edges = Vec::new();
+        for u in 0..g.num_vertices() {
+            let cu = level.fine_to_coarse[u];
+            for (v, w) in g.edges_of(u) {
+                let cv = level.fine_to_coarse[v as usize];
+                if cu < cv {
+                    edges.push((cu, cv, w));
+                }
+            }
+        }
+        let mut reference = Graph::from_edges(level.graph.num_vertices(), &edges);
+        for u in 0..g.num_vertices() {
+            let cu = level.fine_to_coarse[u] as usize;
+            reference.set_vertex_weight(cu, level.graph.vertex_weight(cu));
+        }
+        assert_eq!(level.graph, reference);
     }
 
     #[test]
@@ -177,7 +286,11 @@ mod tests {
         let levels = coarsen_hierarchy(&g, 30, 7);
         assert!(!levels.is_empty());
         let coarsest = &levels.last().unwrap().graph;
-        assert!(coarsest.num_vertices() <= 40, "got {}", coarsest.num_vertices());
+        assert!(
+            coarsest.num_vertices() <= 40,
+            "got {}",
+            coarsest.num_vertices()
+        );
         assert_eq!(coarsest.total_vertex_weight(), 256);
     }
 
@@ -186,5 +299,18 @@ mod tests {
         let g = path_graph(3);
         let levels = coarsen_hierarchy(&g, 10, 0);
         assert!(levels.is_empty());
+    }
+
+    #[test]
+    fn hierarchy_reuses_one_workspace_across_levels() {
+        let g = grid_graph(20, 20);
+        let mut ws = Workspace::new();
+        let a = coarsen_hierarchy_with(&g, 16, 5, &mut ws);
+        let b = coarsen_hierarchy_with(&g, 16, 5, &mut ws);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.graph, y.graph);
+            assert_eq!(x.fine_to_coarse, y.fine_to_coarse);
+        }
     }
 }

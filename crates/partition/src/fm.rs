@@ -5,7 +5,11 @@
 //! currently at or above its target weight; every vertex moves at most once
 //! per pass.  The best balanced prefix of the move sequence is kept.  Passes
 //! repeat until no improvement is found.
+//!
+//! Scratch state (gains, locks, the move journal) lives in a [`Workspace`],
+//! so repeated refinement passes allocate nothing.
 
+use crate::workspace::Workspace;
 use crate::Graph;
 
 /// Refines a two-way partition in place.  `target0` is the required total
@@ -16,11 +20,22 @@ use crate::Graph;
 /// [`greedy_bisection`](crate::bisect::greedy_bisection)); the refined
 /// partition satisfies it again on return.
 pub fn fm_refine(graph: &Graph, part: &mut [u32], target0: u64, max_passes: usize) -> u64 {
+    fm_refine_with(graph, part, target0, max_passes, &mut Workspace::new())
+}
+
+/// [`fm_refine`] with caller-provided scratch buffers.
+pub fn fm_refine_with(
+    graph: &Graph,
+    part: &mut [u32],
+    target0: u64,
+    max_passes: usize,
+    ws: &mut Workspace,
+) -> u64 {
     assert_eq!(part.len(), graph.num_vertices());
     rebalance(graph, part, target0);
     let mut best_cut = graph.cut(part);
     for _ in 0..max_passes {
-        let improved = fm_pass(graph, part, target0, &mut best_cut);
+        let improved = fm_pass(graph, part, target0, &mut best_cut, ws);
         if !improved {
             break;
         }
@@ -69,7 +84,7 @@ pub fn rebalance(graph: &Graph, part: &mut [u32], target0: u64) {
                     }
                 })
                 .sum();
-            if best.map_or(true, |(_, bg)| gain > bg) {
+            if best.is_none_or(|(_, bg)| gain > bg) {
                 best = Some((v, gain));
             }
         }
@@ -89,24 +104,29 @@ pub fn rebalance(graph: &Graph, part: &mut [u32], target0: u64) {
 }
 
 /// One FM pass.  Returns whether the cut improved.
-fn fm_pass(graph: &Graph, part: &mut [u32], target0: u64, best_cut: &mut u64) -> bool {
+fn fm_pass(
+    graph: &Graph,
+    part: &mut [u32],
+    target0: u64,
+    best_cut: &mut u64,
+    ws: &mut Workspace,
+) -> bool {
     let n = graph.num_vertices();
-    let mut locked = vec![false; n];
+    Workspace::reset(&mut ws.locked, n, false);
     // gain[v] = reduction of the cut when v switches sides
-    let mut gain: Vec<i64> = (0..n)
-        .map(|v| {
-            graph
-                .edges_of(v)
-                .map(|(u, w)| {
-                    if part[u as usize] == part[v] {
-                        -(w as i64)
-                    } else {
-                        w as i64
-                    }
-                })
-                .sum()
-        })
-        .collect();
+    ws.gain.clear();
+    ws.gain.extend((0..n).map(|v| {
+        graph
+            .edges_of(v)
+            .map(|(u, w)| {
+                if part[u as usize] == part[v] {
+                    -(w as i64)
+                } else {
+                    w as i64
+                }
+            })
+            .sum::<i64>()
+    }));
     let mut weight0: u64 = (0..n)
         .filter(|&v| part[v] == 0)
         .map(|v| graph.vertex_weight(v) as u64)
@@ -114,7 +134,7 @@ fn fm_pass(graph: &Graph, part: &mut [u32], target0: u64, best_cut: &mut u64) ->
 
     let mut current_cut = graph.cut(part) as i64;
     let start_cut = *best_cut;
-    let mut moves: Vec<usize> = Vec::with_capacity(n);
+    ws.moves.clear();
     let mut best_prefix: Option<usize> = None;
     let mut best_prefix_cut = *best_cut as i64;
 
@@ -126,8 +146,8 @@ fn fm_pass(graph: &Graph, part: &mut [u32], target0: u64, best_cut: &mut u64) ->
         } else if weight0 < target0 {
             1
         } else {
-            let best0 = best_movable(graph, part, &locked, &gain, 0);
-            let best1 = best_movable(graph, part, &locked, &gain, 1);
+            let best0 = best_movable(graph, part, &ws.locked, &ws.gain, 0);
+            let best1 = best_movable(graph, part, &ws.locked, &ws.gain, 1);
             match (best0, best1) {
                 (Some((_, g0)), Some((_, g1))) => {
                     if g0 >= g1 {
@@ -141,11 +161,11 @@ fn fm_pass(graph: &Graph, part: &mut [u32], target0: u64, best_cut: &mut u64) ->
                 (None, None) => break,
             }
         };
-        let Some((v, g)) = best_movable(graph, part, &locked, &gain, from) else {
+        let Some((v, g)) = best_movable(graph, part, &ws.locked, &ws.gain, from) else {
             break;
         };
         // apply the move
-        locked[v] = true;
+        ws.locked[v] = true;
         current_cut -= g;
         let to = 1 - part[v];
         if part[v] == 0 {
@@ -159,22 +179,22 @@ fn fm_pass(graph: &Graph, part: &mut [u32], target0: u64, best_cut: &mut u64) ->
             let u = u as usize;
             if part[u] == part[v] {
                 // u is now on the same side as v: moving u away gets worse
-                gain[u] -= 2 * w as i64;
+                ws.gain[u] -= 2 * w as i64;
             } else {
-                gain[u] += 2 * w as i64;
+                ws.gain[u] += 2 * w as i64;
             }
         }
-        gain[v] = -gain[v];
-        moves.push(v);
+        ws.gain[v] = -ws.gain[v];
+        ws.moves.push(v);
         if weight0 == target0 && current_cut < best_prefix_cut {
             best_prefix_cut = current_cut;
-            best_prefix = Some(moves.len());
+            best_prefix = Some(ws.moves.len());
         }
     }
 
     // Roll back to the best balanced prefix (or all the way if none improved).
     let keep = best_prefix.unwrap_or(0);
-    for &v in moves.iter().skip(keep).rev() {
+    for &v in ws.moves.iter().skip(keep).rev() {
         part[v] = 1 - part[v];
     }
     if (best_prefix_cut as u64) < start_cut {
@@ -198,7 +218,7 @@ fn best_movable(
         if locked[v] || part[v] != from {
             continue;
         }
-        if best.map_or(true, |(_, bg)| gain[v] > bg) {
+        if best.is_none_or(|(_, bg)| gain[v] > bg) {
             best = Some((v, gain[v]));
         }
     }
@@ -250,6 +270,22 @@ mod tests {
         let cut = fm_refine(&g, &mut part, 2, 3);
         assert_eq!(g.part_weights(&part, 2), vec![2, 2]);
         assert_eq!(cut, g.cut(&part));
+    }
+
+    #[test]
+    fn fm_with_reused_workspace_matches_fresh_workspace() {
+        let g = grid_graph(6, 7);
+        let mut ws = Workspace::new();
+        let mut a = greedy_bisection(&g, 21, 3, 4);
+        let mut b = a.clone();
+        let cut_a = fm_refine_with(&g, &mut a, 21, 8, &mut ws);
+        let cut_b = fm_refine(&g, &mut b, 21, 8);
+        assert_eq!(cut_a, cut_b);
+        assert_eq!(a, b);
+        // run again with the warm workspace
+        let mut c = greedy_bisection(&g, 21, 3, 4);
+        let cut_c = fm_refine_with(&g, &mut c, 21, 8, &mut ws);
+        assert_eq!(cut_c, cut_b);
     }
 
     proptest! {

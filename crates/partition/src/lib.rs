@@ -13,9 +13,16 @@
 //! 3. an **initial bisection** by greedy graph growing ([`bisect`]),
 //! 4. **Fiduccia–Mattheyses** boundary refinement ([`fm`]),
 //! 5. **recursive bisection** into parts of exact, arbitrary sizes
-//!    ([`partitioner`]),
+//!    ([`partitioner`]), with the independent halves of every bisection
+//!    executed in parallel (deterministically — see
+//!    [`PartitionConfig::parallel`]),
 //! 6. randomized **k-way pairwise-swap local search** ([`refine`]) mirroring
 //!    the local search VieM applies to the final mapping.
+//!
+//! All per-level scratch lives in a reusable [`Workspace`] threaded through
+//! the pipeline (`*_with` entry points), so a steady-state multilevel run
+//! performs no per-level scratch allocation.  The worker count is controlled
+//! by the `RAYON_NUM_THREADS` environment variable.
 //!
 //! The objective is the (unit- or weighted-) edge cut, which for a
 //! homogeneous two-level machine model (`distance 0:1` in VieM terms) is
@@ -48,10 +55,12 @@ pub mod csr;
 pub mod fm;
 pub mod partitioner;
 pub mod refine;
+pub mod workspace;
 
 pub use csr::Graph;
-pub use partitioner::{partition, PartitionConfig, PartitionError};
+pub use partitioner::{partition, partition_with, PartitionConfig, PartitionError};
 pub use refine::refine_kway;
+pub use workspace::Workspace;
 
 #[cfg(test)]
 pub(crate) mod testutil {

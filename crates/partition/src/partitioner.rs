@@ -5,11 +5,35 @@
 //! → greedy initial bisection → FM refinement projected back through the
 //! hierarchy).  Target part sizes are arbitrary, which is required to respect
 //! heterogeneous node allocations (`n_i` processes per node).
+//!
+//! # Parallelism
+//!
+//! The two halves of every bisection are independent sub-problems; they are
+//! executed with [`rayon::join`] whenever the sub-problem is large enough
+//! ([`PartitionConfig::parallel`], on by default).  Every parallel branch
+//! owns its own [`Workspace`], part assignments are written into disjoint
+//! slots of a shared atomic array, and all seeds derive deterministically
+//! from the parent seed — so the result is **identical for every thread
+//! count** (including fully sequential execution with
+//! `RAYON_NUM_THREADS=1`).
+//!
+//! # Allocation
+//!
+//! All per-level scratch lives in a [`Workspace`] threaded through the
+//! pipeline; a steady-state multilevel run only allocates the retained
+//! outputs (the coarse graphs of the hierarchy and the final assignment).
 
-use crate::bisect::greedy_bisection;
-use crate::coarsen::coarsen_hierarchy;
-use crate::fm::{fm_refine, rebalance};
+use std::sync::atomic::{AtomicU32, Ordering};
+
+use crate::bisect::greedy_bisection_with;
+use crate::coarsen::coarsen_hierarchy_with;
+use crate::fm::{fm_refine_with, rebalance};
+use crate::workspace::Workspace;
 use crate::Graph;
+
+/// Sub-problems below this vertex count are recursed sequentially; spawning a
+/// task (plus its fresh workspace) costs more than the bisection itself.
+const PARALLEL_THRESHOLD: usize = 1 << 11;
 
 /// Configuration of the multilevel partitioner.
 #[derive(Debug, Clone)]
@@ -24,6 +48,10 @@ pub struct PartitionConfig {
     pub bisection_attempts: usize,
     /// Maximum FM passes per level.
     pub fm_passes: usize,
+    /// Whether the independent halves of each bisection may run on separate
+    /// threads.  The result does not depend on this flag (or on the thread
+    /// count); disable it to benchmark the sequential baseline.
+    pub parallel: bool,
 }
 
 impl PartitionConfig {
@@ -35,12 +63,19 @@ impl PartitionConfig {
             coarsen_threshold: 48,
             bisection_attempts: 6,
             fm_passes: 12,
+            parallel: true,
         }
     }
 
     /// Sets the random seed.
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Enables or disables parallel recursion (the result is unaffected).
+    pub fn with_parallel(mut self, parallel: bool) -> Self {
+        self.parallel = parallel;
         self
     }
 }
@@ -80,6 +115,16 @@ impl std::error::Error for PartitionError {}
 /// requested sizes (for unit vertex weights), minimising the edge cut.
 /// Returns the part index of every vertex.
 pub fn partition(graph: &Graph, cfg: &PartitionConfig) -> Result<Vec<u32>, PartitionError> {
+    partition_with(graph, cfg, &mut Workspace::new())
+}
+
+/// [`partition`] with a caller-provided [`Workspace`] (reused by the
+/// sequential spine of the recursion; parallel branches start their own).
+pub fn partition_with(
+    graph: &Graph,
+    cfg: &PartitionConfig,
+    ws: &mut Workspace,
+) -> Result<Vec<u32>, PartitionError> {
     if cfg.target_sizes.is_empty() {
         return Err(PartitionError::NoParts);
     }
@@ -91,26 +136,32 @@ pub fn partition(graph: &Graph, cfg: &PartitionConfig) -> Result<Vec<u32>, Parti
             available,
         });
     }
-    let mut assignment = vec![0u32; graph.num_vertices()];
+    // Parallel branches write disjoint entries; atomics make that shared
+    // write sound without locking (relaxed ordering suffices — the scope
+    // join provides the synchronisation edge).
+    let assignment: Vec<AtomicU32> = (0..graph.num_vertices())
+        .map(|_| AtomicU32::new(0))
+        .collect();
     let all: Vec<u32> = (0..graph.num_vertices() as u32).collect();
     let part_ids: Vec<u32> = (0..cfg.target_sizes.len() as u32).collect();
-    recurse(graph, cfg, &all, &part_ids, &mut assignment, cfg.seed);
-    Ok(assignment)
+    recurse(graph, cfg, all, &part_ids, &assignment, cfg.seed, ws);
+    Ok(assignment.into_iter().map(AtomicU32::into_inner).collect())
 }
 
-/// Recursively bisects the sub-problem consisting of `vertices` (global ids)
-/// and the parts `part_ids` (indices into `cfg.target_sizes`).
+/// Recursively bisects the sub-problem consisting of `vertices` (global ids,
+/// ascending) and the parts `part_ids` (indices into `cfg.target_sizes`).
 fn recurse(
     graph: &Graph,
     cfg: &PartitionConfig,
-    vertices: &[u32],
+    vertices: Vec<u32>,
     part_ids: &[u32],
-    assignment: &mut [u32],
+    assignment: &[AtomicU32],
     seed: u64,
+    ws: &mut Workspace,
 ) {
     if part_ids.len() == 1 {
-        for &v in vertices {
-            assignment[v as usize] = part_ids[0];
+        for &v in &vertices {
+            assignment[v as usize].store(part_ids[0], Ordering::Relaxed);
         }
         return;
     }
@@ -123,82 +174,140 @@ fn recurse(
         .sum();
 
     // build the subgraph induced by `vertices`
-    let (sub, local_to_global) = induced_subgraph(graph, vertices);
+    let sub = induced_subgraph(graph, &vertices, ws);
 
     // multilevel bisection of the subgraph
-    let side = multilevel_bisection(&sub, left_target, cfg, seed);
+    let side = multilevel_bisection(&sub, left_target, cfg, seed, ws);
 
     let mut left_vertices = Vec::new();
     let mut right_vertices = Vec::new();
-    for (local, &global) in local_to_global.iter().enumerate() {
+    for (local, &global) in vertices.iter().enumerate() {
         if side[local] == 0 {
             left_vertices.push(global);
         } else {
             right_vertices.push(global);
         }
     }
-    recurse(
-        graph,
-        cfg,
-        &left_vertices,
-        left_ids,
-        assignment,
-        seed.wrapping_mul(6364136223846793005).wrapping_add(1),
-    );
-    recurse(
-        graph,
-        cfg,
-        &right_vertices,
-        right_ids,
-        assignment,
-        seed.wrapping_mul(6364136223846793005).wrapping_add(2),
-    );
+    drop(vertices);
+
+    let left_seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+    let right_seed = seed.wrapping_mul(6364136223846793005).wrapping_add(2);
+    let big_enough = left_vertices.len().min(right_vertices.len()) >= PARALLEL_THRESHOLD;
+    if cfg.parallel && big_enough {
+        rayon::join(
+            || {
+                recurse(
+                    graph,
+                    cfg,
+                    left_vertices,
+                    left_ids,
+                    assignment,
+                    left_seed,
+                    ws,
+                )
+            },
+            || {
+                let mut right_ws = Workspace::new();
+                recurse(
+                    graph,
+                    cfg,
+                    right_vertices,
+                    right_ids,
+                    assignment,
+                    right_seed,
+                    &mut right_ws,
+                )
+            },
+        );
+    } else {
+        recurse(
+            graph,
+            cfg,
+            left_vertices,
+            left_ids,
+            assignment,
+            left_seed,
+            ws,
+        );
+        recurse(
+            graph,
+            cfg,
+            right_vertices,
+            right_ids,
+            assignment,
+            right_seed,
+            ws,
+        );
+    }
 }
 
 /// Bisects `graph` into parts of weight `target0` / rest using the multilevel
 /// pipeline.
-fn multilevel_bisection(graph: &Graph, target0: u64, cfg: &PartitionConfig, seed: u64) -> Vec<u32> {
-    let levels = coarsen_hierarchy(graph, cfg.coarsen_threshold.max(4), seed);
+fn multilevel_bisection(
+    graph: &Graph,
+    target0: u64,
+    cfg: &PartitionConfig,
+    seed: u64,
+    ws: &mut Workspace,
+) -> Vec<u32> {
+    let levels = coarsen_hierarchy_with(graph, cfg.coarsen_threshold.max(4), seed, ws);
     // initial bisection on the coarsest graph
     let coarsest = levels.last().map(|l| &l.graph).unwrap_or(graph);
-    let mut part = greedy_bisection(coarsest, target0, cfg.bisection_attempts, seed);
+    let mut part = greedy_bisection_with(coarsest, target0, cfg.bisection_attempts, seed, ws);
     rebalance(coarsest, &mut part, target0);
-    fm_refine(coarsest, &mut part, target0, cfg.fm_passes);
+    fm_refine_with(coarsest, &mut part, target0, cfg.fm_passes, ws);
     // project back through the hierarchy, refining at every level
+    let mut finer_part = std::mem::take(&mut ws.part_a);
     for i in (0..levels.len()).rev() {
         let finer: &Graph = if i == 0 { graph } else { &levels[i - 1].graph };
         let mapping = &levels[i].fine_to_coarse;
-        let mut finer_part = vec![0u32; finer.num_vertices()];
-        for v in 0..finer.num_vertices() {
-            finer_part[v] = part[mapping[v] as usize];
-        }
-        fm_refine(finer, &mut finer_part, target0, cfg.fm_passes);
-        part = finer_part;
+        finer_part.clear();
+        finer_part.extend((0..finer.num_vertices()).map(|v| part[mapping[v] as usize]));
+        fm_refine_with(finer, &mut finer_part, target0, cfg.fm_passes, ws);
+        std::mem::swap(&mut part, &mut finer_part);
     }
+    ws.part_a = finer_part;
     part
 }
 
 /// Builds the subgraph induced by `vertices` (edges with both endpoints
-/// inside), returning it together with the local→global id mapping.
-fn induced_subgraph(graph: &Graph, vertices: &[u32]) -> (Graph, Vec<u32>) {
-    let mut global_to_local = vec![u32::MAX; graph.num_vertices()];
-    for (local, &global) in vertices.iter().enumerate() {
-        global_to_local[global as usize] = local as u32;
+/// inside, global ids ascending) directly in CSR form.
+///
+/// The global→local id table persists in the workspace at full graph size and
+/// is cleared lazily (only the entries of the previous induction are reset),
+/// so induction at every recursion node costs `O(|sub| + |edges(sub)|)`.
+fn induced_subgraph(graph: &Graph, vertices: &[u32], ws: &mut Workspace) -> Graph {
+    debug_assert!(vertices.windows(2).all(|w| w[0] < w[1]));
+    if ws.global_to_local.len() != graph.num_vertices() {
+        Workspace::reset(&mut ws.global_to_local, graph.num_vertices(), u32::MAX);
     }
-    let mut edges = Vec::new();
     for (local, &global) in vertices.iter().enumerate() {
+        ws.global_to_local[global as usize] = local as u32;
+    }
+
+    let m = vertices.len();
+    let mut xadj = Vec::with_capacity(m + 1);
+    let mut adjncy = Vec::new();
+    let mut adjwgt = Vec::new();
+    let mut vwgt = Vec::with_capacity(m);
+    xadj.push(0usize);
+    for &global in vertices {
         for (u, w) in graph.edges_of(global as usize) {
-            let lu = global_to_local[u as usize];
-            if lu != u32::MAX && (local as u32) < lu {
-                edges.push((local as u32, lu, w));
+            let lu = ws.global_to_local[u as usize];
+            if lu != u32::MAX {
+                adjncy.push(lu);
+                adjwgt.push(w);
             }
         }
+        xadj.push(adjncy.len());
+        vwgt.push(graph.vertex_weight(global as usize));
     }
-    let mut sub = Graph::from_edges(vertices.len(), &edges);
-    for (local, &global) in vertices.iter().enumerate() {
-        sub.set_vertex_weight(local, graph.vertex_weight(global as usize));
+
+    // lazy reset: only touched entries
+    for &global in vertices {
+        ws.global_to_local[global as usize] = u32::MAX;
     }
-    (sub, vertices.to_vec())
+    Graph::from_csr(xadj, adjncy, adjwgt, vwgt)
 }
 
 #[cfg(test)]
@@ -280,11 +389,15 @@ mod tests {
     #[test]
     fn induced_subgraph_extracts_edges() {
         let g = grid_graph(3, 3);
-        let (sub, map) = induced_subgraph(&g, &[0, 1, 3, 4]);
+        let mut ws = Workspace::new();
+        let sub = induced_subgraph(&g, &[0, 1, 3, 4], &mut ws);
         assert_eq!(sub.num_vertices(), 4);
         // edges inside the 2x2 corner: (0,1), (0,3), (1,4), (3,4)
         assert_eq!(sub.num_edges(), 4);
-        assert_eq!(map, vec![0, 1, 3, 4]);
+        assert!(sub.is_symmetric());
+        // lazy reset leaves the table clean for the next induction
+        let sub2 = induced_subgraph(&g, &[4, 5, 7, 8], &mut ws);
+        assert_eq!(sub2.num_edges(), 4);
     }
 
     #[test]
@@ -295,6 +408,25 @@ mod tests {
         assert_eq!(a, b);
     }
 
+    #[test]
+    fn parallel_and_sequential_agree() {
+        // 48x48 grid (2304 vertices, above the parallel threshold) into 12
+        // parts: the parallel and sequential runs must produce the identical
+        // assignment for the same seed.
+        let g = grid_graph(48, 48);
+        let sizes = vec![192usize; 12];
+        let par = partition(&g, &PartitionConfig::new(sizes.clone()).with_seed(3)).unwrap();
+        let seq = partition(
+            &g,
+            &PartitionConfig::new(sizes)
+                .with_seed(3)
+                .with_parallel(false),
+        )
+        .unwrap();
+        assert_eq!(par, seq);
+        assert_eq!(g.part_weights(&par, 12), vec![192u64; 12]);
+    }
+
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(16))]
         #[test]
@@ -303,7 +435,7 @@ mod tests {
         ) {
             let g = grid_graph(rows, cols);
             let total = (rows * cols) as usize;
-            if total % parts == 0 {
+            if total.is_multiple_of(parts) {
                 let cfg = PartitionConfig::new(vec![total / parts; parts]).with_seed(seed);
                 let assignment = partition(&g, &cfg).unwrap();
                 let w = g.part_weights(&assignment, parts);

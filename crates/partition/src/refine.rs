@@ -42,11 +42,7 @@ pub fn refine_kway(graph: &Graph, part: &mut [u32], rounds: usize, seed: u64) ->
         // Sweep over boundary vertices and greedily swap with the best
         // candidate among the vertices of the parts they communicate with.
         let mut boundary: Vec<usize> = (0..graph.num_vertices())
-            .filter(|&v| {
-                graph
-                    .edges_of(v)
-                    .any(|(u, _)| part[u as usize] != part[v])
-            })
+            .filter(|&v| graph.edges_of(v).any(|(u, _)| part[u as usize] != part[v]))
             .collect();
         boundary.shuffle(&mut rng);
 
@@ -59,7 +55,11 @@ pub fn refine_kway(graph: &Graph, part: &mut [u32], rounds: usize, seed: u64) ->
                 .map(|&u| u as usize)
                 .filter(|&u| part[u] != part[v])
                 .collect();
-            for _ in 0..4 {
+            // 8 random probes per boundary vertex (up from 4 in the original
+            // implementation): the wider candidate pool measurably improves
+            // escape from local optima on grid graphs at a modest cost — the
+            // neighbor candidates still dominate the swap evaluations.
+            for _ in 0..8 {
                 let u = rng.gen_range(0..graph.num_vertices());
                 if part[u] != part[v] {
                     candidates.push(u);
@@ -68,7 +68,7 @@ pub fn refine_kway(graph: &Graph, part: &mut [u32], rounds: usize, seed: u64) ->
             let mut best: Option<(usize, i64)> = None;
             for &u in &candidates {
                 let gain = swap_gain(graph, part, v, u);
-                if gain > 0 && best.map_or(true, |(_, bg)| gain > bg) {
+                if gain > 0 && best.is_none_or(|(_, bg)| gain > bg) {
                     best = Some((u, gain));
                 }
             }
@@ -184,7 +184,12 @@ mod tests {
         part.shuffle(&mut rng);
         let before = g.cut(&part);
         let stats = refine_kway(&g, &mut part, 30, 5);
-        assert!(stats.cut_after < before / 2, "{} -> {}", before, stats.cut_after);
+        assert!(
+            stats.cut_after < before / 2,
+            "{} -> {}",
+            before,
+            stats.cut_after
+        );
         assert_eq!(g.part_weights(&part, 5), vec![20; 5]);
     }
 

@@ -1,0 +1,91 @@
+//! A reusable scratch arena for the multilevel partitioning pipeline.
+//!
+//! Every stage of the pipeline (matching, contraction, graph growing, FM
+//! refinement, subgraph induction) needs a handful of per-vertex scratch
+//! vectors.  Allocating them per level — the seed implementation did — puts
+//! an allocator round-trip in every hot loop.  A [`Workspace`] owns all of
+//! these buffers; they are cleared and resized per use but keep their
+//! capacity, so a full multilevel run performs no per-level scratch
+//! allocation once the buffers have grown to the finest level's size.
+//!
+//! The workspace is deliberately `!Sync`: every parallel branch of the
+//! recursive bisection owns its own workspace (the left branch inherits the
+//! parent's, the right branch starts a fresh one), so no locking is needed
+//! and results stay deterministic.
+//!
+//! Entry points that take a workspace are suffixed `_with`
+//! (e.g. [`crate::partition_with`]); the plain variants allocate a transient
+//! workspace for API compatibility.
+
+/// Scratch buffers shared by all stages of the multilevel pipeline.
+///
+/// See the [module documentation](self) for the reuse contract.  All buffers
+/// are implementation details; user code only constructs the workspace and
+/// threads it through `*_with` entry points.
+#[derive(Debug, Default)]
+pub struct Workspace {
+    /// Vertex visit order for the randomised matching.
+    pub(crate) order: Vec<usize>,
+    /// Matched partner per vertex (taken/returned to avoid double borrows).
+    pub(crate) partner: Vec<u32>,
+    /// Matched flag per vertex.
+    pub(crate) matched: Vec<bool>,
+    /// Members of each coarse vertex, grouped (counting-sort payload).
+    pub(crate) members: Vec<u32>,
+    /// Offsets into `members`, one per coarse vertex (+1).
+    pub(crate) member_offsets: Vec<usize>,
+    /// Row-merge marker per coarse vertex (`u32::MAX` = untouched).
+    pub(crate) marker: Vec<u32>,
+    /// Row-merge weight accumulator per coarse vertex.
+    pub(crate) acc: Vec<u32>,
+    /// Coarse neighbours of the current row.
+    pub(crate) row: Vec<u32>,
+    /// Region membership flags for greedy graph growing.
+    pub(crate) in_region: Vec<bool>,
+    /// Gain per vertex (graph growing and FM refinement).
+    pub(crate) gain: Vec<i64>,
+    /// Frontier vertices for greedy graph growing.
+    pub(crate) frontier: Vec<usize>,
+    /// Candidate partition of the current growing attempt.
+    pub(crate) grow_part: Vec<u32>,
+    /// Locked flag per vertex for FM passes.
+    pub(crate) locked: Vec<bool>,
+    /// Move journal of the current FM pass.
+    pub(crate) moves: Vec<usize>,
+    /// Global→local vertex ids for subgraph induction (full graph size,
+    /// reset lazily: only entries touched by the last induction are cleared).
+    pub(crate) global_to_local: Vec<u32>,
+    /// Ping/pong partition buffer for hierarchy projection.
+    pub(crate) part_a: Vec<u32>,
+}
+
+impl Workspace {
+    /// Creates an empty workspace; buffers grow on first use.
+    pub fn new() -> Self {
+        Workspace::default()
+    }
+
+    /// Clears `buf` and resizes it to `n` copies of `value`, reusing its
+    /// capacity.
+    pub(crate) fn reset<T: Clone>(buf: &mut Vec<T>, n: usize, value: T) {
+        buf.clear();
+        buf.resize(n, value);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reset_reuses_capacity() {
+        let mut ws = Workspace::new();
+        Workspace::reset(&mut ws.gain, 100, 0);
+        assert_eq!(ws.gain.len(), 100);
+        let cap = ws.gain.capacity();
+        Workspace::reset(&mut ws.gain, 50, 7);
+        assert_eq!(ws.gain.len(), 50);
+        assert!(ws.gain.iter().all(|&g| g == 7));
+        assert_eq!(ws.gain.capacity(), cap, "capacity must be retained");
+    }
+}

@@ -21,13 +21,12 @@
 //! traffic), which is exactly the relationship the measurements exhibit.
 
 use crate::machine::Machine;
-use serde::{Deserialize, Serialize};
 use stencil_grid::CartGraph;
 use stencil_mapping::metrics::node_traffic;
 use stencil_mapping::Mapping;
 
 /// Per-node traffic characterisation of one exchange.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct NodeLoad {
     /// Outgoing off-node messages (directed edges leaving the node).
     pub egress_msgs: u64,
@@ -38,7 +37,7 @@ pub struct NodeLoad {
 }
 
 /// Breakdown of the simulated exchange time.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ExchangeBreakdown {
     /// Time of the slowest node's NIC component in seconds.
     pub inter_node: f64,
@@ -115,7 +114,8 @@ impl ExchangeModel {
             let bytes_out = l.egress_msgs as f64 * m;
             let bytes_in = l.ingress_msgs as f64 * m;
             let msgs = l.egress_msgs.max(l.ingress_msgs) as f64;
-            let t_inter = mach.inter_msg_overhead * msgs + bytes_out.max(bytes_in) / mach.node_bandwidth;
+            let t_inter =
+                mach.inter_msg_overhead * msgs + bytes_out.max(bytes_in) / mach.node_bandwidth;
             let t_intra = mach.intra_msg_overhead * l.intra_msgs as f64
                 + l.intra_msgs as f64 * m / mach.intra_bandwidth;
             inter_node = inter_node.max(t_inter);

@@ -10,10 +10,9 @@
 //! points, saturation at large messages) is what the simulation reproduces.
 
 use crate::topology::FatTree;
-use serde::{Deserialize, Serialize};
 
 /// An HPC machine model: node architecture plus interconnect parameters.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Machine {
     /// Human-readable machine name.
     pub name: String,

@@ -14,12 +14,11 @@ use crate::stats::Summary;
 use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
-use serde::{Deserialize, Serialize};
 use stencil_grid::CartGraph;
 use stencil_mapping::Mapping;
 
 /// Configuration of the repeated measurement.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Measurement {
     /// Number of repetitions (the paper uses 200).
     pub repetitions: usize,
@@ -93,7 +92,7 @@ impl Measurement {
 }
 
 /// One measured exchange: machine, algorithm, message size and the summary.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MeasuredExchange {
     /// Machine name.
     pub machine: String,

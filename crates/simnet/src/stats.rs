@@ -2,8 +2,6 @@
 //! intervals and inter-quartile-range outlier removal (Section VI-B/VI-C of
 //! the paper).
 
-use serde::{Deserialize, Serialize};
-
 /// Arithmetic mean of a sample (0 for an empty sample).
 pub fn mean(values: &[f64]) -> f64 {
     if values.is_empty() {
@@ -90,7 +88,7 @@ pub fn ci95_median(values: &[f64]) -> f64 {
 }
 
 /// Summary statistics of one sample.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Summary {
     /// Number of retained observations.
     pub n: usize,
@@ -132,7 +130,10 @@ impl Summary {
     /// Whether the 95% CIs of the medians of two summaries overlap; when they
     /// do not, the paper treats the difference as statistically significant.
     pub fn median_ci_overlaps(&self, other: &Summary) -> bool {
-        let (a_lo, a_hi) = (self.median - self.median_ci95, self.median + self.median_ci95);
+        let (a_lo, a_hi) = (
+            self.median - self.median_ci95,
+            self.median + self.median_ci95,
+        );
         let (b_lo, b_hi) = (
             other.median - other.median_ci95,
             other.median + other.median_ci95,

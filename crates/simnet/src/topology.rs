@@ -8,11 +8,9 @@
 //! uses the switch; traffic between different leaf switches competes for the
 //! uplinks.
 
-use serde::{Deserialize, Serialize};
-
 /// A two-level fat tree described by its leaf-switch radix and the
 /// oversubscription (blocking/pruning) factor of the uplinks.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FatTree {
     /// Number of compute nodes attached to one leaf switch.
     pub nodes_per_switch: usize,
@@ -25,7 +23,10 @@ impl FatTree {
     /// Creates a fat tree model.
     pub fn new(nodes_per_switch: usize, oversubscription: f64) -> Self {
         assert!(nodes_per_switch > 0, "a switch connects at least one node");
-        assert!(oversubscription >= 1.0, "oversubscription factor must be >= 1");
+        assert!(
+            oversubscription >= 1.0,
+            "oversubscription factor must be >= 1"
+        );
         FatTree {
             nodes_per_switch,
             oversubscription,
@@ -105,9 +106,7 @@ mod tests {
     fn uplink_bandwidth_reflects_oversubscription() {
         let non_blocking = FatTree::new(32, 1.0);
         let blocking = FatTree::new(32, 2.0);
-        assert!(
-            (non_blocking.uplink_bandwidth(1e9) - 32e9).abs() < 1.0
-        );
+        assert!((non_blocking.uplink_bandwidth(1e9) - 32e9).abs() < 1.0);
         assert!((blocking.uplink_bandwidth(1e9) - 16e9).abs() < 1.0);
     }
 

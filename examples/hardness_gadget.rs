@@ -23,7 +23,11 @@ fn main() {
     // The instance from Fig. 3 of the paper.
     let multiset: Vec<usize> = vec![6, 3, 3, 2, 2, 2];
     let total: usize = multiset.iter().sum();
-    assert_eq!(total % 3, 0, "a 3-WAY-PARTITION instance needs Σ divisible by 3");
+    assert_eq!(
+        total % 3,
+        0,
+        "a 3-WAY-PARTITION instance needs Σ divisible by 3"
+    );
     let column_height = total / 3;
 
     // GRID-PARTITION instance: grid [Σ/3, 3], communication along dim 0 only.

@@ -86,8 +86,7 @@ fn main() {
             .iter()
             .zip(&field)
             .map(|(a, b)| (a - b).abs())
-            .fold(0.0f64, f64::max)
-            ;
+            .fold(0.0f64, f64::max);
         println!(
             "{:?}: max deviation from the non-reordered run = {:.3e} (must be ~0)",
             alg, max_diff
@@ -108,7 +107,10 @@ fn main() {
     println!("\nCommunication cost of the halo exchange (64 KiB per neighbor):");
     for (name, mapping) in [
         ("Blocked", blocked.clone()),
-        ("Hyperplane", Hyperplane::default().compute(&problem).unwrap()),
+        (
+            "Hyperplane",
+            Hyperplane::default().compute(&problem).unwrap(),
+        ),
         ("k-d Tree", KdTree.compute(&problem).unwrap()),
         ("Stencil Strips", StencilStrips.compute(&problem).unwrap()),
     ] {

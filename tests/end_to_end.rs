@@ -194,7 +194,11 @@ fn heterogeneous_allocation_pipeline() {
         Box::new(GraphMapper::with_seed(9)),
     ] {
         let mapping = mapper.compute(&problem).unwrap();
-        assert!(mapping.respects_allocation(problem.alloc()), "{}", mapper.name());
+        assert!(
+            mapping.respects_allocation(problem.alloc()),
+            "{}",
+            mapper.name()
+        );
         let cost = metrics::evaluate(&graph, &mapping);
         assert!(
             cost.j_sum <= blocked.j_sum,

@@ -12,7 +12,7 @@ fn arbitrary_problem(
     stencil_choice: u8,
 ) -> Option<MappingProblem> {
     let p = d0 * d1;
-    if p % groups != 0 {
+    if !p.is_multiple_of(groups) {
         return None;
     }
     let stencil = match stencil_choice % 3 {

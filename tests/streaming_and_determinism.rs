@@ -1,0 +1,191 @@
+//! Property tests for the parallel mapping engine:
+//!
+//! * the streaming metrics evaluator (no graph materialisation) agrees bit
+//!   for bit with the CSR evaluator on random grids and stencils, periodic
+//!   and non-periodic,
+//! * the chunked parallel mapping computation agrees with the rank-local
+//!   definition (`remap_rank`) for every rank,
+//! * the parallel and sequential multilevel partitioner produce identical
+//!   results for the same seed.
+
+use proptest::prelude::*;
+use stencilmap::partition::{partition, Graph, PartitionConfig};
+use stencilmap::prelude::*;
+
+fn stencil_for(ndims: usize, choice: u8) -> Stencil {
+    match choice % 3 {
+        0 => Stencil::nearest_neighbor(ndims),
+        1 => Stencil::nearest_neighbor_with_hops(ndims),
+        _ => {
+            if ndims >= 2 {
+                Stencil::component(ndims)
+            } else {
+                Stencil::nearest_neighbor(ndims)
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Streaming and CSR evaluation agree exactly on the paper stencils, for
+    /// arbitrary grids, node counts and boundary conditions.
+    #[test]
+    fn streaming_metrics_equal_csr_metrics(
+        sizes in proptest::collection::vec(1usize..8, 2..4),
+        stencil_choice in 0u8..3,
+        periodic in proptest::bool::ANY,
+        groups in 1usize..7,
+    ) {
+        let p: usize = sizes.iter().product();
+        if p.is_multiple_of(groups) {
+            let dims = Dims::new(sizes).unwrap();
+            let stencil = stencil_for(dims.ndims(), stencil_choice);
+            let problem = MappingProblem::with_periodicity(
+                dims,
+                stencil,
+                NodeAllocation::homogeneous(groups, p / groups),
+                periodic,
+            )
+            .unwrap();
+            let graph = CartGraph::build(problem.dims(), problem.stencil(), periodic);
+            for mapping in [
+                Blocked.compute(&problem).unwrap(),
+                KdTree.compute(&problem).unwrap(),
+                RandomMapping::with_seed(9).compute(&problem).unwrap(),
+            ] {
+                let csr = metrics::evaluate(&graph, &mapping);
+                let streaming = metrics::evaluate_streaming(
+                    problem.dims(),
+                    problem.stencil(),
+                    periodic,
+                    &mapping,
+                );
+                prop_assert_eq!(&csr, &streaming);
+            }
+        }
+    }
+
+    /// Streaming evaluation also agrees on arbitrary (random-offset)
+    /// stencils, not just the paper's three families.
+    #[test]
+    fn streaming_metrics_equal_csr_on_random_stencils(
+        d0 in 1usize..7,
+        d1 in 1usize..7,
+        raw in proptest::collection::vec(-3i64..4, 2..12),
+        periodic in proptest::bool::ANY,
+    ) {
+        let usable = raw.len() - raw.len() % 2;
+        if usable >= 2 {
+            if let Ok(stencil) = Stencil::from_flat(2, &raw[..usable]) {
+                let p = d0 * d1;
+                let problem = MappingProblem::with_periodicity(
+                    Dims::from_slice(&[d0, d1]),
+                    stencil,
+                    NodeAllocation::homogeneous(1, p),
+                    periodic,
+                )
+                .unwrap();
+                let graph = CartGraph::build(problem.dims(), problem.stencil(), periodic);
+                let mapping = Blocked.compute(&problem).unwrap();
+                let csr = metrics::evaluate(&graph, &mapping);
+                let streaming = metrics::evaluate_streaming(
+                    problem.dims(),
+                    problem.stencil(),
+                    periodic,
+                    &mapping,
+                );
+                prop_assert_eq!(&csr, &streaming);
+            }
+        }
+    }
+
+    /// The chunked parallel full-mapping computation matches the rank-local
+    /// definition for every rank (and is therefore independent of chunking
+    /// and thread count).
+    #[test]
+    fn parallel_mapping_matches_rank_local_definition(
+        d0 in 2usize..10,
+        d1 in 2usize..10,
+        groups in 1usize..6,
+        alg in 0u8..3,
+    ) {
+        let p = d0 * d1;
+        if p % groups == 0 {
+            let problem = MappingProblem::new(
+                Dims::from_slice(&[d0, d1]),
+                Stencil::nearest_neighbor(2),
+                NodeAllocation::homogeneous(groups, p / groups),
+            )
+            .unwrap();
+            let mapper: Box<dyn Mapper> = match alg % 3 {
+                0 => Box::new(Hyperplane::default()),
+                1 => Box::new(KdTree),
+                _ => Box::new(StencilStrips),
+            };
+            let mapping = mapper.compute(&problem).unwrap();
+            let rank_local: Vec<usize> = (0..p)
+                .map(|r| match alg % 3 {
+                    0 => problem.dims().rank_of(&RankLocalMapper::remap_rank(
+                        &Hyperplane::default(), &problem, r)),
+                    1 => problem.dims().rank_of(&RankLocalMapper::remap_rank(&KdTree, &problem, r)),
+                    _ => problem.dims().rank_of(&RankLocalMapper::remap_rank(
+                        &StencilStrips, &problem, r)),
+                })
+                .collect();
+            prop_assert_eq!(mapping.position_of_rank_slice(), &rank_local[..]);
+        }
+    }
+
+    /// Parallel and sequential partitioner runs with the same seed produce
+    /// identical assignments.
+    #[test]
+    fn partitioner_parallel_matches_sequential(
+        rows in 2u32..8,
+        cols in 2u32..8,
+        parts in 2usize..5,
+        seed in 0u64..10,
+    ) {
+        let mut edges = Vec::new();
+        for r in 0..rows {
+            for c in 0..cols {
+                let v = r * cols + c;
+                if c + 1 < cols {
+                    edges.push((v, v + 1, 1));
+                }
+                if r + 1 < rows {
+                    edges.push((v, v + cols, 1));
+                }
+            }
+        }
+        let g = Graph::from_edges((rows * cols) as usize, &edges);
+        let total = (rows * cols) as usize;
+        if total.is_multiple_of(parts) {
+            let sizes = vec![total / parts; parts];
+            let par = partition(&g, &PartitionConfig::new(sizes.clone()).with_seed(seed)).unwrap();
+            let seq = partition(
+                &g,
+                &PartitionConfig::new(sizes).with_seed(seed).with_parallel(false),
+            )
+            .unwrap();
+            prop_assert_eq!(par, seq);
+        }
+    }
+}
+
+/// Same-seed determinism of the full VieM-style pipeline on an instance large
+/// enough (4800 vertices) to take the genuinely parallel recursion path.
+#[test]
+fn graph_mapper_parallel_path_is_deterministic() {
+    let problem = MappingProblem::new(
+        Dims::from_slice(&[80, 60]),
+        Stencil::nearest_neighbor(2),
+        NodeAllocation::homogeneous(40, 120),
+    )
+    .unwrap();
+    let a = GraphMapper::with_effort(5, 0).compute(&problem).unwrap();
+    let b = GraphMapper::with_effort(5, 0).compute(&problem).unwrap();
+    assert_eq!(a, b);
+    assert!(a.respects_allocation(problem.alloc()));
+}

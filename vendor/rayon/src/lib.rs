@@ -1,0 +1,459 @@
+//! A vendored, dependency-free subset of the [rayon](https://docs.rs/rayon)
+//! API implemented on `std::thread::scope`.
+//!
+//! This workspace builds in fully offline environments, so the real rayon
+//! crate cannot be fetched; this crate provides the small slice of its API the
+//! workspace actually uses, with genuine data parallelism:
+//!
+//! * [`join`] — potentially-parallel execution of two closures,
+//! * [`prelude`] — `par_iter` / `into_par_iter` / `par_chunks_mut` style
+//!   adapters over slices, vectors and ranges (eager, order-preserving),
+//! * [`current_num_threads`] — the configured worker count.
+//!
+//! # Thread count
+//!
+//! The worker count is read once from the `RAYON_NUM_THREADS` environment
+//! variable (like rayon's global pool) and defaults to
+//! [`std::thread::available_parallelism`].  Setting `RAYON_NUM_THREADS=1`
+//! makes every operation run sequentially on the calling thread.
+//!
+//! A global "extra thread" budget of `current_num_threads() - 1` bounds the
+//! total number of worker threads alive at any moment, so nested parallelism
+//! (e.g. parallel recursive bisection inside a parallel instance sweep)
+//! degrades gracefully to sequential execution instead of oversubscribing.
+//!
+//! # Determinism
+//!
+//! All adapters preserve input order and assign work by position, never by
+//! arrival time, so results are identical for every thread count.
+
+use std::sync::atomic::{AtomicIsize, Ordering};
+use std::sync::OnceLock;
+
+/// The number of worker threads (`RAYON_NUM_THREADS`, defaulting to the
+/// available parallelism). Always at least 1.
+pub fn current_num_threads() -> usize {
+    static N: OnceLock<usize> = OnceLock::new();
+    *N.get_or_init(|| {
+        std::env::var("RAYON_NUM_THREADS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            })
+    })
+}
+
+fn budget() -> &'static AtomicIsize {
+    static B: OnceLock<AtomicIsize> = OnceLock::new();
+    B.get_or_init(|| AtomicIsize::new(current_num_threads() as isize - 1))
+}
+
+/// Tries to reserve `want` extra worker threads; returns how many were
+/// granted (possibly 0).
+fn acquire_threads(want: usize) -> usize {
+    let b = budget();
+    let mut granted = 0usize;
+    while granted < want {
+        let cur = b.load(Ordering::Relaxed);
+        if cur <= 0 {
+            break;
+        }
+        if b.compare_exchange(cur, cur - 1, Ordering::Relaxed, Ordering::Relaxed)
+            .is_ok()
+        {
+            granted += 1;
+        }
+    }
+    granted
+}
+
+fn release_threads(n: usize) {
+    if n > 0 {
+        budget().fetch_add(n as isize, Ordering::Relaxed);
+    }
+}
+
+/// Returns the reserved threads to the budget on drop, so a panicking
+/// closure inside a parallel region cannot permanently drain the budget
+/// (which would silently degrade all later parallel calls to sequential).
+struct BudgetGuard(usize);
+
+impl Drop for BudgetGuard {
+    fn drop(&mut self) {
+        release_threads(self.0);
+    }
+}
+
+/// Runs `oper_a` and `oper_b`, potentially in parallel, and returns both
+/// results. Mirrors `rayon::join`: `oper_b` runs on a second thread when one
+/// is available, otherwise both run sequentially on the calling thread.
+pub fn join<A, B, RA, RB>(oper_a: A, oper_b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if acquire_threads(1) == 1 {
+        let _guard = BudgetGuard(1);
+        std::thread::scope(|scope| {
+            let handle = scope.spawn(oper_b);
+            let ra = oper_a();
+            let rb = handle.join().expect("rayon::join worker panicked");
+            (ra, rb)
+        })
+    } else {
+        (oper_a(), oper_b())
+    }
+}
+
+/// Applies `f` to every element of `items` using up to
+/// [`current_num_threads`] threads, preserving order.
+fn parallel_map_vec<T, U, F>(items: Vec<T>, f: F) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    F: Fn(T) -> U + Sync,
+{
+    let n = items.len();
+    if n <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let workers = acquire_threads((current_num_threads() - 1).min(n - 1));
+    if workers == 0 {
+        return items.into_iter().map(f).collect();
+    }
+    let _guard = BudgetGuard(workers);
+    let chunks = split_owned(items, workers + 1);
+    let f = &f;
+    let mut out: Vec<Vec<U>> = std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(chunks.len());
+        let mut iter = chunks.into_iter();
+        let first = iter.next().expect("at least one chunk");
+        for chunk in iter {
+            handles.push(scope.spawn(move || chunk.into_iter().map(f).collect::<Vec<U>>()));
+        }
+        let mut results = vec![first.into_iter().map(f).collect::<Vec<U>>()];
+        for h in handles {
+            results.push(h.join().expect("parallel map worker panicked"));
+        }
+        results
+    });
+    // the first chunk ran on the calling thread but is first in input order
+    let mut flat = Vec::with_capacity(out.iter().map(Vec::len).sum());
+    for v in &mut out {
+        flat.append(v);
+    }
+    flat
+}
+
+/// Splits a vector into at most `parts` contiguous owned chunks.
+fn split_owned<T>(mut items: Vec<T>, parts: usize) -> Vec<Vec<T>> {
+    let n = items.len();
+    let parts = parts.clamp(1, n.max(1));
+    let base = n / parts;
+    let rem = n % parts;
+    let mut out = Vec::with_capacity(parts);
+    // split from the back so each split_off is O(chunk)
+    let mut sizes: Vec<usize> = (0..parts).map(|i| base + usize::from(i < rem)).collect();
+    while sizes.len() > 1 {
+        let last = sizes.pop().expect("non-empty");
+        let at = items.len() - last;
+        out.push(items.split_off(at));
+    }
+    out.push(items);
+    out.reverse();
+    out
+}
+
+/// An eager, order-preserving parallel iterator over owned items.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    /// Applies `f` to every item in parallel.
+    pub fn map<U: Send, F: Fn(T) -> U + Sync>(self, f: F) -> ParIter<U> {
+        ParIter {
+            items: parallel_map_vec(self.items, f),
+        }
+    }
+
+    /// Applies `f` (returning a serial iterator) to every item in parallel
+    /// and concatenates the results in input order.
+    pub fn flat_map_iter<U, I, F>(self, f: F) -> ParIter<U>
+    where
+        U: Send,
+        I: IntoIterator<Item = U>,
+        F: Fn(T) -> I + Sync,
+    {
+        let nested = parallel_map_vec(self.items, |t| f(t).into_iter().collect::<Vec<U>>());
+        ParIter {
+            items: nested.into_iter().flatten().collect(),
+        }
+    }
+
+    /// Keeps the items for which `f` returns true.
+    pub fn filter<F: Fn(&T) -> bool + Sync>(self, f: F) -> ParIter<T> {
+        let nested = parallel_map_vec(self.items, |t| if f(&t) { Some(t) } else { None });
+        ParIter {
+            items: nested.into_iter().flatten().collect(),
+        }
+    }
+
+    /// Runs `f` on every item in parallel.
+    pub fn for_each<F: Fn(T) + Sync>(self, f: F) {
+        parallel_map_vec(self.items, |t| {
+            f(t);
+        });
+    }
+
+    /// Pairs every item with its position (order-preserving).
+    pub fn enumerate(self) -> ParIter<(usize, T)> {
+        ParIter {
+            items: self.items.into_iter().enumerate().collect(),
+        }
+    }
+
+    /// Collects the items into any `FromIterator` collection.
+    pub fn collect<C: FromIterator<T>>(self) -> C {
+        self.items.into_iter().collect()
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the iterator is empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+}
+
+/// A parallel iterator over an index range, chunked without materialising the
+/// indices.
+pub struct ParRange {
+    start: usize,
+    end: usize,
+}
+
+impl ParRange {
+    /// Applies `f` to every index in parallel, preserving order.
+    pub fn map<U: Send, F: Fn(usize) -> U + Sync>(self, f: F) -> ParIter<U> {
+        let n = self.end.saturating_sub(self.start);
+        if n <= 1 {
+            return ParIter {
+                items: (self.start..self.end).map(f).collect(),
+            };
+        }
+        let workers = acquire_threads((current_num_threads() - 1).min(n - 1));
+        if workers == 0 {
+            return ParIter {
+                items: (self.start..self.end).map(f).collect(),
+            };
+        }
+        let _guard = BudgetGuard(workers);
+        let parts = workers + 1;
+        let base = n / parts;
+        let rem = n % parts;
+        let mut bounds = Vec::with_capacity(parts + 1);
+        let mut acc = self.start;
+        bounds.push(acc);
+        for i in 0..parts {
+            acc += base + usize::from(i < rem);
+            bounds.push(acc);
+        }
+        let f = &f;
+        let mut out: Vec<Vec<U>> = std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(parts - 1);
+            for w in 1..parts {
+                let (lo, hi) = (bounds[w], bounds[w + 1]);
+                handles.push(scope.spawn(move || (lo..hi).map(f).collect::<Vec<U>>()));
+            }
+            let mut results = vec![(bounds[0]..bounds[1]).map(f).collect::<Vec<U>>()];
+            for h in handles {
+                results.push(h.join().expect("parallel range worker panicked"));
+            }
+            results
+        });
+        let mut flat = Vec::with_capacity(n);
+        for v in &mut out {
+            flat.append(v);
+        }
+        ParIter { items: flat }
+    }
+
+    /// Runs `f` on every index in parallel.
+    pub fn for_each<F: Fn(usize) + Sync>(self, f: F) {
+        self.map(|i| {
+            f(i);
+        });
+    }
+}
+
+/// Conversion into a parallel iterator (owned items).
+pub trait IntoParallelIterator {
+    /// The produced parallel iterator.
+    type Iter;
+    /// Converts `self` into a parallel iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Iter = ParRange;
+    fn into_par_iter(self) -> ParRange {
+        ParRange {
+            start: self.start,
+            end: self.end,
+        }
+    }
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Iter = ParIter<T>;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+/// Borrowing conversion into a parallel iterator (`par_iter`).
+pub trait IntoParallelRefIterator<'a> {
+    /// Borrowed item type.
+    type Item: Send + 'a;
+    /// Converts `&self` into a parallel iterator over references.
+    fn par_iter(&'a self) -> ParIter<Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+/// Parallel operations over mutable slices.
+pub trait ParallelSliceMut<T: Send> {
+    /// Splits the slice into contiguous chunks of at most `chunk_size`
+    /// elements and exposes them as a parallel iterator, preserving order.
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<&mut [T]>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<&mut [T]> {
+        assert!(chunk_size > 0, "chunk size must be positive");
+        ParIter {
+            items: self.chunks_mut(chunk_size).collect(),
+        }
+    }
+}
+
+/// Glob-import the adapter traits, mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParallelSliceMut};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn join_returns_both_results() {
+        let (a, b) = join(|| 1 + 1, || "x".to_string());
+        assert_eq!(a, 2);
+        assert_eq!(b, "x");
+    }
+
+    #[test]
+    fn nested_joins_do_not_deadlock() {
+        let (a, (b, c)) = join(|| join(|| 1, || 2), || join(|| 3, || 4));
+        assert_eq!((a, (b, c)), ((1, 2), (3, 4)));
+    }
+
+    #[test]
+    fn range_map_preserves_order() {
+        let out: Vec<usize> = (0..1000).into_par_iter().map(|i| i * 2).collect();
+        assert_eq!(out, (0..1000).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn slice_par_iter_flat_map_preserves_order() {
+        let v = vec![1usize, 2, 3];
+        let out: Vec<usize> = v.par_iter().flat_map_iter(|&x| vec![x, x * 10]).collect();
+        assert_eq!(out, vec![1, 10, 2, 20, 3, 30]);
+    }
+
+    #[test]
+    fn par_chunks_mut_touches_every_element_once() {
+        let mut v = vec![0u32; 97];
+        v.par_chunks_mut(10).for_each(|chunk| {
+            for x in chunk {
+                *x += 1;
+            }
+        });
+        assert!(v.iter().all(|&x| x == 1));
+    }
+
+    #[test]
+    fn filter_preserves_order() {
+        let out: Vec<usize> = (0..100)
+            .into_par_iter()
+            .map(|i| i)
+            .filter(|&i| i % 7 == 0)
+            .collect();
+        assert_eq!(out, (0..100).filter(|i| i % 7 == 0).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn split_owned_covers_all_items() {
+        let chunks = split_owned((0..10).collect::<Vec<_>>(), 3);
+        assert_eq!(chunks.concat(), (0..10).collect::<Vec<_>>());
+        let chunks = split_owned(Vec::<u8>::new(), 4);
+        assert_eq!(chunks.len(), 1);
+    }
+
+    #[test]
+    fn current_num_threads_is_positive() {
+        assert!(current_num_threads() >= 1);
+    }
+
+    #[test]
+    fn budget_recovers_after_a_panicking_closure() {
+        // a panic inside a parallel region must not leak reserved threads
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            (0..64)
+                .into_par_iter()
+                .map(|i| if i == 32 { panic!("boom") } else { i })
+                .collect::<Vec<_>>()
+        }));
+        assert!(result.is_err());
+        // other tests of this binary may hold budget concurrently; wait for
+        // quiescence instead of asserting an instantaneous value
+        let expected = current_num_threads() as isize - 1;
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        while budget().load(Ordering::Relaxed) != expected && std::time::Instant::now() < deadline {
+            std::thread::yield_now();
+        }
+        assert_eq!(
+            budget().load(Ordering::Relaxed),
+            expected,
+            "thread budget must be fully restored after a panic"
+        );
+    }
+}
