@@ -4,7 +4,9 @@
 //! documents).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use graph_partition::{partition, refine_kway, Graph, PartitionConfig};
+use graph_partition::{
+    partition, refine_kway, refine_kway_with, Graph, PartitionConfig, RefineConfig,
+};
 use std::time::Duration;
 use stencil_bench::paper_throughput_instance;
 use stencil_grid::CartGraph;
@@ -63,6 +65,18 @@ fn kway_refinement(c: &mut Criterion) {
             },
         );
     }
+    // the sequential sweep produces the identical partition; benchmarking it
+    // alongside the parallel default exposes the coordination overhead
+    group.bench_function("4_rounds_sequential", |b| {
+        b.iter(|| {
+            let mut parts = base.clone();
+            refine_kway_with(
+                &graph,
+                &mut parts,
+                &RefineConfig::new(4, 7).with_parallel(false),
+            )
+        })
+    });
     group.finish();
 }
 

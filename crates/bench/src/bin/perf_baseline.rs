@@ -154,6 +154,42 @@ fn main() {
         part_problem.num_processes()
     );
 
+    // --- large-scale partitioning: p = 100_000, single core -----------------
+    // The paper targets node-aware mappings at p >= 10^5; the bucket-queue FM
+    // keeps the VieM-style baseline usable there.  Skipped with --quick.
+    let large = (!quick).then(|| {
+        let (nodes, per) = (1000usize, 100usize);
+        let dims = dims_create(nodes * per, 2);
+        let large_problem = MappingProblem::new(
+            Dims::new(dims).expect("valid dims"),
+            Stencil::nearest_neighbor(2),
+            NodeAllocation::homogeneous(nodes, per),
+        )
+        .expect("consistent large instance");
+        let cart = CartGraph::build(large_problem.dims(), large_problem.stencil(), false);
+        let graph = Graph::from_directed_csr(cart.xadj(), cart.adjncy());
+        let sizes: Vec<usize> = large_problem.alloc().sizes().to_vec();
+        let mut best = f64::INFINITY;
+        for _ in 0..2 {
+            let start = Instant::now();
+            std::hint::black_box(
+                partition(
+                    &graph,
+                    &PartitionConfig::new(sizes.clone())
+                        .with_seed(1)
+                        .with_parallel(false),
+                )
+                .unwrap(),
+            );
+            best = best.min(start.elapsed().as_secs_f64());
+        }
+        eprintln!(
+            "  partitioner p={} (k={nodes}): sequential {best:.6}s",
+            large_problem.num_processes()
+        );
+        (large_problem.num_processes(), nodes, best)
+    });
+
     let doc = Json::obj(vec![
         ("schema", Json::str("stencilmap/perf-baseline/v1")),
         ("threads", Json::Num(rayon::current_num_threads() as f64)),
@@ -185,6 +221,17 @@ fn main() {
                 ("parallel_s", Json::Num(par_s)),
                 ("sequential_s", Json::Num(seq_s)),
             ]),
+        ),
+        (
+            "partitioner_large",
+            match large {
+                Some((p, parts, s)) => Json::obj(vec![
+                    ("processes", Json::Num(p as f64)),
+                    ("parts", Json::Num(parts as f64)),
+                    ("single_core_s", Json::Num(s)),
+                ]),
+                None => Json::Null,
+            },
         ),
     ]);
     std::fs::write(&out_path, doc.pretty()).unwrap_or_else(|e| {

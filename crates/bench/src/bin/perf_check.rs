@@ -1,0 +1,67 @@
+//! CI perf-regression gate: compares a freshly measured `BENCH_mapping.json`
+//! against the committed baseline and fails when multilevel partitioning has
+//! regressed beyond the allowed budget.
+//!
+//! ```text
+//! cargo run --release -p stencil-bench --bin perf_check -- \
+//!     --baseline BENCH_mapping.json --current BENCH_mapping.current.json \
+//!     [--max-regression 0.25]
+//! ```
+
+use stencil_bench::perfcheck::check_partitioner;
+
+fn arg_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let baseline_path = arg_value(&args, "--baseline").unwrap_or_else(|| {
+        eprintln!("usage: perf_check --baseline <json> --current <json> [--max-regression 0.25]");
+        std::process::exit(2);
+    });
+    let current_path = arg_value(&args, "--current").unwrap_or_else(|| {
+        eprintln!("usage: perf_check --baseline <json> --current <json> [--max-regression 0.25]");
+        std::process::exit(2);
+    });
+    let max_regression: f64 = arg_value(&args, "--max-regression")
+        .map(|v| v.parse().expect("--max-regression must be a number"))
+        .unwrap_or(0.25);
+
+    let read = |path: &str| -> String {
+        std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("perf_check: cannot read {path}: {e}");
+            std::process::exit(2);
+        })
+    };
+    let baseline = read(&baseline_path);
+    let current = read(&current_path);
+
+    match check_partitioner(&baseline, &current, max_regression) {
+        Ok(outcomes) => {
+            eprintln!(
+                "perf_check: {} vs {} (budget {:.0}%)",
+                current_path,
+                baseline_path,
+                max_regression * 100.0
+            );
+            let mut failed = false;
+            for o in &outcomes {
+                eprintln!("  {}", o.render());
+                failed |= !o.ok;
+            }
+            if failed {
+                eprintln!("perf_check: FAILED — partitioner regressed beyond the budget");
+                std::process::exit(1);
+            }
+            eprintln!("perf_check: ok");
+        }
+        Err(msg) => {
+            eprintln!("perf_check: {msg}");
+            std::process::exit(2);
+        }
+    }
+}

@@ -11,6 +11,7 @@
 #![deny(rustdoc::broken_intra_doc_links)]
 
 pub mod figures;
+pub mod perfcheck;
 pub mod report;
 pub mod timing;
 

@@ -1,0 +1,205 @@
+//! Perf-regression gate over `BENCH_mapping.json` documents.
+//!
+//! CI runs [`perf_baseline`](../bin/perf_baseline.rs) and compares the fresh
+//! timings against the committed baseline with [`check_partitioner`]: the
+//! build fails when multilevel partitioning regresses by more than the
+//! allowed fraction.  The comparison deliberately reads only the partitioner
+//! sections — instantiation timings at sub-millisecond scale are too noisy
+//! to gate on.
+
+/// One compared timing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CheckOutcome {
+    /// Human-readable metric label, e.g. `partitioner.parallel_s`.
+    pub label: String,
+    /// Committed baseline value in seconds.
+    pub baseline_s: f64,
+    /// Freshly measured value in seconds.
+    pub current_s: f64,
+    /// Whether the current value is within the allowed regression.
+    pub ok: bool,
+}
+
+impl CheckOutcome {
+    /// Formats the outcome as one report line.
+    pub fn render(&self) -> String {
+        format!(
+            "{:<34} baseline {:>10.6}s, current {:>10.6}s ({:+6.1}%) {}",
+            self.label,
+            self.baseline_s,
+            self.current_s,
+            (self.current_s / self.baseline_s - 1.0) * 100.0,
+            if self.ok { "ok" } else { "REGRESSION" }
+        )
+    }
+}
+
+/// Extracts the number stored under `key` within the flat object stored under
+/// the first occurrence of `"section"` in a JSON document produced by
+/// [`crate::report::json::Json::pretty`].  Returns `None` when the section is
+/// absent, holds no object (`"partitioner_large": null` in `--quick` runs),
+/// or does not itself contain `key` — the search never leaks into later
+/// sections.
+pub fn extract_number(json: &str, section: &str, key: &str) -> Option<f64> {
+    let sec_pos = json.find(&format!("\"{section}\""))?;
+    let tail = &json[sec_pos..];
+    let colon = tail.find(':')?;
+    let value = tail[colon + 1..].trim_start();
+    // the section must hold an object; our sections are flat, so it ends at
+    // the first closing brace
+    let body = value.strip_prefix('{')?;
+    let body = &body[..body.find('}')?];
+    let key_pos = body.find(&format!("\"{key}\""))?;
+    let after_key = &body[key_pos..];
+    let colon = after_key.find(':')?;
+    let value = after_key[colon + 1..]
+        .trim_start()
+        .split([',', '\n'])
+        .next()?
+        .trim();
+    value.parse().ok()
+}
+
+/// Compares the partitioner timings of two `BENCH_mapping.json` documents.
+///
+/// `max_regression` is the allowed fractional slowdown (0.25 = 25%).  The
+/// process counts of both documents must agree, otherwise the comparison is
+/// meaningless and an error is returned.  Metrics present in only one of the
+/// documents are skipped.
+pub fn check_partitioner(
+    baseline: &str,
+    current: &str,
+    max_regression: f64,
+) -> Result<Vec<CheckOutcome>, String> {
+    let metrics = [
+        ("partitioner", "parallel_s"),
+        ("partitioner", "sequential_s"),
+        ("partitioner_large", "single_core_s"),
+    ];
+    for section in ["partitioner", "partitioner_large"] {
+        let b = extract_number(baseline, section, "processes");
+        let c = extract_number(current, section, "processes");
+        if let (Some(b), Some(c)) = (b, c) {
+            if b != c {
+                return Err(format!(
+                    "{section}: baseline measured p={b} but current measured p={c}; \
+                     re-run both at the same scale"
+                ));
+            }
+        }
+    }
+    let mut outcomes = Vec::new();
+    for (section, key) in metrics {
+        let (Some(b), Some(c)) = (
+            extract_number(baseline, section, key),
+            extract_number(current, section, key),
+        ) else {
+            continue;
+        };
+        if b <= 0.0 {
+            return Err(format!("{section}.{key}: non-positive baseline {b}"));
+        }
+        outcomes.push(CheckOutcome {
+            label: format!("{section}.{key}"),
+            baseline_s: b,
+            current_s: c,
+            ok: c <= b * (1.0 + max_regression),
+        });
+    }
+    if outcomes.is_empty() {
+        return Err("no comparable partitioner timings found in the two documents".to_string());
+    }
+    Ok(outcomes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DOC: &str = r#"{
+  "schema": "stencilmap/perf-baseline/v1",
+  "partitioner": {
+    "processes": 4800,
+    "parallel_s": 0.04,
+    "sequential_s": 0.05
+  },
+  "partitioner_large": {
+    "processes": 100000,
+    "parts": 1000,
+    "single_core_s": 2.0
+  }
+}"#;
+
+    #[test]
+    fn extract_number_finds_section_scoped_keys() {
+        assert_eq!(
+            extract_number(DOC, "partitioner", "processes"),
+            Some(4800.0)
+        );
+        assert_eq!(extract_number(DOC, "partitioner", "parallel_s"), Some(0.04));
+        assert_eq!(
+            extract_number(DOC, "partitioner_large", "single_core_s"),
+            Some(2.0)
+        );
+        assert_eq!(extract_number(DOC, "partitioner", "missing"), None);
+        assert_eq!(extract_number(DOC, "absent_section", "processes"), None);
+        // a key that only exists in a *later* section must not leak in
+        assert_eq!(extract_number(DOC, "partitioner", "single_core_s"), None);
+        // a section holding null (quick runs) yields no values
+        let quick = DOC.replace(
+            "{\n    \"processes\": 100000,\n    \"parts\": 1000,\n    \"single_core_s\": 2.0\n  }",
+            "null",
+        );
+        assert_eq!(
+            extract_number(&quick, "partitioner_large", "processes"),
+            None
+        );
+        assert_eq!(
+            extract_number(&quick, "partitioner", "processes"),
+            Some(4800.0)
+        );
+    }
+
+    #[test]
+    fn identical_documents_pass() {
+        let outcomes = check_partitioner(DOC, DOC, 0.25).unwrap();
+        assert_eq!(outcomes.len(), 3);
+        assert!(outcomes.iter().all(|o| o.ok));
+    }
+
+    #[test]
+    fn regression_beyond_tolerance_fails() {
+        let slow = DOC.replace("\"parallel_s\": 0.04", "\"parallel_s\": 0.06");
+        let outcomes = check_partitioner(DOC, &slow, 0.25).unwrap();
+        let bad: Vec<_> = outcomes.iter().filter(|o| !o.ok).collect();
+        assert_eq!(bad.len(), 1);
+        assert_eq!(bad[0].label, "partitioner.parallel_s");
+        assert!(bad[0].render().contains("REGRESSION"));
+        // a 50% budget tolerates it
+        assert!(check_partitioner(DOC, &slow, 0.5)
+            .unwrap()
+            .iter()
+            .all(|o| o.ok));
+    }
+
+    #[test]
+    fn improvement_passes_and_renders() {
+        let fast = DOC.replace("\"sequential_s\": 0.05", "\"sequential_s\": 0.01");
+        let outcomes = check_partitioner(DOC, &fast, 0.25).unwrap();
+        assert!(outcomes.iter().all(|o| o.ok));
+        assert!(outcomes.iter().any(|o| o.render().contains("ok")));
+    }
+
+    #[test]
+    fn mismatched_process_counts_are_rejected() {
+        let other = DOC.replace("\"processes\": 4800", "\"processes\": 1200");
+        assert!(check_partitioner(DOC, &other, 0.25).is_err());
+    }
+
+    #[test]
+    fn quick_baselines_without_large_section_still_compare() {
+        let quick = DOC.replace("single_core_s", "omitted");
+        let outcomes = check_partitioner(DOC, &quick, 0.25).unwrap();
+        assert_eq!(outcomes.len(), 2);
+    }
+}

@@ -22,7 +22,7 @@
 
 use crate::problem::{MapError, Mapper, MappingProblem};
 use crate::Mapping;
-use graph_partition::{partition, refine_kway, Graph, PartitionConfig};
+use graph_partition::{partition, refine_kway_with, Graph, PartitionConfig, RefineConfig};
 use stencil_grid::CartGraph;
 
 /// VieM-style general graph mapper (multilevel partitioning + swap search).
@@ -32,6 +32,10 @@ pub struct GraphMapper {
     pub seed: u64,
     /// Rounds of pairwise-swap local search applied after partitioning.
     pub refine_rounds: usize,
+    /// Whether the partitioner and the swap search may use multiple threads
+    /// (the result is identical either way; see
+    /// [`PartitionConfig::parallel`] and [`RefineConfig::parallel`]).
+    pub parallel: bool,
 }
 
 impl Default for GraphMapper {
@@ -39,6 +43,7 @@ impl Default for GraphMapper {
         GraphMapper {
             seed: 0x71EA,
             refine_rounds: 12,
+            parallel: true,
         }
     }
 }
@@ -58,7 +63,14 @@ impl GraphMapper {
         GraphMapper {
             seed,
             refine_rounds,
+            ..Default::default()
         }
+    }
+
+    /// Enables or disables multi-threading (the mapping is unaffected).
+    pub fn with_parallel(mut self, parallel: bool) -> Self {
+        self.parallel = parallel;
+        self
     }
 }
 
@@ -74,14 +86,18 @@ impl Mapper for GraphMapper {
 
         // 2. multilevel recursive bisection into exact node sizes
         let sizes: Vec<usize> = problem.alloc().sizes().to_vec();
-        let cfg = PartitionConfig::new(sizes).with_seed(self.seed);
+        let cfg = PartitionConfig::new(sizes)
+            .with_seed(self.seed)
+            .with_parallel(self.parallel);
         let mut parts = partition(&graph, &cfg)
             .map_err(|e| MapError::InvalidResult(format!("partitioner failed: {e}")))?;
 
         // 3. swap-based local search (largest search space, as configured in
-        //    the paper's experiments)
+        //    the paper's experiments), parallel whenever the partitioner is
         if self.refine_rounds > 0 {
-            refine_kway(&graph, &mut parts, self.refine_rounds, self.seed ^ 0x9E37);
+            let refine_cfg = RefineConfig::new(self.refine_rounds, self.seed ^ 0x9E37)
+                .with_parallel(cfg.parallel);
+            refine_kway_with(&graph, &mut parts, &refine_cfg);
         }
 
         let node_of_position: Vec<usize> = parts.iter().map(|&p| p as usize).collect();
@@ -158,6 +174,17 @@ mod tests {
         assert!(fast.respects_allocation(p.alloc()));
         let g = stencil_grid::CartGraph::build(p.dims(), p.stencil(), false);
         assert!(evaluate(&g, &slow).j_sum <= evaluate(&g, &fast).j_sum);
+    }
+
+    #[test]
+    fn sequential_mode_matches_parallel_mapping_exactly() {
+        let p = problem(&[12, 10], 10, 12, Stencil::nearest_neighbor(2));
+        let par = GraphMapper::with_seed(7).compute(&p).unwrap();
+        let seq = GraphMapper::with_seed(7)
+            .with_parallel(false)
+            .compute(&p)
+            .unwrap();
+        assert_eq!(par, seq);
     }
 
     #[test]

@@ -5,10 +5,21 @@
 //! away from it), until the region reaches the requested weight.  Several
 //! random seeds are tried and the bisection with the smallest cut is kept.
 //!
-//! Scratch state (region flags, gains, frontier, candidate partitions) lives
-//! in a [`Workspace`] so repeated bisections allocate nothing but the
-//! returned partition vector.
+//! Frontier selection uses the same dense gain-bucket queue as FM refinement
+//! ([`crate::bucket::BucketQueue`], in its smallest-id tie-breaking mode).
+//! For gains within the dense bucket range — always the case short of
+//! pathological edge weights that trip `gain_bucket_bound`'s O(n + E) cap,
+//! where clamping merges the extreme buckets — this selects exactly the
+//! vertex the linear frontier scan it replaced would have picked.  Gain
+//! maintenance per absorption drops from O(frontier) to O(degree); the
+//! extraction itself still walks the top bucket (the frontier vertices
+//! sharing the best gain).
+//!
+//! Scratch state (region flags, gains, the frontier queue, candidate
+//! partitions) lives in a [`Workspace`] so repeated bisections allocate
+//! nothing but the returned partition vector.
 
+use crate::fm::gain_bucket_bound;
 use crate::workspace::Workspace;
 use crate::Graph;
 use rand::Rng;
@@ -32,11 +43,12 @@ pub fn greedy_bisection_with(
 ) -> Vec<u32> {
     let n = graph.num_vertices();
     assert!(n > 0, "cannot bisect an empty graph");
+    let gain_bound = gain_bucket_bound(graph);
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     let mut best: Option<(u64, Vec<u32>)> = None;
     for _ in 0..attempts.max(1) {
         let start = rng.gen_range(0..n);
-        grow_from(graph, target0, start, ws);
+        grow_from(graph, target0, start, gain_bound, ws);
         let cut = graph.cut(&ws.grow_part);
         if best.as_ref().is_none_or(|(bc, _)| cut < *bc) {
             match best.as_mut() {
@@ -52,7 +64,7 @@ pub fn greedy_bisection_with(
 }
 
 /// Grows part 0 from a single start vertex into `ws.grow_part`.
-fn grow_from(graph: &Graph, target0: u64, start: usize, ws: &mut Workspace) {
+fn grow_from(graph: &Graph, target0: u64, start: usize, gain_bound: i64, ws: &mut Workspace) {
     let n = graph.num_vertices();
     Workspace::reset(&mut ws.grow_part, n, 1u32);
     if target0 == 0 {
@@ -60,22 +72,19 @@ fn grow_from(graph: &Graph, target0: u64, start: usize, ws: &mut Workspace) {
     }
     Workspace::reset(&mut ws.in_region, n, false);
     // gain of absorbing v = (weight towards region) - (weight away from it);
-    // i64::MIN marks "never on the frontier"
-    Workspace::reset(&mut ws.gain, n, i64::MIN);
-    ws.frontier.clear();
+    // frontier membership is tracked by the bucket queue itself
+    Workspace::reset(&mut ws.gain, n, 0i64);
+    ws.bq0.reset(n, gain_bound);
     let mut weight0 = 0u64;
 
     absorb(graph, start, ws, &mut weight0);
     while weight0 < target0 {
-        // pick the frontier vertex with the highest gain that still fits;
+        // pick the frontier vertex with the highest gain (ties: lowest id);
         // if the frontier is empty (disconnected graph) take any outside vertex.
-        let in_region = &ws.in_region;
-        ws.frontier.retain(|&v| !in_region[v]);
         let next = ws
-            .frontier
-            .iter()
-            .copied()
-            .max_by_key(|&v| (ws.gain[v], std::cmp::Reverse(v)))
+            .bq0
+            .pop_max_min_id()
+            .map(|(v, _)| v)
             .or_else(|| (0..n).find(|&v| !ws.in_region[v]));
         match next {
             Some(v) => absorb(graph, v, ws, &mut weight0),
@@ -88,19 +97,22 @@ fn grow_from(graph: &Graph, target0: u64, start: usize, ws: &mut Workspace) {
 fn absorb(graph: &Graph, v: usize, ws: &mut Workspace, weight0: &mut u64) {
     ws.grow_part[v] = 0;
     ws.in_region[v] = true;
+    ws.bq0.remove(v);
     *weight0 += graph.vertex_weight(v) as u64;
     for (u, w) in graph.edges_of(v) {
         let u = u as usize;
         if ws.in_region[u] {
             continue;
         }
-        if ws.gain[u] == i64::MIN {
-            // entering the frontier: initialise gain to -(total incident weight)
+        if ws.bq0.contains(u) {
+            ws.gain[u] += 2 * w as i64;
+            ws.bq0.update(u, ws.gain[u]);
+        } else {
+            // entering the frontier: gain starts at -(total incident weight)
             let total: i64 = graph.edge_weights(u).iter().map(|&x| x as i64).sum();
-            ws.gain[u] = -total;
-            ws.frontier.push(u);
+            ws.gain[u] = 2 * w as i64 - total;
+            ws.bq0.insert(u, ws.gain[u]);
         }
-        ws.gain[u] += 2 * w as i64;
     }
 }
 

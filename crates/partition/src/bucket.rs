@@ -1,0 +1,404 @@
+//! Dense gain-bucket priority queue for Fiduccia–Mattheyses refinement.
+//!
+//! FM gains are bounded by the weighted vertex degree: moving `v` changes the
+//! cut by at most `±Σ w(e)` over the edges incident to `v`.  A [`BucketQueue`]
+//! exploits this bound with one doubly-linked list per attainable gain value
+//! (a dense array of `2 * bound + 1` buckets), which makes every operation
+//! O(1) except `pop_max`/`peek_max`, whose lazily-decremented max-bucket
+//! pointer amortises to O(1) per applied gain update.
+//!
+//! # Tie-breaking and determinism
+//!
+//! Within a bucket the discipline is **LIFO**: insertions and gain updates
+//! push at the head, and the head is extracted first.  This is the classic FM
+//! choice (vertices whose gains just changed are re-examined first) and it is
+//! fully deterministic: the extraction order is a pure function of the
+//! operation sequence.  Callers that want "smallest vertex id first" among
+//! ties of the *initial* gains insert vertices in descending id order.
+//!
+//! # Clamping
+//!
+//! Gains outside the configured `±bound` are **clamped** into the extreme
+//! buckets (deterministically; the stored, bucket-derived gain saturates at
+//! the bound).  This lets callers cap the bucket count — and with it the
+//! memory and reset cost — independently of the true gain range: selection
+//! among clamped gains degrades to LIFO within the extreme bucket, but
+//! callers that track exact gains separately keep full correctness.
+
+/// Sentinel for "no vertex" / "not queued" links.
+const NIL: u32 = u32::MAX;
+
+/// A bounded-gain priority queue over vertices `0..n`, with O(1) insert,
+/// remove and update, and amortised-O(1) extraction of a maximum-gain vertex.
+///
+/// The queue owns its storage and is reset (not reallocated) per use via
+/// [`BucketQueue::reset`], so repeated FM passes are allocation-free once the
+/// buffers have grown to the largest graph's size.
+#[derive(Debug, Default)]
+pub struct BucketQueue {
+    /// `heads[b]` = first vertex of bucket `b` (gain `b as i64 - bound`).
+    heads: Vec<u32>,
+    /// Doubly-linked bucket lists over vertices.
+    prev: Vec<u32>,
+    next: Vec<u32>,
+    /// Bucket index per vertex, `NIL` when the vertex is not queued.
+    bucket_of: Vec<u32>,
+    /// Gain bound: buckets cover `-bound ..= bound`.
+    bound: i64,
+    /// Upper bound on the highest non-empty bucket (decremented lazily).
+    max_bucket: usize,
+    /// Number of queued vertices.
+    len: usize,
+}
+
+impl BucketQueue {
+    /// Creates an empty queue; storage grows on first [`reset`](Self::reset).
+    pub fn new() -> Self {
+        BucketQueue::default()
+    }
+
+    /// Prepares the queue for vertices `0..n` with gains in
+    /// `-bound ..= bound`, clearing any previous content but reusing the
+    /// allocations.
+    pub fn reset(&mut self, n: usize, bound: i64) {
+        assert!(bound >= 0, "gain bound must be non-negative");
+        let buckets = (2 * bound + 1) as usize;
+        self.heads.clear();
+        self.heads.resize(buckets, NIL);
+        self.prev.clear();
+        self.prev.resize(n, NIL);
+        self.next.clear();
+        self.next.resize(n, NIL);
+        self.bucket_of.clear();
+        self.bucket_of.resize(n, NIL);
+        self.bound = bound;
+        self.max_bucket = 0;
+        self.len = 0;
+    }
+
+    /// Number of queued vertices.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Whether vertex `v` is currently queued.
+    #[inline]
+    pub fn contains(&self, v: usize) -> bool {
+        self.bucket_of[v] != NIL
+    }
+
+    /// The gain vertex `v` is queued under, or `None` if not queued.
+    pub fn gain(&self, v: usize) -> Option<i64> {
+        let b = self.bucket_of[v];
+        (b != NIL).then(|| b as i64 - self.bound)
+    }
+
+    #[inline]
+    fn bucket_index(&self, gain: i64) -> usize {
+        // gains beyond the configured range land in the extreme buckets (see
+        // the module docs on clamping)
+        (gain.clamp(-self.bound, self.bound) + self.bound) as usize
+    }
+
+    /// Queues vertex `v` with the given gain (at the head of its bucket).
+    ///
+    /// `v` must not already be queued.
+    pub fn insert(&mut self, v: usize, gain: i64) {
+        debug_assert!(!self.contains(v), "vertex {v} inserted twice");
+        let b = self.bucket_index(gain);
+        let head = self.heads[b];
+        self.prev[v] = NIL;
+        self.next[v] = head;
+        if head != NIL {
+            self.prev[head as usize] = v as u32;
+        }
+        self.heads[b] = v as u32;
+        self.bucket_of[v] = b as u32;
+        if b > self.max_bucket {
+            self.max_bucket = b;
+        }
+        self.len += 1;
+    }
+
+    /// Removes vertex `v` from the queue; no-op if it is not queued.
+    pub fn remove(&mut self, v: usize) {
+        let b = self.bucket_of[v];
+        if b == NIL {
+            return;
+        }
+        let (p, nx) = (self.prev[v], self.next[v]);
+        if p != NIL {
+            self.next[p as usize] = nx;
+        } else {
+            self.heads[b as usize] = nx;
+        }
+        if nx != NIL {
+            self.prev[nx as usize] = p;
+        }
+        self.bucket_of[v] = NIL;
+        self.len -= 1;
+    }
+
+    /// Moves a queued vertex `v` to the bucket of `gain` (head position).
+    ///
+    /// `v` must be queued.
+    pub fn update(&mut self, v: usize, gain: i64) {
+        debug_assert!(self.contains(v), "update of unqueued vertex {v}");
+        self.remove(v);
+        self.insert(v, gain);
+    }
+
+    /// Finds the highest non-empty bucket, decrementing the lazy max pointer.
+    fn settle_max(&mut self) -> Option<usize> {
+        if self.len == 0 {
+            self.max_bucket = 0;
+            return None;
+        }
+        while self.heads[self.max_bucket] == NIL {
+            debug_assert!(self.max_bucket > 0, "len > 0 but all buckets empty");
+            self.max_bucket -= 1;
+        }
+        Some(self.max_bucket)
+    }
+
+    /// The maximum-gain vertex (head of the highest non-empty bucket) without
+    /// removing it, or `None` if the queue is empty.
+    pub fn peek_max(&mut self) -> Option<(usize, i64)> {
+        let b = self.settle_max()?;
+        Some((self.heads[b] as usize, b as i64 - self.bound))
+    }
+
+    /// Removes and returns a maximum-gain vertex, or `None` if empty.
+    /// Ties are broken LIFO (see the module documentation).
+    pub fn pop_max(&mut self) -> Option<(usize, i64)> {
+        let (v, g) = self.peek_max()?;
+        self.remove(v);
+        Some((v, g))
+    }
+
+    /// Removes and returns the **smallest-id** vertex among those of maximum
+    /// gain, or `None` if empty.  Linear in the size of the top bucket; used
+    /// where an existing "lowest id wins" scan order must be reproduced
+    /// exactly (greedy graph growing).
+    pub fn pop_max_min_id(&mut self) -> Option<(usize, i64)> {
+        let b = self.settle_max()?;
+        let mut best = self.heads[b] as usize;
+        let mut cur = self.next[best];
+        while cur != NIL {
+            if (cur as usize) < best {
+                best = cur as usize;
+            }
+            cur = self.next[cur as usize];
+        }
+        self.remove(best);
+        Some((best, b as i64 - self.bound))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// A naive mirror of the queue: `(vertex, gain, stamp)` triples, where
+    /// `stamp` is the logical insertion time.  `pop_max` extracts the entry
+    /// with the lexicographically largest `(gain, stamp)` — exactly the LIFO
+    /// discipline the bucket queue promises.
+    #[derive(Default)]
+    struct Oracle {
+        entries: Vec<(usize, i64, u64)>,
+        clock: u64,
+    }
+
+    impl Oracle {
+        fn insert(&mut self, v: usize, gain: i64) {
+            self.clock += 1;
+            self.entries.push((v, gain, self.clock));
+        }
+        fn remove(&mut self, v: usize) {
+            self.entries.retain(|&(u, _, _)| u != v);
+        }
+        fn update(&mut self, v: usize, gain: i64) {
+            self.remove(v);
+            self.insert(v, gain);
+        }
+        fn contains(&self, v: usize) -> bool {
+            self.entries.iter().any(|&(u, _, _)| u == v)
+        }
+        fn pop_max(&mut self) -> Option<(usize, i64)> {
+            let &(v, g, _) = self
+                .entries
+                .iter()
+                .max_by_key(|&&(_, g, stamp)| (g, stamp))?;
+            self.remove(v);
+            Some((v, g))
+        }
+        fn peek_max(&self) -> Option<(usize, i64)> {
+            self.entries
+                .iter()
+                .max_by_key(|&&(_, g, stamp)| (g, stamp))
+                .map(|&(v, g, _)| (v, g))
+        }
+    }
+
+    #[test]
+    fn basic_insert_pop_order() {
+        let mut q = BucketQueue::new();
+        q.reset(4, 5);
+        q.insert(0, -2);
+        q.insert(1, 3);
+        q.insert(2, 3);
+        q.insert(3, 5);
+        assert_eq!(q.len(), 4);
+        assert_eq!(q.pop_max(), Some((3, 5)));
+        // ties at gain 3: LIFO — vertex 2 was inserted after vertex 1
+        assert_eq!(q.pop_max(), Some((2, 3)));
+        assert_eq!(q.pop_max(), Some((1, 3)));
+        assert_eq!(q.pop_max(), Some((0, -2)));
+        assert_eq!(q.pop_max(), None);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn update_moves_between_buckets() {
+        let mut q = BucketQueue::new();
+        q.reset(3, 4);
+        q.insert(0, 0);
+        q.insert(1, 1);
+        q.insert(2, 2);
+        q.update(0, 4);
+        assert_eq!(q.gain(0), Some(4));
+        assert_eq!(q.peek_max(), Some((0, 4)));
+        q.update(0, -4);
+        assert_eq!(q.pop_max(), Some((2, 2)));
+        q.remove(1);
+        assert!(!q.contains(1));
+        assert_eq!(q.pop_max(), Some((0, -4)));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn pop_max_min_id_prefers_the_smallest_vertex() {
+        let mut q = BucketQueue::new();
+        q.reset(6, 4);
+        q.insert(5, 2);
+        q.insert(1, 2);
+        q.insert(3, 2);
+        q.insert(0, -1);
+        assert_eq!(q.pop_max_min_id(), Some((1, 2)));
+        assert_eq!(q.pop_max_min_id(), Some((3, 2)));
+        assert_eq!(q.pop_max_min_id(), Some((5, 2)));
+        assert_eq!(q.pop_max_min_id(), Some((0, -1)));
+        assert_eq!(q.pop_max_min_id(), None);
+    }
+
+    #[test]
+    fn out_of_range_gains_clamp_into_the_extreme_buckets() {
+        let mut q = BucketQueue::new();
+        q.reset(4, 3);
+        q.insert(0, 100); // clamps to +3
+        q.insert(1, 2);
+        q.insert(2, -50); // clamps to -3
+        q.insert(3, 3);
+        assert_eq!(q.gain(0), Some(3));
+        assert_eq!(q.gain(2), Some(-3));
+        // LIFO among the clamped top bucket: 3 entered after 0
+        assert_eq!(q.pop_max(), Some((3, 3)));
+        assert_eq!(q.pop_max(), Some((0, 3)));
+        assert_eq!(q.pop_max(), Some((1, 2)));
+        assert_eq!(q.pop_max(), Some((2, -3)));
+    }
+
+    #[test]
+    fn remove_is_a_noop_for_unqueued_vertices() {
+        let mut q = BucketQueue::new();
+        q.reset(2, 1);
+        q.insert(0, 1);
+        q.remove(1);
+        q.remove(0);
+        q.remove(0);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn reset_reuses_storage_and_clears_content() {
+        let mut q = BucketQueue::new();
+        q.reset(100, 10);
+        for v in 0..100 {
+            q.insert(v, (v % 21) as i64 - 10);
+        }
+        q.reset(10, 3);
+        assert!(q.is_empty());
+        assert!((0..10).all(|v| !q.contains(v)));
+        q.insert(9, 3);
+        assert_eq!(q.pop_max(), Some((9, 3)));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// After any operation sequence, `pop_max` agrees with a naive
+        /// linear-scan oracle using the same `(gain, recency)` order, and the
+        /// stored gains always match the oracle's.
+        #[test]
+        fn prop_matches_linear_scan_oracle(
+            n in 1usize..24,
+            bound in 0i64..9,
+            ops in proptest::collection::vec(0u64..1_000_000, 1..120),
+        ) {
+            let mut q = BucketQueue::new();
+            q.reset(n, bound);
+            let mut oracle = Oracle::default();
+            for op in ops {
+                let v = (op / 4) as usize % n;
+                let gain = ((op / (4 * n as u64)) as i64 % (2 * bound + 1)) - bound;
+                match op % 4 {
+                    0 => {
+                        if !q.contains(v) {
+                            q.insert(v, gain);
+                            oracle.insert(v, gain);
+                        }
+                    }
+                    1 => {
+                        if q.contains(v) {
+                            q.update(v, gain);
+                            oracle.update(v, gain);
+                        }
+                    }
+                    2 => {
+                        q.remove(v);
+                        oracle.remove(v);
+                    }
+                    _ => {
+                        prop_assert_eq!(q.pop_max(), oracle.pop_max());
+                    }
+                }
+                prop_assert_eq!(q.len(), oracle.entries.len());
+                let peek = q.peek_max();
+                prop_assert_eq!(peek, oracle.peek_max());
+                for u in 0..n {
+                    prop_assert_eq!(q.contains(u), oracle.contains(u));
+                    let oracle_gain = oracle
+                        .entries
+                        .iter()
+                        .find(|&&(x, _, _)| x == u)
+                        .map(|&(_, g, _)| g);
+                    prop_assert_eq!(q.gain(u), oracle_gain);
+                }
+            }
+            // drain both completely: full extraction order must agree
+            loop {
+                let (a, b) = (q.pop_max(), oracle.pop_max());
+                prop_assert_eq!(a, b);
+                if a.is_none() {
+                    break;
+                }
+            }
+        }
+    }
+}

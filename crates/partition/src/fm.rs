@@ -6,8 +6,23 @@
 //! per pass.  The best balanced prefix of the move sequence is kept.  Passes
 //! repeat until no improvement is found.
 //!
-//! Scratch state (gains, locks, the move journal) lives in a [`Workspace`],
-//! so repeated refinement passes allocate nothing.
+//! # Gain buckets
+//!
+//! Vertex selection uses one dense [`BucketQueue`](crate::bucket::BucketQueue) per side instead of the
+//! linear `best_movable` scan of the original implementation: FM gains are
+//! bounded by `±max_v Σ w(e)` (the maximum weighted degree), so buckets over
+//! that range give O(1) selection and O(1) incremental neighbor updates per
+//! move, for O(n + E) work per pass instead of O(n²).  The bucket range is
+//! additionally capped at O(n + E) (`gain_bucket_bound`); graphs with
+//! extreme edge weights clamp into the extreme buckets while exact gains
+//! stay in the gain array, so cut accounting never drifts.  Ties inside a
+//! bucket are broken LIFO (most recently updated first); the initial fill
+//! inserts vertices in descending id order, so among untouched vertices the
+//! lowest id is extracted first, matching the scan it replaces.  The whole
+//! pass is sequential and allocation-free, hence bit-for-bit deterministic.
+//!
+//! Scratch state (gains, the two bucket queues, the move journal) lives in a
+//! [`Workspace`], so repeated refinement passes allocate nothing.
 
 use crate::workspace::Workspace;
 use crate::Graph;
@@ -23,6 +38,10 @@ pub fn fm_refine(graph: &Graph, part: &mut [u32], target0: u64, max_passes: usiz
     fm_refine_with(graph, part, target0, max_passes, &mut Workspace::new())
 }
 
+/// Number of deterministic tie-breaking variants cycled through once a pass
+/// stops improving (see [`fm_refine_with`]).
+const TIE_BREAK_VARIANTS: u8 = 4;
+
 /// [`fm_refine`] with caller-provided scratch buffers.
 pub fn fm_refine_with(
     graph: &Graph,
@@ -33,14 +52,48 @@ pub fn fm_refine_with(
 ) -> u64 {
     assert_eq!(part.len(), graph.num_vertices());
     rebalance(graph, part, target0);
+    let gain_bound = gain_bucket_bound(graph);
     let mut best_cut = graph.cut(part);
+    // Passes repeat while they improve.  When a pass fails to improve, the
+    // next pass perturbs the (gain-neutral) tie-breaking — bucket fill order
+    // and the side preferred at exact balance — which explores a different
+    // move order at identical cost; the pass rollback keeps every variant
+    // monotone in the cut.  Refinement stops when all variants are stale.
+    let mut variant: u8 = 0;
+    let mut stale: u8 = 0;
     for _ in 0..max_passes {
-        let improved = fm_pass(graph, part, target0, &mut best_cut, ws);
-        if !improved {
-            break;
+        let improved = fm_pass(graph, part, target0, &mut best_cut, gain_bound, variant, ws);
+        if improved {
+            stale = 0;
+        } else {
+            stale += 1;
+            if stale >= TIE_BREAK_VARIANTS {
+                break;
+            }
+            variant = (variant + 1) % TIE_BREAK_VARIANTS;
         }
     }
     best_cut
+}
+
+/// The largest summed incident edge weight over all vertices — the bound of
+/// the FM gain range (moving any vertex changes the cut by at most this).
+pub(crate) fn max_weighted_degree(graph: &Graph) -> i64 {
+    (0..graph.num_vertices())
+        .map(|v| graph.edge_weights(v).iter().map(|&w| w as i64).sum())
+        .max()
+        .unwrap_or(0)
+}
+
+/// The dense bucket range used for refinement and graph growing: the true
+/// gain bound ([`max_weighted_degree`]), capped at O(n + E) buckets so the
+/// queue's memory and reset cost stay linear in the graph even for extreme
+/// edge weights.  Beyond the cap, gains clamp into the extreme buckets
+/// (selection degrades gracefully; exact gains are tracked in the gain
+/// array, so cut accounting never drifts).
+pub(crate) fn gain_bucket_bound(graph: &Graph) -> i64 {
+    let cap = (4 * (graph.num_vertices() + graph.num_edges()) as i64).max(256);
+    max_weighted_degree(graph).min(cap)
 }
 
 /// Greedily restores the balance constraint (part-0 weight equal to
@@ -104,18 +157,31 @@ pub fn rebalance(graph: &Graph, part: &mut [u32], target0: u64) {
 }
 
 /// One FM pass.  Returns whether the cut improved.
+///
+/// `variant` selects one of [`TIE_BREAK_VARIANTS`] gain-neutral tie-breaking
+/// rules: bit 0 flips the bucket fill order (descending ids — lowest id at
+/// the head — vs ascending), bit 1 flips which side is preferred when both
+/// sides are movable at exact balance with equal best gains.
 fn fm_pass(
     graph: &Graph,
     part: &mut [u32],
     target0: u64,
     best_cut: &mut u64,
+    gain_bound: i64,
+    variant: u8,
     ws: &mut Workspace,
 ) -> bool {
     let n = graph.num_vertices();
-    Workspace::reset(&mut ws.locked, n, false);
+    let Workspace {
+        gain,
+        bq0,
+        bq1,
+        moves,
+        ..
+    } = ws;
     // gain[v] = reduction of the cut when v switches sides
-    ws.gain.clear();
-    ws.gain.extend((0..n).map(|v| {
+    gain.clear();
+    gain.extend((0..n).map(|v| {
         graph
             .edges_of(v)
             .map(|(u, w)| {
@@ -127,6 +193,22 @@ fn fm_pass(
             })
             .sum::<i64>()
     }));
+    // fill the per-side queues; the default descending order puts the lowest
+    // id at the head among equal initial gains (see the module docs)
+    bq0.reset(n, gain_bound);
+    bq1.reset(n, gain_bound);
+    let mut fill = |v: usize| {
+        if part[v] == 0 {
+            bq0.insert(v, gain[v]);
+        } else {
+            bq1.insert(v, gain[v]);
+        }
+    };
+    if variant & 1 == 0 {
+        (0..n).rev().for_each(&mut fill);
+    } else {
+        (0..n).for_each(&mut fill);
+    }
     let mut weight0: u64 = (0..n)
         .filter(|&v| part[v] == 0)
         .map(|v| graph.vertex_weight(v) as u64)
@@ -134,7 +216,7 @@ fn fm_pass(
 
     let mut current_cut = graph.cut(part) as i64;
     let start_cut = *best_cut;
-    ws.moves.clear();
+    moves.clear();
     let mut best_prefix: Option<usize> = None;
     let mut best_prefix_cut = *best_cut as i64;
 
@@ -146,14 +228,13 @@ fn fm_pass(
         } else if weight0 < target0 {
             1
         } else {
-            let best0 = best_movable(graph, part, &ws.locked, &ws.gain, 0);
-            let best1 = best_movable(graph, part, &ws.locked, &ws.gain, 1);
-            match (best0, best1) {
+            match (bq0.peek_max(), bq1.peek_max()) {
                 (Some((_, g0)), Some((_, g1))) => {
-                    if g0 >= g1 {
-                        0
-                    } else {
-                        1
+                    let preferred = u32::from(variant & 2 != 0);
+                    match g0.cmp(&g1) {
+                        std::cmp::Ordering::Greater => 0,
+                        std::cmp::Ordering::Less => 1,
+                        std::cmp::Ordering::Equal => preferred,
                     }
                 }
                 (Some(_), None) => 0,
@@ -161,12 +242,17 @@ fn fm_pass(
                 (None, None) => break,
             }
         };
-        let Some((v, g)) = best_movable(graph, part, &ws.locked, &ws.gain, from) else {
+        let popped = if from == 0 {
+            bq0.pop_max()
+        } else {
+            bq1.pop_max()
+        };
+        let Some((v, _)) = popped else {
             break;
         };
-        // apply the move
-        ws.locked[v] = true;
-        current_cut -= g;
+        // apply the move (popping locks v: it can no longer be selected);
+        // account with the exact gain — the queue's copy may be clamped
+        current_cut -= gain[v];
         let to = 1 - part[v];
         if part[v] == 0 {
             weight0 -= graph.vertex_weight(v) as u64;
@@ -174,27 +260,33 @@ fn fm_pass(
             weight0 += graph.vertex_weight(v) as u64;
         }
         part[v] = to;
-        // update neighbor gains
+        // incremental neighbor gain updates (instead of any rescans)
         for (u, w) in graph.edges_of(v) {
             let u = u as usize;
             if part[u] == part[v] {
                 // u is now on the same side as v: moving u away gets worse
-                ws.gain[u] -= 2 * w as i64;
+                gain[u] -= 2 * w as i64;
             } else {
-                ws.gain[u] += 2 * w as i64;
+                gain[u] += 2 * w as i64;
+            }
+            let q = if part[u] == 0 { &mut *bq0 } else { &mut *bq1 };
+            if q.contains(u) {
+                q.update(u, gain[u]);
             }
         }
-        ws.gain[v] = -ws.gain[v];
-        ws.moves.push(v);
+        gain[v] = -gain[v];
+        moves.push(v);
+        #[cfg(debug_assertions)]
+        debug_check_incremental_gains(graph, part, gain, bq0, bq1, gain_bound);
         if weight0 == target0 && current_cut < best_prefix_cut {
             best_prefix_cut = current_cut;
-            best_prefix = Some(ws.moves.len());
+            best_prefix = Some(moves.len());
         }
     }
 
     // Roll back to the best balanced prefix (or all the way if none improved).
     let keep = best_prefix.unwrap_or(0);
-    for &v in ws.moves.iter().skip(keep).rev() {
+    for &v in moves.iter().skip(keep).rev() {
         part[v] = 1 - part[v];
     }
     if (best_prefix_cut as u64) < start_cut {
@@ -205,24 +297,57 @@ fn fm_pass(
     }
 }
 
-/// Finds the unlocked vertex with the highest gain on side `from`.
-fn best_movable(
+/// Debug-build invariant: after every applied move, the incrementally
+/// maintained gains of all still-movable vertices equal gains recomputed from
+/// scratch, and the bucket queues store exactly those values.  Skipped above
+/// 256 vertices to keep debug test runs fast.
+#[cfg(debug_assertions)]
+fn debug_check_incremental_gains(
     graph: &Graph,
     part: &[u32],
-    locked: &[bool],
     gain: &[i64],
-    from: u32,
-) -> Option<(usize, i64)> {
-    let mut best: Option<(usize, i64)> = None;
-    for v in 0..graph.num_vertices() {
-        if locked[v] || part[v] != from {
+    bq0: &crate::bucket::BucketQueue,
+    bq1: &crate::bucket::BucketQueue,
+    gain_bound: i64,
+) {
+    let n = graph.num_vertices();
+    if n > 256 {
+        return;
+    }
+    for v in 0..n {
+        let queued = if part[v] == 0 {
+            bq0.contains(v)
+        } else {
+            bq1.contains(v)
+        };
+        if !queued {
             continue;
         }
-        if best.is_none_or(|(_, bg)| gain[v] > bg) {
-            best = Some((v, gain[v]));
-        }
+        let fresh: i64 = graph
+            .edges_of(v)
+            .map(|(u, w)| {
+                if part[u as usize] == part[v] {
+                    -(w as i64)
+                } else {
+                    w as i64
+                }
+            })
+            .sum();
+        assert_eq!(
+            gain[v], fresh,
+            "incremental gain of vertex {v} diverged from a fresh recomputation"
+        );
+        let stored = if part[v] == 0 {
+            bq0.gain(v)
+        } else {
+            bq1.gain(v)
+        };
+        assert_eq!(
+            stored,
+            Some(fresh.clamp(-gain_bound, gain_bound)),
+            "bucket queue holds a stale gain for vertex {v}"
+        );
     }
-    best
 }
 
 #[cfg(test)]
@@ -288,6 +413,39 @@ mod tests {
         assert_eq!(cut_c, cut_b);
     }
 
+    #[test]
+    fn max_weighted_degree_accounts_for_edge_weights() {
+        let g = Graph::from_edges(4, &[(0, 1, 2), (1, 2, 5), (2, 3, 1)]);
+        assert_eq!(max_weighted_degree(&g), 7); // vertex 1: 2 + 5
+        assert_eq!(max_weighted_degree(&Graph::from_edges(1, &[])), 0);
+    }
+
+    #[test]
+    fn fm_survives_extreme_edge_weights_via_clamping() {
+        // max weighted degree ~2e9 would mean ~4e9 dense buckets; the O(n+E)
+        // cap clamps the range while exact gains keep the accounting correct
+        let w = 1_000_000_000u32;
+        let g = Graph::from_edges(6, &[(0, 1, w), (1, 2, w), (2, 3, 1), (3, 4, w), (4, 5, w)]);
+        assert_eq!(gain_bucket_bound(&g), 256);
+        let mut part = vec![0u32, 1, 0, 1, 0, 1];
+        let before = g.cut(&part);
+        let cut = fm_refine(&g, &mut part, 3, 10);
+        assert_eq!(g.part_weights(&part, 2), vec![3, 3]);
+        assert_eq!(cut, g.cut(&part));
+        assert!(cut <= before);
+    }
+
+    #[test]
+    fn fm_handles_weighted_edges_within_the_gain_bound() {
+        // a weighted path where the cheap cut is between the light edges
+        let g = Graph::from_edges(6, &[(0, 1, 9), (1, 2, 9), (2, 3, 1), (3, 4, 9), (4, 5, 9)]);
+        let mut part = vec![0u32, 1, 0, 1, 0, 1];
+        let cut = fm_refine(&g, &mut part, 3, 10);
+        assert_eq!(g.part_weights(&part, 2), vec![3, 3]);
+        assert_eq!(cut, g.cut(&part));
+        assert!(cut <= 1, "cut = {cut}");
+    }
+
     proptest! {
         #[test]
         fn prop_fm_never_increases_cut_and_keeps_balance(
@@ -303,6 +461,36 @@ mod tests {
             prop_assert!(after <= before);
             prop_assert_eq!(after, g.cut(&part));
             prop_assert_eq!(g.part_weights(&part, 2), w_before);
+        }
+
+        /// Runs bucket-queue FM on random weighted graphs.  In debug builds
+        /// (the default for `cargo test`) every applied move additionally
+        /// verifies, inside `fm_pass`, that the incrementally maintained
+        /// gains equal freshly recomputed gains and that the bucket queues
+        /// mirror them exactly.
+        #[test]
+        fn prop_fm_incremental_gains_stay_consistent_on_weighted_graphs(
+            n in 4usize..24,
+            raw_edges in proptest::collection::vec(0u64..1_000_000, 4..60),
+            seed in 0u64..20,
+        ) {
+            let edges: Vec<(u32, u32, u32)> = raw_edges
+                .iter()
+                .map(|&e| {
+                    let u = (e % n as u64) as u32;
+                    let v = ((e / n as u64) % n as u64) as u32;
+                    let w = ((e / (n * n) as u64) % 9 + 1) as u32;
+                    (u, v, w)
+                })
+                .filter(|&(u, v, _)| u != v)
+                .collect();
+            let g = Graph::from_edges(n, &edges);
+            let target0 = (n / 2) as u64;
+            let mut part = greedy_bisection(&g, target0, 2, seed);
+            let before = g.cut(&part);
+            let after = fm_refine(&g, &mut part, target0, 6);
+            prop_assert!(after <= before);
+            prop_assert_eq!(after, g.cut(&part));
         }
     }
 }

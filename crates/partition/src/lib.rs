@@ -11,13 +11,17 @@
 //! 1. [`Graph`] — an undirected weighted graph in CSR form,
 //! 2. multilevel **coarsening** via heavy-edge matching ([`coarsen`]),
 //! 3. an **initial bisection** by greedy graph growing ([`bisect`]),
-//! 4. **Fiduccia–Mattheyses** boundary refinement ([`fm`]),
+//! 4. **Fiduccia–Mattheyses** boundary refinement ([`fm`]) driven by dense
+//!    **gain buckets** ([`bucket`]) — O(1) selection and incremental gain
+//!    updates instead of linear rescans,
 //! 5. **recursive bisection** into parts of exact, arbitrary sizes
 //!    ([`partitioner`]), with the independent halves of every bisection
 //!    executed in parallel (deterministically — see
 //!    [`PartitionConfig::parallel`]),
 //! 6. randomized **k-way pairwise-swap local search** ([`refine`]) mirroring
-//!    the local search VieM applies to the final mapping.
+//!    the local search VieM applies to the final mapping, parallelised with
+//!    part-pair coloring and identical results for every thread count
+//!    ([`RefineConfig::parallel`]).
 //!
 //! All per-level scratch lives in a reusable [`Workspace`] threaded through
 //! the pipeline (`*_with` entry points), so a steady-state multilevel run
@@ -50,6 +54,7 @@
 #![deny(rustdoc::broken_intra_doc_links)]
 
 pub mod bisect;
+pub mod bucket;
 pub mod coarsen;
 pub mod csr;
 pub mod fm;
@@ -57,9 +62,10 @@ pub mod partitioner;
 pub mod refine;
 pub mod workspace;
 
+pub use bucket::BucketQueue;
 pub use csr::Graph;
 pub use partitioner::{partition, partition_with, PartitionConfig, PartitionError};
-pub use refine::refine_kway;
+pub use refine::{refine_kway, refine_kway_with, RefineConfig, RefineStats};
 pub use workspace::Workspace;
 
 #[cfg(test)]

@@ -2,9 +2,10 @@
 //!
 //! The entry point is [`partition`]: the vertex set is recursively split in
 //! two, each bisection being solved with the multilevel pipeline (coarsening
-//! → greedy initial bisection → FM refinement projected back through the
-//! hierarchy).  Target part sizes are arbitrary, which is required to respect
-//! heterogeneous node allocations (`n_i` processes per node).
+//! → greedy initial bisection → gain-bucket FM refinement projected back
+//! through the hierarchy, see [`crate::fm`]).  Target part sizes are
+//! arbitrary, which is required to respect heterogeneous node allocations
+//! (`n_i` processes per node).
 //!
 //! # Parallelism
 //!
@@ -46,7 +47,9 @@ pub struct PartitionConfig {
     pub coarsen_threshold: usize,
     /// Number of random seeds tried for the initial bisection.
     pub bisection_attempts: usize,
-    /// Maximum FM passes per level.
+    /// Maximum FM passes per level (the refiner cycles through its
+    /// deterministic tie-breaking variants within this budget and stops
+    /// early once all of them are stale; see [`crate::fm::fm_refine_with`]).
     pub fm_passes: usize,
     /// Whether the independent halves of each bisection may run on separate
     /// threads.  The result does not depend on this flag (or on the thread

@@ -1,17 +1,59 @@
-//! k-way pairwise-swap local search.
+//! Parallel k-way pairwise-swap local search.
 //!
 //! After the recursive bisection produced a k-way partition, a randomised
 //! local search swaps pairs of vertices between parts whenever this reduces
-//! the edge cut (ties broken by the reduction of the largest per-part
-//! egress).  This mirrors the local-search configuration the paper uses for
-//! VieM: "we allowed swaps between any connected pair of vertices, i.e., we
-//! considered the largest search space".
+//! the edge cut.  This mirrors the local-search configuration the paper uses
+//! for VieM: "we allowed swaps between any connected pair of vertices, i.e.,
+//! we considered the largest search space".
+//!
+//! # Parallel sweep with deterministic conflict resolution
+//!
+//! Each round runs in two phases:
+//!
+//! 1. **Propose** — every boundary vertex `v` evaluates its candidate
+//!    partners (neighbors in other parts plus `RANDOM_PROBES` random
+//!    probes) against the round-start partition and proposes its best
+//!    positive-gain swap.  Candidate randomness comes from a per-vertex
+//!    ChaCha8 stream derived from `(seed, round, v)`, so proposals are a pure
+//!    function of the snapshot — trivially parallel and order-independent.
+//! 2. **Commit** — proposals are grouped by the (unordered) pair of parts
+//!    they exchange, and the part pairs are colored with a round-robin
+//!    tournament schedule so that every color is a set of *disjoint* pairs.
+//!    Colors are swept in ascending order; within a color the pairs commit
+//!    concurrently under `rayon`.  A commit re-validates its swap against the
+//!    live partition (parts unchanged, gain still positive) before applying
+//!    it.
+//!
+//! Concurrent commits cannot interfere: a worker for pair `{a, b}` only
+//! rewrites assignments inside `{a, b}`, and an edge towards any
+//! concurrently-swapped vertex connects two *different* pairs of the same
+//! color — such an edge is cut before and after either swap, so its gain
+//! contribution is zero no matter how the stores interleave.  Every quantity
+//! a worker computes is therefore independent of scheduling, which makes the
+//! result **identical for every thread count** (and identical to the fully
+//! sequential sweep selected by [`RefineConfig::parallel`] `= false`).
+//!
+//! Swapping two vertices never changes part sizes, so the exact balance of
+//! the partition is preserved by construction.
 
 use crate::Graph;
-use rand::seq::SliceRandom;
 use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
+use rayon::prelude::*;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU32, Ordering};
+
+/// Number of random swap probes tried per boundary vertex and round, in
+/// addition to its cross-part neighbors (tuned in PR 1: 8 probes measurably
+/// improve escape from local optima on grid graphs at modest cost).
+const RANDOM_PROBES: usize = 8;
+
+/// A proposed swap `(v, u)` between the parts of vertices `v` and `u`.
+type Proposal = (u32, u32);
+
+/// The proposals of one part pair, keyed by the (sorted) pair.
+type PairGroup = ((u32, u32), Vec<Proposal>);
 
 /// Result of the k-way refinement.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -24,66 +66,124 @@ pub struct RefineStats {
     pub swaps: u64,
 }
 
-/// Refines a k-way partition in place by pairwise vertex swaps.
-///
-/// Swapping two vertices never changes part sizes, so the exact balance of
-/// the partition is preserved by construction.  `rounds` full sweeps over the
-/// boundary vertices are performed (each sweep also tries a batch of random
-/// swaps), stopping early when a sweep finds no improving swap.
-pub fn refine_kway(graph: &Graph, part: &mut [u32], rounds: usize, seed: u64) -> RefineStats {
-    assert_eq!(part.len(), graph.num_vertices());
-    let cut_before = graph.cut(part);
-    let mut rng = ChaCha8Rng::seed_from_u64(seed);
-    let mut swaps = 0u64;
+/// Configuration of [`refine_kway_with`].
+#[derive(Debug, Clone)]
+pub struct RefineConfig {
+    /// Full sweeps over the boundary vertices (each sweep proposes and
+    /// commits swaps for every boundary vertex); sweeps stop early when no
+    /// improving swap is found.
+    pub rounds: usize,
+    /// Seed of the per-vertex probe streams.
+    pub seed: u64,
+    /// Whether the propose phase and the disjoint part-pairs of each commit
+    /// color may run on separate threads.  The result does not depend on
+    /// this flag (or on the thread count); disable it to benchmark the
+    /// sequential baseline.
+    pub parallel: bool,
+}
 
-    for _ in 0..rounds {
-        let mut improved = false;
-
-        // Sweep over boundary vertices and greedily swap with the best
-        // candidate among the vertices of the parts they communicate with.
-        let mut boundary: Vec<usize> = (0..graph.num_vertices())
-            .filter(|&v| graph.edges_of(v).any(|(u, _)| part[u as usize] != part[v]))
-            .collect();
-        boundary.shuffle(&mut rng);
-
-        for &v in &boundary {
-            // candidate partners: neighbors of v in other parts and a few
-            // random vertices in those parts
-            let mut candidates: Vec<usize> = graph
-                .neighbors(v)
-                .iter()
-                .map(|&u| u as usize)
-                .filter(|&u| part[u] != part[v])
-                .collect();
-            // 8 random probes per boundary vertex (up from 4 in the original
-            // implementation): the wider candidate pool measurably improves
-            // escape from local optima on grid graphs at a modest cost — the
-            // neighbor candidates still dominate the swap evaluations.
-            for _ in 0..8 {
-                let u = rng.gen_range(0..graph.num_vertices());
-                if part[u] != part[v] {
-                    candidates.push(u);
-                }
-            }
-            let mut best: Option<(usize, i64)> = None;
-            for &u in &candidates {
-                let gain = swap_gain(graph, part, v, u);
-                if gain > 0 && best.is_none_or(|(_, bg)| gain > bg) {
-                    best = Some((u, gain));
-                }
-            }
-            if let Some((u, _)) = best {
-                part.swap(v, u);
-                swaps += 1;
-                improved = true;
-            }
-        }
-
-        if !improved {
-            break;
+impl RefineConfig {
+    /// Creates a parallel configuration with the given effort and seed.
+    pub fn new(rounds: usize, seed: u64) -> Self {
+        RefineConfig {
+            rounds,
+            seed,
+            parallel: true,
         }
     }
 
+    /// Enables or disables parallel execution (the result is unaffected).
+    pub fn with_parallel(mut self, parallel: bool) -> Self {
+        self.parallel = parallel;
+        self
+    }
+}
+
+/// Refines a k-way partition in place by pairwise vertex swaps, running the
+/// parallel sweep described in the [module documentation](self).
+pub fn refine_kway(graph: &Graph, part: &mut [u32], rounds: usize, seed: u64) -> RefineStats {
+    refine_kway_with(graph, part, &RefineConfig::new(rounds, seed))
+}
+
+/// [`refine_kway`] with an explicit [`RefineConfig`].
+pub fn refine_kway_with(graph: &Graph, part: &mut [u32], cfg: &RefineConfig) -> RefineStats {
+    let n = graph.num_vertices();
+    assert_eq!(part.len(), n);
+    let cut_before = graph.cut(part);
+    let num_parts = part.iter().max().map_or(0, |&p| p as usize + 1);
+    if num_parts < 2 {
+        return RefineStats {
+            cut_before,
+            cut_after: cut_before,
+            swaps: 0,
+        };
+    }
+    // Shared atomic view of the partition: the propose phase reads it with no
+    // writers present, and commit workers write only entries of their own
+    // disjoint part pair (relaxed ordering suffices — the phase boundaries
+    // provide the synchronisation edges).
+    let parts: Vec<AtomicU32> = part.iter().map(|&p| AtomicU32::new(p)).collect();
+    let num_colors = pair_colors(num_parts);
+    let mut swaps = 0u64;
+
+    for round in 0..cfg.rounds {
+        // --- propose ---------------------------------------------------
+        let boundary: Vec<u32> = (0..n as u32)
+            .filter(|&v| {
+                let pv = parts[v as usize].load(Ordering::Relaxed);
+                graph
+                    .neighbors(v as usize)
+                    .iter()
+                    .any(|&u| parts[u as usize].load(Ordering::Relaxed) != pv)
+            })
+            .collect();
+        if boundary.is_empty() {
+            break;
+        }
+        let propose = |&v: &u32| propose_swap(graph, &parts, v as usize, cfg.seed, round);
+        let proposals: Vec<Option<(u32, u32)>> = if cfg.parallel {
+            boundary.par_iter().map(propose).collect()
+        } else {
+            boundary.iter().map(propose).collect()
+        };
+
+        // --- group by part pair, then by color --------------------------
+        // BTreeMap iteration keeps the pair order deterministic; proposals
+        // stay in ascending-vertex order within a pair.
+        let mut by_pair: BTreeMap<(u32, u32), Vec<Proposal>> = BTreeMap::new();
+        for (v, u) in proposals.into_iter().flatten() {
+            let pv = parts[v as usize].load(Ordering::Relaxed);
+            let pu = parts[u as usize].load(Ordering::Relaxed);
+            by_pair
+                .entry((pv.min(pu), pv.max(pu)))
+                .or_default()
+                .push((v, u));
+        }
+        let mut per_color: Vec<Vec<PairGroup>> = vec![Vec::new(); num_colors];
+        for (pair, group) in by_pair {
+            per_color[pair_color(pair, num_parts)].push((pair, group));
+        }
+
+        // --- commit, color by color -------------------------------------
+        let mut round_swaps = 0u64;
+        for color in per_color {
+            let commit = |(pair, group): PairGroup| commit_pair(graph, &parts, pair, &group);
+            let counts: Vec<u64> = if cfg.parallel {
+                color.into_par_iter().map(commit).collect()
+            } else {
+                color.into_iter().map(commit).collect()
+            };
+            round_swaps += counts.iter().sum::<u64>();
+        }
+        if round_swaps == 0 {
+            break;
+        }
+        swaps += round_swaps;
+    }
+
+    for (slot, p) in part.iter_mut().zip(&parts) {
+        *slot = p.load(Ordering::Relaxed);
+    }
     RefineStats {
         cut_before,
         cut_after: graph.cut(part),
@@ -91,14 +191,136 @@ pub fn refine_kway(graph: &Graph, part: &mut [u32], rounds: usize, seed: u64) ->
     }
 }
 
+/// Evaluates the candidate partners of boundary vertex `v` against the
+/// round-start partition and returns its best positive-gain swap, if any.
+fn propose_swap(
+    graph: &Graph,
+    parts: &[AtomicU32],
+    v: usize,
+    seed: u64,
+    round: usize,
+) -> Option<(u32, u32)> {
+    let n = graph.num_vertices();
+    let pv = parts[v].load(Ordering::Relaxed);
+    let mut rng = probe_rng(seed, round, v);
+    let mut best: Option<(u32, i64)> = None;
+    let consider = |u: usize, best: &mut Option<(u32, i64)>| {
+        if parts[u].load(Ordering::Relaxed) == pv {
+            return;
+        }
+        let gain = swap_gain_view(graph, parts, v, u);
+        if gain > 0 && best.is_none_or(|(_, bg)| gain > bg) {
+            *best = Some((u as u32, gain));
+        }
+    };
+    for &u in graph.neighbors(v) {
+        consider(u as usize, &mut best);
+    }
+    for _ in 0..RANDOM_PROBES {
+        let u = rng.gen_range(0..n);
+        consider(u, &mut best);
+    }
+    best.map(|(u, _)| (v as u32, u))
+}
+
+/// Re-validates and applies the proposals of one part pair against the live
+/// partition; returns the number of swaps applied.
+fn commit_pair(
+    graph: &Graph,
+    parts: &[AtomicU32],
+    (a, b): (u32, u32),
+    group: &[(u32, u32)],
+) -> u64 {
+    let mut applied = 0u64;
+    for &(v, u) in group {
+        let (v, u) = (v as usize, u as usize);
+        let pv = parts[v].load(Ordering::Relaxed);
+        let pu = parts[u].load(Ordering::Relaxed);
+        // an earlier color (or an earlier commit of this pair) may have moved
+        // either endpoint out of the pair
+        if !((pv == a && pu == b) || (pv == b && pu == a)) {
+            continue;
+        }
+        if swap_gain_view(graph, parts, v, u) > 0 {
+            parts[v].store(pu, Ordering::Relaxed);
+            parts[u].store(pv, Ordering::Relaxed);
+            applied += 1;
+        }
+    }
+    applied
+}
+
+/// The number of colors of the round-robin pair schedule for `k` parts: one
+/// less than `k` rounded up to even.
+fn pair_colors(k: usize) -> usize {
+    (k + (k & 1)).saturating_sub(1).max(1)
+}
+
+/// The color of part pair `(a, b)`, `a < b`, under the circle-method
+/// round-robin schedule over `k` parts: within one color every part occurs
+/// in at most one pair.
+fn pair_color((a, b): (u32, u32), k: usize) -> usize {
+    debug_assert!(a < b && (b as usize) < k);
+    let k_even = k + (k & 1);
+    let m = k_even - 1; // odd number of "rotating" players
+    if b as usize == k_even - 1 {
+        // the fixed player meets player `a` in round `a`
+        a as usize
+    } else {
+        // rotating players i, j meet in the round r with i + j ≡ 2r (mod m)
+        let inv2 = m.div_ceil(2); // 2 * inv2 ≡ 1 (mod m) for odd m
+        ((a as usize + b as usize) * inv2) % m
+    }
+}
+
+/// The deterministic probe stream of boundary vertex `v` in `round`:
+/// independent ChaCha8 streams per `(seed, round, vertex)` (PR 1 re-seeded
+/// every round from the same position, so all rounds probed the same
+/// partners).
+pub(crate) fn probe_rng(seed: u64, round: usize, v: usize) -> ChaCha8Rng {
+    ChaCha8Rng::seed_from_u64(splitmix(splitmix(splitmix(seed) ^ round as u64) ^ v as u64))
+}
+
+/// SplitMix64 finaliser, used to decorrelate the probe-stream coordinates.
+fn splitmix(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Uniform read access to a partition, so the gain computation serves both
+/// the plain public API and the atomic view used by the parallel sweep.
+trait PartView {
+    fn part(&self, v: usize) -> u32;
+}
+
+impl PartView for [u32] {
+    #[inline]
+    fn part(&self, v: usize) -> u32 {
+        self[v]
+    }
+}
+
+impl PartView for [AtomicU32] {
+    #[inline]
+    fn part(&self, v: usize) -> u32 {
+        self[v].load(Ordering::Relaxed)
+    }
+}
+
 /// The reduction of the edge cut obtained by swapping the part assignments of
 /// vertices `a` and `b` (positive = improvement).
 pub fn swap_gain(graph: &Graph, part: &[u32], a: usize, b: usize) -> i64 {
-    if part[a] == part[b] || a == b {
+    swap_gain_view(graph, part, a, b)
+}
+
+fn swap_gain_view<P: PartView + ?Sized>(graph: &Graph, part: &P, a: usize, b: usize) -> i64 {
+    if a == b || part.part(a) == part.part(b) {
         return 0;
     }
-    let pa = part[a];
-    let pb = part[b];
+    let pa = part.part(a);
+    let pb = part.part(b);
     let mut gain = 0i64;
     for (u, w) in graph.edges_of(a) {
         let u = u as usize;
@@ -106,17 +328,15 @@ pub fn swap_gain(graph: &Graph, part: &[u32], a: usize, b: usize) -> i64 {
             // the edge a-b stays cut after the swap
             continue;
         }
-        let pu = part[u];
         // before: cut if pu != pa; after: cut if pu != pb
-        gain += cut_delta(pu, pa, pb, w);
+        gain += cut_delta(part.part(u), pa, pb, w);
     }
     for (u, w) in graph.edges_of(b) {
         let u = u as usize;
         if u == a {
             continue;
         }
-        let pu = part[u];
-        gain += cut_delta(pu, pb, pa, w);
+        gain += cut_delta(part.part(u), pb, pa, w);
     }
     gain
 }
@@ -193,6 +413,69 @@ mod tests {
         assert_eq!(g.part_weights(&part, 5), vec![20; 5]);
     }
 
+    #[test]
+    fn sequential_flag_matches_parallel_result_exactly() {
+        let g = grid_graph(12, 12);
+        let cfg = PartitionConfig::new(vec![24; 6]).with_seed(8);
+        let base = partition(&g, &cfg).unwrap();
+        let mut par = base.clone();
+        let mut seq = base.clone();
+        let stats_par = refine_kway_with(&g, &mut par, &RefineConfig::new(6, 11));
+        let stats_seq =
+            refine_kway_with(&g, &mut seq, &RefineConfig::new(6, 11).with_parallel(false));
+        assert_eq!(par, seq);
+        assert_eq!(stats_par, stats_seq);
+    }
+
+    #[test]
+    fn probe_streams_differ_between_rounds() {
+        // Regression test for the PR 1 bug where every round re-seeded the
+        // probe RNG from the same stream position: the probe partners of a
+        // vertex must differ between consecutive rounds.
+        for v in [0usize, 3, 17] {
+            let probes = |round: usize| -> Vec<usize> {
+                let mut rng = probe_rng(42, round, v);
+                (0..RANDOM_PROBES).map(|_| rng.gen_range(0..1000)).collect()
+            };
+            assert_ne!(probes(1), probes(2), "vertex {v}: round 2 repeats round 1");
+            assert_ne!(probes(0), probes(1), "vertex {v}: round 1 repeats round 0");
+        }
+        // ... and between vertices within a round
+        assert_ne!(
+            {
+                let mut r = probe_rng(42, 0, 1);
+                r.gen_range(0..u64::MAX)
+            },
+            {
+                let mut r = probe_rng(42, 0, 2);
+                r.gen_range(0..u64::MAX)
+            }
+        );
+    }
+
+    #[test]
+    fn pair_coloring_is_a_proper_schedule() {
+        // every pair gets a color below the color count, and no two pairs of
+        // the same color share a part
+        for k in 2usize..14 {
+            let colors = pair_colors(k);
+            let mut seen: Vec<Vec<(u32, u32)>> = vec![Vec::new(); colors];
+            for a in 0..k as u32 {
+                for b in (a + 1)..k as u32 {
+                    let c = pair_color((a, b), k);
+                    assert!(c < colors, "k={k}: color {c} out of range");
+                    for &(x, y) in &seen[c] {
+                        assert!(
+                            x != a && x != b && y != a && y != b,
+                            "k={k}: pairs ({x},{y}) and ({a},{b}) share color {c}"
+                        );
+                    }
+                    seen[c].push((a, b));
+                }
+            }
+        }
+    }
+
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(16))]
         #[test]
@@ -208,6 +491,20 @@ mod tests {
             let stats = refine_kway(&g, &mut assignment, 4, seed);
             prop_assert!(stats.cut_after <= before);
             prop_assert_eq!(g.part_weights(&assignment, parts), sizes_before);
+        }
+
+        #[test]
+        fn prop_parallel_and_sequential_refine_agree(
+            rows in 3u32..8, cols in 3u32..8, parts in 2usize..6, seed in 0u64..10,
+        ) {
+            let g = grid_graph(rows, cols);
+            let n = (rows * cols) as usize;
+            let mut a: Vec<u32> = (0..n).map(|i| (i % parts) as u32).collect();
+            let mut b = a.clone();
+            let sp = refine_kway_with(&g, &mut a, &RefineConfig::new(3, seed));
+            let ss = refine_kway_with(&g, &mut b, &RefineConfig::new(3, seed).with_parallel(false));
+            prop_assert_eq!(&a, &b);
+            prop_assert_eq!(sp, ss);
         }
     }
 }

@@ -17,6 +17,8 @@
 //! (e.g. [`crate::partition_with`]); the plain variants allocate a transient
 //! workspace for API compatibility.
 
+use crate::bucket::BucketQueue;
+
 /// Scratch buffers shared by all stages of the multilevel pipeline.
 ///
 /// See the [module documentation](self) for the reuse contract.  All buffers
@@ -44,12 +46,13 @@ pub struct Workspace {
     pub(crate) in_region: Vec<bool>,
     /// Gain per vertex (graph growing and FM refinement).
     pub(crate) gain: Vec<i64>,
-    /// Frontier vertices for greedy graph growing.
-    pub(crate) frontier: Vec<usize>,
     /// Candidate partition of the current growing attempt.
     pub(crate) grow_part: Vec<u32>,
-    /// Locked flag per vertex for FM passes.
-    pub(crate) locked: Vec<bool>,
+    /// Gain-bucket queue of part-0 vertices for FM passes; also reused as the
+    /// frontier queue of greedy graph growing.
+    pub(crate) bq0: BucketQueue,
+    /// Gain-bucket queue of part-1 vertices for FM passes.
+    pub(crate) bq1: BucketQueue,
     /// Move journal of the current FM pass.
     pub(crate) moves: Vec<usize>,
     /// Global→local vertex ids for subgraph induction (full graph size,

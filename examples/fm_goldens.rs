@@ -1,0 +1,60 @@
+//! Regenerates the golden cut sizes asserted by `tests/fm_goldens.rs`.
+//!
+//! The goldens were captured from the linear-scan FM implementation that
+//! preceded the gain-bucket rewrite; the regression test pins the bucket-queue
+//! refinement to "never worse than the recorded linear-scan cut" on this
+//! fixed instance set.  Run with:
+//!
+//! ```text
+//! cargo run --release --example fm_goldens
+//! ```
+//!
+//! and compare the printed table against the `GOLDENS` constant in the test.
+
+use stencilmap::partition::{partition, Graph, PartitionConfig};
+
+/// The fixed instance set: `(rows, cols, parts, seed)` grid-partitioning
+/// problems with exact part sizes `rows * cols / parts`.
+pub const INSTANCES: &[(u32, u32, usize, u64)] = &[
+    (8, 8, 4, 1),
+    (8, 8, 4, 2),
+    (10, 10, 5, 1),
+    (12, 18, 6, 3),
+    (16, 16, 8, 1),
+    (16, 16, 8, 7),
+    (15, 16, 10, 2),
+    (20, 20, 4, 1),
+    (24, 24, 16, 5),
+    (32, 32, 8, 1),
+    (32, 32, 8, 9),
+    (36, 28, 12, 4),
+];
+
+/// Builds the `rows x cols` 4-point grid graph used by the golden instances.
+pub fn grid_graph(rows: u32, cols: u32) -> Graph {
+    let mut edges = Vec::new();
+    for r in 0..rows {
+        for c in 0..cols {
+            let v = r * cols + c;
+            if c + 1 < cols {
+                edges.push((v, v + 1, 1));
+            }
+            if r + 1 < rows {
+                edges.push((v, v + cols, 1));
+            }
+        }
+    }
+    Graph::from_edges((rows * cols) as usize, &edges)
+}
+
+fn main() {
+    println!("// (rows, cols, parts, seed, cut)");
+    for &(rows, cols, parts, seed) in INSTANCES {
+        let g = grid_graph(rows, cols);
+        let total = (rows * cols) as usize;
+        assert_eq!(total % parts, 0, "instance must divide evenly");
+        let cfg = PartitionConfig::new(vec![total / parts; parts]).with_seed(seed);
+        let assignment = partition(&g, &cfg).unwrap();
+        println!("({rows}, {cols}, {parts}, {seed}, {}),", g.cut(&assignment));
+    }
+}

@@ -1,0 +1,80 @@
+//! Golden regression test for the bucket-queue FM rewrite.
+//!
+//! The `GOLDENS` table records the edge cuts the **old linear-scan FM**
+//! (pre-bucket-queue, as of PR 1) produced for a fixed set of grid
+//! partitioning instances.  The bucket-queue refinement must never be worse
+//! than those recorded cuts on any of the instances — quality is locked in
+//! while the selection structure underneath is free to evolve.
+//!
+//! Regenerate the current implementation's numbers with
+//! `cargo run --release --example fm_goldens`; the goldens themselves are
+//! historical and must not be bumped upwards.
+
+use stencilmap::partition::{partition, Graph, PartitionConfig};
+
+/// `(rows, cols, parts, seed, cut)` — cut sizes recorded from the linear-scan
+/// FM at commit fa83d97 ("Add parallel allocation-free mapping engine").
+/// Must match the instance list in `examples/fm_goldens.rs`.
+const GOLDENS: &[(u32, u32, usize, u64, u64)] = &[
+    (8, 8, 4, 1, 16),
+    (8, 8, 4, 2, 16),
+    (10, 10, 5, 1, 28),
+    (12, 18, 6, 3, 48),
+    (16, 16, 8, 1, 64),
+    (16, 16, 8, 7, 64),
+    (15, 16, 10, 2, 76),
+    (20, 20, 4, 1, 44),
+    (24, 24, 16, 5, 144),
+    (32, 32, 8, 1, 138),
+    (32, 32, 8, 9, 133),
+    (36, 28, 12, 4, 183),
+];
+
+fn grid_graph(rows: u32, cols: u32) -> Graph {
+    let mut edges = Vec::new();
+    for r in 0..rows {
+        for c in 0..cols {
+            let v = r * cols + c;
+            if c + 1 < cols {
+                edges.push((v, v + 1, 1));
+            }
+            if r + 1 < rows {
+                edges.push((v, v + cols, 1));
+            }
+        }
+    }
+    Graph::from_edges((rows * cols) as usize, &edges)
+}
+
+#[test]
+fn bucket_queue_fm_is_never_worse_than_linear_scan_goldens() {
+    let mut improvements = 0u32;
+    for &(rows, cols, parts, seed, golden_cut) in GOLDENS {
+        let g = grid_graph(rows, cols);
+        let total = (rows * cols) as usize;
+        assert_eq!(total % parts, 0, "golden instance must divide evenly");
+        let cfg = PartitionConfig::new(vec![total / parts; parts]).with_seed(seed);
+        let assignment = partition(&g, &cfg).unwrap();
+        // exact part sizes must hold as before
+        let weights = g.part_weights(&assignment, parts);
+        assert!(
+            weights.iter().all(|&w| w == (total / parts) as u64),
+            "{rows}x{cols}/{parts} seed {seed}: sizes {weights:?}"
+        );
+        let cut = g.cut(&assignment);
+        assert!(
+            cut <= golden_cut,
+            "{rows}x{cols} into {parts} parts, seed {seed}: \
+             bucket-queue FM cut {cut} worse than linear-scan golden {golden_cut}"
+        );
+        if cut < golden_cut {
+            improvements += 1;
+        }
+    }
+    // the tie-break alternation should keep beating the old scan somewhere;
+    // if this starts failing the refinement has silently lost search power
+    assert!(
+        improvements >= 1,
+        "bucket-queue FM no longer improves on any golden instance"
+    );
+}

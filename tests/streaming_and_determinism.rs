@@ -6,10 +6,13 @@
 //! * the chunked parallel mapping computation agrees with the rank-local
 //!   definition (`remap_rank`) for every rank,
 //! * the parallel and sequential multilevel partitioner produce identical
-//!   results for the same seed.
+//!   results for the same seed,
+//! * the parallel k-way swap refinement produces identical partitions for
+//!   every thread count (verified across real `RAYON_NUM_THREADS` settings
+//!   via subprocesses) and with parallelism disabled outright.
 
 use proptest::prelude::*;
-use stencilmap::partition::{partition, Graph, PartitionConfig};
+use stencilmap::partition::{partition, refine_kway_with, Graph, PartitionConfig, RefineConfig};
 use stencilmap::prelude::*;
 
 fn stencil_for(ndims: usize, choice: u8) -> Stencil {
@@ -171,6 +174,104 @@ proptest! {
             .unwrap();
             prop_assert_eq!(par, seq);
         }
+    }
+}
+
+/// Builds the 48x48 grid instance shared by the refinement determinism
+/// tests: a 12-way partition plus its refined variant.
+fn refined_grid_partition(parallel: bool) -> (Graph, Vec<u32>) {
+    let mut edges = Vec::new();
+    for r in 0..48u32 {
+        for c in 0..48u32 {
+            let v = r * 48 + c;
+            if c + 1 < 48 {
+                edges.push((v, v + 1, 1));
+            }
+            if r + 1 < 48 {
+                edges.push((v, v + 48, 1));
+            }
+        }
+    }
+    let g = Graph::from_edges(48 * 48, &edges);
+    let cfg = PartitionConfig::new(vec![192; 12])
+        .with_seed(3)
+        .with_parallel(parallel);
+    let mut part = partition(&g, &cfg).unwrap();
+    refine_kway_with(
+        &g,
+        &mut part,
+        &RefineConfig::new(5, 17).with_parallel(parallel),
+    );
+    (g, part)
+}
+
+/// `RefineConfig::parallel = false` (alongside `PartitionConfig::parallel =
+/// false`) reproduces the parallel sweep's result exactly.
+#[test]
+fn refine_kway_sequential_flag_matches_parallel_exactly() {
+    let (g, par) = refined_grid_partition(true);
+    let (_, seq) = refined_grid_partition(false);
+    assert_eq!(par, seq);
+    assert_eq!(g.part_weights(&par, 12), vec![192u64; 12]);
+}
+
+/// The parallel `refine_kway` yields identical partitions for
+/// `RAYON_NUM_THREADS` ∈ {1, 2, 4}.  The vendored rayon reads the variable
+/// once per process, so each thread count runs in a child process (this same
+/// test re-invoked with `STENCILMAP_DETERMINISM_CHILD` set) that prints a
+/// fingerprint of the refined partition.
+#[test]
+fn refine_kway_identical_across_thread_counts() {
+    const CHILD_VAR: &str = "STENCILMAP_DETERMINISM_CHILD";
+    if std::env::var(CHILD_VAR).is_ok() {
+        let (_, part) = refined_grid_partition(true);
+        // FNV-1a over the assignment
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for &p in &part {
+            h ^= p as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        println!("fingerprint:{h:016x}");
+        return;
+    }
+    let exe = std::env::current_exe().expect("test executable path");
+    let mut fingerprints = Vec::new();
+    for threads in ["1", "2", "4"] {
+        let out = std::process::Command::new(&exe)
+            .args([
+                "refine_kway_identical_across_thread_counts",
+                "--exact",
+                "--nocapture",
+                "--test-threads=1",
+            ])
+            .env(CHILD_VAR, "1")
+            .env("RAYON_NUM_THREADS", threads)
+            .output()
+            .expect("spawning the child test process");
+        assert!(
+            out.status.success(),
+            "child with RAYON_NUM_THREADS={threads} failed:\n{}{}",
+            String::from_utf8_lossy(&out.stdout),
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        // with --nocapture the marker may share a line with harness output
+        let fp = stdout
+            .lines()
+            .find_map(|l| l.split("fingerprint:").nth(1))
+            .unwrap_or_else(|| panic!("no fingerprint in child output:\n{stdout}"))
+            .split_whitespace()
+            .next()
+            .expect("fingerprint value")
+            .to_string();
+        fingerprints.push((threads, fp));
+    }
+    let (_, reference) = &fingerprints[0];
+    for (threads, fp) in &fingerprints {
+        assert_eq!(
+            fp, reference,
+            "RAYON_NUM_THREADS={threads} produced a different partition"
+        );
     }
 }
 
