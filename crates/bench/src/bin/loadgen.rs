@@ -1,0 +1,213 @@
+//! Emits `BENCH_serve.json` — the perf-trajectory baseline of the caching
+//! mapping service: throughput and latency percentiles of synthetic request
+//! mixes replayed against an in-process [`MappingService`].
+//!
+//! ```text
+//! cargo run --release -p stencil-bench --bin loadgen -- [--quick] [--out BENCH_serve.json]
+//! ```
+//!
+//! Four mixes are replayed (all deterministic):
+//!
+//! * **cache_hit** — one cold p = 4800 VieM-style (multilevel) request, then
+//!   the same request repeated: every repeat is a canonical cache hit,
+//!   served without touching the engine.  The cold-vs-hit ratio is the
+//!   headline number of the service.
+//! * **cache_miss** — a sweep of distinct instances (every request a miss),
+//!   measuring the engine + cache-insert path.
+//! * **mixed** — 90% hits / 10% misses interleaved, the shape "Mapping
+//!   Matters" reports for recurring job configurations.
+//! * **batch** — `{"batch": […]}` lines of hit requests, measuring the
+//!   batched path (in-order per-item processing, one parse/serialise per
+//!   line).
+
+use std::time::Instant;
+
+use stencil_bench::report::json::Json;
+use stencil_serve::service::{MappingService, ServiceConfig};
+
+/// Latency percentile over raw samples (nearest-rank on the sorted list).
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return f64::NAN;
+    }
+    let idx = (q * (sorted.len() - 1) as f64).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// Replays `lines` one by one, asserting every response line succeeds, and
+/// returns the per-line latencies in seconds (in replay order).
+fn replay(service: &MappingService, lines: &[String]) -> Vec<f64> {
+    let mut latencies = Vec::with_capacity(lines.len());
+    for line in lines {
+        let start = Instant::now();
+        let response = service.handle_line(line);
+        latencies.push(start.elapsed().as_secs_f64());
+        assert!(
+            !response.contains("\"status\":\"error\""),
+            "loadgen request failed: {line} -> {response}"
+        );
+        std::hint::black_box(&response);
+    }
+    latencies
+}
+
+/// Summarises one mix as a flat JSON section.
+fn section(latencies: &[f64], extra: Vec<(&str, Json)>) -> Json {
+    let total: f64 = latencies.iter().sum();
+    let mut sorted = latencies.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let mut fields = vec![
+        ("requests", Json::Num(latencies.len() as f64)),
+        ("throughput_rps", Json::Num(latencies.len() as f64 / total)),
+        ("p50_s", Json::Num(percentile(&sorted, 0.50))),
+        ("p99_s", Json::Num(percentile(&sorted, 0.99))),
+        ("total_s", Json::Num(total)),
+    ];
+    fields.extend(extra);
+    Json::obj(fields)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path =
+        stencil_bench::arg_value(&args, "--out").unwrap_or_else(|| "BENCH_serve.json".to_string());
+
+    let hit_requests = if quick { 200 } else { 2000 };
+    let miss_requests = if quick { 12 } else { 48 };
+    let mixed_requests = if quick { 100 } else { 500 };
+    let batch_lines = if quick { 10 } else { 50 };
+    let batch_size = 32usize;
+
+    eprintln!(
+        "loadgen: threads = {}, quick = {quick}",
+        rayon::current_num_threads()
+    );
+    let service = MappingService::new(&ServiceConfig::default());
+
+    // --- cache_hit: cold p=4800 multilevel, then pure hits ------------------
+    // The paper's largest throughput instance (100 nodes x 48 procs on a
+    // 75 x 64 grid) through the expensive VieM-style pipeline: the worst
+    // case the cache absorbs.
+    let headline = r#"{"id":0,"dims":[75,64],"nodes":100,"algorithm":"viem","seed":1}"#.to_string();
+    let cold_start = Instant::now();
+    let cold_response = service.handle_line(&headline);
+    let cold_s = cold_start.elapsed().as_secs_f64();
+    assert!(
+        cold_response.contains("\"cached\":false"),
+        "first request must miss"
+    );
+    let hit_lines: Vec<String> = vec![headline.clone(); hit_requests];
+    let hit_latencies = replay(&service, &hit_lines);
+    let mut hit_sorted = hit_latencies.clone();
+    hit_sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let hit_p50 = percentile(&hit_sorted, 0.50);
+    let speedup = cold_s / hit_p50;
+    eprintln!(
+        "  cache_hit p=4800 (viem): cold {cold_s:.6}s, hit p50 {hit_p50:.6}s \
+         ({speedup:.0}x), {:.0} req/s",
+        hit_latencies.len() as f64 / hit_latencies.iter().sum::<f64>()
+    );
+
+    // --- cache_miss: every request a distinct instance ----------------------
+    // Distinct (nodes, grid) pairs through Hyperplane: measures the
+    // canonicalize + engine + insert path.
+    let miss_lines: Vec<String> = (0..miss_requests)
+        .map(|i| {
+            let nodes = 8 + i; // unique node count => unique dims and alloc
+            format!(r#"{{"id":{i},"dims":[{nodes},12],"nodes":{nodes}}}"#)
+        })
+        .collect();
+    let miss_latencies = replay(&service, &miss_lines);
+    eprintln!(
+        "  cache_miss (hyperplane, distinct instances): {:.0} req/s",
+        miss_latencies.len() as f64 / miss_latencies.iter().sum::<f64>()
+    );
+
+    // --- mixed: 90% hits, 10% misses ----------------------------------------
+    let mixed_service = MappingService::new(&ServiceConfig::default());
+    let warm = r#"{"dims":[50,48],"nodes":50,"algorithm":"hyperplane"}"#.to_string();
+    mixed_service.handle_line(&warm);
+    let mixed_lines: Vec<String> = (0..mixed_requests)
+        .map(|i| {
+            if i % 10 == 9 {
+                // a fresh instance: guaranteed miss
+                let nodes = 200 + i;
+                format!(r#"{{"dims":[{nodes},12],"nodes":{nodes}}}"#)
+            } else {
+                warm.clone()
+            }
+        })
+        .collect();
+    let mixed_latencies = replay(&mixed_service, &mixed_lines);
+    let mixed_stats = mixed_service.cache_stats();
+    let hit_fraction = mixed_stats.hits as f64 / (mixed_stats.hits + mixed_stats.misses) as f64;
+    eprintln!(
+        "  mixed (90/10): {:.0} req/s, measured hit rate {hit_fraction:.2}",
+        mixed_latencies.len() as f64 / mixed_latencies.iter().sum::<f64>()
+    );
+
+    // --- batch: lines of `batch_size` hit requests --------------------------
+    let batch_item = r#"{"dims":[50,48],"nodes":50,"algorithm":"kdtree"}"#;
+    let batch_line = format!(
+        r#"{{"batch":[{}]}}"#,
+        vec![batch_item; batch_size].join(",")
+    );
+    service.handle_line(&batch_line); // warm the entry
+    let batch_line_vec: Vec<String> = vec![batch_line; batch_lines];
+    let batch_latencies = replay(&service, &batch_line_vec);
+    let batch_total: f64 = batch_latencies.iter().sum();
+    eprintln!(
+        "  batch (x{batch_size} hits/line): {:.0} req/s",
+        (batch_lines * batch_size) as f64 / batch_total
+    );
+
+    let doc = Json::obj(vec![
+        ("schema", Json::str("stencilmap/serve-loadgen/v1")),
+        ("threads", Json::Num(rayon::current_num_threads() as f64)),
+        ("quick", Json::Bool(quick)),
+        (
+            "cache_hit",
+            section(
+                &hit_latencies,
+                vec![
+                    ("processes", Json::Num(4800.0)),
+                    ("cold_multilevel_s", Json::Num(cold_s)),
+                    ("speedup_cold_over_hit", Json::Num(speedup)),
+                ],
+            ),
+        ),
+        ("cache_miss", section(&miss_latencies, vec![])),
+        (
+            "mixed",
+            section(
+                &mixed_latencies,
+                vec![("hit_fraction", Json::Num(hit_fraction))],
+            ),
+        ),
+        (
+            "batch",
+            section(
+                &batch_latencies,
+                vec![
+                    ("batch_size", Json::Num(batch_size as f64)),
+                    (
+                        "requests_per_s",
+                        Json::Num((batch_lines * batch_size) as f64 / batch_total),
+                    ),
+                ],
+            ),
+        ),
+    ]);
+    std::fs::write(&out_path, doc.pretty()).unwrap_or_else(|e| {
+        eprintln!("could not write {out_path}: {e}");
+        std::process::exit(1);
+    });
+    eprintln!("wrote {out_path}");
+
+    // sanity floor for the acceptance criterion: the hit path must beat the
+    // cold multilevel mapping by a wide margin
+    if speedup < 50.0 {
+        eprintln!("loadgen: WARNING — cache-hit speedup {speedup:.0}x is below the 50x target");
+    }
+}

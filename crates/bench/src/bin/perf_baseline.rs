@@ -24,11 +24,7 @@ use stencil_mapping::{Mapper, MappingProblem};
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let quick = args.iter().any(|a| a == "--quick");
-    let out_path = args
-        .iter()
-        .position(|a| a == "--out")
-        .and_then(|i| args.get(i + 1))
-        .cloned()
+    let out_path = stencil_bench::arg_value(&args, "--out")
         .unwrap_or_else(|| "BENCH_mapping.json".to_string());
 
     let repetitions = if quick { 3 } else { 20 };

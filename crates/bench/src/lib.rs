@@ -25,6 +25,16 @@ use stencil_grid::{Dims, NodeAllocation, Stencil};
 use stencil_mapping::analysis::StencilKind;
 use stencil_mapping::MappingProblem;
 
+/// Returns the value following `flag` in an argument list — the shared
+/// minimal flag parsing of the benchmark binaries (`perf_baseline`,
+/// `perf_check`, `loadgen`, the figure emitters).
+pub fn arg_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
 /// The two throughput-experiment scales of the paper: 50 nodes (50×48 grid)
 /// and 100 nodes (75×64 grid), both with 48 processes per node.
 pub fn paper_throughput_instance(nodes: usize, stencil: StencilKind) -> MappingProblem {

@@ -1,34 +1,96 @@
-//! Perf-regression gate over `BENCH_mapping.json` documents.
+//! Perf-regression gates over the committed `BENCH_*.json` baselines.
 //!
-//! CI runs [`perf_baseline`](../bin/perf_baseline.rs) and compares the fresh
-//! timings against the committed baseline with [`check_partitioner`]: the
-//! build fails when multilevel partitioning regresses by more than the
-//! allowed fraction.  The comparison deliberately reads only the partitioner
-//! sections — instantiation timings at sub-millisecond scale are too noisy
-//! to gate on.
+//! CI regenerates the perf documents ([`perf_baseline`](../bin/perf_baseline.rs)
+//! for the engine, [`loadgen`](../bin/loadgen.rs) for the mapping service)
+//! and compares them against the committed baselines: the build fails when a
+//! gated metric regresses beyond the allowed fraction.  The gated entries
+//! are listed in one place — [`GATED_PARTITIONER_METRICS`] and
+//! [`GATED_SERVE_METRICS`] — so adding a gate is a one-line change.  The
+//! selection is deliberately narrow: sub-millisecond instantiation timings
+//! are too noisy to gate on.
 
-/// One compared timing.
+/// One gated metric: where it lives in the JSON document and which direction
+/// is good.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GatedMetric {
+    /// Top-level section holding a flat object.
+    pub section: &'static str,
+    /// Key within the section.
+    pub key: &'static str,
+    /// `true` for throughput-style metrics (a *drop* is a regression),
+    /// `false` for time-style metrics (a *rise* is a regression).
+    pub higher_is_better: bool,
+}
+
+/// The partitioner timings gated in `BENCH_mapping.json` (times: lower is
+/// better).  Shared by `perf_baseline`'s consumers and `perf_check` so the
+/// two can never drift apart.
+pub const GATED_PARTITIONER_METRICS: &[GatedMetric] = &[
+    GatedMetric {
+        section: "partitioner",
+        key: "parallel_s",
+        higher_is_better: false,
+    },
+    GatedMetric {
+        section: "partitioner",
+        key: "sequential_s",
+        higher_is_better: false,
+    },
+    GatedMetric {
+        section: "partitioner_large",
+        key: "single_core_s",
+        higher_is_better: false,
+    },
+];
+
+/// Scale guards for the partitioner document: these keys must agree between
+/// baseline and current, otherwise the timings are incomparable.
+pub const PARTITIONER_SCALE_GUARDS: &[(&str, &str)] = &[
+    ("partitioner", "processes"),
+    ("partitioner_large", "processes"),
+];
+
+/// The mapping-service metrics gated in `BENCH_serve.json`: cache-hit
+/// throughput must not collapse (higher is better).
+pub const GATED_SERVE_METRICS: &[GatedMetric] = &[GatedMetric {
+    section: "cache_hit",
+    key: "throughput_rps",
+    higher_is_better: true,
+}];
+
+/// Scale guards for the serve document.
+pub const SERVE_SCALE_GUARDS: &[(&str, &str)] = &[("cache_hit", "processes")];
+
+/// One compared metric.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CheckOutcome {
     /// Human-readable metric label, e.g. `partitioner.parallel_s`.
     pub label: String,
-    /// Committed baseline value in seconds.
-    pub baseline_s: f64,
-    /// Freshly measured value in seconds.
-    pub current_s: f64,
+    /// Committed baseline value.
+    pub baseline: f64,
+    /// Freshly measured value.
+    pub current: f64,
+    /// Direction of the underlying metric.
+    pub higher_is_better: bool,
     /// Whether the current value is within the allowed regression.
     pub ok: bool,
 }
 
 impl CheckOutcome {
+    /// Relative change of the current value over the baseline (`+0.10` =
+    /// 10% higher).
+    pub fn change(&self) -> f64 {
+        self.current / self.baseline - 1.0
+    }
+
     /// Formats the outcome as one report line.
     pub fn render(&self) -> String {
         format!(
-            "{:<34} baseline {:>10.6}s, current {:>10.6}s ({:+6.1}%) {}",
+            "{:<34} baseline {:>12.6}, current {:>12.6} ({:+6.1}%) {}",
             self.label,
-            self.baseline_s,
-            self.current_s,
-            (self.current_s / self.baseline_s - 1.0) * 100.0,
+            self.baseline,
+            self.current,
+            self.change() * 100.0,
             if self.ok { "ok" } else { "REGRESSION" }
         )
     }
@@ -60,56 +122,126 @@ pub fn extract_number(json: &str, section: &str, key: &str) -> Option<f64> {
     value.parse().ok()
 }
 
-/// Compares the partitioner timings of two `BENCH_mapping.json` documents.
+/// Compares the gated `metrics` of two perf JSON documents.
 ///
-/// `max_regression` is the allowed fractional slowdown (0.25 = 25%).  The
-/// process counts of both documents must agree, otherwise the comparison is
-/// meaningless and an error is returned.  Metrics present in only one of the
-/// documents are skipped.
-pub fn check_partitioner(
+/// `max_regression` is the allowed fractional regression (0.25 = a 25%
+/// slowdown for time metrics, a 25% throughput drop for rate metrics).  The
+/// `scale_guards` keys must agree between the two documents when present in
+/// both, otherwise the comparison is meaningless and an error is returned.
+/// Metrics present in only one of the documents are skipped; it is an error
+/// when *no* gated metric is comparable.
+pub fn check_metrics(
     baseline: &str,
     current: &str,
     max_regression: f64,
+    metrics: &[GatedMetric],
+    scale_guards: &[(&str, &str)],
 ) -> Result<Vec<CheckOutcome>, String> {
-    let metrics = [
-        ("partitioner", "parallel_s"),
-        ("partitioner", "sequential_s"),
-        ("partitioner_large", "single_core_s"),
-    ];
-    for section in ["partitioner", "partitioner_large"] {
-        let b = extract_number(baseline, section, "processes");
-        let c = extract_number(current, section, "processes");
+    for &(section, key) in scale_guards {
+        let b = extract_number(baseline, section, key);
+        let c = extract_number(current, section, key);
         if let (Some(b), Some(c)) = (b, c) {
             if b != c {
                 return Err(format!(
-                    "{section}: baseline measured p={b} but current measured p={c}; \
+                    "{section}.{key}: baseline measured {b} but current measured {c}; \
                      re-run both at the same scale"
                 ));
             }
         }
     }
     let mut outcomes = Vec::new();
-    for (section, key) in metrics {
+    for m in metrics {
         let (Some(b), Some(c)) = (
-            extract_number(baseline, section, key),
-            extract_number(current, section, key),
+            extract_number(baseline, m.section, m.key),
+            extract_number(current, m.section, m.key),
         ) else {
             continue;
         };
         if b <= 0.0 {
-            return Err(format!("{section}.{key}: non-positive baseline {b}"));
+            return Err(format!(
+                "{}.{}: non-positive baseline {b}",
+                m.section, m.key
+            ));
         }
+        let ok = if m.higher_is_better {
+            c >= b * (1.0 - max_regression)
+        } else {
+            c <= b * (1.0 + max_regression)
+        };
         outcomes.push(CheckOutcome {
-            label: format!("{section}.{key}"),
-            baseline_s: b,
-            current_s: c,
-            ok: c <= b * (1.0 + max_regression),
+            label: format!("{}.{}", m.section, m.key),
+            baseline: b,
+            current: c,
+            higher_is_better: m.higher_is_better,
+            ok,
         });
     }
     if outcomes.is_empty() {
-        return Err("no comparable partitioner timings found in the two documents".to_string());
+        return Err("no comparable gated metrics found in the two documents".to_string());
     }
     Ok(outcomes)
+}
+
+/// Compares the partitioner timings of two `BENCH_mapping.json` documents
+/// ([`GATED_PARTITIONER_METRICS`]).
+pub fn check_partitioner(
+    baseline: &str,
+    current: &str,
+    max_regression: f64,
+) -> Result<Vec<CheckOutcome>, String> {
+    check_metrics(
+        baseline,
+        current,
+        max_regression,
+        GATED_PARTITIONER_METRICS,
+        PARTITIONER_SCALE_GUARDS,
+    )
+}
+
+/// Compares the mapping-service metrics of two `BENCH_serve.json` documents
+/// ([`GATED_SERVE_METRICS`]).
+pub fn check_serve(
+    baseline: &str,
+    current: &str,
+    max_regression: f64,
+) -> Result<Vec<CheckOutcome>, String> {
+    check_metrics(
+        baseline,
+        current,
+        max_regression,
+        GATED_SERVE_METRICS,
+        SERVE_SCALE_GUARDS,
+    )
+}
+
+/// Renders the outcomes as a GitHub-flavoured markdown table (written to
+/// `$GITHUB_STEP_SUMMARY` by the `perf_check` binary so every gated entry is
+/// visible at a glance).
+pub fn summary_markdown(outcomes: &[CheckOutcome]) -> String {
+    let rows: Vec<Vec<String>> = outcomes
+        .iter()
+        .map(|o| {
+            vec![
+                o.label.clone(),
+                format!("{:.6}", o.baseline),
+                format!("{:.6}", o.current),
+                format!("{:+.1}%", o.change() * 100.0),
+                if o.higher_is_better {
+                    "higher"
+                } else {
+                    "lower"
+                }
+                .to_string(),
+                if o.ok { "✅ ok" } else { "❌ REGRESSION" }.to_string(),
+            ]
+        })
+        .collect();
+    crate::report::format_markdown_table(
+        &[
+            "metric", "baseline", "current", "change", "better", "status",
+        ],
+        &rows,
+    )
 }
 
 #[cfg(test)]
@@ -127,6 +259,16 @@ mod tests {
     "processes": 100000,
     "parts": 1000,
     "single_core_s": 2.0
+  }
+}"#;
+
+    const SERVE_DOC: &str = r#"{
+  "schema": "stencilmap/serve-loadgen/v1",
+  "cache_hit": {
+    "processes": 4800,
+    "requests": 2000,
+    "throughput_rps": 50000,
+    "p50_s": 0.00002
   }
 }"#;
 
@@ -163,7 +305,7 @@ mod tests {
     #[test]
     fn identical_documents_pass() {
         let outcomes = check_partitioner(DOC, DOC, 0.25).unwrap();
-        assert_eq!(outcomes.len(), 3);
+        assert_eq!(outcomes.len(), GATED_PARTITIONER_METRICS.len());
         assert!(outcomes.iter().all(|o| o.ok));
     }
 
@@ -201,5 +343,43 @@ mod tests {
         let quick = DOC.replace("single_core_s", "omitted");
         let outcomes = check_partitioner(DOC, &quick, 0.25).unwrap();
         assert_eq!(outcomes.len(), 2);
+    }
+
+    #[test]
+    fn serve_gate_fails_on_throughput_drop_not_rise() {
+        // throughput is higher-is-better: a 2x rise passes …
+        let fast = SERVE_DOC.replace("\"throughput_rps\": 50000", "\"throughput_rps\": 100000");
+        assert!(check_serve(SERVE_DOC, &fast, 0.25)
+            .unwrap()
+            .iter()
+            .all(|o| o.ok));
+        // … a 50% drop fails at a 25% budget
+        let slow = SERVE_DOC.replace("\"throughput_rps\": 50000", "\"throughput_rps\": 25000");
+        let outcomes = check_serve(SERVE_DOC, &slow, 0.25).unwrap();
+        assert_eq!(outcomes.len(), 1);
+        assert!(!outcomes[0].ok);
+        assert_eq!(outcomes[0].label, "cache_hit.throughput_rps");
+        // … and a 20% drop is within a 25% budget
+        let mild = SERVE_DOC.replace("\"throughput_rps\": 50000", "\"throughput_rps\": 40000");
+        assert!(check_serve(SERVE_DOC, &mild, 0.25).unwrap()[0].ok);
+    }
+
+    #[test]
+    fn serve_gate_guards_the_request_scale() {
+        let other = SERVE_DOC.replace("\"processes\": 4800", "\"processes\": 96");
+        assert!(check_serve(SERVE_DOC, &other, 0.25).is_err());
+    }
+
+    #[test]
+    fn summary_markdown_lists_every_outcome() {
+        let mut outcomes = check_partitioner(DOC, DOC, 0.25).unwrap();
+        outcomes.extend(check_serve(SERVE_DOC, SERVE_DOC, 0.25).unwrap());
+        let md = summary_markdown(&outcomes);
+        let lines: Vec<&str> = md.lines().collect();
+        // header + separator + one row per outcome
+        assert_eq!(lines.len(), 2 + outcomes.len());
+        assert!(md.contains("partitioner.parallel_s"));
+        assert!(md.contains("cache_hit.throughput_rps"));
+        assert!(md.contains("✅"));
     }
 }

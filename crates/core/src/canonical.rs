@@ -1,0 +1,332 @@
+//! Canonical forms of mapping requests for caching.
+//!
+//! Many mapping requests are *equivalent up to a relabeling of the grid
+//! dimensions*: permuting the dimension sizes and every stencil offset with
+//! the same permutation is an isomorphism of the Cartesian communication
+//! graph, so a mapping computed for one representative solves all of them —
+//! the node assignment only has to be transported through the coordinate
+//! relabeling.  Likewise, the *order* in which stencil offsets are listed
+//! never changes the communication graph (it is a set of edges), although it
+//! can steer tie-breaking inside the randomised algorithms.
+//!
+//! [`canonicalize`] picks a deterministic representative of each equivalence
+//! class: the dimension permutation whose `(dims, sorted offsets)` pair is
+//! lexicographically smallest, with the offsets sorted within the permuted
+//! stencil.  A cache keyed by the canonical form (see the `stencil-serve`
+//! crate) therefore serves every member of the class from one entry, and all
+//! members receive *consistent* answers (identical cost, node tables equal up
+//! to the relabeling).
+//!
+//! The search tries all `d!` permutations, which is perfectly cheap for the
+//! dimensionalities stencil codes use (`d ≤ 4` in the paper); beyond
+//! [`MAX_CANONICAL_NDIMS`] dimensions only the offset order is normalised and
+//! the identity permutation is kept.
+
+use crate::mapping::Mapping;
+use crate::problem::{MapError, MappingProblem};
+use stencil_grid::{Dims, Stencil};
+
+/// Dimensionality up to which the permutation search is exhaustive. `8! =
+/// 40320` candidate permutations is still far cheaper than any mapping
+/// computation; above that the identity permutation is used.
+pub const MAX_CANONICAL_NDIMS: usize = 8;
+
+/// The canonical representative of a mapping-request equivalence class,
+/// together with the relabeling that produced it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Canonical {
+    /// Canonicalised dimension sizes.
+    pub dims: Dims,
+    /// Canonicalised stencil (offsets permuted alongside the dimensions and
+    /// sorted lexicographically).
+    pub stencil: Stencil,
+    /// The dimension relabeling: canonical dimension `i` is original
+    /// dimension `perm[i]`.
+    pub perm: Vec<usize>,
+}
+
+impl Canonical {
+    /// Whether the canonical form kept the original dimension order (the
+    /// stencil offset order may still have changed).
+    pub fn is_identity_permutation(&self) -> bool {
+        self.perm.iter().enumerate().all(|(i, &p)| i == p)
+    }
+
+    /// Transports a `position → value` table computed on the canonical grid
+    /// back to the original grid: entry `x` of the result describes original
+    /// grid position `x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `original` is not a permutation of the canonical dims or
+    /// `canonical_table` does not cover the grid.
+    pub fn restore_positions<T: Copy>(&self, original: &Dims, canonical_table: &[T]) -> Vec<T> {
+        assert_eq!(original.ndims(), self.dims.ndims(), "dimensionality");
+        assert_eq!(canonical_table.len(), self.dims.volume(), "table length");
+        assert_eq!(original.volume(), self.dims.volume(), "grid volume");
+        let d = original.ndims();
+        if self.is_identity_permutation() {
+            return canonical_table.to_vec();
+        }
+        let mut out = Vec::with_capacity(canonical_table.len());
+        let mut canon_coord = vec![0usize; d];
+        for x in 0..original.volume() {
+            let coord = original.coord_of(x);
+            for i in 0..d {
+                canon_coord[i] = coord[self.perm[i]];
+            }
+            out.push(canonical_table[self.dims.rank_of(&canon_coord)]);
+        }
+        out
+    }
+
+    /// Rebuilds a [`Mapping`] for the *original* problem from a
+    /// `position → node` table computed on the canonical grid.
+    pub fn restore_mapping(
+        &self,
+        original: &MappingProblem,
+        canonical_node_of_position: &[usize],
+    ) -> Result<Mapping, MapError> {
+        let restored = self.restore_positions(original.dims(), canonical_node_of_position);
+        Mapping::from_node_of_position(original, &restored)
+    }
+}
+
+/// Computes the canonical representative of `(dims, stencil)`.
+///
+/// Deterministic: equivalent inputs (any consistent permutation of the
+/// dimensions, any order of the stencil offsets) produce identical canonical
+/// dims and stencils.  Among tied permutations the lexicographically smallest
+/// one wins, so the result never depends on iteration order.
+pub fn canonicalize(dims: &Dims, stencil: &Stencil) -> Canonical {
+    let d = dims.ndims();
+    debug_assert_eq!(stencil.ndims(), d, "stencil and dims must agree");
+    // candidate = (permuted dims, sorted permuted offsets, the permutation)
+    type Candidate = (Vec<usize>, Vec<Vec<i64>>, Vec<usize>);
+    let mut best: Option<Candidate> = None;
+    let mut consider = |perm: &[usize]| {
+        let cand_dims: Vec<usize> = perm.iter().map(|&i| dims.size(i)).collect();
+        let mut cand_offsets: Vec<Vec<i64>> = stencil
+            .offsets()
+            .iter()
+            .map(|o| perm.iter().map(|&i| o[i]).collect())
+            .collect();
+        cand_offsets.sort_unstable();
+        let better = match &best {
+            None => true,
+            Some((bd, bo, _)) => (&cand_dims, &cand_offsets) < (bd, bo),
+        };
+        if better {
+            best = Some((cand_dims, cand_offsets, perm.to_vec()));
+        }
+    };
+    if d <= MAX_CANONICAL_NDIMS {
+        // Lexicographic permutation enumeration keeps ties deterministic:
+        // the first (smallest) permutation achieving the minimum is kept.
+        let mut perm: Vec<usize> = (0..d).collect();
+        loop {
+            consider(&perm);
+            if !next_permutation(&mut perm) {
+                break;
+            }
+        }
+    } else {
+        let identity: Vec<usize> = (0..d).collect();
+        consider(&identity);
+    }
+    let (cand_dims, cand_offsets, perm) = best.expect("at least one permutation considered");
+    Canonical {
+        dims: Dims::new(cand_dims).expect("permuted dims stay valid"),
+        stencil: Stencil::new(d, cand_offsets).expect("permuted stencil stays valid"),
+        perm,
+    }
+}
+
+/// Advances `perm` to the next lexicographic permutation; returns `false`
+/// after the last one.
+fn next_permutation(perm: &mut [usize]) -> bool {
+    let n = perm.len();
+    if n < 2 {
+        return false;
+    }
+    let Some(i) = (0..n - 1).rev().find(|&i| perm[i] < perm[i + 1]) else {
+        return false;
+    };
+    let j = (i + 1..n).rev().find(|&j| perm[j] > perm[i]).unwrap();
+    perm.swap(i, j);
+    perm[i + 1..].reverse();
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hyperplane::Hyperplane;
+    use crate::metrics::evaluate_streaming;
+    use crate::problem::Mapper;
+    use proptest::prelude::*;
+    use stencil_grid::NodeAllocation;
+
+    /// Applies `perm` (canonical dim `i` = original dim `perm[i]`) to a
+    /// dims/stencil pair, producing an equivalent request.
+    fn permute_request(dims: &Dims, stencil: &Stencil, perm: &[usize]) -> (Dims, Stencil) {
+        let p_dims: Vec<usize> = perm.iter().map(|&i| dims.size(i)).collect();
+        let p_offsets: Vec<Vec<i64>> = stencil
+            .offsets()
+            .iter()
+            .map(|o| perm.iter().map(|&i| o[i]).collect())
+            .collect();
+        (
+            Dims::new(p_dims).unwrap(),
+            Stencil::new(dims.ndims(), p_offsets).unwrap(),
+        )
+    }
+
+    #[test]
+    fn next_permutation_enumerates_all() {
+        let mut p = vec![0, 1, 2];
+        let mut seen = vec![p.clone()];
+        while next_permutation(&mut p) {
+            seen.push(p.clone());
+        }
+        assert_eq!(seen.len(), 6);
+        assert_eq!(seen[0], vec![0, 1, 2]);
+        assert_eq!(seen[5], vec![2, 1, 0]);
+        let mut single = vec![0];
+        assert!(!next_permutation(&mut single));
+    }
+
+    #[test]
+    fn canonical_form_sorts_dims_for_symmetric_stencils() {
+        // Nearest neighbor is symmetric under any dimension relabeling, so
+        // the canonical dims are simply the sorted sizes.
+        let c = canonicalize(&Dims::from_slice(&[48, 50]), &Stencil::nearest_neighbor(2));
+        assert_eq!(c.dims.as_slice(), &[48, 50]);
+        let c2 = canonicalize(&Dims::from_slice(&[50, 48]), &Stencil::nearest_neighbor(2));
+        assert_eq!(c2.dims.as_slice(), &[48, 50]);
+        assert_eq!(c.stencil, c2.stencil);
+    }
+
+    #[test]
+    fn offset_order_does_not_change_canonical_form() {
+        let dims = Dims::from_slice(&[6, 5]);
+        let a = Stencil::new(2, vec![vec![1, 0], vec![0, 1], vec![-1, 0], vec![0, -1]]).unwrap();
+        let b = Stencil::new(2, vec![vec![0, -1], vec![-1, 0], vec![0, 1], vec![1, 0]]).unwrap();
+        let ca = canonicalize(&dims, &a);
+        let cb = canonicalize(&dims, &b);
+        assert_eq!(ca.dims, cb.dims);
+        assert_eq!(ca.stencil, cb.stencil);
+        assert_eq!(ca.perm, cb.perm);
+    }
+
+    #[test]
+    fn asymmetric_stencil_breaks_dims_ties() {
+        // The hops stencil communicates more along dimension 0; permuting
+        // the square grid must still produce one canonical stencil.
+        let dims = Dims::from_slice(&[6, 6]);
+        let s = Stencil::nearest_neighbor_with_hops(2);
+        let (p_dims, p_stencil) = permute_request(&dims, &s, &[1, 0]);
+        let ca = canonicalize(&dims, &s);
+        let cb = canonicalize(&p_dims, &p_stencil);
+        assert_eq!(ca.dims, cb.dims);
+        assert_eq!(ca.stencil, cb.stencil);
+    }
+
+    #[test]
+    fn restore_positions_is_identity_for_identity_perm() {
+        let dims = Dims::from_slice(&[2, 3]);
+        let c = Canonical {
+            dims: dims.clone(),
+            stencil: Stencil::nearest_neighbor(2),
+            perm: vec![0, 1],
+        };
+        assert!(c.is_identity_permutation());
+        let table: Vec<u32> = (0..6).collect();
+        assert_eq!(c.restore_positions(&dims, &table), table);
+    }
+
+    #[test]
+    fn restore_positions_transposes() {
+        // canonical [2,3] grid, original [3,2]: perm = [1,0].
+        let c = Canonical {
+            dims: Dims::from_slice(&[2, 3]),
+            stencil: Stencil::nearest_neighbor(2),
+            perm: vec![1, 0],
+        };
+        let original = Dims::from_slice(&[3, 2]);
+        // canonical table indexed row-major on [2,3]
+        let table = vec![0u32, 1, 2, 3, 4, 5];
+        let restored = c.restore_positions(&original, &table);
+        // original position (r, c) on [3,2] maps to canonical (c, r) on [2,3]
+        for (x, &value) in restored.iter().enumerate() {
+            let coord = original.coord_of(x);
+            let canon_pos = coord[1] * 3 + coord[0];
+            assert_eq!(value, table[canon_pos]);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Every permutation of a request canonicalises to the same
+        /// representative — the property the serve cache relies on.
+        #[test]
+        fn prop_permuted_requests_share_canonical_form(
+            sizes in proptest::collection::vec(1usize..7, 2..4),
+            stencil_choice in 0u8..3,
+            perm_seed in 0usize..24,
+        ) {
+            let dims = Dims::new(sizes).unwrap();
+            let d = dims.ndims();
+            let stencil = match stencil_choice % 3 {
+                0 => Stencil::nearest_neighbor(d),
+                1 => Stencil::nearest_neighbor_with_hops(d),
+                _ => Stencil::component(d),
+            };
+            // pick the perm_seed-th permutation of 0..d
+            let mut perm: Vec<usize> = (0..d).collect();
+            for _ in 0..perm_seed {
+                if !next_permutation(&mut perm) {
+                    perm = (0..d).collect();
+                }
+            }
+            let (p_dims, p_stencil) = permute_request(&dims, &stencil, &perm);
+            let ca = canonicalize(&dims, &stencil);
+            let cb = canonicalize(&p_dims, &p_stencil);
+            prop_assert_eq!(&ca.dims, &cb.dims);
+            prop_assert_eq!(&ca.stencil, &cb.stencil);
+        }
+
+        /// A mapping computed on the canonical problem transports back to a
+        /// valid mapping of the original problem with identical cost.
+        #[test]
+        fn prop_restored_mapping_is_valid_and_cost_preserving(
+            sizes in proptest::collection::vec(2usize..7, 2..4),
+            nodes in 2usize..5,
+            periodic in proptest::bool::ANY,
+        ) {
+            let p: usize = sizes.iter().product();
+            if p.is_multiple_of(nodes) {
+                let dims = Dims::new(sizes).unwrap();
+                let stencil = Stencil::nearest_neighbor_with_hops(dims.ndims());
+                let alloc = NodeAllocation::homogeneous(nodes, p / nodes);
+                let original = MappingProblem::with_periodicity(
+                    dims.clone(), stencil.clone(), alloc.clone(), periodic).unwrap();
+                let canon = canonicalize(&dims, &stencil);
+                let canon_problem = MappingProblem::with_periodicity(
+                    canon.dims.clone(), canon.stencil.clone(), alloc, periodic).unwrap();
+                let canon_mapping = Hyperplane::default().compute(&canon_problem).unwrap();
+                let restored = canon
+                    .restore_mapping(&original, canon_mapping.node_of_position_slice())
+                    .unwrap();
+                prop_assert!(restored.respects_allocation(original.alloc()));
+                let canon_cost = evaluate_streaming(
+                    &canon.dims, &canon.stencil, periodic, &canon_mapping);
+                let restored_cost = evaluate_streaming(
+                    original.dims(), original.stencil(), periodic, &restored);
+                prop_assert_eq!(canon_cost.j_sum, restored_cost.j_sum);
+                prop_assert_eq!(canon_cost.j_max, restored_cost.j_max);
+            }
+        }
+    }
+}

@@ -54,6 +54,7 @@
 
 pub mod analysis;
 pub mod baselines;
+pub mod canonical;
 pub mod cart_comm;
 pub mod hyperplane;
 pub mod kdtree;

@@ -1,0 +1,322 @@
+//! A sharded LRU cache for mapping results.
+//!
+//! The cache is split into independently locked shards; a key is assigned to
+//! a shard by its hash, so concurrent requests for different keys rarely
+//! contend on the same mutex.  Each shard is a classic LRU: a hash map from
+//! key to slot index plus an intrusive doubly-linked recency list over a slot
+//! arena, giving O(1) lookup, touch, insert and eviction without per-entry
+//! allocation after the arena has grown to capacity.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+const NIL: usize = usize::MAX;
+
+struct Slot<K, V> {
+    key: K,
+    value: V,
+    prev: usize,
+    next: usize,
+}
+
+struct Shard<K, V> {
+    map: HashMap<K, usize>,
+    slots: Vec<Slot<K, V>>,
+    free: Vec<usize>,
+    /// Most recently used slot.
+    head: usize,
+    /// Least recently used slot.
+    tail: usize,
+    capacity: usize,
+}
+
+impl<K: Hash + Eq + Clone, V: Clone> Shard<K, V> {
+    fn new(capacity: usize) -> Self {
+        Shard {
+            map: HashMap::with_capacity(capacity.min(1024)),
+            slots: Vec::new(),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            capacity,
+        }
+    }
+
+    fn unlink(&mut self, idx: usize) {
+        let (prev, next) = (self.slots[idx].prev, self.slots[idx].next);
+        if prev != NIL {
+            self.slots[prev].next = next;
+        } else {
+            self.head = next;
+        }
+        if next != NIL {
+            self.slots[next].prev = prev;
+        } else {
+            self.tail = prev;
+        }
+        self.slots[idx].prev = NIL;
+        self.slots[idx].next = NIL;
+    }
+
+    fn push_front(&mut self, idx: usize) {
+        self.slots[idx].prev = NIL;
+        self.slots[idx].next = self.head;
+        if self.head != NIL {
+            self.slots[self.head].prev = idx;
+        }
+        self.head = idx;
+        if self.tail == NIL {
+            self.tail = idx;
+        }
+    }
+
+    fn get(&mut self, key: &K) -> Option<V> {
+        let idx = *self.map.get(key)?;
+        self.unlink(idx);
+        self.push_front(idx);
+        Some(self.slots[idx].value.clone())
+    }
+
+    fn insert(&mut self, key: K, value: V) {
+        if self.capacity == 0 {
+            return;
+        }
+        if let Some(&idx) = self.map.get(&key) {
+            self.slots[idx].value = value;
+            self.unlink(idx);
+            self.push_front(idx);
+            return;
+        }
+        if self.map.len() == self.capacity {
+            // evict the least recently used entry and reuse its slot
+            let lru = self.tail;
+            debug_assert_ne!(lru, NIL);
+            self.unlink(lru);
+            self.map.remove(&self.slots[lru].key);
+            self.free.push(lru);
+        }
+        let idx = match self.free.pop() {
+            Some(idx) => {
+                self.slots[idx] = Slot {
+                    key: key.clone(),
+                    value,
+                    prev: NIL,
+                    next: NIL,
+                };
+                idx
+            }
+            None => {
+                self.slots.push(Slot {
+                    key: key.clone(),
+                    value,
+                    prev: NIL,
+                    next: NIL,
+                });
+                self.slots.len() - 1
+            }
+        };
+        self.map.insert(key, idx);
+        self.push_front(idx);
+    }
+
+    fn keys_mru_first(&self) -> Vec<K> {
+        let mut out = Vec::with_capacity(self.map.len());
+        let mut idx = self.head;
+        while idx != NIL {
+            out.push(self.slots[idx].key.clone());
+            idx = self.slots[idx].next;
+        }
+        out
+    }
+}
+
+/// Cache hit/miss counters (monotonic, for diagnostics and the load
+/// generator's hit-rate report).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Number of `get` calls that found the key.
+    pub hits: u64,
+    /// Number of `get` calls that missed.
+    pub misses: u64,
+    /// Number of resident entries across all shards.
+    pub len: usize,
+}
+
+/// A thread-safe, sharded LRU cache.
+pub struct ShardedLru<K, V> {
+    shards: Vec<Mutex<Shard<K, V>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl<K: Hash + Eq + Clone, V: Clone> ShardedLru<K, V> {
+    /// Creates a cache holding at most `capacity` entries spread over
+    /// `shards` shards (each shard holds `ceil(capacity / shards)`, so the
+    /// effective total is `shards * ceil(capacity / shards)`).  A capacity
+    /// of 0 disables caching entirely (every `get` misses); the shard count
+    /// is clamped to at least 1.
+    pub fn new(capacity: usize, shards: usize) -> Self {
+        let shards = shards.max(1);
+        let per_shard = capacity.div_ceil(shards);
+        ShardedLru {
+            shards: (0..shards)
+                .map(|_| Mutex::new(Shard::new(per_shard)))
+                .collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// The shard index a key belongs to (stable for the cache's lifetime;
+    /// exposed so tests can construct single-shard workloads).
+    pub fn shard_of(&self, key: &K) -> usize {
+        let mut h = DefaultHasher::new();
+        key.hash(&mut h);
+        (h.finish() as usize) % self.shards.len()
+    }
+
+    /// Looks up `key`, marking it most recently used on a hit.
+    pub fn get(&self, key: &K) -> Option<V> {
+        let shard = &self.shards[self.shard_of(key)];
+        let got = shard.lock().expect("cache shard poisoned").get(key);
+        match got {
+            Some(v) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(v)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Inserts (or refreshes) `key`, evicting the shard's least recently
+    /// used entry if the shard is full.
+    pub fn insert(&self, key: K, value: V) {
+        let shard = &self.shards[self.shard_of(&key)];
+        shard
+            .lock()
+            .expect("cache shard poisoned")
+            .insert(key, value);
+    }
+
+    /// Number of resident entries.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("cache shard poisoned").map.len())
+            .sum()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Hit/miss counters and entry count.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            len: self.len(),
+        }
+    }
+
+    /// The keys of one shard, most recently used first (diagnostics; used by
+    /// the LRU ordering tests).
+    pub fn shard_keys_mru_first(&self, shard: usize) -> Vec<K> {
+        self.shards[shard]
+            .lock()
+            .expect("cache shard poisoned")
+            .keys_mru_first()
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn single_shard(capacity: usize) -> ShardedLru<u64, u64> {
+        ShardedLru::new(capacity, 1)
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used_in_order() {
+        let c = single_shard(3);
+        c.insert(1, 10);
+        c.insert(2, 20);
+        c.insert(3, 30);
+        assert_eq!(c.shard_keys_mru_first(0), vec![3, 2, 1]);
+        // touching 1 protects it; 2 becomes LRU
+        assert_eq!(c.get(&1), Some(10));
+        assert_eq!(c.shard_keys_mru_first(0), vec![1, 3, 2]);
+        c.insert(4, 40);
+        assert_eq!(c.get(&2), None, "2 was LRU and must be evicted");
+        assert_eq!(c.get(&3), Some(30));
+        assert_eq!(c.get(&4), Some(40));
+        assert_eq!(c.len(), 3);
+        // continued inserts evict in exact recency order: 1, 3, 4 ...
+        c.insert(5, 50);
+        assert_eq!(c.get(&1), None);
+        c.insert(6, 60);
+        assert_eq!(c.get(&3), None);
+        assert_eq!(c.shard_keys_mru_first(0), vec![6, 5, 4]);
+    }
+
+    #[test]
+    fn reinsert_refreshes_value_and_recency() {
+        let c = single_shard(2);
+        c.insert(1, 10);
+        c.insert(2, 20);
+        c.insert(1, 11); // refresh: 1 becomes MRU with the new value
+        c.insert(3, 30); // evicts 2
+        assert_eq!(c.get(&1), Some(11));
+        assert_eq!(c.get(&2), None);
+        assert_eq!(c.get(&3), Some(30));
+    }
+
+    #[test]
+    fn stats_count_hits_and_misses() {
+        let c = single_shard(2);
+        assert!(c.is_empty());
+        c.insert(1, 1);
+        c.get(&1);
+        c.get(&1);
+        c.get(&9);
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses, s.len), (2, 1, 1));
+    }
+
+    #[test]
+    fn capacity_is_split_across_shards() {
+        let c: ShardedLru<u64, u64> = ShardedLru::new(8, 4);
+        assert_eq!(c.num_shards(), 4);
+        for k in 0..1000u64 {
+            c.insert(k, k);
+        }
+        // each shard holds at most ceil(8/4) = 2 entries
+        assert!(c.len() <= 8);
+        for shard in 0..4 {
+            assert!(c.shard_keys_mru_first(shard).len() <= 2);
+        }
+    }
+
+    #[test]
+    fn zero_capacity_caches_nothing() {
+        let c = single_shard(0);
+        c.insert(1, 1);
+        assert_eq!(c.get(&1), None);
+        assert_eq!(c.len(), 0);
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses), (0, 1));
+    }
+}

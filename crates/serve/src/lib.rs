@@ -1,0 +1,52 @@
+//! # stencil-serve
+//!
+//! A caching mapping service in front of the `stencilmap` engine: the
+//! "serve millions of users" subsystem of the roadmap.  Clients send
+//! newline-delimited JSON mapping requests (over TCP or stdin/stdout) and
+//! receive the process-to-node mapping plus its `Jsum`/`Jmax` cost.
+//!
+//! * **Canonicalizing cache** — requests are normalised with
+//!   [`stencil_mapping::canonical`] (dimension permutation + stencil offset
+//!   order) before hitting a sharded LRU keyed by
+//!   `(dims, stencil, alloc, algorithm)`, so equivalent requests share one
+//!   entry regardless of orientation.
+//! * **Allocation-free misses** — cache misses run through the existing
+//!   parallel mapping engine (rank-local mappers via the workspace pool, the
+//!   VieM-style pipeline via the multilevel partitioner).
+//! * **Admission control** — every computed mapping is scored once with the
+//!   streaming evaluator; requests can carry a `max_jsum` budget and either
+//!   get rejected or transparently fall back to a specialised algorithm that
+//!   fits the budget.
+//! * **Determinism** — responses are byte-identical for every thread count
+//!   (asserted in CI by replaying a request batch under
+//!   `RAYON_NUM_THREADS ∈ {1, 4}` and comparing outputs).
+//!
+//! ## Quick example
+//!
+//! ```
+//! use stencil_serve::service::{MappingService, ServiceConfig};
+//!
+//! let service = MappingService::new(&ServiceConfig::default());
+//! let reply = service.handle_line(
+//!     r#"{"id":1,"dims":[12,8],"nodes":8,"algorithm":"hyperplane","want_mapping":false}"#,
+//! );
+//! assert!(reply.contains("\"status\":\"ok\""));
+//! let warm = service.handle_line(
+//!     r#"{"id":2,"dims":[8,12],"nodes":8,"algorithm":"hyperplane","want_mapping":false}"#,
+//! );
+//! // the permuted grid hits the same canonical cache entry
+//! assert!(warm.contains("\"cached\":true"));
+//! ```
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+pub mod cache;
+pub mod json;
+pub mod protocol;
+pub mod server;
+pub mod service;
+
+pub use cache::{CacheStats, ShardedLru};
+pub use protocol::{Algorithm, MapRequest, MapResponse, OverBudget, ResponseBody};
+pub use service::{CacheEntry, CacheKey, MappingService, ServiceConfig};

@@ -1,0 +1,91 @@
+//! `stencil-serve` — the caching mapping service.
+//!
+//! ```text
+//! stencil-serve --stdin                          # NDJSON over stdin/stdout
+//! stencil-serve --listen 127.0.0.1:7077          # NDJSON over TCP
+//!     [--cache-capacity 1024] [--shards 8]
+//! ```
+//!
+//! See the crate docs ([`stencil_serve`]) and the README for the request and
+//! response schema.
+
+use std::sync::Arc;
+
+use stencil_serve::service::{MappingService, ServiceConfig};
+
+const USAGE: &str = "\
+usage: stencil-serve [--stdin | --listen ADDR] [--cache-capacity N] [--shards N]
+
+modes (default: --stdin):
+  --stdin              serve newline-delimited JSON requests from stdin to stdout
+  --listen ADDR        bind ADDR (e.g. 127.0.0.1:7077) and serve TCP clients
+
+options:
+  --cache-capacity N   total cache entries across all shards (default 1024; 0 disables caching)
+  --shards N           number of independently locked cache shards (default 8)
+
+protocol: one JSON request per line, one JSON response per line, e.g.
+  printf '{\"id\":1,\"dims\":[50,48],\"nodes\":50,\"want_mapping\":false}\\n' | stencil-serve --stdin
+";
+
+// Duplicated from `stencil_bench::arg_value`: stencil-bench depends on this
+// crate (for `loadgen`), so depending back on it would cycle.
+fn arg_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        print!("{USAGE}");
+        return;
+    }
+    let value_flags = ["--listen", "--cache-capacity", "--shards"];
+    let mut i = 0;
+    while i < args.len() {
+        let a = &args[i];
+        if a == "--stdin" {
+            i += 1;
+        } else if value_flags.contains(&a.as_str()) {
+            // the value must exist and must not itself be a flag
+            match args.get(i + 1) {
+                Some(v) if !v.starts_with("--") => i += 2,
+                _ => {
+                    eprintln!("stencil-serve: {a} requires a value\n{USAGE}");
+                    std::process::exit(2);
+                }
+            }
+        } else {
+            eprintln!("stencil-serve: unknown argument {a:?}\n{USAGE}");
+            std::process::exit(2);
+        }
+    }
+
+    let parse_num = |flag: &str, default: usize| -> usize {
+        match arg_value(&args, flag) {
+            None => default,
+            Some(v) => v.parse().unwrap_or_else(|_| {
+                eprintln!("stencil-serve: {flag} expects a non-negative integer, got {v:?}");
+                std::process::exit(2);
+            }),
+        }
+    };
+    let cfg = ServiceConfig {
+        cache_capacity: parse_num("--cache-capacity", 1024),
+        cache_shards: parse_num("--shards", 8),
+    };
+    let listen = arg_value(&args, "--listen");
+    let service = MappingService::new(&cfg);
+
+    let result = match listen {
+        Some(addr) => stencil_serve::server::serve_tcp(Arc::new(service), addr.as_str()),
+        None => stencil_serve::server::serve_stdin(&service),
+    };
+    if let Err(e) = result {
+        eprintln!("stencil-serve: {e}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,482 @@
+//! The newline-delimited JSON request/response protocol.
+//!
+//! Every line the client sends is one JSON document: either a single mapping
+//! request object or `{"batch": [request, …]}`.  The service answers with
+//! exactly one line per line received — a response object, or
+//! `{"batch": [response, …]}` with the responses in request order.
+//!
+//! ## Request fields
+//!
+//! | field            | type                  | meaning                                             |
+//! |------------------|-----------------------|-----------------------------------------------------|
+//! | `id`             | any (optional)        | echoed back verbatim in the response                |
+//! | `dims`           | `[int, …]`            | grid dimension sizes (required)                     |
+//! | `stencil`        | string or `[[int,…]]` | `"nearest_neighbor"` (default), `"hops"`, `"component"`, or explicit offsets |
+//! | `periodic`       | bool                  | torus boundaries (default `false`)                  |
+//! | `nodes`          | int                   | homogeneous allocation: node count                  |
+//! | `procs_per_node` | int                   | homogeneous allocation: processes per node (default `p / nodes`) |
+//! | `node_sizes`     | `[int, …]`            | heterogeneous allocation (alternative to `nodes`)   |
+//! | `algorithm`      | string                | `"hyperplane"` (default), `"kdtree"`, `"stencil_strips"`, `"nodecart"`, `"viem"`, `"blocked"` |
+//! | `seed`           | int                   | seed of the randomised `viem` pipeline (default `0x71EA`) |
+//! | `max_jsum`       | int                   | admission budget: reject/fallback when `Jsum` exceeds it |
+//! | `on_over_budget` | string                | `"reject"` (default) or `"fallback"`                |
+//! | `want_mapping`   | bool                  | include the `nodes` table in the response (default `true`) |
+//!
+//! ## Response fields
+//!
+//! `{"id":…, "status":"ok", "algorithm":…, "cached":bool, "j_sum":…,
+//! "j_max":…, "nodes":[…]}` — `nodes[x]` is the compute node of grid
+//! position `x` (row-major).  A fallback response adds
+//! `"fallback_from":"<requested algorithm>"`.  Failures are reported as
+//! `{"id":…, "status":"error", "error":"…"}`; the connection stays usable.
+
+use crate::json::Value;
+use stencil_grid::{Dims, NodeAllocation, Stencil};
+
+/// Mapping algorithms addressable over the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Algorithm {
+    /// Recursive bisection with stencil-aware cut selection (Section V-A).
+    Hyperplane,
+    /// k-d-tree-style recursive halving (Section V-B).
+    KdTree,
+    /// Strip decomposition scaled to the stencil bounding box (Section V-C).
+    StencilStrips,
+    /// Gropp's prime-factorisation Cartesian mapping.
+    Nodecart,
+    /// VieM-style multilevel partitioning + swap search (expensive).
+    Viem,
+    /// The scheduler's blocked (identity) mapping.
+    Blocked,
+}
+
+impl Algorithm {
+    /// Parses a wire name.
+    pub fn from_wire(name: &str) -> Result<Algorithm, String> {
+        match name {
+            "hyperplane" => Ok(Algorithm::Hyperplane),
+            "kdtree" => Ok(Algorithm::KdTree),
+            "stencil_strips" => Ok(Algorithm::StencilStrips),
+            "nodecart" => Ok(Algorithm::Nodecart),
+            "viem" => Ok(Algorithm::Viem),
+            "blocked" => Ok(Algorithm::Blocked),
+            other => Err(format!(
+                "unknown algorithm {other:?} (expected hyperplane, kdtree, stencil_strips, \
+                 nodecart, viem or blocked)"
+            )),
+        }
+    }
+
+    /// The wire name.
+    pub fn wire_name(&self) -> &'static str {
+        match self {
+            Algorithm::Hyperplane => "hyperplane",
+            Algorithm::KdTree => "kdtree",
+            Algorithm::StencilStrips => "stencil_strips",
+            Algorithm::Nodecart => "nodecart",
+            Algorithm::Viem => "viem",
+            Algorithm::Blocked => "blocked",
+        }
+    }
+
+    /// Whether the algorithm uses the request seed (only the randomised
+    /// `viem` pipeline does; keeping the seed out of the other algorithms'
+    /// cache keys avoids pointless cache fragmentation).
+    pub fn uses_seed(&self) -> bool {
+        matches!(self, Algorithm::Viem)
+    }
+}
+
+/// What to do when the computed mapping exceeds the admission budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OverBudget {
+    /// Answer with an error.
+    Reject,
+    /// Try the other specialised algorithms and serve the first one within
+    /// budget.
+    Fallback,
+}
+
+/// A parsed mapping request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MapRequest {
+    /// Client-chosen correlation id, echoed back verbatim.
+    pub id: Option<Value>,
+    /// Grid dimension sizes.
+    pub dims: Dims,
+    /// Stencil (`k`-neighborhood).
+    pub stencil: Stencil,
+    /// Torus boundaries.
+    pub periodic: bool,
+    /// Node allocation.
+    pub alloc: NodeAllocation,
+    /// Requested algorithm.
+    pub algorithm: Algorithm,
+    /// Seed for the randomised pipeline.
+    pub seed: u64,
+    /// Admission budget on `Jsum`.
+    pub max_jsum: Option<u64>,
+    /// Budget-exceeded policy.
+    pub on_over_budget: OverBudget,
+    /// Whether the response should carry the full node table.
+    pub want_mapping: bool,
+}
+
+/// Default seed of the `viem` pipeline (mirrors `GraphMapper::default`).
+pub const DEFAULT_SEED: u64 = 0x71EA;
+
+impl MapRequest {
+    /// Parses one request object (not the batch wrapper).
+    pub fn from_value(v: &Value) -> Result<MapRequest, String> {
+        if !matches!(v, Value::Obj(_)) {
+            return Err("request must be a JSON object".to_string());
+        }
+        let id = v.get("id").cloned();
+        let dims_raw = v.get("dims").ok_or("missing required field \"dims\"")?;
+        let dims_vec: Vec<usize> = dims_raw
+            .as_arr()
+            .ok_or("\"dims\" must be an array of positive integers")?
+            .iter()
+            .map(|x| {
+                x.as_usize()
+                    .filter(|&d| d > 0)
+                    .ok_or("\"dims\" must be an array of positive integers")
+            })
+            .collect::<Result<_, _>>()?;
+        let dims = Dims::new(dims_vec).map_err(|e| format!("invalid dims: {e}"))?;
+        let ndims = dims.ndims();
+        let p = dims.volume();
+
+        let stencil = match v.get("stencil") {
+            None => Stencil::nearest_neighbor(ndims),
+            Some(Value::Str(name)) => match name.as_str() {
+                "nearest_neighbor" => Stencil::nearest_neighbor(ndims),
+                "hops" | "nearest_neighbor_with_hops" => Stencil::nearest_neighbor_with_hops(ndims),
+                "component" => {
+                    if ndims < 2 {
+                        return Err("component stencil requires at least 2 dims".to_string());
+                    }
+                    Stencil::component(ndims)
+                }
+                other => return Err(format!("unknown stencil name {other:?}")),
+            },
+            Some(Value::Arr(offsets)) => {
+                let parsed: Vec<Vec<i64>> = offsets
+                    .iter()
+                    .map(|o| {
+                        o.as_arr()
+                            .ok_or("stencil offsets must be arrays of integers")?
+                            .iter()
+                            .map(|x| {
+                                x.as_i64()
+                                    .ok_or("stencil offsets must be arrays of integers")
+                            })
+                            .collect::<Result<Vec<i64>, _>>()
+                    })
+                    .collect::<Result<_, _>>()?;
+                Stencil::new(ndims, parsed).map_err(|e| format!("invalid stencil: {e}"))?
+            }
+            Some(_) => return Err("\"stencil\" must be a name or an offset array".to_string()),
+        };
+
+        let periodic = match v.get("periodic") {
+            None => false,
+            Some(b) => b.as_bool().ok_or("\"periodic\" must be a boolean")?,
+        };
+
+        let alloc = match (v.get("node_sizes"), v.get("nodes")) {
+            (Some(sizes), _) => {
+                let sizes: Vec<usize> = sizes
+                    .as_arr()
+                    .ok_or("\"node_sizes\" must be an array of positive integers")?
+                    .iter()
+                    .map(|x| {
+                        x.as_usize()
+                            .filter(|&s| s > 0)
+                            .ok_or("\"node_sizes\" must be an array of positive integers")
+                    })
+                    .collect::<Result<_, _>>()?;
+                NodeAllocation::heterogeneous(sizes)
+                    .map_err(|e| format!("invalid node_sizes: {e}"))?
+            }
+            (None, Some(nodes)) => {
+                let nodes = nodes
+                    .as_usize()
+                    .filter(|&n| n > 0)
+                    .ok_or("\"nodes\" must be a positive integer")?;
+                let per = match v.get("procs_per_node") {
+                    Some(x) => x
+                        .as_usize()
+                        .filter(|&n| n > 0)
+                        .ok_or("\"procs_per_node\" must be a positive integer")?,
+                    None => {
+                        if !p.is_multiple_of(nodes) {
+                            return Err(format!(
+                                "p = {p} is not divisible by nodes = {nodes}; give \
+                                 \"procs_per_node\" or \"node_sizes\""
+                            ));
+                        }
+                        p / nodes
+                    }
+                };
+                NodeAllocation::homogeneous(nodes, per)
+            }
+            (None, None) => {
+                return Err("missing allocation: give \"nodes\" or \"node_sizes\"".to_string())
+            }
+        };
+        alloc
+            .check_total(p)
+            .map_err(|e| format!("allocation does not cover the grid: {e}"))?;
+
+        let algorithm = match v.get("algorithm") {
+            None => Algorithm::Hyperplane,
+            Some(a) => Algorithm::from_wire(a.as_str().ok_or("\"algorithm\" must be a string")?)?,
+        };
+
+        let seed = match v.get("seed") {
+            None => DEFAULT_SEED,
+            Some(s) => s
+                .as_u64()
+                .ok_or("\"seed\" must be a non-negative integer")?,
+        };
+
+        let max_jsum = match v.get("max_jsum") {
+            None => None,
+            Some(b) => Some(
+                b.as_u64()
+                    .ok_or("\"max_jsum\" must be a non-negative integer")?,
+            ),
+        };
+
+        let on_over_budget = match v.get("on_over_budget") {
+            None => OverBudget::Reject,
+            Some(m) => match m.as_str() {
+                Some("reject") => OverBudget::Reject,
+                Some("fallback") => OverBudget::Fallback,
+                _ => return Err("\"on_over_budget\" must be \"reject\" or \"fallback\"".into()),
+            },
+        };
+
+        let want_mapping = match v.get("want_mapping") {
+            None => true,
+            Some(b) => b.as_bool().ok_or("\"want_mapping\" must be a boolean")?,
+        };
+
+        Ok(MapRequest {
+            id,
+            dims,
+            stencil,
+            periodic,
+            alloc,
+            algorithm,
+            seed,
+            max_jsum,
+            on_over_budget,
+            want_mapping,
+        })
+    }
+}
+
+/// A response to one request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MapResponse {
+    /// Echoed request id.
+    pub id: Option<Value>,
+    /// The outcome.
+    pub body: ResponseBody,
+}
+
+/// The payload of a [`MapResponse`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum ResponseBody {
+    /// A served mapping.
+    Ok {
+        /// The algorithm whose mapping is served (differs from the request
+        /// under budget fallback).
+        algorithm: Algorithm,
+        /// The requested algorithm, when a budget fallback replaced it.
+        fallback_from: Option<Algorithm>,
+        /// Whether the canonical cache already held the entry.
+        cached: bool,
+        /// Total inter-node communication edges of the served mapping.
+        j_sum: u64,
+        /// Bottleneck-node egress of the served mapping.
+        j_max: u64,
+        /// `position → node` table in the request's own dimension order
+        /// (absent when the request set `want_mapping: false`).
+        nodes: Option<Vec<u32>>,
+    },
+    /// A failure; the connection stays usable.
+    Error(String),
+}
+
+impl MapResponse {
+    /// Renders the response as a JSON value.
+    pub fn to_value(&self) -> Value {
+        let mut fields: Vec<(String, Value)> = Vec::new();
+        if let Some(id) = &self.id {
+            fields.push(("id".to_string(), id.clone()));
+        }
+        match &self.body {
+            ResponseBody::Ok {
+                algorithm,
+                fallback_from,
+                cached,
+                j_sum,
+                j_max,
+                nodes,
+            } => {
+                fields.push(("status".to_string(), Value::str("ok")));
+                fields.push(("algorithm".to_string(), Value::str(algorithm.wire_name())));
+                if let Some(from) = fallback_from {
+                    fields.push(("fallback_from".to_string(), Value::str(from.wire_name())));
+                }
+                fields.push(("cached".to_string(), Value::Bool(*cached)));
+                fields.push(("j_sum".to_string(), Value::Num(*j_sum as f64)));
+                fields.push(("j_max".to_string(), Value::Num(*j_max as f64)));
+                if let Some(nodes) = nodes {
+                    fields.push((
+                        "nodes".to_string(),
+                        Value::Arr(nodes.iter().map(|&n| Value::Num(n as f64)).collect()),
+                    ));
+                }
+            }
+            ResponseBody::Error(msg) => {
+                fields.push(("status".to_string(), Value::str("error")));
+                fields.push(("error".to_string(), Value::str(msg)));
+            }
+        }
+        Value::Obj(fields)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(line: &str) -> Result<MapRequest, String> {
+        MapRequest::from_value(&Value::parse(line).expect("valid json"))
+    }
+
+    #[test]
+    fn minimal_request_uses_defaults() {
+        let r = parse(r#"{"dims":[12,8],"nodes":8}"#).unwrap();
+        assert_eq!(r.dims.as_slice(), &[12, 8]);
+        assert_eq!(r.alloc.num_nodes(), 8);
+        assert_eq!(r.alloc.node_size(0), 12);
+        assert_eq!(r.algorithm, Algorithm::Hyperplane);
+        assert_eq!(r.stencil, Stencil::nearest_neighbor(2));
+        assert!(!r.periodic);
+        assert!(r.want_mapping);
+        assert_eq!(r.seed, DEFAULT_SEED);
+        assert_eq!(r.max_jsum, None);
+        assert_eq!(r.on_over_budget, OverBudget::Reject);
+    }
+
+    #[test]
+    fn full_request_parses_every_field() {
+        let r = parse(
+            r#"{"id":"req-1","dims":[6,6],"stencil":[[1,0],[-1,0]],"periodic":true,
+                "node_sizes":[20,16],"algorithm":"viem","seed":7,"max_jsum":100,
+                "on_over_budget":"fallback","want_mapping":false}"#,
+        )
+        .unwrap();
+        assert_eq!(r.id, Some(Value::str("req-1")));
+        assert!(r.periodic);
+        assert_eq!(r.alloc.sizes(), &[20, 16]);
+        assert_eq!(r.algorithm, Algorithm::Viem);
+        assert_eq!(r.seed, 7);
+        assert_eq!(r.max_jsum, Some(100));
+        assert_eq!(r.on_over_budget, OverBudget::Fallback);
+        assert!(!r.want_mapping);
+        assert_eq!(r.stencil.k(), 2);
+    }
+
+    #[test]
+    fn named_stencils_resolve() {
+        assert_eq!(
+            parse(r#"{"dims":[4,4],"nodes":4,"stencil":"hops"}"#)
+                .unwrap()
+                .stencil,
+            Stencil::nearest_neighbor_with_hops(2)
+        );
+        assert_eq!(
+            parse(r#"{"dims":[4,4],"nodes":4,"stencil":"component"}"#)
+                .unwrap()
+                .stencil,
+            Stencil::component(2)
+        );
+        assert!(parse(r#"{"dims":[4,4],"nodes":4,"stencil":"torus"}"#).is_err());
+        assert!(parse(r#"{"dims":[4],"nodes":2,"stencil":"component"}"#).is_err());
+    }
+
+    #[test]
+    fn invalid_requests_are_rejected_with_messages() {
+        for (line, needle) in [
+            (r#"{"nodes":4}"#, "dims"),
+            (r#"{"dims":[0,4],"nodes":4}"#, "dims"),
+            (r#"{"dims":[4,4]}"#, "allocation"),
+            (r#"{"dims":[4,4],"nodes":3}"#, "not divisible"),
+            (
+                r#"{"dims":[4,4],"nodes":4,"algorithm":"magic"}"#,
+                "unknown algorithm",
+            ),
+            (
+                r#"{"dims":[4,4],"node_sizes":[8,9]}"#,
+                "allocation does not cover",
+            ),
+            (
+                r#"{"dims":[4,4],"nodes":4,"on_over_budget":"explode"}"#,
+                "on_over_budget",
+            ),
+            (r#"[1,2]"#, "object"),
+        ] {
+            let err = parse(line).unwrap_err();
+            assert!(err.contains(needle), "{line}: {err}");
+        }
+    }
+
+    #[test]
+    fn algorithm_wire_names_roundtrip() {
+        for alg in [
+            Algorithm::Hyperplane,
+            Algorithm::KdTree,
+            Algorithm::StencilStrips,
+            Algorithm::Nodecart,
+            Algorithm::Viem,
+            Algorithm::Blocked,
+        ] {
+            assert_eq!(Algorithm::from_wire(alg.wire_name()).unwrap(), alg);
+        }
+        assert!(Algorithm::Viem.uses_seed());
+        assert!(!Algorithm::Hyperplane.uses_seed());
+    }
+
+    #[test]
+    fn responses_render_compact_json() {
+        let ok = MapResponse {
+            id: Some(Value::Num(3.0)),
+            body: ResponseBody::Ok {
+                algorithm: Algorithm::KdTree,
+                fallback_from: Some(Algorithm::Viem),
+                cached: true,
+                j_sum: 10,
+                j_max: 4,
+                nodes: Some(vec![0, 0, 1, 1]),
+            },
+        };
+        assert_eq!(
+            ok.to_value().compact(),
+            r#"{"id":3,"status":"ok","algorithm":"kdtree","fallback_from":"viem","cached":true,"j_sum":10,"j_max":4,"nodes":[0,0,1,1]}"#
+        );
+        let err = MapResponse {
+            id: None,
+            body: ResponseBody::Error("boom".to_string()),
+        };
+        assert_eq!(
+            err.to_value().compact(),
+            r#"{"status":"error","error":"boom"}"#
+        );
+    }
+}

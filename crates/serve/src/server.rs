@@ -1,0 +1,127 @@
+//! Transport frontends: newline-delimited JSON over stdin/stdout or TCP.
+//!
+//! Both frontends speak the same protocol (see [`crate::protocol`]): one
+//! request line in, one response line out, in order.  The stdin frontend
+//! makes the service usable in pipelines and offline containers; the TCP
+//! frontend serves concurrent clients, one thread per connection, all
+//! sharing one [`MappingService`] (and therefore one cache).
+
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::net::{TcpListener, ToSocketAddrs};
+use std::sync::Arc;
+
+use crate::service::MappingService;
+
+/// Serves requests from `input` to `output` until EOF.  Empty lines are
+/// ignored; every request line produces exactly one response line, flushed
+/// immediately so interactive pipes see answers promptly.
+pub fn serve_io<R: Read, W: Write>(
+    service: &MappingService,
+    input: R,
+    output: W,
+) -> std::io::Result<()> {
+    let reader = BufReader::new(input);
+    let mut writer = BufWriter::new(output);
+    for line in reader.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        writer.write_all(service.handle_line(&line).as_bytes())?;
+        writer.write_all(b"\n")?;
+        writer.flush()?;
+    }
+    Ok(())
+}
+
+/// Serves requests from stdin to stdout until EOF (`--stdin` mode).
+pub fn serve_stdin(service: &MappingService) -> std::io::Result<()> {
+    serve_io(service, std::io::stdin().lock(), std::io::stdout().lock())
+}
+
+/// Binds `addr` and serves connections forever, one thread per connection.
+/// Prints the bound address to stderr (useful with port 0).
+pub fn serve_tcp<A: ToSocketAddrs>(service: Arc<MappingService>, addr: A) -> std::io::Result<()> {
+    let listener = TcpListener::bind(addr)?;
+    eprintln!("stencil-serve: listening on {}", listener.local_addr()?);
+    serve_listener(service, listener)
+}
+
+/// Serves connections accepted from an existing listener (split out so tests
+/// can bind an ephemeral port themselves).
+pub fn serve_listener(service: Arc<MappingService>, listener: TcpListener) -> std::io::Result<()> {
+    for stream in listener.incoming() {
+        let stream = match stream {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("stencil-serve: accept failed: {e}");
+                continue;
+            }
+        };
+        let service = Arc::clone(&service);
+        std::thread::spawn(move || {
+            let peer = stream
+                .peer_addr()
+                .map(|a| a.to_string())
+                .unwrap_or_else(|_| "<unknown>".to_string());
+            let reader = match stream.try_clone() {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("stencil-serve: {peer}: clone failed: {e}");
+                    return;
+                }
+            };
+            if let Err(e) = serve_io(&service, reader, stream) {
+                eprintln!("stencil-serve: {peer}: connection error: {e}");
+            }
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::ServiceConfig;
+    use std::net::TcpStream;
+
+    #[test]
+    fn serve_io_answers_line_per_line_and_skips_blanks() {
+        let service = MappingService::new(&ServiceConfig::default());
+        let input = "\n{\"id\":1,\"dims\":[6,6],\"nodes\":4,\"want_mapping\":false}\n\n{bad\n";
+        let mut out = Vec::new();
+        serve_io(&service, input.as_bytes(), &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\"status\":\"ok\""));
+        assert!(lines[1].contains("\"status\":\"error\""));
+    }
+
+    #[test]
+    fn tcp_roundtrip_shares_the_cache_across_connections() {
+        let service = Arc::new(MappingService::new(&ServiceConfig::default()));
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        {
+            let service = Arc::clone(&service);
+            std::thread::spawn(move || {
+                let _ = serve_listener(service, listener);
+            });
+        }
+        let ask = |line: &str| -> String {
+            let mut conn = TcpStream::connect(addr).unwrap();
+            conn.write_all(line.as_bytes()).unwrap();
+            conn.write_all(b"\n").unwrap();
+            conn.shutdown(std::net::Shutdown::Write).unwrap();
+            let mut reply = String::new();
+            BufReader::new(conn).read_line(&mut reply).unwrap();
+            reply
+        };
+        let first = ask(r#"{"dims":[6,6],"nodes":4,"want_mapping":false}"#);
+        assert!(first.contains("\"cached\":false"), "{first}");
+        let second = ask(r#"{"dims":[6,6],"nodes":4,"want_mapping":false}"#);
+        assert!(second.contains("\"cached\":true"), "{second}");
+        assert_eq!(service.cache_stats().len, 1);
+    }
+}

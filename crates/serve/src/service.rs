@@ -1,0 +1,482 @@
+//! The mapping service: canonicalizing cache in front of the mapping engine,
+//! with streaming-evaluator admission control.
+//!
+//! Every request is canonicalised ([`stencil_mapping::canonical`]) before the
+//! cache lookup, so all requests that are equal up to a dimension relabeling
+//! (and stencil offset order) share one cache entry.  Misses are computed
+//! through the existing mapping engine — the rank-local mappers run through
+//! the allocation-free parallel pool, the VieM-style pipeline through the
+//! multilevel partitioner — and every computed mapping is scored once with
+//! [`stencil_mapping::metrics::evaluate_streaming`] (`O(p)` memory); the
+//! cost rides along in the cache entry, so admission decisions on hits are
+//! free.
+//!
+//! Everything is deterministic: for a fixed request sequence the responses
+//! are byte-identical for every thread count (the engine's guarantee) and
+//! the hit/miss pattern is a pure function of the sequence.
+
+use std::sync::Arc;
+
+use crate::cache::{CacheStats, ShardedLru};
+use crate::json::Value;
+use crate::protocol::{Algorithm, MapRequest, MapResponse, OverBudget, ResponseBody};
+use stencil_mapping::baselines::Blocked;
+use stencil_mapping::canonical::{canonicalize, Canonical};
+use stencil_mapping::hyperplane::Hyperplane;
+use stencil_mapping::kdtree::KdTree;
+use stencil_mapping::metrics::evaluate_streaming;
+use stencil_mapping::nodecart::Nodecart;
+use stencil_mapping::stencil_strips::StencilStrips;
+use stencil_mapping::viem::GraphMapper;
+use stencil_mapping::{Mapper, MappingProblem};
+
+/// Cache key of one canonical mapping computation.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    /// Canonical dimension sizes.
+    pub dims: Vec<usize>,
+    /// Canonical stencil, flattened (`k * ndims` entries).
+    pub stencil: Vec<i64>,
+    /// Torus boundaries.
+    pub periodic: bool,
+    /// Per-node allocation sizes.
+    pub alloc: Vec<usize>,
+    /// Algorithm.
+    pub algorithm: Algorithm,
+    /// Seed (normalised to 0 for algorithms that ignore it).
+    pub seed: u64,
+}
+
+/// A cached mapping in canonical coordinates, with its cost.
+#[derive(Debug, PartialEq, Eq)]
+pub struct CacheEntry {
+    /// `position → node` on the canonical grid.
+    pub nodes: Vec<u32>,
+    /// Total inter-node edges.
+    pub j_sum: u64,
+    /// Bottleneck-node egress.
+    pub j_max: u64,
+}
+
+/// Service tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Total cache capacity in entries.
+    pub cache_capacity: usize,
+    /// Number of independently locked cache shards.
+    pub cache_shards: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            cache_capacity: 1024,
+            cache_shards: 8,
+        }
+    }
+}
+
+/// The caching mapping service.  Cheap to share: wrap it in an [`Arc`] and
+/// hand clones to every connection thread.
+pub struct MappingService {
+    cache: ShardedLru<CacheKey, Arc<CacheEntry>>,
+}
+
+/// Algorithms tried (in order) when a budgeted request overflows and asks
+/// for a fallback: the paper's specialised algorithms, cheapest useful
+/// quality first, then Nodecart.
+const FALLBACK_ORDER: [Algorithm; 4] = [
+    Algorithm::Hyperplane,
+    Algorithm::KdTree,
+    Algorithm::StencilStrips,
+    Algorithm::Nodecart,
+];
+
+impl MappingService {
+    /// Creates a service with the given configuration.
+    pub fn new(cfg: &ServiceConfig) -> Self {
+        MappingService {
+            cache: ShardedLru::new(cfg.cache_capacity, cfg.cache_shards),
+        }
+    }
+
+    /// Cache hit/miss counters and entry count.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Handles one wire line: a request object or a `{"batch": […]}`
+    /// wrapper.  Always returns exactly one line of response JSON (without
+    /// the trailing newline).
+    ///
+    /// Batch items are processed strictly in order: the `cached` flags and
+    /// the cache's recency order (and therefore later evictions) are a pure
+    /// function of the request sequence, which keeps responses byte-identical
+    /// for every thread count — computing items concurrently would race
+    /// canonically-equal items on both.  Parallelism lives below (the
+    /// engine's rank-parallel fan-out on every miss) and above (one thread
+    /// per TCP connection).
+    pub fn handle_line(&self, line: &str) -> String {
+        let parsed = match Value::parse(line) {
+            Ok(v) => v,
+            Err(e) => {
+                return MapResponse {
+                    id: None,
+                    body: ResponseBody::Error(format!("invalid JSON: {e}")),
+                }
+                .to_value()
+                .compact()
+            }
+        };
+        if let Some(batch) = parsed.get("batch") {
+            let Some(items) = batch.as_arr() else {
+                return MapResponse {
+                    id: None,
+                    body: ResponseBody::Error("\"batch\" must be an array".to_string()),
+                }
+                .to_value()
+                .compact();
+            };
+            let responses: Vec<Value> = items
+                .iter()
+                .map(|item| self.handle_value(item).to_value())
+                .collect();
+            Value::obj(vec![("batch", Value::Arr(responses))]).compact()
+        } else {
+            self.handle_value(&parsed).to_value().compact()
+        }
+    }
+
+    /// Handles one parsed request object.
+    pub fn handle_value(&self, v: &Value) -> MapResponse {
+        match MapRequest::from_value(v) {
+            Ok(req) => self.handle_request(&req),
+            Err(e) => MapResponse {
+                id: v.get("id").cloned(),
+                body: ResponseBody::Error(e),
+            },
+        }
+    }
+
+    /// Handles one request end to end: canonicalise, cache lookup or
+    /// compute, admission control, transport back to the request's own
+    /// dimension order.
+    pub fn handle_request(&self, req: &MapRequest) -> MapResponse {
+        let canon = canonicalize(&req.dims, &req.stencil);
+        let (entry, cached) = match self.lookup_or_compute(req, &canon, req.algorithm, req.seed) {
+            Ok(hit) => hit,
+            Err(e) => {
+                return MapResponse {
+                    id: req.id.clone(),
+                    body: ResponseBody::Error(e),
+                }
+            }
+        };
+
+        // admission control: the streaming-evaluated cost rides in the entry
+        let mut served = (req.algorithm, entry, cached, None);
+        if let Some(budget) = req.max_jsum {
+            if served.1.j_sum > budget {
+                match req.on_over_budget {
+                    OverBudget::Reject => {
+                        return MapResponse {
+                            id: req.id.clone(),
+                            body: ResponseBody::Error(format!(
+                                "over budget: {} predicts Jsum = {} > max_jsum = {budget}",
+                                req.algorithm.wire_name(),
+                                served.1.j_sum
+                            )),
+                        }
+                    }
+                    OverBudget::Fallback => {
+                        let mut found = None;
+                        for alg in FALLBACK_ORDER {
+                            if alg == req.algorithm {
+                                continue;
+                            }
+                            match self.lookup_or_compute(req, &canon, alg, req.seed) {
+                                Ok((entry, cached)) if entry.j_sum <= budget => {
+                                    found = Some((alg, entry, cached, Some(req.algorithm)));
+                                    break;
+                                }
+                                // inapplicable or still over budget: keep trying
+                                Ok(_) | Err(_) => {}
+                            }
+                        }
+                        match found {
+                            Some(f) => served = f,
+                            None => {
+                                return MapResponse {
+                                    id: req.id.clone(),
+                                    body: ResponseBody::Error(format!(
+                                        "over budget: no algorithm reaches Jsum <= {budget} \
+                                         (requested {} predicted {})",
+                                        req.algorithm.wire_name(),
+                                        served.1.j_sum
+                                    )),
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        let (algorithm, entry, cached, fallback_from) = served;
+        let nodes = req
+            .want_mapping
+            .then(|| canon.restore_positions(&req.dims, &entry.nodes));
+        MapResponse {
+            id: req.id.clone(),
+            body: ResponseBody::Ok {
+                algorithm,
+                fallback_from,
+                cached,
+                j_sum: entry.j_sum,
+                j_max: entry.j_max,
+                nodes,
+            },
+        }
+    }
+
+    /// Returns the cache entry for `(canonical request, algorithm)`,
+    /// computing and inserting it on a miss.  The boolean is `true` on a
+    /// hit.  Concurrent misses on the same key may compute twice; both
+    /// compute the identical entry, so the race is benign.
+    fn lookup_or_compute(
+        &self,
+        req: &MapRequest,
+        canon: &Canonical,
+        algorithm: Algorithm,
+        seed: u64,
+    ) -> Result<(Arc<CacheEntry>, bool), String> {
+        let key = CacheKey {
+            dims: canon.dims.as_slice().to_vec(),
+            stencil: canon.stencil.to_flat(),
+            periodic: req.periodic,
+            alloc: req.alloc.sizes().to_vec(),
+            algorithm,
+            seed: if algorithm.uses_seed() { seed } else { 0 },
+        };
+        if let Some(entry) = self.cache.get(&key) {
+            return Ok((entry, true));
+        }
+        let problem = MappingProblem::with_periodicity(
+            canon.dims.clone(),
+            canon.stencil.clone(),
+            req.alloc.clone(),
+            req.periodic,
+        )
+        .map_err(|e| format!("inconsistent problem: {e}"))?;
+        let mapper: Box<dyn Mapper> = match algorithm {
+            Algorithm::Hyperplane => Box::new(Hyperplane::default()),
+            Algorithm::KdTree => Box::new(KdTree),
+            Algorithm::StencilStrips => Box::new(StencilStrips),
+            Algorithm::Nodecart => Box::new(Nodecart),
+            Algorithm::Viem => Box::new(GraphMapper::with_seed(seed)),
+            Algorithm::Blocked => Box::new(Blocked),
+        };
+        let mapping = mapper
+            .compute(&problem)
+            .map_err(|e| format!("{}: {e}", algorithm.wire_name()))?;
+        let cost = evaluate_streaming(&canon.dims, &canon.stencil, req.periodic, &mapping);
+        let entry = Arc::new(CacheEntry {
+            nodes: mapping
+                .node_of_position_slice()
+                .iter()
+                .map(|&n| n as u32)
+                .collect(),
+            j_sum: cost.j_sum,
+            j_max: cost.j_max,
+        });
+        self.cache.insert(key, Arc::clone(&entry));
+        Ok((entry, false))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn service() -> MappingService {
+        MappingService::new(&ServiceConfig::default())
+    }
+
+    #[test]
+    fn serves_a_minimal_request() {
+        let s = service();
+        let out = s.handle_line(r#"{"id":1,"dims":[12,8],"nodes":8}"#);
+        let v = Value::parse(&out).unwrap();
+        assert_eq!(v.get("status").and_then(Value::as_str), Some("ok"));
+        assert_eq!(v.get("cached").and_then(Value::as_bool), Some(false));
+        assert_eq!(v.get("id").and_then(Value::as_usize), Some(1));
+        let nodes = v.get("nodes").and_then(Value::as_arr).unwrap();
+        assert_eq!(nodes.len(), 96);
+        // second identical request is a cache hit with the same payload
+        let out2 = s.handle_line(r#"{"id":1,"dims":[12,8],"nodes":8}"#);
+        let v2 = Value::parse(&out2).unwrap();
+        assert_eq!(v2.get("cached").and_then(Value::as_bool), Some(true));
+        assert_eq!(v2.get("j_sum"), v.get("j_sum"));
+        assert_eq!(v2.get("nodes"), v.get("nodes"));
+    }
+
+    #[test]
+    fn permuted_request_hits_the_same_entry() {
+        let s = service();
+        s.handle_line(r#"{"dims":[12,8],"nodes":8,"algorithm":"kdtree"}"#);
+        assert_eq!(s.cache_stats().len, 1);
+        let out = s.handle_line(r#"{"dims":[8,12],"nodes":8,"algorithm":"kdtree"}"#);
+        let v = Value::parse(&out).unwrap();
+        assert_eq!(v.get("cached").and_then(Value::as_bool), Some(true));
+        assert_eq!(
+            s.cache_stats().len,
+            1,
+            "no second entry for the permutation"
+        );
+    }
+
+    #[test]
+    fn batch_preserves_order_and_ids() {
+        let s = service();
+        let out = s.handle_line(
+            r#"{"batch":[
+                {"id":"a","dims":[6,6],"nodes":4,"want_mapping":false},
+                {"id":"b","dims":[4,4]},
+                {"id":"c","dims":[6,6],"nodes":4,"algorithm":"blocked","want_mapping":false}
+            ]}"#,
+        );
+        let v = Value::parse(&out).unwrap();
+        let batch = v.get("batch").and_then(Value::as_arr).unwrap();
+        assert_eq!(batch.len(), 3);
+        assert_eq!(batch[0].get("id").and_then(Value::as_str), Some("a"));
+        assert_eq!(batch[0].get("status").and_then(Value::as_str), Some("ok"));
+        assert_eq!(batch[1].get("id").and_then(Value::as_str), Some("b"));
+        assert_eq!(
+            batch[1].get("status").and_then(Value::as_str),
+            Some("error")
+        );
+        assert_eq!(batch[2].get("id").and_then(Value::as_str), Some("c"));
+    }
+
+    #[test]
+    fn batch_items_see_earlier_items_inserts_in_order() {
+        // Sequential in-line semantics: a canonically-equal later item is a
+        // hit on the earlier item's insert, at every thread count.
+        let s = service();
+        let out = s.handle_line(
+            r#"{"batch":[
+                {"id":1,"dims":[12,8],"nodes":8,"want_mapping":false},
+                {"id":2,"dims":[8,12],"nodes":8,"want_mapping":false}
+            ]}"#,
+        );
+        let v = Value::parse(&out).unwrap();
+        let batch = v.get("batch").and_then(Value::as_arr).unwrap();
+        assert_eq!(batch[0].get("cached").and_then(Value::as_bool), Some(false));
+        assert_eq!(batch[1].get("cached").and_then(Value::as_bool), Some(true));
+    }
+
+    #[test]
+    fn over_budget_rejects_and_falls_back() {
+        let s = service();
+        // blocked on a tall narrow grid has a hefty Jsum; budget 1 rejects
+        let out = s.handle_line(r#"{"dims":[16,4],"nodes":8,"algorithm":"blocked","max_jsum":1}"#);
+        let v = Value::parse(&out).unwrap();
+        assert_eq!(v.get("status").and_then(Value::as_str), Some("error"));
+        assert!(v
+            .get("error")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .contains("over budget"));
+        // with fallback, a specialised algorithm under a generous budget wins
+        let out = s.handle_line(
+            r#"{"dims":[16,4],"nodes":8,"algorithm":"blocked","max_jsum":100,
+                "on_over_budget":"fallback","want_mapping":false}"#,
+        );
+        let v = Value::parse(&out).unwrap();
+        assert_eq!(v.get("status").and_then(Value::as_str), Some("ok"), "{out}");
+        assert_eq!(
+            v.get("fallback_from").and_then(Value::as_str),
+            Some("blocked")
+        );
+        let served = v.get("j_sum").and_then(Value::as_u64).unwrap();
+        assert!(served <= 100);
+        // impossible budget: even the fallbacks give up
+        let out = s.handle_line(
+            r#"{"dims":[16,4],"nodes":8,"algorithm":"blocked","max_jsum":0,
+                "on_over_budget":"fallback"}"#,
+        );
+        let v = Value::parse(&out).unwrap();
+        assert_eq!(v.get("status").and_then(Value::as_str), Some("error"));
+    }
+
+    #[test]
+    fn errors_echo_the_request_id() {
+        let s = service();
+        let out = s.handle_line(r#"{"id":42,"dims":[4,4]}"#);
+        let v = Value::parse(&out).unwrap();
+        assert_eq!(v.get("id").and_then(Value::as_usize), Some(42));
+        assert_eq!(v.get("status").and_then(Value::as_str), Some("error"));
+        // malformed JSON still yields one parseable error line
+        let out = s.handle_line("{nope");
+        let v = Value::parse(&out).unwrap();
+        assert_eq!(v.get("status").and_then(Value::as_str), Some("error"));
+    }
+
+    #[test]
+    fn viem_seed_is_part_of_the_key_but_hyperplane_seed_is_not() {
+        let s = service();
+        s.handle_line(
+            r#"{"dims":[12,10],"nodes":10,"algorithm":"viem","seed":1,"want_mapping":false}"#,
+        );
+        s.handle_line(
+            r#"{"dims":[12,10],"nodes":10,"algorithm":"viem","seed":2,"want_mapping":false}"#,
+        );
+        assert_eq!(s.cache_stats().len, 2);
+        s.handle_line(r#"{"dims":[12,10],"nodes":10,"seed":1,"want_mapping":false}"#);
+        s.handle_line(r#"{"dims":[12,10],"nodes":10,"seed":2,"want_mapping":false}"#);
+        assert_eq!(s.cache_stats().len, 3, "hyperplane ignores the seed");
+    }
+
+    #[test]
+    fn restored_mapping_matches_direct_computation_cost() {
+        // The served mapping for a permuted request must have the same cost
+        // as computing directly on the original orientation.
+        let s = service();
+        let a = s.handle_line(r#"{"dims":[8,12],"nodes":8,"algorithm":"stencil_strips"}"#);
+        let va = Value::parse(&a).unwrap();
+        use stencil_grid::{Dims, NodeAllocation, Stencil};
+        let problem = MappingProblem::new(
+            Dims::from_slice(&[8, 12]),
+            Stencil::nearest_neighbor(2),
+            NodeAllocation::homogeneous(8, 12),
+        )
+        .unwrap();
+        let nodes: Vec<usize> = va
+            .get("nodes")
+            .and_then(Value::as_arr)
+            .unwrap()
+            .iter()
+            .map(|x| x.as_usize().unwrap())
+            .collect();
+        let mapping = stencil_mapping::Mapping::from_node_of_position(&problem, &nodes).unwrap();
+        let cost = evaluate_streaming(problem.dims(), problem.stencil(), false, &mapping);
+        assert_eq!(Some(cost.j_sum), va.get("j_sum").and_then(Value::as_u64));
+        assert_eq!(Some(cost.j_max), va.get("j_max").and_then(Value::as_u64));
+    }
+
+    #[test]
+    fn nodecart_inapplicable_reports_error() {
+        let s = service();
+        // 5 nodes x 5 procs on a 5x5 grid: n = 5 cannot factor into [5,5]
+        // beyond trivial splits; craft a heterogeneous alloc instead, which
+        // Nodecart rejects outright.
+        let out = s.handle_line(r#"{"dims":[4,4],"node_sizes":[6,6,4],"algorithm":"nodecart"}"#);
+        let v = Value::parse(&out).unwrap();
+        assert_eq!(
+            v.get("status").and_then(Value::as_str),
+            Some("error"),
+            "{out}"
+        );
+    }
+}

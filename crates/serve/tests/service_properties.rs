@@ -1,0 +1,251 @@
+//! Integration tests for the caching mapping service:
+//!
+//! * property test: requests that are equal up to a dimension permutation
+//!   (and stencil offset order) hit the same canonical cache entry,
+//! * LRU eviction ordering under concurrent access (per-shard determinism),
+//! * byte-identical responses across real `RAYON_NUM_THREADS` settings,
+//!   verified via subprocesses like the engine determinism tests.
+
+use proptest::prelude::*;
+use stencil_serve::json::Value;
+use stencil_serve::service::{MappingService, ServiceConfig};
+use stencil_serve::ShardedLru;
+
+/// Builds the request line for dims permuted by `perm` (stencil given as
+/// explicit offsets permuted the same way, so the request is equivalent).
+fn permuted_request_line(
+    dims: &[usize],
+    offsets: &[Vec<i64>],
+    perm: &[usize],
+    algorithm: &str,
+) -> String {
+    let p_dims: Vec<String> = perm.iter().map(|&i| dims[i].to_string()).collect();
+    let p_offsets: Vec<String> = offsets
+        .iter()
+        .map(|o| {
+            let xs: Vec<String> = perm.iter().map(|&i| o[i].to_string()).collect();
+            format!("[{}]", xs.join(","))
+        })
+        .collect();
+    format!(
+        r#"{{"dims":[{}],"stencil":[{}],"nodes":2,"algorithm":"{algorithm}","want_mapping":false}}"#,
+        p_dims.join(","),
+        p_offsets.join(",")
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The satellite property: permuted-but-equivalent requests hit the same
+    /// cache entry — the cache never grows past one entry, the second
+    /// request reports `cached: true`, and both report identical costs.
+    #[test]
+    fn permuted_equivalent_requests_hit_the_same_cache_entry(
+        d0 in 2usize..7,
+        d1 in 2usize..7,
+        d2 in 1usize..5,
+        stencil_choice in 0u8..3,
+        shuffle in 0usize..6,
+        alg in 0u8..3,
+    ) {
+        let p = d0 * d1 * d2;
+        if !p.is_multiple_of(2) {
+            return Ok(());
+        }
+        let dims = [d0, d1, d2];
+        let stencil = match stencil_choice % 3 {
+            0 => stencil_grid::Stencil::nearest_neighbor(3),
+            1 => stencil_grid::Stencil::nearest_neighbor_with_hops(3),
+            _ => stencil_grid::Stencil::component(3),
+        };
+        let offsets: Vec<Vec<i64>> = stencil.offsets().to_vec();
+        let algorithm = ["hyperplane", "kdtree", "stencil_strips"][(alg % 3) as usize];
+        const PERMS: [[usize; 3]; 6] = [
+            [0, 1, 2], [0, 2, 1], [1, 0, 2], [1, 2, 0], [2, 0, 1], [2, 1, 0],
+        ];
+        let perm = PERMS[shuffle % 6];
+
+        let service = MappingService::new(&ServiceConfig::default());
+        let identity = permuted_request_line(&dims, &offsets, &[0, 1, 2], algorithm);
+        let permuted = permuted_request_line(&dims, &offsets, &perm, algorithm);
+        let first = Value::parse(&service.handle_line(&identity)).unwrap();
+        let second = Value::parse(&service.handle_line(&permuted)).unwrap();
+        prop_assert_eq!(first.get("status").and_then(Value::as_str), Some("ok"));
+        prop_assert_eq!(second.get("status").and_then(Value::as_str), Some("ok"));
+        prop_assert_eq!(second.get("cached").and_then(Value::as_bool), Some(true),
+            "permuted request must be served from the cache");
+        prop_assert_eq!(service.cache_stats().len, 1,
+            "equivalent requests must share one entry");
+        prop_assert_eq!(first.get("j_sum"), second.get("j_sum"));
+        prop_assert_eq!(first.get("j_max"), second.get("j_max"));
+    }
+}
+
+/// A sequential model of LRU used as the oracle for the concurrent test.
+struct ModelLru {
+    cap: usize,
+    /// Most recently used first.
+    entries: Vec<(u64, u64)>,
+}
+
+impl ModelLru {
+    fn get(&mut self, k: u64) -> Option<u64> {
+        let pos = self.entries.iter().position(|&(key, _)| key == k)?;
+        let e = self.entries.remove(pos);
+        self.entries.insert(0, e);
+        Some(e.1)
+    }
+    fn insert(&mut self, k: u64, v: u64) {
+        if let Some(pos) = self.entries.iter().position(|&(key, _)| key == k) {
+            self.entries.remove(pos);
+        } else if self.entries.len() == self.cap {
+            self.entries.pop();
+        }
+        self.entries.insert(0, (k, v));
+    }
+}
+
+/// LRU eviction ordering under concurrent access: each thread owns one
+/// shard (keys are pre-filtered by `shard_of`), hammers it with a
+/// deterministic mixed get/insert workload, and checks every observation
+/// against the sequential model.  Shards are independent, so per-thread
+/// behaviour must be exactly sequential-LRU even while all threads run
+/// concurrently; afterwards the shard's exact MRU order must match the
+/// model's.
+#[test]
+fn lru_eviction_ordering_is_sequential_per_shard_under_concurrency() {
+    const SHARDS: usize = 4;
+    const PER_SHARD_CAP: usize = 4;
+    let cache: ShardedLru<u64, u64> = ShardedLru::new(SHARDS * PER_SHARD_CAP, SHARDS);
+    assert_eq!(cache.num_shards(), SHARDS);
+
+    // partition a key universe by shard
+    let mut keys_by_shard: Vec<Vec<u64>> = vec![Vec::new(); SHARDS];
+    let mut k = 0u64;
+    while keys_by_shard.iter().any(|ks| ks.len() < 16) {
+        let s = cache.shard_of(&k);
+        if keys_by_shard[s].len() < 16 {
+            keys_by_shard[s].push(k);
+        }
+        k += 1;
+    }
+
+    std::thread::scope(|scope| {
+        for (shard, keys) in keys_by_shard.iter().enumerate() {
+            let cache = &cache;
+            scope.spawn(move || {
+                let mut model = ModelLru {
+                    cap: PER_SHARD_CAP,
+                    entries: Vec::new(),
+                };
+                // deterministic mixed workload: xorshift-style index stream
+                let mut state = 0x9E37_79B9u64.wrapping_mul(shard as u64 + 1) | 1;
+                for step in 0..4000u64 {
+                    state ^= state << 13;
+                    state ^= state >> 7;
+                    state ^= state << 17;
+                    let key = keys[(state % 16) as usize];
+                    if state.is_multiple_of(3) {
+                        let value = key * 1000 + step;
+                        cache.insert(key, value);
+                        model.insert(key, value);
+                    } else {
+                        assert_eq!(
+                            cache.get(&key),
+                            model.get(key),
+                            "shard {shard} step {step}: cache diverged from sequential LRU"
+                        );
+                    }
+                }
+                // the final recency order of the shard matches the model exactly
+                let expected: Vec<u64> = model.entries.iter().map(|&(k, _)| k).collect();
+                assert_eq!(
+                    cache.shard_keys_mru_first(shard),
+                    expected,
+                    "shard {shard}: MRU order diverged"
+                );
+            });
+        }
+    });
+    assert!(cache.len() <= SHARDS * PER_SHARD_CAP);
+}
+
+/// Replays a mixed request batch (singles, batches, errors, fallbacks,
+/// permuted repeats) and fingerprints the full response transcript.  Child
+/// processes re-run this under different `RAYON_NUM_THREADS`; all
+/// transcripts must be byte-identical (the vendored rayon reads the
+/// variable once per process, hence subprocesses).
+#[test]
+fn responses_identical_across_thread_counts() {
+    const CHILD_VAR: &str = "STENCIL_SERVE_DETERMINISM_CHILD";
+    let transcript = || -> String {
+        let service = MappingService::new(&ServiceConfig::default());
+        let lines = [
+            r#"{"id":1,"dims":[16,12],"nodes":8,"algorithm":"hyperplane"}"#,
+            r#"{"id":2,"dims":[12,16],"nodes":8,"algorithm":"hyperplane"}"#,
+            r#"{"id":3,"dims":[16,12],"nodes":8,"algorithm":"viem","seed":5}"#,
+            r#"{"id":4,"dims":[16,12],"nodes":8,"algorithm":"viem","seed":5}"#,
+            r#"{"batch":[{"id":5,"dims":[10,10],"nodes":4,"algorithm":"kdtree"},
+                         {"id":6,"dims":[10,10],"nodes":4,"algorithm":"kdtree"},
+                         {"id":7,"dims":[10,10],"nodes":4,"algorithm":"stencil_strips"},
+                         {"id":8,"dims":[3,3],"nodes":2}]}"#,
+            r#"{"id":9,"dims":[16,4],"nodes":8,"algorithm":"blocked","max_jsum":100,"on_over_budget":"fallback"}"#,
+            r#"{"id":10,"dims":[4,16],"nodes":8,"algorithm":"blocked","max_jsum":1}"#,
+        ];
+        let mut out = String::new();
+        for line in lines {
+            out.push_str(&service.handle_line(line));
+            out.push('\n');
+        }
+        out
+    };
+    if std::env::var(CHILD_VAR).is_ok() {
+        // FNV-1a over the transcript
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in transcript().bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        println!("transcript:{h:016x}");
+        return;
+    }
+    let exe = std::env::current_exe().expect("test executable path");
+    let mut fingerprints = Vec::new();
+    for threads in ["1", "2", "4"] {
+        let out = std::process::Command::new(&exe)
+            .args([
+                "responses_identical_across_thread_counts",
+                "--exact",
+                "--nocapture",
+                "--test-threads=1",
+            ])
+            .env(CHILD_VAR, "1")
+            .env("RAYON_NUM_THREADS", threads)
+            .output()
+            .expect("spawning the child test process");
+        assert!(
+            out.status.success(),
+            "child with RAYON_NUM_THREADS={threads} failed:\n{}{}",
+            String::from_utf8_lossy(&out.stdout),
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        let fp = stdout
+            .lines()
+            .find_map(|l| l.split("transcript:").nth(1))
+            .unwrap_or_else(|| panic!("no transcript fingerprint in child output:\n{stdout}"))
+            .split_whitespace()
+            .next()
+            .expect("fingerprint value")
+            .to_string();
+        fingerprints.push((threads, fp));
+    }
+    let (_, reference) = &fingerprints[0];
+    for (threads, fp) in &fingerprints {
+        assert_eq!(
+            fp, reference,
+            "RAYON_NUM_THREADS={threads} produced different responses"
+        );
+    }
+}
