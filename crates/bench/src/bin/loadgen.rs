@@ -6,12 +6,19 @@
 //! cargo run --release -p stencil-bench --bin loadgen -- [--quick] [--out BENCH_serve.json]
 //! ```
 //!
-//! Four mixes are replayed (all deterministic):
+//! The replayed mixes (all deterministic):
 //!
 //! * **cache_hit** — one cold p = 4800 VieM-style (multilevel) request, then
 //!   the same request repeated: every repeat is a canonical cache hit,
 //!   served without touching the engine.  The cold-vs-hit ratio is the
 //!   headline number of the service.
+//! * **cache_hit_compact** — the same hit stream with
+//!   `"encoding":"compact"`: the node table rides as one base64
+//!   delta-varint string instead of a 4800-element JSON array.
+//! * **cache_hit_nomap** — the same hit stream with `want_mapping: false`
+//!   (cost-only responses).
+//! * **new_rank_of** — point lookups (`"query":"new_rank_of"`) against the
+//!   warm entry: the response carries three nodes, not 4800.
 //! * **cache_miss** — a sweep of distinct instances (every request a miss),
 //!   measuring the engine + cache-insert path.
 //! * **mixed** — 90% hits / 10% misses interleaved, the shape "Mapping
@@ -19,6 +26,9 @@
 //! * **batch** — `{"batch": […]}` lines of hit requests, measuring the
 //!   batched path (in-order per-item processing, one parse/serialise per
 //!   line).
+//! * **persistence** — the p = 4800 entry is computed into a persisted
+//!   service, the service restarted, and the request re-issued: the restart
+//!   must answer it as a cache hit (no recomputation), making warm-up free.
 
 use std::time::Instant;
 
@@ -109,6 +119,45 @@ fn main() {
         hit_latencies.len() as f64 / hit_latencies.iter().sum::<f64>()
     );
 
+    // --- cache_hit_compact: the same hits, compact node-table encoding ------
+    let compact_line =
+        r#"{"id":0,"dims":[75,64],"nodes":100,"algorithm":"viem","seed":1,"encoding":"compact"}"#
+            .to_string();
+    let compact_lines: Vec<String> = vec![compact_line; hit_requests];
+    let compact_latencies = replay(&service, &compact_lines);
+    eprintln!(
+        "  cache_hit_compact: {:.0} req/s",
+        compact_latencies.len() as f64 / compact_latencies.iter().sum::<f64>()
+    );
+
+    // --- cache_hit_nomap: the same hits, cost-only responses ----------------
+    let nomap_line =
+        r#"{"id":0,"dims":[75,64],"nodes":100,"algorithm":"viem","seed":1,"want_mapping":false}"#
+            .to_string();
+    let nomap_lines: Vec<String> = vec![nomap_line; hit_requests];
+    let nomap_latencies = replay(&service, &nomap_lines);
+    eprintln!(
+        "  cache_hit_nomap: {:.0} req/s",
+        nomap_latencies.len() as f64 / nomap_latencies.iter().sum::<f64>()
+    );
+
+    // --- new_rank_of: point lookups against the warm entry ------------------
+    let point_lines: Vec<String> = (0..hit_requests)
+        .map(|i| {
+            let r = (i * 37) % 4800; // deterministic spread over the grid
+            format!(
+                r#"{{"id":{i},"dims":[75,64],"nodes":100,"algorithm":"viem","seed":1,"query":"new_rank_of","ranks":[{r},{},{}]}}"#,
+                (r + 1600) % 4800,
+                (r + 3200) % 4800
+            )
+        })
+        .collect();
+    let point_latencies = replay(&service, &point_lines);
+    eprintln!(
+        "  new_rank_of (3 ranks/query): {:.0} req/s",
+        point_latencies.len() as f64 / point_latencies.iter().sum::<f64>()
+    );
+
     // --- cache_miss: every request a distinct instance ----------------------
     // Distinct (nodes, grid) pairs through Hyperplane: measures the
     // canonicalize + engine + insert path.
@@ -162,6 +211,41 @@ fn main() {
         (batch_lines * batch_size) as f64 / batch_total
     );
 
+    // --- persistence: restart answers the expensive entry as a hit ----------
+    let persist_path =
+        std::env::temp_dir().join(format!("stencil-serve-loadgen-{}.log", std::process::id()));
+    let _ = std::fs::remove_file(&persist_path);
+    let persist_cfg = ServiceConfig {
+        persist_path: Some(persist_path.clone()),
+        ..ServiceConfig::default()
+    };
+    {
+        let persisted = MappingService::open(&persist_cfg).expect("persistence setup");
+        let warm = persisted.handle_line(&headline);
+        assert!(warm.contains("\"cached\":false"));
+        // dropping flushes the write-behind log
+    }
+    let reload_start = Instant::now();
+    let restarted = MappingService::open(&persist_cfg).expect("persistence reload");
+    let reload_s = reload_start.elapsed().as_secs_f64();
+    let hit_start = Instant::now();
+    let after = restarted.handle_line(&headline);
+    let restart_hit_s = hit_start.elapsed().as_secs_f64();
+    assert!(
+        after.contains("\"cached\":true"),
+        "restart must answer the persisted entry as a hit: {after}"
+    );
+    assert_eq!(
+        restarted.cache_stats().misses,
+        0,
+        "the engine must not recompute after a restart"
+    );
+    let _ = std::fs::remove_file(&persist_path);
+    eprintln!(
+        "  persistence: reload {reload_s:.6}s, warm hit after restart \
+         {restart_hit_s:.6}s (vs {cold_s:.6}s cold recompute)"
+    );
+
     let doc = Json::obj(vec![
         ("schema", Json::str("stencilmap/serve-loadgen/v1")),
         ("threads", Json::Num(rayon::current_num_threads() as f64)),
@@ -174,6 +258,24 @@ fn main() {
                     ("processes", Json::Num(4800.0)),
                     ("cold_multilevel_s", Json::Num(cold_s)),
                     ("speedup_cold_over_hit", Json::Num(speedup)),
+                ],
+            ),
+        ),
+        (
+            "cache_hit_compact",
+            section(&compact_latencies, vec![("processes", Json::Num(4800.0))]),
+        ),
+        (
+            "cache_hit_nomap",
+            section(&nomap_latencies, vec![("processes", Json::Num(4800.0))]),
+        ),
+        (
+            "new_rank_of",
+            section(
+                &point_latencies,
+                vec![
+                    ("processes", Json::Num(4800.0)),
+                    ("ranks_per_query", Json::Num(3.0)),
                 ],
             ),
         ),
@@ -197,6 +299,15 @@ fn main() {
                     ),
                 ],
             ),
+        ),
+        (
+            "persistence",
+            Json::obj(vec![
+                ("processes", Json::Num(4800.0)),
+                ("reload_s", Json::Num(reload_s)),
+                ("hit_after_restart_s", Json::Num(restart_hit_s)),
+                ("cold_recompute_s", Json::Num(cold_s)),
+            ]),
         ),
     ]);
     std::fs::write(&out_path, doc.pretty()).unwrap_or_else(|e| {

@@ -51,15 +51,32 @@ pub const PARTITIONER_SCALE_GUARDS: &[(&str, &str)] = &[
 ];
 
 /// The mapping-service metrics gated in `BENCH_serve.json`: cache-hit
-/// throughput must not collapse (higher is better).
-pub const GATED_SERVE_METRICS: &[GatedMetric] = &[GatedMetric {
-    section: "cache_hit",
-    key: "throughput_rps",
-    higher_is_better: true,
-}];
+/// throughput in every response mode — full table, compact encoding and
+/// `new_rank_of` point lookups — must not collapse (higher is better).
+pub const GATED_SERVE_METRICS: &[GatedMetric] = &[
+    GatedMetric {
+        section: "cache_hit",
+        key: "throughput_rps",
+        higher_is_better: true,
+    },
+    GatedMetric {
+        section: "cache_hit_compact",
+        key: "throughput_rps",
+        higher_is_better: true,
+    },
+    GatedMetric {
+        section: "new_rank_of",
+        key: "throughput_rps",
+        higher_is_better: true,
+    },
+];
 
 /// Scale guards for the serve document.
-pub const SERVE_SCALE_GUARDS: &[(&str, &str)] = &[("cache_hit", "processes")];
+pub const SERVE_SCALE_GUARDS: &[(&str, &str)] = &[
+    ("cache_hit", "processes"),
+    ("cache_hit_compact", "processes"),
+    ("new_rank_of", "processes"),
+];
 
 /// One compared metric.
 #[derive(Debug, Clone, PartialEq)]
@@ -269,6 +286,14 @@ mod tests {
     "requests": 2000,
     "throughput_rps": 50000,
     "p50_s": 0.00002
+  },
+  "cache_hit_compact": {
+    "processes": 4800,
+    "throughput_rps": 200000
+  },
+  "new_rank_of": {
+    "processes": 4800,
+    "throughput_rps": 300000
   }
 }"#;
 
@@ -353,15 +378,26 @@ mod tests {
             .unwrap()
             .iter()
             .all(|o| o.ok));
-        // … a 50% drop fails at a 25% budget
+        // … a 50% drop fails at a 25% budget (the other gated modes stay ok)
         let slow = SERVE_DOC.replace("\"throughput_rps\": 50000", "\"throughput_rps\": 25000");
         let outcomes = check_serve(SERVE_DOC, &slow, 0.25).unwrap();
-        assert_eq!(outcomes.len(), 1);
-        assert!(!outcomes[0].ok);
-        assert_eq!(outcomes[0].label, "cache_hit.throughput_rps");
+        assert_eq!(outcomes.len(), GATED_SERVE_METRICS.len());
+        let bad: Vec<_> = outcomes.iter().filter(|o| !o.ok).collect();
+        assert_eq!(bad.len(), 1);
+        assert_eq!(bad[0].label, "cache_hit.throughput_rps");
         // … and a 20% drop is within a 25% budget
         let mild = SERVE_DOC.replace("\"throughput_rps\": 50000", "\"throughput_rps\": 40000");
-        assert!(check_serve(SERVE_DOC, &mild, 0.25).unwrap()[0].ok);
+        assert!(check_serve(SERVE_DOC, &mild, 0.25)
+            .unwrap()
+            .iter()
+            .all(|o| o.ok));
+        // a collapse of the compact mode is caught independently
+        let slow_compact =
+            SERVE_DOC.replace("\"throughput_rps\": 200000", "\"throughput_rps\": 50000");
+        let outcomes = check_serve(SERVE_DOC, &slow_compact, 0.25).unwrap();
+        let bad: Vec<_> = outcomes.iter().filter(|o| !o.ok).collect();
+        assert_eq!(bad.len(), 1);
+        assert_eq!(bad[0].label, "cache_hit_compact.throughput_rps");
     }
 
     #[test]

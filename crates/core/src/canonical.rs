@@ -68,16 +68,70 @@ impl Canonical {
         if self.is_identity_permutation() {
             return canonical_table.to_vec();
         }
-        let mut out = Vec::with_capacity(canonical_table.len());
-        let mut canon_coord = vec![0usize; d];
-        for x in 0..original.volume() {
-            let coord = original.coord_of(x);
-            for i in 0..d {
-                canon_coord[i] = coord[self.perm[i]];
+        // Allocation-free sweep (this sits on the serve hit path for every
+        // permuted request): walk the original grid row-major with an
+        // odometer and keep the corresponding canonical index incrementally
+        // updated.  `weight[j]` is the canonical row-major stride of the
+        // canonical axis holding original dimension `j`, so bumping original
+        // digit `j` moves the canonical index by `weight[j]` and a rollover
+        // rewinds it by `(size_j - 1) * weight[j]`.
+        let mut weight = vec![0usize; d];
+        {
+            let mut stride = 1usize;
+            for i in (0..d).rev() {
+                weight[self.perm[i]] = stride;
+                stride *= self.dims.size(i);
             }
-            out.push(canonical_table[self.dims.rank_of(&canon_coord)]);
         }
-        out
+        let sizes = original.as_slice();
+        let mut out = Vec::with_capacity(canonical_table.len());
+        let mut coord = vec![0usize; d];
+        let mut canon_pos = 0usize;
+        loop {
+            out.push(canonical_table[canon_pos]);
+            // odometer increment, last original dimension fastest
+            let mut i = d;
+            loop {
+                if i == 0 {
+                    return out;
+                }
+                i -= 1;
+                coord[i] += 1;
+                canon_pos += weight[i];
+                if coord[i] < sizes[i] {
+                    break;
+                }
+                coord[i] = 0;
+                canon_pos -= sizes[i] * weight[i];
+            }
+        }
+    }
+
+    /// The canonical grid position holding original grid position `x` —
+    /// the single-entry counterpart of [`Canonical::restore_positions`]:
+    /// `restore_positions(original, table)[x] ==
+    /// table[canonical_index_of(original, x)]` for every `x`.  This is what
+    /// point queries use to read individual entries of a canonically cached
+    /// table in O(d) without materialising the restored table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `original` is not a permutation of the canonical dims or
+    /// `x` is outside the grid.
+    pub fn canonical_index_of(&self, original: &Dims, x: usize) -> usize {
+        assert_eq!(original.ndims(), self.dims.ndims(), "dimensionality");
+        assert_eq!(original.volume(), self.dims.volume(), "grid volume");
+        assert!(x < original.volume(), "position outside the grid");
+        if self.is_identity_permutation() {
+            return x;
+        }
+        let d = original.ndims();
+        let coord = original.coord_of(x);
+        let mut canon_coord = vec![0usize; d];
+        for i in 0..d {
+            canon_coord[i] = coord[self.perm[i]];
+        }
+        self.dims.rank_of(&canon_coord)
     }
 
     /// Rebuilds a [`Mapping`] for the *original* problem from a
@@ -262,6 +316,33 @@ mod tests {
             let coord = original.coord_of(x);
             let canon_pos = coord[1] * 3 + coord[0];
             assert_eq!(value, table[canon_pos]);
+        }
+    }
+
+    #[test]
+    fn canonical_index_of_agrees_with_restore_positions() {
+        for (dims, stencil) in [
+            (Dims::from_slice(&[3, 4]), Stencil::nearest_neighbor(2)),
+            (
+                Dims::from_slice(&[4, 2, 3]),
+                Stencil::nearest_neighbor_with_hops(3),
+            ),
+            (Dims::from_slice(&[5, 3]), Stencil::component(2)),
+        ] {
+            for perm_dims in [false, true] {
+                let (o_dims, o_stencil) = if perm_dims {
+                    let perm: Vec<usize> = (0..dims.ndims()).rev().collect();
+                    permute_request(&dims, &stencil, &perm)
+                } else {
+                    (dims.clone(), stencil.clone())
+                };
+                let c = canonicalize(&o_dims, &o_stencil);
+                let table: Vec<u32> = (0..c.dims.volume() as u32).collect();
+                let restored = c.restore_positions(&o_dims, &table);
+                for x in 0..o_dims.volume() {
+                    assert_eq!(restored[x], table[c.canonical_index_of(&o_dims, x)]);
+                }
+            }
         }
     }
 

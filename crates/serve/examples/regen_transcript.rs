@@ -1,0 +1,37 @@
+//! Regenerates `tests/data/transcript_expected.txt` from
+//! `tests/data/transcript_requests.txt`.
+//!
+//! Run after a *deliberate* protocol change, then review the diff — every
+//! changed byte is a wire-visible behaviour change:
+//!
+//! ```text
+//! cargo run --release -p stencil-serve --example regen_transcript
+//! ```
+
+use stencil_serve::service::ServiceConfig;
+use stencil_serve::transcript::replay;
+
+fn main() {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/data");
+    let requests = std::fs::read_to_string(dir.join("transcript_requests.txt"))
+        .expect("reading tests/data/transcript_requests.txt");
+
+    let persist =
+        std::env::temp_dir().join(format!("stencil-serve-regen-{}.log", std::process::id()));
+    let _ = std::fs::remove_file(&persist);
+    let cfg = ServiceConfig {
+        persist_path: Some(persist.clone()),
+        ..ServiceConfig::default()
+    };
+    let responses = replay(&requests, &cfg).expect("transcript replay failed");
+    let _ = std::fs::remove_file(&persist);
+
+    let mut out = String::new();
+    for line in &responses {
+        out.push_str(line);
+        out.push('\n');
+    }
+    let path = dir.join("transcript_expected.txt");
+    std::fs::write(&path, out).expect("writing transcript_expected.txt");
+    println!("wrote {} responses to {}", responses.len(), path.display());
+}

@@ -73,11 +73,12 @@ impl<K: Hash + Eq + Clone, V: Clone> Shard<K, V> {
         }
     }
 
-    fn get(&mut self, key: &K) -> Option<V> {
+    fn get(&mut self, key: &K) -> Option<(V, bool)> {
         let idx = *self.map.get(key)?;
+        let was_mru = self.head == idx;
         self.unlink(idx);
         self.push_front(idx);
-        Some(self.slots[idx].value.clone())
+        Some((self.slots[idx].value.clone(), was_mru))
     }
 
     fn insert(&mut self, key: K, value: V) {
@@ -131,6 +132,16 @@ impl<K: Hash + Eq + Clone, V: Clone> Shard<K, V> {
         }
         out
     }
+
+    fn entries_lru_first(&self) -> Vec<(K, V)> {
+        let mut out = Vec::with_capacity(self.map.len());
+        let mut idx = self.tail;
+        while idx != NIL {
+            out.push((self.slots[idx].key.clone(), self.slots[idx].value.clone()));
+            idx = self.slots[idx].prev;
+        }
+        out
+    }
 }
 
 /// Cache hit/miss counters (monotonic, for diagnostics and the load
@@ -180,6 +191,15 @@ impl<K: Hash + Eq + Clone, V: Clone> ShardedLru<K, V> {
 
     /// Looks up `key`, marking it most recently used on a hit.
     pub fn get(&self, key: &K) -> Option<V> {
+        self.get_tracking_mru(key).map(|(v, _)| v)
+    }
+
+    /// Like [`ShardedLru::get`], but also reports whether the key was
+    /// *already* most recently used in its shard before this lookup.  The
+    /// persistence layer uses this to skip touch records that would replay
+    /// as no-ops — for a hot key hit in a loop, only the first touch ever
+    /// reaches the log.
+    pub fn get_tracking_mru(&self, key: &K) -> Option<(V, bool)> {
         let shard = &self.shards[self.shard_of(key)];
         let got = shard.lock().expect("cache shard poisoned").get(key);
         match got {
@@ -192,6 +212,19 @@ impl<K: Hash + Eq + Clone, V: Clone> ShardedLru<K, V> {
                 None
             }
         }
+    }
+
+    /// Marks `key` most recently used if present, without counting towards
+    /// the hit/miss statistics.  Used when replaying a persisted touch
+    /// record: the recency effect must be reproduced, but the replay is not
+    /// request traffic.  Returns whether the key was resident.
+    pub fn touch(&self, key: &K) -> bool {
+        let shard = &self.shards[self.shard_of(key)];
+        shard
+            .lock()
+            .expect("cache shard poisoned")
+            .get(key)
+            .is_some()
     }
 
     /// Inserts (or refreshes) `key`, evicting the shard's least recently
@@ -238,6 +271,19 @@ impl<K: Hash + Eq + Clone, V: Clone> ShardedLru<K, V> {
     /// Number of shards.
     pub fn num_shards(&self) -> usize {
         self.shards.len()
+    }
+
+    /// The `(key, value)` pairs of one shard, least recently used first,
+    /// without touching recency.  Re-inserting the pairs of every shard in
+    /// this order into an empty cache of the same geometry reproduces the
+    /// exact per-shard contents *and* recency order — the write-behind
+    /// persistence layer compacts its log this way, and the reload property
+    /// test uses it as the oracle.
+    pub fn shard_entries_lru_first(&self, shard: usize) -> Vec<(K, V)> {
+        self.shards[shard]
+            .lock()
+            .expect("cache shard poisoned")
+            .entries_lru_first()
     }
 }
 
@@ -308,6 +354,41 @@ mod tests {
         for shard in 0..4 {
             assert!(c.shard_keys_mru_first(shard).len() <= 2);
         }
+    }
+
+    #[test]
+    fn get_tracking_mru_reports_prior_recency() {
+        let c = single_shard(3);
+        c.insert(1, 10);
+        c.insert(2, 20);
+        // 2 is MRU: its hit reports was_mru and changes nothing
+        assert_eq!(c.get_tracking_mru(&2), Some((20, true)));
+        // 1 is not MRU: its hit reports !was_mru and promotes it
+        assert_eq!(c.get_tracking_mru(&1), Some((10, false)));
+        assert_eq!(c.get_tracking_mru(&1), Some((10, true)));
+        assert_eq!(c.get_tracking_mru(&9), None);
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses), (3, 1));
+    }
+
+    #[test]
+    fn shard_entries_lru_first_reproduces_the_cache_when_replayed() {
+        let c = single_shard(3);
+        for (k, v) in [(1, 10), (2, 20), (3, 30), (4, 40)] {
+            c.insert(k, v);
+        }
+        c.get(&2); // touch: recency becomes MRU [2, 4, 3]
+        let dump = c.shard_entries_lru_first(0);
+        assert_eq!(dump, vec![(3, 30), (4, 40), (2, 20)]);
+        // dumping must not have touched recency
+        assert_eq!(c.shard_keys_mru_first(0), vec![2, 4, 3]);
+        // replaying the dump into a fresh cache reproduces order and values
+        let fresh = single_shard(3);
+        for (k, v) in dump {
+            fresh.insert(k, v);
+        }
+        assert_eq!(fresh.shard_keys_mru_first(0), c.shard_keys_mru_first(0));
+        assert_eq!(fresh.get(&2), Some(20));
     }
 
     #[test]

@@ -137,11 +137,12 @@ impl Value {
             Value::Null => out.push_str("null"),
             Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
             Value::Num(x) => {
+                use std::fmt::Write;
                 if x.is_finite() {
                     if x.fract() == 0.0 && x.abs() < 9.0e15 {
-                        out.push_str(&format!("{}", *x as i64));
+                        let _ = write!(out, "{}", *x as i64);
                     } else {
-                        out.push_str(&format!("{x}"));
+                        let _ = write!(out, "{x}");
                     }
                 } else {
                     out.push_str("null");
@@ -176,6 +177,13 @@ impl Value {
 
 fn write_string(out: &mut String, s: &str) {
     out.push('"');
+    // fast path for strings that need no escaping (ids, algorithm names,
+    // base64 node tables — i.e. nearly everything the service writes)
+    if s.bytes().all(|b| b >= 0x20 && b != b'"' && b != b'\\') {
+        out.push_str(s);
+        out.push('"');
+        return;
+    }
     for c in s.chars() {
         match c {
             '"' => out.push_str("\\\""),
@@ -188,6 +196,196 @@ fn write_string(out: &mut String, s: &str) {
         }
     }
     out.push('"');
+}
+
+// ---------------------------------------------------------------------------
+// Compact node-table codec
+// ---------------------------------------------------------------------------
+//
+// The verbose wire form of a node table is a JSON array of integers — ~4
+// bytes and one `f64` boxing per entry, which dominates the cache-hit path
+// for paper-sized tables (4800 entries ≈ 19 KB of JSON).  The compact form
+// (`"encoding":"compact"`) instead carries the table as one base64 string:
+//
+//   varint(len) · zigzag-varint(nodes[0] - 0) · zigzag-varint(nodes[1] -
+//   nodes[0]) · …  → standard base64 (padded)
+//
+// Node tables are runs of equal or adjacent node ids, so the deltas are tiny
+// and almost every entry costs one byte before base64.  The codec is
+// self-delimiting (leading length) and rejects trailing garbage, so
+// `decode_nodes_compact(encode_nodes_compact(t)) == t` exactly.
+
+const BASE64_ALPHABET: &[u8; 64] =
+    b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+
+/// Maximum number of table entries [`decode_nodes_compact`] accepts; caps
+/// the memory one hostile compact string can make the decoder allocate
+/// (2^28 entries would already be a 1 GiB table — far beyond any grid the
+/// engine serves).
+pub const MAX_COMPACT_ENTRIES: usize = 1 << 28;
+
+fn base64_encode(bytes: &[u8]) -> String {
+    let mut out = String::with_capacity(bytes.len().div_ceil(3) * 4);
+    for chunk in bytes.chunks(3) {
+        let b = [
+            chunk[0],
+            chunk.get(1).copied().unwrap_or(0),
+            chunk.get(2).copied().unwrap_or(0),
+        ];
+        let n = ((b[0] as u32) << 16) | ((b[1] as u32) << 8) | b[2] as u32;
+        out.push(BASE64_ALPHABET[(n >> 18) as usize & 63] as char);
+        out.push(BASE64_ALPHABET[(n >> 12) as usize & 63] as char);
+        out.push(if chunk.len() > 1 {
+            BASE64_ALPHABET[(n >> 6) as usize & 63] as char
+        } else {
+            '='
+        });
+        out.push(if chunk.len() > 2 {
+            BASE64_ALPHABET[n as usize & 63] as char
+        } else {
+            '='
+        });
+    }
+    out
+}
+
+fn base64_decode(s: &str) -> Result<Vec<u8>, String> {
+    fn value_of(c: u8) -> Result<u32, String> {
+        match c {
+            b'A'..=b'Z' => Ok((c - b'A') as u32),
+            b'a'..=b'z' => Ok((c - b'a') as u32 + 26),
+            b'0'..=b'9' => Ok((c - b'0') as u32 + 52),
+            b'+' => Ok(62),
+            b'/' => Ok(63),
+            _ => Err(format!("invalid base64 character {:?}", c as char)),
+        }
+    }
+    let bytes = s.as_bytes();
+    if !bytes.len().is_multiple_of(4) {
+        return Err(format!(
+            "base64 length {} is not a multiple of 4",
+            bytes.len()
+        ));
+    }
+    let mut out = Vec::with_capacity(bytes.len() / 4 * 3);
+    for (i, chunk) in bytes.chunks(4).enumerate() {
+        let last = (i + 1) * 4 == bytes.len();
+        let pad = chunk.iter().filter(|&&c| c == b'=').count();
+        if pad > 0 && (!last || chunk[..4 - pad].contains(&b'=') || pad > 2) {
+            return Err("misplaced base64 padding".to_string());
+        }
+        let n = (value_of(chunk[0])? << 18)
+            | (value_of(chunk[1])? << 12)
+            | if pad < 2 { value_of(chunk[2])? << 6 } else { 0 }
+            | if pad < 1 { value_of(chunk[3])? } else { 0 };
+        out.push((n >> 16) as u8);
+        if pad < 2 {
+            out.push((n >> 8) as u8);
+        }
+        if pad < 1 {
+            out.push(n as u8);
+        }
+    }
+    Ok(out)
+}
+
+fn push_varint(out: &mut Vec<u8>, mut x: u64) {
+    loop {
+        let byte = (x & 0x7f) as u8;
+        x >>= 7;
+        if x == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+fn read_varint(bytes: &[u8], pos: &mut usize) -> Result<u64, String> {
+    let mut x = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let &byte = bytes
+            .get(*pos)
+            .ok_or("truncated varint in compact node table")?;
+        *pos += 1;
+        if shift == 63 && byte > 1 {
+            return Err("varint overflows 64 bits".to_string());
+        }
+        x |= ((byte & 0x7f) as u64) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(x);
+        }
+        shift += 7;
+        if shift > 63 {
+            return Err("varint longer than 10 bytes".to_string());
+        }
+    }
+}
+
+fn zigzag(x: i64) -> u64 {
+    ((x << 1) ^ (x >> 63)) as u64
+}
+
+fn unzigzag(x: u64) -> i64 {
+    ((x >> 1) as i64) ^ -((x & 1) as i64)
+}
+
+/// Encodes a node table in the compact wire form: base64 over
+/// `varint(len)` followed by one zigzag varint per entry holding the delta
+/// to the previous entry (the first delta is against 0).
+pub fn encode_nodes_compact(nodes: &[u32]) -> String {
+    let mut bytes = Vec::with_capacity(nodes.len() + 8);
+    push_varint(&mut bytes, nodes.len() as u64);
+    let mut prev = 0i64;
+    for &n in nodes {
+        push_varint(&mut bytes, zigzag(n as i64 - prev));
+        prev = n as i64;
+    }
+    base64_encode(&bytes)
+}
+
+/// Decodes the compact wire form back into the node table.  Strict inverse
+/// of [`encode_nodes_compact`]: rejects bad base64, truncated or overlong
+/// payloads, deltas that leave `u32` range, and length prefixes beyond
+/// [`MAX_COMPACT_ENTRIES`].
+pub fn decode_nodes_compact(s: &str) -> Result<Vec<u32>, String> {
+    let bytes = base64_decode(s)?;
+    let mut pos = 0usize;
+    let len = read_varint(&bytes, &mut pos)?;
+    if len > MAX_COMPACT_ENTRIES as u64 {
+        return Err(format!(
+            "compact node table declares {len} entries (limit {MAX_COMPACT_ENTRIES})"
+        ));
+    }
+    // every entry costs at least one payload byte, so a length prefix
+    // larger than the remaining payload is a lie — reject it before
+    // allocating entry-count-proportional memory
+    if len as usize > bytes.len() - pos {
+        return Err(format!(
+            "compact node table declares {len} entries but carries {} bytes",
+            bytes.len() - pos
+        ));
+    }
+    let mut nodes = Vec::with_capacity(len as usize);
+    let mut prev = 0i64;
+    for _ in 0..len {
+        let delta = unzigzag(read_varint(&bytes, &mut pos)?);
+        let value = prev + delta;
+        if !(0..=u32::MAX as i64).contains(&value) {
+            return Err(format!("compact node table entry {value} outside u32"));
+        }
+        nodes.push(value as u32);
+        prev = value;
+    }
+    if pos != bytes.len() {
+        return Err(format!(
+            "trailing bytes after compact node table ({} of {})",
+            pos,
+            bytes.len()
+        ));
+    }
+    Ok(nodes)
 }
 
 /// Maximum container nesting the parser accepts.  The parser is recursive,
@@ -477,6 +675,114 @@ mod tests {
         let text = v.compact();
         assert!(!text.contains('\n'));
         assert_eq!(Value::parse(&text).unwrap(), v);
+    }
+
+    #[test]
+    fn compact_codec_roundtrips_known_tables() {
+        for table in [
+            vec![],
+            vec![0u32],
+            vec![0, 0, 0, 1, 1, 1, 2, 2, 2],
+            vec![7, 3, 3, 0, u32::MAX, u32::MAX - 1, 0],
+            (0..4800).map(|x| x / 48).collect::<Vec<u32>>(),
+        ] {
+            let encoded = encode_nodes_compact(&table);
+            assert_eq!(decode_nodes_compact(&encoded).unwrap(), table, "{encoded}");
+        }
+    }
+
+    #[test]
+    fn compact_codec_is_dense_for_run_structured_tables() {
+        // 4800 entries in 100 runs of 48: ~1 byte per entry before base64
+        let table: Vec<u32> = (0..4800).map(|x| x / 48).collect();
+        let encoded = encode_nodes_compact(&table);
+        assert!(
+            encoded.len() < 7000,
+            "compact form is {} bytes",
+            encoded.len()
+        );
+    }
+
+    #[test]
+    fn compact_decoder_rejects_malformed_payloads() {
+        for (input, needle) in [
+            ("%%%%", "invalid base64"),
+            ("AAA", "multiple of 4"),
+            ("A=AA", "padding"),
+            ("====", "padding"),
+            // varint(2 entries) but only one delta byte present
+            (base64_encode(&[2, 2]).as_str(), "carries"),
+            // length fits the byte count, but the delta varint is cut off
+            (base64_encode(&[1, 0x80]).as_str(), "truncated"),
+            // 11-byte varint
+            (
+                base64_encode(&[
+                    0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 1,
+                ])
+                .as_str(),
+                "varint",
+            ),
+            // declares an absurd entry count
+            (
+                base64_encode(&{
+                    let mut b = Vec::new();
+                    push_varint(&mut b, u64::MAX / 2);
+                    b
+                })
+                .as_str(),
+                "limit",
+            ),
+            // declares far more entries than it carries bytes: must be
+            // rejected before any entry-count-proportional allocation
+            (
+                base64_encode(&{
+                    let mut b = Vec::new();
+                    push_varint(&mut b, (MAX_COMPACT_ENTRIES - 1) as u64);
+                    b
+                })
+                .as_str(),
+                "carries",
+            ),
+            // delta walks below zero
+            (
+                base64_encode(&{
+                    let mut b = Vec::new();
+                    push_varint(&mut b, 1);
+                    push_varint(&mut b, zigzag(-1));
+                    b
+                })
+                .as_str(),
+                "outside u32",
+            ),
+            // trailing bytes after the declared entries
+            (
+                base64_encode(&{
+                    let mut b = Vec::new();
+                    push_varint(&mut b, 1);
+                    push_varint(&mut b, zigzag(5));
+                    b.push(0);
+                    b
+                })
+                .as_str(),
+                "trailing",
+            ),
+        ] {
+            let err = decode_nodes_compact(input).unwrap_err();
+            assert!(err.contains(needle), "{input:?}: {err}");
+        }
+    }
+
+    #[test]
+    fn base64_roundtrips_all_lengths() {
+        for len in 0..10usize {
+            let bytes: Vec<u8> = (0..len as u8)
+                .map(|b| b.wrapping_mul(37).wrapping_add(11))
+                .collect();
+            let encoded = base64_encode(&bytes);
+            assert_eq!(base64_decode(&encoded).unwrap(), bytes);
+        }
+        assert_eq!(base64_encode(b"foob"), "Zm9vYg==");
+        assert_eq!(base64_decode("Zm9vYmFy").unwrap(), b"foobar");
     }
 
     #[test]

@@ -17,6 +17,15 @@
 //!   streaming evaluator; requests can carry a `max_jsum` budget and either
 //!   get rejected or transparently fall back to a specialised algorithm that
 //!   fits the budget.
+//! * **Cheap hit path** — responses can skip the node table entirely
+//!   (`want_mapping: false`), carry it as one base64 delta-varint string
+//!   (`"encoding":"compact"`, ~3 bytes/entry less wire and far less
+//!   serialisation than the verbose JSON array), or answer point lookups
+//!   (`"query":"new_rank_of"`) straight from the cached mapping.
+//! * **Write-behind persistence** — with `--persist FILE` the canonical
+//!   cache entries survive restarts: inserts and touches append to a log
+//!   from a background thread, the log is replayed and compacted on start,
+//!   so warm-up after a restart is free.
 //! * **Determinism** — responses are byte-identical for every thread count
 //!   (asserted in CI by replaying a request batch under
 //!   `RAYON_NUM_THREADS ∈ {1, 4}` and comparing outputs).
@@ -43,10 +52,14 @@
 
 pub mod cache;
 pub mod json;
+pub mod persist;
 pub mod protocol;
 pub mod server;
 pub mod service;
+pub mod transcript;
 
 pub use cache::{CacheStats, ShardedLru};
-pub use protocol::{Algorithm, MapRequest, MapResponse, OverBudget, ResponseBody};
+pub use protocol::{
+    Algorithm, Encoding, MapRequest, MapResponse, OverBudget, Payload, Query, ResponseBody,
+};
 pub use service::{CacheEntry, CacheKey, MappingService, ServiceConfig};

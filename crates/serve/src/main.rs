@@ -15,6 +15,7 @@ use stencil_serve::service::{MappingService, ServiceConfig};
 
 const USAGE: &str = "\
 usage: stencil-serve [--stdin | --listen ADDR] [--cache-capacity N] [--shards N]
+                     [--workers N] [--persist FILE]
 
 modes (default: --stdin):
   --stdin              serve newline-delimited JSON requests from stdin to stdout
@@ -23,6 +24,11 @@ modes (default: --stdin):
 options:
   --cache-capacity N   total cache entries across all shards (default 1024; 0 disables caching)
   --shards N           number of independently locked cache shards (default 8)
+  --workers N          TCP worker-pool threads (default 4; connections are not
+                       bound to threads, so N clients >> N workers is fine)
+  --persist FILE       append-only cache persistence log: loaded (and compacted)
+                       on start, written behind while serving, so cached
+                       mappings survive restarts
 
 protocol: one JSON request per line, one JSON response per line, e.g.
   printf '{\"id\":1,\"dims\":[50,48],\"nodes\":50,\"want_mapping\":false}\\n' | stencil-serve --stdin
@@ -43,7 +49,13 @@ fn main() {
         print!("{USAGE}");
         return;
     }
-    let value_flags = ["--listen", "--cache-capacity", "--shards"];
+    let value_flags = [
+        "--listen",
+        "--cache-capacity",
+        "--shards",
+        "--workers",
+        "--persist",
+    ];
     let mut i = 0;
     while i < args.len() {
         let a = &args[i];
@@ -76,12 +88,27 @@ fn main() {
     let cfg = ServiceConfig {
         cache_capacity: parse_num("--cache-capacity", 1024),
         cache_shards: parse_num("--shards", 8),
+        persist_path: arg_value(&args, "--persist").map(std::path::PathBuf::from),
     };
+    let workers = parse_num("--workers", 4);
     let listen = arg_value(&args, "--listen");
-    let service = MappingService::new(&cfg);
+    let service = match MappingService::open(&cfg) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("stencil-serve: {e}");
+            std::process::exit(1);
+        }
+    };
+    if cfg.persist_path.is_some() {
+        let report = service.load_report();
+        eprintln!(
+            "stencil-serve: persistence replayed {} records ({} skipped), {} entries warm",
+            report.replayed, report.skipped, report.entries
+        );
+    }
 
     let result = match listen {
-        Some(addr) => stencil_serve::server::serve_tcp(Arc::new(service), addr.as_str()),
+        Some(addr) => stencil_serve::server::serve_tcp(Arc::new(service), addr.as_str(), workers),
         None => stencil_serve::server::serve_stdin(&service),
     };
     if let Err(e) = result {

@@ -1,0 +1,487 @@
+//! Write-behind persistence of canonical cache entries.
+//!
+//! The cache's canonical entries are the expensive part of the service —
+//! a p = 4800 multilevel mapping costs ~48 ms to recompute but ~6 KB to
+//! store.  This module makes them survive restarts with an **append-only
+//! log**: every cache insert (a computed miss) and every recency-*changing*
+//! cache hit (touches of an already-MRU key replay as no-ops and are
+//! skipped, so a hot key costs one record ever) is serialised to one JSON
+//! line and handed to a background writer thread over a bounded queue, so
+//! the request path never waits on the filesystem.  The writer appends and
+//! flushes, so even a `kill -9` loses at most the records still queued; if
+//! the disk cannot keep up, records are dropped and counted instead of
+//! buffering without bound.
+//!
+//! On start the log is replayed in order through the fresh cache — inserts
+//! insert, touches re-order recency — which reproduces the exact per-shard
+//! LRU contents and recency order the previous process had persisted.  The
+//! replayed state is then **compacted**: the log is rewritten as one insert
+//! record per resident entry, least recently used first per shard, so the
+//! file stays proportional to the cache instead of the request history.
+//!
+//! Records are self-describing JSON lines (node tables in the compact
+//! base64 codec of [`crate::json`]); unparseable or inconsistent lines —
+//! e.g. the torn tail of a killed writer — are skipped, never fatal.
+
+use std::fs::{File, OpenOptions};
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
+use std::sync::Arc;
+
+use crate::cache::ShardedLru;
+use crate::json::{decode_nodes_compact, encode_nodes_compact, Value};
+use crate::protocol::Algorithm;
+use crate::service::{CacheEntry, CacheKey};
+
+/// One replayed log record.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Record {
+    /// A computed entry was inserted under its canonical key.
+    Insert(CacheKey, CacheEntry),
+    /// A cached entry was served (recency touch).
+    Touch(CacheKey),
+}
+
+fn key_fields(key: &CacheKey) -> Vec<(&'static str, Value)> {
+    vec![
+        (
+            "dims",
+            Value::Arr(key.dims.iter().map(|&d| Value::Num(d as f64)).collect()),
+        ),
+        (
+            "stencil",
+            Value::Arr(key.stencil.iter().map(|&o| Value::Num(o as f64)).collect()),
+        ),
+        ("periodic", Value::Bool(key.periodic)),
+        (
+            "alloc",
+            Value::Arr(key.alloc.iter().map(|&s| Value::Num(s as f64)).collect()),
+        ),
+        ("algorithm", Value::str(key.algorithm.wire_name())),
+        ("seed", Value::Num(key.seed as f64)),
+    ]
+}
+
+/// Serialises an insert record (one line, no trailing newline).
+pub fn insert_line(key: &CacheKey, entry: &CacheEntry) -> String {
+    let mut fields = vec![("op", Value::str("insert"))];
+    fields.extend(key_fields(key));
+    fields.push(("j_sum", Value::Num(entry.j_sum as f64)));
+    fields.push(("j_max", Value::Num(entry.j_max as f64)));
+    fields.push(("nodes", Value::str(encode_nodes_compact(&entry.nodes))));
+    Value::obj(fields).compact()
+}
+
+/// Serialises a touch record (one line, no trailing newline).
+pub fn touch_line(key: &CacheKey) -> String {
+    let mut fields = vec![("op", Value::str("touch"))];
+    fields.extend(key_fields(key));
+    Value::obj(fields).compact()
+}
+
+fn parse_usize_arr(v: &Value, what: &str) -> Result<Vec<usize>, String> {
+    v.as_arr()
+        .ok_or(format!("{what} must be an array"))?
+        .iter()
+        .map(|x| {
+            x.as_usize()
+                .ok_or(format!("{what} entries must be integers"))
+        })
+        .collect()
+}
+
+/// Parses one log line back into a [`Record`], validating it is
+/// self-consistent (grid volume matches the node table, node ids stay
+/// within the allocation) so a corrupt line can never poison the cache.
+pub fn parse_record(line: &str) -> Result<Record, String> {
+    let v = Value::parse(line)?;
+    let dims = parse_usize_arr(v.get("dims").ok_or("missing dims")?, "dims")?;
+    if dims.is_empty() || dims.contains(&0) {
+        return Err("invalid dims".to_string());
+    }
+    // checked product + the same bound live requests obey: a corrupt line
+    // must not overflow (debug panic) or smuggle in a grid no request could
+    // ever have created
+    let volume = dims
+        .iter()
+        .try_fold(1usize, |acc, &d| acc.checked_mul(d))
+        .filter(|&p| p <= crate::protocol::MAX_GRID_VOLUME)
+        .ok_or("grid volume out of range")?;
+    let stencil: Vec<i64> = v
+        .get("stencil")
+        .ok_or("missing stencil")?
+        .as_arr()
+        .ok_or("stencil must be an array")?
+        .iter()
+        .map(|x| x.as_i64().ok_or("stencil entries must be integers"))
+        .collect::<Result<_, _>>()?;
+    if !stencil.len().is_multiple_of(dims.len()) {
+        return Err("stencil length does not match dimensionality".to_string());
+    }
+    let periodic = v
+        .get("periodic")
+        .and_then(Value::as_bool)
+        .ok_or("missing periodic")?;
+    let alloc = parse_usize_arr(v.get("alloc").ok_or("missing alloc")?, "alloc")?;
+    // node sizes are bounded by the volume (≤ MAX_GRID_VOLUME), so the sum
+    // of up to `volume` such entries cannot overflow usize on 64-bit
+    if alloc.is_empty()
+        || alloc.contains(&0)
+        || alloc.len() > volume
+        || alloc.iter().any(|&s| s > volume)
+        || alloc.iter().sum::<usize>() != volume
+    {
+        return Err("allocation does not cover the grid".to_string());
+    }
+    let algorithm = Algorithm::from_wire(
+        v.get("algorithm")
+            .and_then(Value::as_str)
+            .ok_or("missing algorithm")?,
+    )?;
+    let seed = v
+        .get("seed")
+        .and_then(Value::as_u64)
+        .ok_or("missing seed")?;
+    let key = CacheKey {
+        dims,
+        stencil,
+        periodic,
+        alloc: alloc.clone(),
+        algorithm,
+        seed,
+    };
+    match v.get("op").and_then(Value::as_str) {
+        Some("touch") => Ok(Record::Touch(key)),
+        Some("insert") => {
+            let nodes = decode_nodes_compact(
+                v.get("nodes")
+                    .and_then(Value::as_str)
+                    .ok_or("missing nodes")?,
+            )?;
+            if nodes.len() != volume {
+                return Err(format!(
+                    "node table holds {} entries for a volume-{volume} grid",
+                    nodes.len()
+                ));
+            }
+            if nodes.iter().any(|&n| n as usize >= key.alloc.len()) {
+                return Err("node id outside the allocation".to_string());
+            }
+            let j_sum = v
+                .get("j_sum")
+                .and_then(Value::as_u64)
+                .ok_or("missing j_sum")?;
+            let j_max = v
+                .get("j_max")
+                .and_then(Value::as_u64)
+                .ok_or("missing j_max")?;
+            Ok(Record::Insert(key, CacheEntry::new(nodes, j_sum, j_max)))
+        }
+        other => Err(format!("unknown op {other:?}")),
+    }
+}
+
+/// What [`load_and_compact`] found in the log.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LoadReport {
+    /// Records replayed successfully.
+    pub replayed: usize,
+    /// Lines skipped as unparseable or inconsistent (torn writes).
+    pub skipped: usize,
+    /// Entries resident after the replay.
+    pub entries: usize,
+}
+
+/// Replays the log at `path` into `cache` (inserts insert, touches
+/// re-order) and rewrites it compacted: one insert record per resident
+/// entry, least recently used first per shard, so replaying the rewritten
+/// file reproduces the exact per-shard contents and recency.  A missing
+/// file is an empty log.  Returns what was replayed.
+pub fn load_and_compact(
+    path: &Path,
+    cache: &ShardedLru<CacheKey, Arc<CacheEntry>>,
+) -> Result<LoadReport, String> {
+    let mut report = LoadReport::default();
+    match File::open(path) {
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+        Err(e) => return Err(format!("cannot open {}: {e}", path.display())),
+        Ok(file) => {
+            for line in BufReader::new(file).split(b'\n') {
+                let line = line.map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+                if line.iter().all(|b| b.is_ascii_whitespace()) {
+                    continue;
+                }
+                let parsed = std::str::from_utf8(&line)
+                    .map_err(|e| e.to_string())
+                    .and_then(parse_record);
+                match parsed {
+                    Ok(Record::Insert(key, entry)) => {
+                        cache.insert(key, Arc::new(entry));
+                        report.replayed += 1;
+                    }
+                    Ok(Record::Touch(key)) => {
+                        cache.touch(&key);
+                        report.replayed += 1;
+                    }
+                    Err(_) => report.skipped += 1,
+                }
+            }
+        }
+    }
+    report.entries = cache.len();
+
+    // compaction: rewrite as the minimal insert sequence reproducing the
+    // replayed state, atomically (write-temp + rename) so a crash here
+    // cannot lose the old log
+    let tmp = path.with_extension("compacting");
+    {
+        let file =
+            File::create(&tmp).map_err(|e| format!("cannot write {}: {e}", tmp.display()))?;
+        let mut w = BufWriter::new(file);
+        for shard in 0..cache.num_shards() {
+            for (key, entry) in cache.shard_entries_lru_first(shard) {
+                writeln!(w, "{}", insert_line(&key, &entry))
+                    .map_err(|e| format!("cannot write {}: {e}", tmp.display()))?;
+            }
+        }
+        w.flush()
+            .map_err(|e| format!("cannot write {}: {e}", tmp.display()))?;
+    }
+    std::fs::rename(&tmp, path).map_err(|e| format!("cannot replace {}: {e}", path.display()))?;
+    Ok(report)
+}
+
+enum Msg {
+    Line(String),
+    Flush(SyncSender<()>),
+}
+
+/// How many records may queue between the request path and the writer
+/// thread.  If the disk cannot keep up, further records are *dropped and
+/// counted* rather than allowed to grow memory without bound — persistence
+/// is an optimisation (a dropped record costs a recompute after the next
+/// restart), so it must never be able to take the serving path down.
+const PERSIST_QUEUE_CAP: usize = 1 << 16;
+
+/// The write-behind log writer: a background thread appending records so
+/// the request path only pays one bounded channel send.
+pub struct PersistLog {
+    tx: Option<SyncSender<Msg>>,
+    handle: Option<std::thread::JoinHandle<()>>,
+    dropped: Arc<AtomicU64>,
+}
+
+impl PersistLog {
+    /// Opens the log at `path` for appending and spawns the writer thread.
+    pub fn open_append(path: &Path) -> Result<PersistLog, String> {
+        let file = OpenOptions::new()
+            .append(true)
+            .create(true)
+            .open(path)
+            .map_err(|e| format!("cannot append to {}: {e}", path.display()))?;
+        Ok(Self::spawn(file))
+    }
+
+    fn spawn(file: File) -> PersistLog {
+        let (tx, rx): (SyncSender<Msg>, Receiver<Msg>) = sync_channel(PERSIST_QUEUE_CAP);
+        let dropped = Arc::new(AtomicU64::new(0));
+        let dropped_writer = Arc::clone(&dropped);
+        let handle = std::thread::spawn(move || {
+            fn write_line(w: &mut BufWriter<File>, line: &str, dropped: &AtomicU64) {
+                if w.write_all(line.as_bytes()).is_err() || w.write_all(b"\n").is_err() {
+                    dropped.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            let mut w = BufWriter::new(file);
+            while let Ok(msg) = rx.recv() {
+                match msg {
+                    Msg::Line(line) => {
+                        write_line(&mut w, &line, &dropped_writer);
+                        // batch whatever else is already queued, then flush
+                        // once, so bursts cost one syscall, not one each
+                        while let Ok(more) = rx.try_recv() {
+                            match more {
+                                Msg::Line(line) => write_line(&mut w, &line, &dropped_writer),
+                                Msg::Flush(ack) => {
+                                    let _ = w.flush();
+                                    let _ = ack.send(());
+                                }
+                            }
+                        }
+                        let _ = w.flush();
+                    }
+                    Msg::Flush(ack) => {
+                        let _ = w.flush();
+                        let _ = ack.send(());
+                    }
+                }
+            }
+            let _ = w.flush();
+        });
+        PersistLog {
+            tx: Some(tx),
+            handle: Some(handle),
+            dropped,
+        }
+    }
+
+    fn send(&self, line: String) {
+        if let Some(tx) = &self.tx {
+            match tx.try_send(Msg::Line(line)) {
+                Ok(()) => {}
+                // queue full (disk too slow) or writer gone: drop the
+                // record rather than block or buffer the serving path
+                Err(TrySendError::Full(_) | TrySendError::Disconnected(_)) => {
+                    self.dropped.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+    }
+
+    /// Queues an insert record (called on every computed miss).
+    pub fn record_insert(&self, key: &CacheKey, entry: &CacheEntry) {
+        self.send(insert_line(key, entry));
+    }
+
+    /// Queues a touch record (called on every cache hit).
+    pub fn record_touch(&self, key: &CacheKey) {
+        self.send(touch_line(key));
+    }
+
+    /// Blocks until every record queued so far has reached the file.
+    pub fn flush(&self) {
+        if let Some(tx) = &self.tx {
+            let (ack_tx, ack_rx) = sync_channel(1);
+            if tx.send(Msg::Flush(ack_tx)).is_ok() {
+                let _ = ack_rx.recv();
+            }
+        }
+    }
+
+    /// Number of records lost to write errors (diagnostics).
+    pub fn dropped_records(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+}
+
+impl Drop for PersistLog {
+    fn drop(&mut self) {
+        drop(self.tx.take());
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(seed: u64) -> CacheKey {
+        CacheKey {
+            dims: vec![3, 2],
+            stencil: vec![1, 0, -1, 0],
+            periodic: false,
+            alloc: vec![3, 3],
+            algorithm: Algorithm::Viem,
+            seed,
+        }
+    }
+
+    fn entry() -> CacheEntry {
+        CacheEntry::new(vec![0, 0, 0, 1, 1, 1], 4, 2)
+    }
+
+    #[test]
+    fn records_roundtrip() {
+        let line = insert_line(&key(7), &entry());
+        assert_eq!(
+            parse_record(&line).unwrap(),
+            Record::Insert(key(7), entry())
+        );
+        let line = touch_line(&key(9));
+        assert_eq!(parse_record(&line).unwrap(), Record::Touch(key(9)));
+    }
+
+    #[test]
+    fn inconsistent_records_are_rejected() {
+        let good = insert_line(&key(1), &entry());
+        for (mangle, needle) in [
+            (good.replace("\"dims\":[3,2]", "\"dims\":[3,3]"), "cover"),
+            (good.replace("\"dims\":[3,2]", "\"dims\":[0,6]"), "dims"),
+            (good.replace("\"op\":\"insert\"", "\"op\":\"upsert\""), "op"),
+            (good.replace("\"alloc\":[3,3]", "\"alloc\":[6]"), "node id"),
+            (
+                good.replace("\"algorithm\":\"viem\"", "\"algorithm\":\"magic\""),
+                "algorithm",
+            ),
+            // overflowing / oversized grids must be skipped, not trusted
+            (
+                good.replace(
+                    "\"dims\":[3,2]",
+                    "\"dims\":[4294967296,4294967296,4294967296]",
+                ),
+                "volume",
+            ),
+            (
+                good.replace("\"dims\":[3,2]", "\"dims\":[65536,65536]"),
+                "volume",
+            ),
+            (good.replace("\"alloc\":[3,3]", "\"alloc\":[0,6]"), "cover"),
+            (good[..good.len() / 2].to_string(), ""),
+        ] {
+            let err = parse_record(&mangle).unwrap_err();
+            assert!(err.contains(needle), "{mangle}: {err}");
+        }
+    }
+
+    #[test]
+    fn log_replays_and_compacts() {
+        let dir = std::env::temp_dir().join(format!("stencil-persist-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("replay.log");
+        let _ = std::fs::remove_file(&path);
+        {
+            let log = PersistLog::open_append(&path).unwrap();
+            log.record_insert(&key(1), &entry());
+            log.record_insert(&key(2), &entry());
+            log.record_touch(&key(1));
+            log.flush();
+        }
+        // torn tail: half a record, as a kill mid-write would leave
+        {
+            let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+            let torn = insert_line(&key(3), &entry());
+            f.write_all(&torn.as_bytes()[..torn.len() / 2]).unwrap();
+        }
+        let cache: ShardedLru<CacheKey, Arc<CacheEntry>> = ShardedLru::new(8, 2);
+        let report = load_and_compact(&path, &cache).unwrap();
+        assert_eq!((report.replayed, report.skipped, report.entries), (3, 1, 2));
+        assert!(cache.get(&key(1)).is_some());
+        assert!(cache.get(&key(2)).is_some());
+        assert!(cache.get(&key(3)).is_none());
+        // the compacted file is pure insert records and replays identically
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text.lines().count(), 2);
+        assert!(!text.contains("\"op\":\"touch\""));
+        let again: ShardedLru<CacheKey, Arc<CacheEntry>> = ShardedLru::new(8, 2);
+        load_and_compact(&path, &again).unwrap();
+        for shard in 0..cache.num_shards() {
+            assert_eq!(
+                again
+                    .shard_entries_lru_first(shard)
+                    .iter()
+                    .map(|(k, _)| k.clone())
+                    .collect::<Vec<_>>(),
+                cache
+                    .shard_entries_lru_first(shard)
+                    .iter()
+                    .map(|(k, _)| k.clone())
+                    .collect::<Vec<_>>()
+            );
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+}

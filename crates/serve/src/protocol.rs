@@ -21,12 +21,20 @@
 //! | `max_jsum`       | int                   | admission budget: reject/fallback when `Jsum` exceeds it |
 //! | `on_over_budget` | string                | `"reject"` (default) or `"fallback"`                |
 //! | `want_mapping`   | bool                  | include the `nodes` table in the response (default `true`) |
+//! | `encoding`       | string                | node-table wire form: `"verbose"` (default, JSON array) or `"compact"` (base64 delta-varint, see [`crate::json::encode_nodes_compact`]) |
+//! | `query`          | string                | `"new_rank_of"`: answer point lookups from the cached mapping instead of serialising any table |
+//! | `ranks`          | `[int, …]`            | the grid positions (old row-major ranks) a `new_rank_of` query looks up (required with `query`) |
 //!
 //! ## Response fields
 //!
 //! `{"id":…, "status":"ok", "algorithm":…, "cached":bool, "j_sum":…,
 //! "j_max":…, "nodes":[…]}` — `nodes[x]` is the compute node of grid
-//! position `x` (row-major).  A fallback response adds
+//! position `x` (row-major).  With `"encoding":"compact"` the response
+//! carries `"encoding":"compact"` and `nodes` becomes one base64 string
+//! (decode with [`crate::json::decode_nodes_compact`]).  A `new_rank_of`
+//! query answers `"ranks":[…],"nodes":[…]` instead — `nodes[i]` is the
+//! compute node of queried position `ranks[i]`, read point-wise from the
+//! cached table.  A fallback response adds
 //! `"fallback_from":"<requested algorithm>"`.  Failures are reported as
 //! `{"id":…, "status":"error", "error":"…"}`; the connection stays usable.
 
@@ -87,6 +95,25 @@ impl Algorithm {
     }
 }
 
+/// The node-table wire form of a response.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Encoding {
+    /// JSON array of integers (the PR 3 wire form, default).
+    #[default]
+    Verbose,
+    /// One base64 string over length-prefixed zigzag delta varints.
+    Compact,
+}
+
+/// A point-lookup query riding on an otherwise ordinary request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Query {
+    /// Look up the compute node of each listed grid position (old row-major
+    /// rank) — answered from the cached mapping without serialising any
+    /// table.
+    NewRankOf(Vec<usize>),
+}
+
 /// What to do when the computed mapping exceeds the admission budget.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum OverBudget {
@@ -120,10 +147,22 @@ pub struct MapRequest {
     pub on_over_budget: OverBudget,
     /// Whether the response should carry the full node table.
     pub want_mapping: bool,
+    /// Node-table wire form.
+    pub encoding: Encoding,
+    /// Point-lookup query replacing the table response, if any.
+    pub query: Option<Query>,
 }
 
 /// Default seed of the `viem` pipeline (mirrors `GraphMapper::default`).
 pub const DEFAULT_SEED: u64 = 0x71EA;
+
+/// Maximum grid volume (total process count) one request may ask for.  A
+/// 40-byte line like `{"dims":[65536,65536],"nodes":4}` must not be able to
+/// drive the engine into materialising a multi-gigabyte mapping (or
+/// overflow the volume product entirely); 2^24 positions is ~3500x the
+/// paper's largest instance while keeping the worst-case node table at
+/// 64 MiB.
+pub const MAX_GRID_VOLUME: usize = 1 << 24;
 
 impl MapRequest {
     /// Parses one request object (not the batch wrapper).
@@ -143,9 +182,17 @@ impl MapRequest {
                     .ok_or("\"dims\" must be an array of positive integers")
             })
             .collect::<Result<_, _>>()?;
+        // bound the volume with checked arithmetic *before* anything
+        // multiplies the sizes unchecked
+        let p = dims_vec
+            .iter()
+            .try_fold(1usize, |acc, &d| acc.checked_mul(d))
+            .filter(|&p| p <= MAX_GRID_VOLUME)
+            .ok_or(format!(
+                "grid volume exceeds the {MAX_GRID_VOLUME}-position limit"
+            ))?;
         let dims = Dims::new(dims_vec).map_err(|e| format!("invalid dims: {e}"))?;
         let ndims = dims.ndims();
-        let p = dims.volume();
 
         let stencil = match v.get("stencil") {
             None => Stencil::nearest_neighbor(ndims),
@@ -263,6 +310,42 @@ impl MapRequest {
             Some(b) => b.as_bool().ok_or("\"want_mapping\" must be a boolean")?,
         };
 
+        let encoding = match v.get("encoding") {
+            None => Encoding::Verbose,
+            Some(e) => match e.as_str() {
+                Some("verbose") => Encoding::Verbose,
+                Some("compact") => Encoding::Compact,
+                _ => return Err("\"encoding\" must be \"verbose\" or \"compact\"".to_string()),
+            },
+        };
+
+        let query = match v.get("query") {
+            None => {
+                if v.get("ranks").is_some() {
+                    return Err("\"ranks\" requires \"query\":\"new_rank_of\"".to_string());
+                }
+                None
+            }
+            Some(q) => match q.as_str() {
+                Some("new_rank_of") => {
+                    let ranks: Vec<usize> = v
+                        .get("ranks")
+                        .ok_or("\"query\":\"new_rank_of\" requires a \"ranks\" array")?
+                        .as_arr()
+                        .ok_or("\"ranks\" must be an array of grid positions")?
+                        .iter()
+                        .map(|x| {
+                            x.as_usize()
+                                .filter(|&r| r < p)
+                                .ok_or(format!("\"ranks\" entries must be integers in [0, {p})"))
+                        })
+                        .collect::<Result<_, _>>()?;
+                    Some(Query::NewRankOf(ranks))
+                }
+                _ => return Err("unknown query (expected \"new_rank_of\")".to_string()),
+            },
+        };
+
         Ok(MapRequest {
             id,
             dims,
@@ -274,6 +357,8 @@ impl MapRequest {
             max_jsum,
             on_over_budget,
             want_mapping,
+            encoding,
+            query,
         })
     }
 }
@@ -303,51 +388,95 @@ pub enum ResponseBody {
         j_sum: u64,
         /// Bottleneck-node egress of the served mapping.
         j_max: u64,
-        /// `position → node` table in the request's own dimension order
-        /// (absent when the request set `want_mapping: false`).
-        nodes: Option<Vec<u32>>,
+        /// The mapping payload in the request's chosen form.
+        payload: Payload,
     },
     /// A failure; the connection stays usable.
     Error(String),
 }
 
+/// How (and whether) a successful response carries the mapping.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Payload {
+    /// Cost-only answer (`want_mapping: false`).
+    None,
+    /// Verbose `position → node` table in the request's own dimension order.
+    Table(Vec<u32>),
+    /// The same table in the compact wire form (base64 delta varints).
+    TableCompact(String),
+    /// Point-lookup answers: `nodes[i]` is the node of position `ranks[i]`.
+    Points {
+        /// The queried grid positions, echoed back.
+        ranks: Vec<usize>,
+        /// The compute node of each queried position.
+        nodes: Vec<u32>,
+    },
+}
+
 impl MapResponse {
-    /// Renders the response as a JSON value.
-    pub fn to_value(&self) -> Value {
+    /// Renders the response as a JSON value, consuming it — the payload
+    /// strings and tables move into the value instead of being cloned a
+    /// second time, which matters on the cache-hit path.  (A compact-mode
+    /// hit still pays exactly one copy of the memoised encoding out of the
+    /// shared cache entry, in `MappingService::handle_request`.)
+    pub fn into_value(self) -> Value {
         let mut fields: Vec<(String, Value)> = Vec::new();
-        if let Some(id) = &self.id {
-            fields.push(("id".to_string(), id.clone()));
+        if let Some(id) = self.id {
+            fields.push(("id".to_string(), id));
         }
-        match &self.body {
+        match self.body {
             ResponseBody::Ok {
                 algorithm,
                 fallback_from,
                 cached,
                 j_sum,
                 j_max,
-                nodes,
+                payload,
             } => {
                 fields.push(("status".to_string(), Value::str("ok")));
                 fields.push(("algorithm".to_string(), Value::str(algorithm.wire_name())));
                 if let Some(from) = fallback_from {
                     fields.push(("fallback_from".to_string(), Value::str(from.wire_name())));
                 }
-                fields.push(("cached".to_string(), Value::Bool(*cached)));
-                fields.push(("j_sum".to_string(), Value::Num(*j_sum as f64)));
-                fields.push(("j_max".to_string(), Value::Num(*j_max as f64)));
-                if let Some(nodes) = nodes {
-                    fields.push((
-                        "nodes".to_string(),
-                        Value::Arr(nodes.iter().map(|&n| Value::Num(n as f64)).collect()),
-                    ));
+                fields.push(("cached".to_string(), Value::Bool(cached)));
+                fields.push(("j_sum".to_string(), Value::Num(j_sum as f64)));
+                fields.push(("j_max".to_string(), Value::Num(j_max as f64)));
+                match payload {
+                    Payload::None => {}
+                    Payload::Table(nodes) => {
+                        fields.push((
+                            "nodes".to_string(),
+                            Value::Arr(nodes.iter().map(|&n| Value::Num(n as f64)).collect()),
+                        ));
+                    }
+                    Payload::TableCompact(encoded) => {
+                        fields.push(("encoding".to_string(), Value::str("compact")));
+                        fields.push(("nodes".to_string(), Value::Str(encoded)));
+                    }
+                    Payload::Points { ranks, nodes } => {
+                        fields.push((
+                            "ranks".to_string(),
+                            Value::Arr(ranks.iter().map(|&r| Value::Num(r as f64)).collect()),
+                        ));
+                        fields.push((
+                            "nodes".to_string(),
+                            Value::Arr(nodes.iter().map(|&n| Value::Num(n as f64)).collect()),
+                        ));
+                    }
                 }
             }
             ResponseBody::Error(msg) => {
                 fields.push(("status".to_string(), Value::str("error")));
-                fields.push(("error".to_string(), Value::str(msg)));
+                fields.push(("error".to_string(), Value::Str(msg)));
             }
         }
         Value::Obj(fields)
+    }
+
+    /// Renders the response as a JSON value without consuming it (clones
+    /// the payload; the serving path uses [`MapResponse::into_value`]).
+    pub fn to_value(&self) -> Value {
+        self.clone().into_value()
     }
 }
 
@@ -372,6 +501,36 @@ mod tests {
         assert_eq!(r.seed, DEFAULT_SEED);
         assert_eq!(r.max_jsum, None);
         assert_eq!(r.on_over_budget, OverBudget::Reject);
+        assert_eq!(r.encoding, Encoding::Verbose);
+        assert_eq!(r.query, None);
+    }
+
+    #[test]
+    fn encoding_and_query_fields_parse_and_validate() {
+        let r = parse(r#"{"dims":[4,4],"nodes":4,"encoding":"compact"}"#).unwrap();
+        assert_eq!(r.encoding, Encoding::Compact);
+        let r = parse(r#"{"dims":[4,4],"nodes":4,"encoding":"verbose"}"#).unwrap();
+        assert_eq!(r.encoding, Encoding::Verbose);
+        let r =
+            parse(r#"{"dims":[4,4],"nodes":4,"query":"new_rank_of","ranks":[0,15,7]}"#).unwrap();
+        assert_eq!(r.query, Some(Query::NewRankOf(vec![0, 15, 7])));
+        for (line, needle) in [
+            (r#"{"dims":[4,4],"nodes":4,"encoding":"gzip"}"#, "encoding"),
+            (r#"{"dims":[4,4],"nodes":4,"query":"old_rank_of"}"#, "query"),
+            (r#"{"dims":[4,4],"nodes":4,"query":"new_rank_of"}"#, "ranks"),
+            (
+                r#"{"dims":[4,4],"nodes":4,"query":"new_rank_of","ranks":[16]}"#,
+                "[0, 16)",
+            ),
+            (
+                r#"{"dims":[4,4],"nodes":4,"query":"new_rank_of","ranks":[-1]}"#,
+                "ranks",
+            ),
+            (r#"{"dims":[4,4],"nodes":4,"ranks":[0]}"#, "requires"),
+        ] {
+            let err = parse(line).unwrap_err();
+            assert!(err.contains(needle), "{line}: {err}");
+        }
     }
 
     #[test]
@@ -463,7 +622,7 @@ mod tests {
                 cached: true,
                 j_sum: 10,
                 j_max: 4,
-                nodes: Some(vec![0, 0, 1, 1]),
+                payload: Payload::Table(vec![0, 0, 1, 1]),
             },
         };
         assert_eq!(
@@ -477,6 +636,43 @@ mod tests {
         assert_eq!(
             err.to_value().compact(),
             r#"{"status":"error","error":"boom"}"#
+        );
+    }
+
+    #[test]
+    fn compact_and_point_payloads_render() {
+        let body = |payload| MapResponse {
+            id: None,
+            body: ResponseBody::Ok {
+                algorithm: Algorithm::Hyperplane,
+                fallback_from: None,
+                cached: false,
+                j_sum: 2,
+                j_max: 1,
+                payload,
+            },
+        };
+        assert_eq!(
+            body(Payload::None).to_value().compact(),
+            r#"{"status":"ok","algorithm":"hyperplane","cached":false,"j_sum":2,"j_max":1}"#
+        );
+        let encoded = crate::json::encode_nodes_compact(&[0, 0, 1, 1]);
+        assert_eq!(
+            body(Payload::TableCompact(encoded.clone()))
+                .to_value()
+                .compact(),
+            format!(
+                r#"{{"status":"ok","algorithm":"hyperplane","cached":false,"j_sum":2,"j_max":1,"encoding":"compact","nodes":"{encoded}"}}"#
+            )
+        );
+        assert_eq!(
+            body(Payload::Points {
+                ranks: vec![3, 0],
+                nodes: vec![1, 0],
+            })
+            .to_value()
+            .compact(),
+            r#"{"status":"ok","algorithm":"hyperplane","cached":false,"j_sum":2,"j_max":1,"ranks":[3,0],"nodes":[1,0]}"#
         );
     }
 }

@@ -2,36 +2,170 @@
 //!
 //! Both frontends speak the same protocol (see [`crate::protocol`]): one
 //! request line in, one response line out, in order.  The stdin frontend
-//! makes the service usable in pipelines and offline containers; the TCP
-//! frontend serves concurrent clients, one thread per connection, all
-//! sharing one [`MappingService`] (and therefore one cache).
+//! makes the service usable in pipelines and offline containers.  The TCP
+//! frontend serves concurrent clients with a **fixed-size worker pool** and
+//! a readiness loop: connections are registered in a shared run queue,
+//! workers pop a connection, drain whatever complete lines its socket has
+//! ready (non-blocking reads), answer them in order, and requeue it — so
+//! the thread count is fixed at `workers` no matter how many clients are
+//! connected, unlike the thread-per-connection frontend it replaced.  A
+//! connection is only ever held by one worker at a time, which preserves
+//! the per-connection response order (and therefore batch ordering and the
+//! byte-identical-across-thread-counts guarantee: responses are produced by
+//! the same sequential [`MappingService::handle_line`] calls either way).
+//!
+//! Both frontends frame lines through [`LineFramer`], which enforces
+//! [`MAX_LINE_BYTES`] and answers invalid UTF-8 with an error response
+//! instead of dropping the stream — a hostile or broken client can neither
+//! balloon memory with an unterminated line nor kill the connection loop
+//! with a bad byte.
 
-use std::io::{BufRead, BufReader, BufWriter, Read, Write};
-use std::net::{TcpListener, ToSocketAddrs};
-use std::sync::Arc;
+use std::collections::VecDeque;
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
 
+use crate::protocol::{MapResponse, ResponseBody};
 use crate::service::MappingService;
+
+/// Maximum bytes of one request line (terminator excluded).  Longer lines
+/// are answered with one error response and discarded; the connection stays
+/// usable.  4 MiB comfortably fits every legitimate request (a 4800-entry
+/// explicit stencil is ~100 KB) while bounding what one line can make the
+/// server buffer.
+pub const MAX_LINE_BYTES: usize = 4 << 20;
+
+/// One framed request line, or why it cannot be served.
+#[derive(Debug, PartialEq, Eq)]
+pub enum Frame {
+    /// A complete, UTF-8-valid line (possibly blank).
+    Line(String),
+    /// The line exceeded [`MAX_LINE_BYTES`] and was discarded.
+    TooLong,
+    /// The line was not valid UTF-8.
+    BadUtf8,
+}
+
+/// Incremental newline framing with a size limit, shared by the stdin loop
+/// and the TCP worker pool (which reads sockets non-blocking and therefore
+/// receives lines in arbitrary chunks).
+#[derive(Debug, Default)]
+pub struct LineFramer {
+    buf: Vec<u8>,
+    discarding: bool,
+}
+
+impl LineFramer {
+    /// Creates an empty framer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn take_frame(&mut self) -> Frame {
+        let bytes = std::mem::take(&mut self.buf);
+        match String::from_utf8(bytes) {
+            Ok(line) => Frame::Line(line),
+            Err(_) => Frame::BadUtf8,
+        }
+    }
+
+    /// Feeds `bytes`, appending every completed frame to `frames`.
+    pub fn push(&mut self, bytes: &[u8], frames: &mut Vec<Frame>) {
+        for &b in bytes {
+            if b == b'\n' {
+                if self.discarding {
+                    self.discarding = false;
+                    frames.push(Frame::TooLong);
+                } else {
+                    frames.push(self.take_frame());
+                }
+            } else if self.discarding {
+                // swallow the rest of an overlong line
+            } else {
+                self.buf.push(b);
+                if self.buf.len() > MAX_LINE_BYTES {
+                    self.buf.clear();
+                    self.buf.shrink_to_fit();
+                    self.discarding = true;
+                }
+            }
+        }
+    }
+
+    /// Signals EOF: a trailing unterminated line becomes a final frame.
+    pub fn finish(&mut self, frames: &mut Vec<Frame>) {
+        if self.discarding {
+            self.discarding = false;
+            frames.push(Frame::TooLong);
+        } else if !self.buf.is_empty() {
+            frames.push(self.take_frame());
+        }
+    }
+}
+
+/// The response line for one frame; `None` for blank lines (skipped by the
+/// protocol).
+fn frame_response(service: &MappingService, frame: Frame) -> Option<String> {
+    let error = |msg: &str| {
+        Some(
+            MapResponse {
+                id: None,
+                body: ResponseBody::Error(msg.to_string()),
+            }
+            .to_value()
+            .compact(),
+        )
+    };
+    match frame {
+        Frame::Line(line) => {
+            if line.trim().is_empty() {
+                None
+            } else {
+                Some(service.handle_line(&line))
+            }
+        }
+        Frame::TooLong => error(&format!(
+            "request line exceeds the {MAX_LINE_BYTES}-byte limit"
+        )),
+        Frame::BadUtf8 => error("request line is not valid UTF-8"),
+    }
+}
 
 /// Serves requests from `input` to `output` until EOF.  Empty lines are
 /// ignored; every request line produces exactly one response line, flushed
-/// immediately so interactive pipes see answers promptly.
+/// immediately so interactive pipes see answers promptly.  Overlong and
+/// non-UTF-8 lines produce error responses instead of terminating the loop.
 pub fn serve_io<R: Read, W: Write>(
     service: &MappingService,
-    input: R,
-    output: W,
+    mut input: R,
+    mut output: W,
 ) -> std::io::Result<()> {
-    let reader = BufReader::new(input);
-    let mut writer = BufWriter::new(output);
-    for line in reader.lines() {
-        let line = line?;
-        if line.trim().is_empty() {
-            continue;
+    let mut framer = LineFramer::new();
+    let mut frames = Vec::new();
+    let mut chunk = [0u8; 16 * 1024];
+    loop {
+        let n = match input.read(&mut chunk) {
+            Ok(n) => n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        };
+        if n == 0 {
+            framer.finish(&mut frames);
+        } else {
+            framer.push(&chunk[..n], &mut frames);
         }
-        writer.write_all(service.handle_line(&line).as_bytes())?;
-        writer.write_all(b"\n")?;
-        writer.flush()?;
+        for frame in frames.drain(..) {
+            if let Some(response) = frame_response(service, frame) {
+                output.write_all(response.as_bytes())?;
+                output.write_all(b"\n")?;
+                output.flush()?;
+            }
+        }
+        if n == 0 {
+            return Ok(());
+        }
     }
-    Ok(())
 }
 
 /// Serves requests from stdin to stdout until EOF (`--stdin` mode).
@@ -39,42 +173,210 @@ pub fn serve_stdin(service: &MappingService) -> std::io::Result<()> {
     serve_io(service, std::io::stdin().lock(), std::io::stdout().lock())
 }
 
-/// Binds `addr` and serves connections forever, one thread per connection.
-/// Prints the bound address to stderr (useful with port 0).
-pub fn serve_tcp<A: ToSocketAddrs>(service: Arc<MappingService>, addr: A) -> std::io::Result<()> {
+/// One pooled connection: its socket (non-blocking while queued) plus the
+/// framing state carrying bytes between turns.
+struct Conn {
+    stream: TcpStream,
+    framer: LineFramer,
+    peer: String,
+}
+
+/// Shared worker-pool state: the run queue of connections with (possibly)
+/// pending input.
+struct PoolState {
+    queue: Mutex<VecDeque<Conn>>,
+    ready: Condvar,
+}
+
+enum Turn {
+    /// Lines were read and answered this turn.
+    Progress,
+    /// The socket had nothing to read.
+    Idle,
+    /// EOF or a connection error; the connection is dropped.
+    Closed,
+}
+
+/// Reads per turn before a connection is requeued, so one firehose client
+/// cannot monopolise a worker while other connections wait.
+const TURN_READ_BUDGET: usize = 32;
+
+/// How long a worker sleeps after a full idle pass over the queue.  This is
+/// the readiness loop's poll interval: the worst-case added latency when
+/// every connection is silent, traded against busy-spinning.
+const IDLE_SLEEP: Duration = Duration::from_millis(1);
+
+/// Upper bound on how long one blocking response write may stall a worker.
+/// Without it, `workers` clients that request large tables and never read
+/// their sockets would block every worker in `write_all` forever and stall
+/// the whole pool; with it, a reader stalled past the timeout is
+/// disconnected (a draining-but-slow reader is fine — the timer restarts
+/// with every partial write).
+const WRITE_TIMEOUT: Duration = Duration::from_secs(5);
+
+fn serve_turn(service: &MappingService, conn: &mut Conn) -> Turn {
+    let mut frames = Vec::new();
+    let mut chunk = [0u8; 16 * 1024];
+    let mut progressed = false;
+    for _ in 0..TURN_READ_BUDGET {
+        match conn.stream.read(&mut chunk) {
+            Ok(0) => {
+                conn.framer.finish(&mut frames);
+                let _ = write_responses(service, conn, &mut frames);
+                return Turn::Closed;
+            }
+            Ok(n) => {
+                conn.framer.push(&chunk[..n], &mut frames);
+                if !frames.is_empty() {
+                    progressed = true;
+                    if write_responses(service, conn, &mut frames).is_err() {
+                        return Turn::Closed;
+                    }
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                return if progressed {
+                    Turn::Progress
+                } else {
+                    Turn::Idle
+                };
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => {
+                eprintln!("stencil-serve: {}: connection error: {e}", conn.peer);
+                return Turn::Closed;
+            }
+        }
+    }
+    Turn::Progress
+}
+
+/// Answers the drained frames in order.  The socket is switched to blocking
+/// for the write so back-pressure never corrupts the response order; the
+/// per-connection [`WRITE_TIMEOUT`] bounds how long that can hold the
+/// worker, so a client that stops reading is disconnected instead of
+/// pinning a pool thread.
+fn write_responses(
+    service: &MappingService,
+    conn: &mut Conn,
+    frames: &mut Vec<Frame>,
+) -> std::io::Result<()> {
+    let mut out = String::new();
+    for frame in frames.drain(..) {
+        if let Some(response) = frame_response(service, frame) {
+            out.push_str(&response);
+            out.push('\n');
+        }
+    }
+    if out.is_empty() {
+        return Ok(());
+    }
+    conn.stream.set_nonblocking(false)?;
+    let result = conn
+        .stream
+        .write_all(out.as_bytes())
+        .and_then(|()| conn.stream.flush());
+    conn.stream.set_nonblocking(true)?;
+    result
+}
+
+fn worker_loop(service: Arc<MappingService>, state: Arc<PoolState>) {
+    let mut idle_streak = 0usize;
+    loop {
+        let mut conn = {
+            let mut queue = state.queue.lock().expect("pool queue poisoned");
+            loop {
+                match queue.pop_front() {
+                    Some(conn) => break conn,
+                    None => queue = state.ready.wait(queue).expect("pool queue poisoned"),
+                }
+            }
+        };
+        let turn = serve_turn(&service, &mut conn);
+        match turn {
+            Turn::Closed => {
+                idle_streak = 0;
+            }
+            Turn::Progress | Turn::Idle => {
+                let queue_len = {
+                    let mut queue = state.queue.lock().expect("pool queue poisoned");
+                    queue.push_back(conn);
+                    state.ready.notify_one();
+                    queue.len()
+                };
+                if matches!(turn, Turn::Idle) {
+                    idle_streak += 1;
+                    if idle_streak >= queue_len {
+                        // a full pass found no readable socket: poll, don't spin
+                        std::thread::sleep(IDLE_SLEEP);
+                        idle_streak = 0;
+                    }
+                } else {
+                    idle_streak = 0;
+                }
+            }
+        }
+    }
+}
+
+/// Binds `addr` and serves connections forever on a pool of `workers`
+/// threads.  Prints the bound address to stderr (useful with port 0).
+pub fn serve_tcp<A: ToSocketAddrs>(
+    service: Arc<MappingService>,
+    addr: A,
+    workers: usize,
+) -> std::io::Result<()> {
     let listener = TcpListener::bind(addr)?;
     eprintln!("stencil-serve: listening on {}", listener.local_addr()?);
-    serve_listener(service, listener)
+    serve_listener(service, listener, workers)
 }
 
 /// Serves connections accepted from an existing listener (split out so tests
-/// can bind an ephemeral port themselves).
-pub fn serve_listener(service: Arc<MappingService>, listener: TcpListener) -> std::io::Result<()> {
+/// can bind an ephemeral port themselves) on a pool of `workers` threads;
+/// the calling thread runs the accept loop.
+pub fn serve_listener(
+    service: Arc<MappingService>,
+    listener: TcpListener,
+    workers: usize,
+) -> std::io::Result<()> {
+    let state = Arc::new(PoolState {
+        queue: Mutex::new(VecDeque::new()),
+        ready: Condvar::new(),
+    });
+    for _ in 0..workers.max(1) {
+        let service = Arc::clone(&service);
+        let state = Arc::clone(&state);
+        std::thread::spawn(move || worker_loop(service, state));
+    }
     for stream in listener.incoming() {
         let stream = match stream {
             Ok(s) => s,
             Err(e) => {
                 eprintln!("stencil-serve: accept failed: {e}");
+                // persistent accept errors (e.g. EMFILE when out of fds)
+                // fail instantly — back off instead of busy-spinning
+                std::thread::sleep(Duration::from_millis(100));
                 continue;
             }
         };
-        let service = Arc::clone(&service);
-        std::thread::spawn(move || {
-            let peer = stream
-                .peer_addr()
-                .map(|a| a.to_string())
-                .unwrap_or_else(|_| "<unknown>".to_string());
-            let reader = match stream.try_clone() {
-                Ok(r) => r,
-                Err(e) => {
-                    eprintln!("stencil-serve: {peer}: clone failed: {e}");
-                    return;
-                }
-            };
-            if let Err(e) = serve_io(&service, reader, stream) {
-                eprintln!("stencil-serve: {peer}: connection error: {e}");
-            }
+        let peer = stream
+            .peer_addr()
+            .map(|a| a.to_string())
+            .unwrap_or_else(|_| "<unknown>".to_string());
+        if let Err(e) = stream
+            .set_nonblocking(true)
+            .and_then(|()| stream.set_write_timeout(Some(WRITE_TIMEOUT)))
+        {
+            eprintln!("stencil-serve: {peer}: cannot configure socket: {e}");
+            continue;
+        }
+        let mut queue = state.queue.lock().expect("pool queue poisoned");
+        queue.push_back(Conn {
+            stream,
+            framer: LineFramer::new(),
+            peer,
         });
+        state.ready.notify_one();
     }
     Ok(())
 }
@@ -83,6 +385,7 @@ pub fn serve_listener(service: Arc<MappingService>, listener: TcpListener) -> st
 mod tests {
     use super::*;
     use crate::service::ServiceConfig;
+    use std::io::{BufRead, BufReader};
     use std::net::TcpStream;
 
     #[test]
@@ -99,6 +402,52 @@ mod tests {
     }
 
     #[test]
+    fn serve_io_answers_trailing_line_without_newline() {
+        let service = MappingService::new(&ServiceConfig::default());
+        let input = "{\"id\":1,\"dims\":[4,4],\"nodes\":4,\"want_mapping\":false}";
+        let mut out = Vec::new();
+        serve_io(&service, input.as_bytes(), &mut out).unwrap();
+        assert!(String::from_utf8(out)
+            .unwrap()
+            .contains("\"status\":\"ok\""));
+    }
+
+    #[test]
+    fn framer_reassembles_split_lines_and_flags_bad_input() {
+        let mut framer = LineFramer::new();
+        let mut frames = Vec::new();
+        framer.push(b"{\"a\":", &mut frames);
+        assert!(frames.is_empty(), "no frame before the newline");
+        framer.push(b"1}\n\xff\xfe\n", &mut frames);
+        framer.push(b"tail", &mut frames);
+        framer.finish(&mut frames);
+        assert_eq!(
+            frames,
+            vec![
+                Frame::Line("{\"a\":1}".to_string()),
+                Frame::BadUtf8,
+                Frame::Line("tail".to_string()),
+            ]
+        );
+    }
+
+    #[test]
+    fn framer_discards_overlong_lines_but_keeps_the_stream_usable() {
+        let mut framer = LineFramer::new();
+        let mut frames = Vec::new();
+        let chunk = vec![b'x'; 1 << 20];
+        for _ in 0..5 {
+            framer.push(&chunk, &mut frames);
+        }
+        assert!(frames.is_empty(), "still inside the overlong line");
+        framer.push(b"\n{\"ok\":1}\n", &mut frames);
+        assert_eq!(
+            frames,
+            vec![Frame::TooLong, Frame::Line("{\"ok\":1}".to_string())]
+        );
+    }
+
+    #[test]
     fn tcp_roundtrip_shares_the_cache_across_connections() {
         let service = Arc::new(MappingService::new(&ServiceConfig::default()));
         let listener = TcpListener::bind("127.0.0.1:0").unwrap();
@@ -106,7 +455,7 @@ mod tests {
         {
             let service = Arc::clone(&service);
             std::thread::spawn(move || {
-                let _ = serve_listener(service, listener);
+                let _ = serve_listener(service, listener, 2);
             });
         }
         let ask = |line: &str| -> String {

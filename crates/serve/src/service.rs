@@ -15,11 +15,14 @@
 //! are byte-identical for every thread count (the engine's guarantee) and
 //! the hit/miss pattern is a pure function of the sequence.
 
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 use crate::cache::{CacheStats, ShardedLru};
-use crate::json::Value;
-use crate::protocol::{Algorithm, MapRequest, MapResponse, OverBudget, ResponseBody};
+use crate::json::{encode_nodes_compact, Value};
+use crate::persist::{load_and_compact, LoadReport, PersistLog};
+use crate::protocol::{
+    Algorithm, Encoding, MapRequest, MapResponse, OverBudget, Payload, Query, ResponseBody,
+};
 use stencil_mapping::baselines::Blocked;
 use stencil_mapping::canonical::{canonicalize, Canonical};
 use stencil_mapping::hyperplane::Hyperplane;
@@ -48,7 +51,7 @@ pub struct CacheKey {
 }
 
 /// A cached mapping in canonical coordinates, with its cost.
-#[derive(Debug, PartialEq, Eq)]
+#[derive(Debug, Default)]
 pub struct CacheEntry {
     /// `position → node` on the canonical grid.
     pub nodes: Vec<u32>,
@@ -56,6 +59,43 @@ pub struct CacheEntry {
     pub j_sum: u64,
     /// Bottleneck-node egress.
     pub j_max: u64,
+    /// Lazily memoised compact encoding of `nodes` (canonical orientation):
+    /// computed at most once per entry, so repeat compact-mode hits on an
+    /// identity-permutation request skip the encode entirely.
+    compact: OnceLock<String>,
+}
+
+impl CacheEntry {
+    /// Creates an entry (the compact encoding is computed lazily).
+    pub fn new(nodes: Vec<u32>, j_sum: u64, j_max: u64) -> Self {
+        CacheEntry {
+            nodes,
+            j_sum,
+            j_max,
+            compact: OnceLock::new(),
+        }
+    }
+
+    /// The compact wire encoding of the canonical-orientation node table,
+    /// encoded on first use and memoised.
+    pub fn compact_encoding(&self) -> &str {
+        self.compact
+            .get_or_init(|| encode_nodes_compact(&self.nodes))
+    }
+}
+
+impl PartialEq for CacheEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.nodes == other.nodes && self.j_sum == other.j_sum && self.j_max == other.j_max
+    }
+}
+
+impl Eq for CacheEntry {}
+
+impl Clone for CacheEntry {
+    fn clone(&self) -> Self {
+        CacheEntry::new(self.nodes.clone(), self.j_sum, self.j_max)
+    }
 }
 
 /// Service tuning knobs.
@@ -65,6 +105,11 @@ pub struct ServiceConfig {
     pub cache_capacity: usize,
     /// Number of independently locked cache shards.
     pub cache_shards: usize,
+    /// Append-only persistence log for canonical cache entries (`None`
+    /// disables persistence).  Loaded — and compacted — on start, appended
+    /// to write-behind while serving, so a restarted server answers
+    /// previously cached requests as hits without recomputation.
+    pub persist_path: Option<std::path::PathBuf>,
 }
 
 impl Default for ServiceConfig {
@@ -72,14 +117,25 @@ impl Default for ServiceConfig {
         ServiceConfig {
             cache_capacity: 1024,
             cache_shards: 8,
+            persist_path: None,
         }
     }
 }
 
 /// The caching mapping service.  Cheap to share: wrap it in an [`Arc`] and
-/// hand clones to every connection thread.
+/// hand clones to every connection thread.  Dropping the service flushes
+/// and closes the persistence log.
 pub struct MappingService {
     cache: ShardedLru<CacheKey, Arc<CacheEntry>>,
+    persist: Option<PersistLog>,
+    /// One lock per cache shard, held around `(cache op, log record)` pairs
+    /// when persistence is on, so the log's per-shard record order always
+    /// matches the order the operations hit the shard — without it, two
+    /// workers could touch the same shard and log in the opposite order,
+    /// and a replay would reproduce the wrong recency.  Unused (and
+    /// uncontended) without persistence.
+    persist_locks: Vec<std::sync::Mutex<()>>,
+    load_report: LoadReport,
 }
 
 /// Algorithms tried (in order) when a budgeted request overflows and asks
@@ -94,15 +150,66 @@ const FALLBACK_ORDER: [Algorithm; 4] = [
 
 impl MappingService {
     /// Creates a service with the given configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `persist_path` is set and the log cannot be loaded or
+    /// opened; use [`MappingService::open`] to handle that gracefully.
     pub fn new(cfg: &ServiceConfig) -> Self {
-        MappingService {
-            cache: ShardedLru::new(cfg.cache_capacity, cfg.cache_shards),
-        }
+        Self::open(cfg).expect("persistence setup failed")
+    }
+
+    /// Creates a service, loading (and compacting) the persistence log when
+    /// one is configured.
+    pub fn open(cfg: &ServiceConfig) -> Result<Self, String> {
+        let cache = ShardedLru::new(cfg.cache_capacity, cfg.cache_shards);
+        let (persist, load_report) = match &cfg.persist_path {
+            None => (None, LoadReport::default()),
+            Some(path) => {
+                let report = load_and_compact(path, &cache)?;
+                (Some(PersistLog::open_append(path)?), report)
+            }
+        };
+        let persist_locks = (0..cache.num_shards())
+            .map(|_| std::sync::Mutex::new(()))
+            .collect();
+        Ok(MappingService {
+            cache,
+            persist,
+            persist_locks,
+            load_report,
+        })
     }
 
     /// Cache hit/miss counters and entry count.
     pub fn cache_stats(&self) -> CacheStats {
         self.cache.stats()
+    }
+
+    /// What the persistence log replayed at start (all zeros without
+    /// persistence).
+    pub fn load_report(&self) -> LoadReport {
+        self.load_report
+    }
+
+    /// Blocks until every persistence record queued so far is on disk.
+    /// No-op without persistence.
+    pub fn flush_persistence(&self) {
+        if let Some(p) = &self.persist {
+            p.flush();
+        }
+    }
+
+    /// The `(key, entry)` pairs of one cache shard, least recently used
+    /// first, without touching recency (diagnostics; the persistence reload
+    /// tests compare these across a restart).
+    pub fn cache_shard_entries_lru_first(&self, shard: usize) -> Vec<(CacheKey, Arc<CacheEntry>)> {
+        self.cache.shard_entries_lru_first(shard)
+    }
+
+    /// Number of cache shards.
+    pub fn cache_num_shards(&self) -> usize {
+        self.cache.num_shards()
     }
 
     /// Handles one wire line: a request object or a `{"batch": […]}`
@@ -114,8 +221,8 @@ impl MappingService {
     /// function of the request sequence, which keeps responses byte-identical
     /// for every thread count — computing items concurrently would race
     /// canonically-equal items on both.  Parallelism lives below (the
-    /// engine's rank-parallel fan-out on every miss) and above (one thread
-    /// per TCP connection).
+    /// engine's rank-parallel fan-out on every miss) and above (the TCP
+    /// worker pool, where one pooled worker holds a connection at a time).
     pub fn handle_line(&self, line: &str) -> String {
         let parsed = match Value::parse(line) {
             Ok(v) => v,
@@ -124,7 +231,7 @@ impl MappingService {
                     id: None,
                     body: ResponseBody::Error(format!("invalid JSON: {e}")),
                 }
-                .to_value()
+                .into_value()
                 .compact()
             }
         };
@@ -134,16 +241,16 @@ impl MappingService {
                     id: None,
                     body: ResponseBody::Error("\"batch\" must be an array".to_string()),
                 }
-                .to_value()
+                .into_value()
                 .compact();
             };
             let responses: Vec<Value> = items
                 .iter()
-                .map(|item| self.handle_value(item).to_value())
+                .map(|item| self.handle_value(item).into_value())
                 .collect();
             Value::obj(vec![("batch", Value::Arr(responses))]).compact()
         } else {
-            self.handle_value(&parsed).to_value().compact()
+            self.handle_value(&parsed).into_value().compact()
         }
     }
 
@@ -223,9 +330,31 @@ impl MappingService {
         }
 
         let (algorithm, entry, cached, fallback_from) = served;
-        let nodes = req
-            .want_mapping
-            .then(|| canon.restore_positions(&req.dims, &entry.nodes));
+        let payload = match &req.query {
+            // point lookups: read the cached canonical table entry-wise,
+            // transporting each queried position through the relabeling —
+            // O(|ranks| · d), no table serialisation at all
+            Some(Query::NewRankOf(ranks)) => Payload::Points {
+                nodes: ranks
+                    .iter()
+                    .map(|&x| entry.nodes[canon.canonical_index_of(&req.dims, x)])
+                    .collect(),
+                ranks: ranks.clone(),
+            },
+            None if !req.want_mapping => Payload::None,
+            None => match req.encoding {
+                Encoding::Verbose => {
+                    Payload::Table(canon.restore_positions(&req.dims, &entry.nodes))
+                }
+                Encoding::Compact => Payload::TableCompact(if canon.is_identity_permutation() {
+                    // the restored table equals the canonical one, so the
+                    // memoised per-entry encoding is reused as-is
+                    entry.compact_encoding().to_string()
+                } else {
+                    encode_nodes_compact(&canon.restore_positions(&req.dims, &entry.nodes))
+                }),
+            },
+        };
         MapResponse {
             id: req.id.clone(),
             body: ResponseBody::Ok {
@@ -234,7 +363,7 @@ impl MappingService {
                 cached,
                 j_sum: entry.j_sum,
                 j_max: entry.j_max,
-                nodes,
+                payload,
             },
         }
     }
@@ -258,7 +387,21 @@ impl MappingService {
             algorithm,
             seed: if algorithm.uses_seed() { seed } else { 0 },
         };
-        if let Some(entry) = self.cache.get(&key) {
+        if let Some(p) = &self.persist {
+            // hold the shard's persist lock across (lookup, touch record) so
+            // the log's per-shard order matches the shard's operation order;
+            // touches of an already-MRU key replay as no-ops and are skipped,
+            // so a hot key costs one log record ever, not one per hit
+            let lock = &self.persist_locks[self.cache.shard_of(&key)];
+            let guard = lock.lock().expect("persist lock poisoned");
+            if let Some((entry, was_mru)) = self.cache.get_tracking_mru(&key) {
+                if !was_mru {
+                    p.record_touch(&key);
+                }
+                return Ok((entry, true));
+            }
+            drop(guard);
+        } else if let Some(entry) = self.cache.get(&key) {
             return Ok((entry, true));
         }
         let problem = MappingProblem::with_periodicity(
@@ -280,16 +423,23 @@ impl MappingService {
             .compute(&problem)
             .map_err(|e| format!("{}: {e}", algorithm.wire_name()))?;
         let cost = evaluate_streaming(&canon.dims, &canon.stencil, req.periodic, &mapping);
-        let entry = Arc::new(CacheEntry {
-            nodes: mapping
+        let entry = Arc::new(CacheEntry::new(
+            mapping
                 .node_of_position_slice()
                 .iter()
                 .map(|&n| n as u32)
                 .collect(),
-            j_sum: cost.j_sum,
-            j_max: cost.j_max,
-        });
-        self.cache.insert(key, Arc::clone(&entry));
+            cost.j_sum,
+            cost.j_max,
+        ));
+        if let Some(p) = &self.persist {
+            let lock = &self.persist_locks[self.cache.shard_of(&key)];
+            let _guard = lock.lock().expect("persist lock poisoned");
+            p.record_insert(&key, &entry);
+            self.cache.insert(key, Arc::clone(&entry));
+        } else {
+            self.cache.insert(key, Arc::clone(&entry));
+        }
         Ok((entry, false))
     }
 }
@@ -463,6 +613,127 @@ mod tests {
         let cost = evaluate_streaming(problem.dims(), problem.stencil(), false, &mapping);
         assert_eq!(Some(cost.j_sum), va.get("j_sum").and_then(Value::as_u64));
         assert_eq!(Some(cost.j_max), va.get("j_max").and_then(Value::as_u64));
+    }
+
+    #[test]
+    fn compact_encoding_matches_the_verbose_table() {
+        let s = service();
+        let verbose = s.handle_line(r#"{"dims":[12,8],"nodes":8}"#);
+        let compact = s.handle_line(r#"{"dims":[12,8],"nodes":8,"encoding":"compact"}"#);
+        let vv = Value::parse(&verbose).unwrap();
+        let vc = Value::parse(&compact).unwrap();
+        assert_eq!(vc.get("encoding").and_then(Value::as_str), Some("compact"));
+        assert_eq!(vc.get("cached").and_then(Value::as_bool), Some(true));
+        let verbose_nodes: Vec<u32> = vv
+            .get("nodes")
+            .and_then(Value::as_arr)
+            .unwrap()
+            .iter()
+            .map(|x| x.as_usize().unwrap() as u32)
+            .collect();
+        let decoded =
+            crate::json::decode_nodes_compact(vc.get("nodes").and_then(Value::as_str).unwrap())
+                .unwrap();
+        assert_eq!(decoded, verbose_nodes);
+        // a permuted request decodes to its own orientation's table
+        let permuted = s.handle_line(r#"{"dims":[8,12],"nodes":8,"encoding":"compact"}"#);
+        let vp = Value::parse(&permuted).unwrap();
+        let decoded_p =
+            crate::json::decode_nodes_compact(vp.get("nodes").and_then(Value::as_str).unwrap())
+                .unwrap();
+        let verbose_p = s.handle_line(r#"{"dims":[8,12],"nodes":8}"#);
+        let vvp = Value::parse(&verbose_p).unwrap();
+        let verbose_p_nodes: Vec<u32> = vvp
+            .get("nodes")
+            .and_then(Value::as_arr)
+            .unwrap()
+            .iter()
+            .map(|x| x.as_usize().unwrap() as u32)
+            .collect();
+        assert_eq!(decoded_p, verbose_p_nodes);
+    }
+
+    #[test]
+    fn new_rank_of_answers_match_the_table() {
+        let s = service();
+        let full = s.handle_line(r#"{"dims":[12,8],"nodes":8}"#);
+        let vf = Value::parse(&full).unwrap();
+        let table: Vec<u64> = vf
+            .get("nodes")
+            .and_then(Value::as_arr)
+            .unwrap()
+            .iter()
+            .map(|x| x.as_u64().unwrap())
+            .collect();
+        let q = s
+            .handle_line(r#"{"dims":[12,8],"nodes":8,"query":"new_rank_of","ranks":[0,17,95,17]}"#);
+        let vq = Value::parse(&q).unwrap();
+        assert_eq!(vq.get("status").and_then(Value::as_str), Some("ok"), "{q}");
+        assert_eq!(vq.get("cached").and_then(Value::as_bool), Some(true));
+        assert!(vq.get("encoding").is_none());
+        let ranks: Vec<u64> = vq
+            .get("ranks")
+            .and_then(Value::as_arr)
+            .unwrap()
+            .iter()
+            .map(|x| x.as_u64().unwrap())
+            .collect();
+        assert_eq!(ranks, vec![0, 17, 95, 17]);
+        let nodes: Vec<u64> = vq
+            .get("nodes")
+            .and_then(Value::as_arr)
+            .unwrap()
+            .iter()
+            .map(|x| x.as_u64().unwrap())
+            .collect();
+        for (r, n) in ranks.iter().zip(&nodes) {
+            assert_eq!(table[*r as usize], *n);
+        }
+        // a query on a cold entry computes it first (cached:false) and a
+        // permuted repeat reads the same canonical entry point-wise
+        let q2 = s.handle_line(
+            r#"{"dims":[8,12],"nodes":8,"algorithm":"kdtree","query":"new_rank_of","ranks":[5]}"#,
+        );
+        let vq2 = Value::parse(&q2).unwrap();
+        assert_eq!(vq2.get("cached").and_then(Value::as_bool), Some(false));
+        let full2 = s.handle_line(r#"{"dims":[8,12],"nodes":8,"algorithm":"kdtree"}"#);
+        let vf2 = Value::parse(&full2).unwrap();
+        assert_eq!(
+            vq2.get("nodes").and_then(Value::as_arr).unwrap()[0],
+            vf2.get("nodes").and_then(Value::as_arr).unwrap()[5]
+        );
+    }
+
+    #[test]
+    fn persistence_survives_a_restart() {
+        let dir = std::env::temp_dir().join(format!("stencil-serve-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("service-restart.log");
+        let _ = std::fs::remove_file(&path);
+        let cfg = ServiceConfig {
+            persist_path: Some(path.clone()),
+            ..ServiceConfig::default()
+        };
+        let line = r#"{"dims":[12,8],"nodes":8,"algorithm":"kdtree","want_mapping":false}"#;
+        let cold_response;
+        {
+            let s = MappingService::open(&cfg).unwrap();
+            cold_response = s.handle_line(line);
+            assert!(cold_response.contains("\"cached\":false"));
+            // dropping the service flushes and closes the log
+        }
+        let s = MappingService::open(&cfg).unwrap();
+        assert_eq!(s.load_report().entries, 1);
+        let warm = s.handle_line(line);
+        assert!(warm.contains("\"cached\":true"), "{warm}");
+        assert_eq!(
+            warm.replace("\"cached\":true", "\"cached\":false"),
+            cold_response,
+            "reloaded entry serves the identical mapping"
+        );
+        // the engine was never touched: zero misses on the reloaded service
+        assert_eq!(s.cache_stats().misses, 0);
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

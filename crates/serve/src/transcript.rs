@@ -1,0 +1,39 @@
+//! Golden-transcript replay for the serve protocol.
+//!
+//! A transcript request file is newline-delimited JSON with two extras:
+//! lines starting with `#` are comments, and the special marker line
+//! [`RESTART_MARKER`] shuts the current service down (flushing its
+//! persistence log) and reopens it from the same configuration — which is
+//! how the checked-in golden transcript exercises the
+//! persistence-reload path.  Every non-comment line produces exactly one
+//! response line; the golden test compares them byte-exactly against the
+//! checked-in expected file, and `examples/regen_transcript.rs`
+//! regenerates that file after deliberate protocol changes.
+
+use crate::service::{MappingService, ServiceConfig};
+
+/// Marker line that restarts the service mid-transcript.
+pub const RESTART_MARKER: &str = "#RESTART";
+
+/// Replays a transcript request file against services created from `cfg`,
+/// returning one response line per request line (comments and blank lines
+/// skipped).  At each [`RESTART_MARKER`] the service is dropped — which
+/// flushes its write-behind persistence log — and reopened from `cfg`, so
+/// a configured `persist_path` carries the cache across the marker.
+pub fn replay(requests: &str, cfg: &ServiceConfig) -> Result<Vec<String>, String> {
+    let mut service = MappingService::open(cfg)?;
+    let mut responses = Vec::new();
+    for line in requests.lines() {
+        let trimmed = line.trim();
+        if trimmed == RESTART_MARKER {
+            drop(service);
+            service = MappingService::open(cfg)?;
+            continue;
+        }
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        responses.push(service.handle_line(line));
+    }
+    Ok(responses)
+}

@@ -2,12 +2,17 @@
 //!
 //! * property test: requests that are equal up to a dimension permutation
 //!   (and stencil offset order) hit the same canonical cache entry,
+//! * property test: the compact node-table encoding decodes to exactly the
+//!   verbose table, and `new_rank_of` point answers read the same entries,
+//! * property test: reopening a persisted service reproduces the exact
+//!   per-shard LRU contents and recency order (oracle: the pre-shutdown
+//!   shard dumps),
 //! * LRU eviction ordering under concurrent access (per-shard determinism),
 //! * byte-identical responses across real `RAYON_NUM_THREADS` settings,
 //!   verified via subprocesses like the engine determinism tests.
 
 use proptest::prelude::*;
-use stencil_serve::json::Value;
+use stencil_serve::json::{decode_nodes_compact, Value};
 use stencil_serve::service::{MappingService, ServiceConfig};
 use stencil_serve::ShardedLru;
 
@@ -80,6 +85,185 @@ proptest! {
         prop_assert_eq!(first.get("j_sum"), second.get("j_sum"));
         prop_assert_eq!(first.get("j_max"), second.get("j_max"));
     }
+
+    /// Compact-encoding roundtrip: for arbitrary mappings (dims shape,
+    /// stencil, algorithm, permuted orientation), decoding the compact
+    /// response gives exactly the verbose response's node table, and
+    /// `new_rank_of` point answers equal the table's entries at the queried
+    /// positions.
+    #[test]
+    fn compact_and_point_answers_match_the_verbose_table(
+        d0 in 2usize..7,
+        d1 in 2usize..7,
+        d2 in 1usize..5,
+        stencil_choice in 0u8..3,
+        shuffle in 0usize..6,
+        alg in 0u8..4,
+        rank_picks in proptest::collection::vec(0usize..1000, 1..6),
+    ) {
+        let p = d0 * d1 * d2;
+        if !p.is_multiple_of(2) {
+            return Ok(());
+        }
+        let dims = [d0, d1, d2];
+        let stencil = match stencil_choice % 3 {
+            0 => stencil_grid::Stencil::nearest_neighbor(3),
+            1 => stencil_grid::Stencil::nearest_neighbor_with_hops(3),
+            _ => stencil_grid::Stencil::component(3),
+        };
+        let offsets: Vec<Vec<i64>> = stencil.offsets().to_vec();
+        let algorithm = ["hyperplane", "kdtree", "stencil_strips", "blocked"][(alg % 4) as usize];
+        const PERMS: [[usize; 3]; 6] = [
+            [0, 1, 2], [0, 2, 1], [1, 0, 2], [1, 2, 0], [2, 0, 1], [2, 1, 0],
+        ];
+        let perm = PERMS[shuffle % 6];
+        let service = MappingService::new(&ServiceConfig::default());
+
+        // the same (possibly permuted) request in all three response forms
+        let base = permuted_request_line(&dims, &offsets, &perm, algorithm);
+        let verbose = base.replace(",\"want_mapping\":false", "");
+        let compact = base.replace(
+            ",\"want_mapping\":false",
+            ",\"encoding\":\"compact\"",
+        );
+        let ranks: Vec<usize> = rank_picks.iter().map(|&r| r % p).collect();
+        let ranks_json: Vec<String> = ranks.iter().map(|r| r.to_string()).collect();
+        let points = base.replace(
+            ",\"want_mapping\":false",
+            &format!(",\"query\":\"new_rank_of\",\"ranks\":[{}]", ranks_json.join(",")),
+        );
+
+        let vv = Value::parse(&service.handle_line(&verbose)).unwrap();
+        prop_assert_eq!(vv.get("status").and_then(Value::as_str), Some("ok"));
+        let table: Vec<u32> = vv.get("nodes").and_then(Value::as_arr).unwrap()
+            .iter().map(|x| x.as_usize().unwrap() as u32).collect();
+        prop_assert_eq!(table.len(), p);
+
+        let vc = Value::parse(&service.handle_line(&compact)).unwrap();
+        prop_assert_eq!(vc.get("encoding").and_then(Value::as_str), Some("compact"));
+        let decoded = decode_nodes_compact(
+            vc.get("nodes").and_then(Value::as_str).unwrap()).unwrap();
+        prop_assert_eq!(&decoded, &table, "compact != verbose");
+        prop_assert_eq!(vc.get("j_sum"), vv.get("j_sum"));
+
+        let vq = Value::parse(&service.handle_line(&points)).unwrap();
+        prop_assert_eq!(vq.get("status").and_then(Value::as_str), Some("ok"));
+        let answers: Vec<u32> = vq.get("nodes").and_then(Value::as_arr).unwrap()
+            .iter().map(|x| x.as_usize().unwrap() as u32).collect();
+        prop_assert_eq!(answers.len(), ranks.len());
+        for (i, &r) in ranks.iter().enumerate() {
+            prop_assert_eq!(answers[i], table[r],
+                "new_rank_of({}) disagrees with the table", r);
+        }
+    }
+
+    /// Persistence reload oracle: after an arbitrary request sequence (with
+    /// a small capacity so evictions and touches matter), reopening the
+    /// service from its log reproduces the exact per-shard cache contents
+    /// and recency order that were resident before shutdown.
+    #[test]
+    fn persistence_reload_reproduces_per_shard_lru_contents(
+        picks in proptest::collection::vec(0usize..10, 1..24),
+        capacity in 2usize..7,
+        case_tag in 0u64..1_000_000,
+    ) {
+        let dir = std::env::temp_dir().join("stencil-serve-proptest");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!(
+            "reload-{}-{case_tag}.log",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        let cfg = ServiceConfig {
+            cache_capacity: capacity,
+            cache_shards: 2,
+            persist_path: Some(path.clone()),
+        };
+        // a pool of distinct cheap instances; repeats become hits (touches)
+        let universe: Vec<String> = (0..10).map(|i| {
+            let nodes = 2 + i;
+            format!(r#"{{"dims":[{nodes},4],"nodes":{nodes},"want_mapping":false}}"#)
+        }).collect();
+        let before: Vec<Vec<_>>;
+        {
+            let s = MappingService::open(&cfg).unwrap();
+            for &pick in &picks {
+                let out = s.handle_line(&universe[pick]);
+                prop_assert!(out.contains("\"status\":\"ok\""), "{}", out);
+            }
+            before = (0..s.cache_num_shards())
+                .map(|sh| s.cache_shard_entries_lru_first(sh))
+                .collect();
+        }
+        let s = MappingService::open(&cfg).unwrap();
+        for (shard, expected) in before.iter().enumerate() {
+            let after = s.cache_shard_entries_lru_first(shard);
+            prop_assert_eq!(after.len(), expected.len(), "shard {} size", shard);
+            for (a, e) in after.iter().zip(expected) {
+                prop_assert_eq!(&a.0, &e.0, "shard {} key order", shard);
+                prop_assert_eq!(&*a.1, &*e.1, "shard {} entry payload", shard);
+            }
+        }
+        // and the reloaded entries actually serve: a repeat of the last
+        // request is a hit that recomputes nothing
+        let misses_before = s.cache_stats().misses;
+        let out = s.handle_line(&universe[*picks.last().unwrap()]);
+        prop_assert!(out.contains("\"cached\":true"), "{}", out);
+        prop_assert_eq!(s.cache_stats().misses, misses_before);
+        let _ = std::fs::remove_file(&path);
+    }
+}
+
+/// Concurrent traffic against a persisted service, then a reload: the log's
+/// per-shard record order is pinned to the shard's operation order (the
+/// service holds a per-shard persist lock around each `(cache op, record)`
+/// pair), so the reloaded per-shard contents and recency must equal the
+/// pre-shutdown state no matter how the worker threads interleaved.
+#[test]
+fn persisted_reload_matches_under_concurrent_traffic() {
+    let dir = std::env::temp_dir().join("stencil-serve-proptest");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(format!("concurrent-reload-{}.log", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    let cfg = ServiceConfig {
+        cache_capacity: 8,
+        cache_shards: 2,
+        persist_path: Some(path.clone()),
+    };
+    let before: Vec<Vec<_>>;
+    {
+        let s = MappingService::open(&cfg).unwrap();
+        std::thread::scope(|scope| {
+            for t in 0..4usize {
+                let s = &s;
+                scope.spawn(move || {
+                    for i in 0..60usize {
+                        // overlapping key universe across threads: plenty of
+                        // same-shard contention, hits and evictions
+                        let nodes = 2 + (t + i) % 8;
+                        let line = format!(
+                            r#"{{"dims":[{nodes},4],"nodes":{nodes},"want_mapping":false}}"#
+                        );
+                        let out = s.handle_line(&line);
+                        assert!(out.contains("\"status\":\"ok\""), "{out}");
+                    }
+                });
+            }
+        });
+        before = (0..s.cache_num_shards())
+            .map(|sh| s.cache_shard_entries_lru_first(sh))
+            .collect();
+    }
+    let s = MappingService::open(&cfg).unwrap();
+    for (shard, expected) in before.iter().enumerate() {
+        let after = s.cache_shard_entries_lru_first(shard);
+        assert_eq!(
+            after.iter().map(|(k, _)| k.clone()).collect::<Vec<_>>(),
+            expected.iter().map(|(k, _)| k.clone()).collect::<Vec<_>>(),
+            "shard {shard} diverged after a concurrent-traffic reload"
+        );
+    }
+    let _ = std::fs::remove_file(&path);
 }
 
 /// A sequential model of LRU used as the oracle for the concurrent test.

@@ -1,0 +1,160 @@
+//! Real-socket tests of the TCP worker pool: more clients than workers,
+//! interleaved and pipelined requests, per-connection response order.
+//!
+//! PR 3's loadgen and smoke step only exercised the service in-process or
+//! over stdin; these tests drive actual `TcpStream`s against
+//! `serve_listener` so the pool's readiness loop (non-blocking reads,
+//! requeueing, blocking writes) is what serves the bytes.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::Arc;
+
+use stencil_serve::json::Value;
+use stencil_serve::service::{MappingService, ServiceConfig};
+
+/// Binds an ephemeral port and serves it on a pool of `workers` threads.
+fn start_server(workers: usize) -> (Arc<MappingService>, std::net::SocketAddr) {
+    let service = Arc::new(MappingService::new(&ServiceConfig::default()));
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    {
+        let service = Arc::clone(&service);
+        std::thread::spawn(move || {
+            let _ = stencil_serve::server::serve_listener(service, listener, workers);
+        });
+    }
+    (service, addr)
+}
+
+/// Twelve clients on a two-worker pool, requests interleaved round-robin
+/// across the connections (one request per client per round, responses
+/// read *after* all writes of the round), so connections outnumber worker
+/// threads 6x and every connection is mid-stream while others are served.
+/// Each client must see exactly its own responses, in its own send order.
+#[test]
+fn more_clients_than_workers_interleaved_requests_keep_per_connection_order() {
+    const CLIENTS: usize = 12;
+    const WORKERS: usize = 2;
+    const ROUNDS: usize = 8;
+    let (_service, addr) = start_server(WORKERS);
+
+    let mut conns: Vec<TcpStream> = (0..CLIENTS)
+        .map(|_| TcpStream::connect(addr).unwrap())
+        .collect();
+    let mut readers: Vec<BufReader<TcpStream>> = conns
+        .iter()
+        .map(|c| BufReader::new(c.try_clone().unwrap()))
+        .collect();
+
+    for round in 0..ROUNDS {
+        // interleave writes: every client sends one request before any
+        // response of this round is read
+        for (client, conn) in conns.iter_mut().enumerate() {
+            let id = round * CLIENTS + client;
+            // vary the instance per client so hits and misses interleave
+            let nodes = 2 + (client % 3) * 2;
+            let line = format!(
+                "{{\"id\":{id},\"dims\":[{nodes},6],\"nodes\":{nodes},\"want_mapping\":false}}\n"
+            );
+            conn.write_all(line.as_bytes()).unwrap();
+        }
+        for (client, reader) in readers.iter_mut().enumerate() {
+            let id = round * CLIENTS + client;
+            let mut reply = String::new();
+            reader.read_line(&mut reply).unwrap();
+            let v = Value::parse(reply.trim_end()).unwrap();
+            assert_eq!(
+                v.get("id").and_then(Value::as_usize),
+                Some(id),
+                "client {client} round {round} got someone else's response: {reply}"
+            );
+            assert_eq!(v.get("status").and_then(Value::as_str), Some("ok"));
+        }
+    }
+}
+
+/// One connection pipelines a burst of requests (including a batch and an
+/// error) without reading; the responses must come back 1:1 in order.
+#[test]
+fn pipelined_burst_on_one_connection_answers_in_order() {
+    let (_service, addr) = start_server(2);
+    let mut conn = TcpStream::connect(addr).unwrap();
+    let mut burst = String::new();
+    for id in 0..20 {
+        burst.push_str(&format!(
+            "{{\"id\":{id},\"dims\":[6,4],\"nodes\":4,\"want_mapping\":false}}\n"
+        ));
+    }
+    burst.push_str("{\"batch\":[{\"id\":\"x\",\"dims\":[4,4],\"nodes\":4,\"want_mapping\":false},{\"id\":\"y\",\"dims\":[3,3]}]}\n");
+    burst.push_str("{broken\n");
+    conn.write_all(burst.as_bytes()).unwrap();
+    conn.shutdown(std::net::Shutdown::Write).unwrap();
+
+    let reader = BufReader::new(conn);
+    let lines: Vec<String> = reader.lines().map(|l| l.unwrap()).collect();
+    assert_eq!(lines.len(), 22);
+    for (id, line) in lines[..20].iter().enumerate() {
+        let v = Value::parse(line).unwrap();
+        assert_eq!(v.get("id").and_then(Value::as_usize), Some(id), "{line}");
+    }
+    let batch = Value::parse(&lines[20]).unwrap();
+    let items = batch.get("batch").and_then(Value::as_arr).unwrap();
+    assert_eq!(items.len(), 2);
+    assert_eq!(items[0].get("id").and_then(Value::as_str), Some("x"));
+    assert_eq!(
+        items[1].get("status").and_then(Value::as_str),
+        Some("error")
+    );
+    assert!(lines[21].contains("\"status\":\"error\""));
+}
+
+/// A request split into tiny TCP writes (including a mid-line pause) must
+/// still be framed into one request; a second connection making progress in
+/// the meantime proves the pool is not blocked on the dribbling client.
+#[test]
+fn slow_dribbling_client_does_not_block_the_pool() {
+    let (_service, addr) = start_server(1); // a single worker, even
+    let mut slow = TcpStream::connect(addr).unwrap();
+    let line = b"{\"id\":7,\"dims\":[6,4],\"nodes\":4,\"want_mapping\":false}\n";
+    let (head, tail) = line.split_at(10);
+    slow.write_all(head).unwrap();
+    slow.flush().unwrap();
+
+    // while the slow client's line is incomplete, a fast client is served
+    let mut fast = TcpStream::connect(addr).unwrap();
+    fast.write_all(b"{\"id\":1,\"dims\":[4,4],\"nodes\":4,\"want_mapping\":false}\n")
+        .unwrap();
+    let mut fast_reply = String::new();
+    BufReader::new(fast.try_clone().unwrap())
+        .read_line(&mut fast_reply)
+        .unwrap();
+    assert!(fast_reply.contains("\"id\":1"), "{fast_reply}");
+
+    slow.write_all(tail).unwrap();
+    let mut slow_reply = String::new();
+    BufReader::new(slow.try_clone().unwrap())
+        .read_line(&mut slow_reply)
+        .unwrap();
+    assert!(slow_reply.contains("\"id\":7"), "{slow_reply}");
+}
+
+/// Connections closed abruptly (mid-line, or right after connecting) must
+/// not take a worker down; later clients are still served.
+#[test]
+fn abrupt_disconnects_leave_the_pool_healthy() {
+    let (_service, addr) = start_server(2);
+    for _ in 0..8 {
+        let mut c = TcpStream::connect(addr).unwrap();
+        c.write_all(b"{\"half\":").unwrap();
+        drop(c); // vanish mid-line
+        let c2 = TcpStream::connect(addr).unwrap();
+        drop(c2); // vanish without a byte
+    }
+    let mut conn = TcpStream::connect(addr).unwrap();
+    conn.write_all(b"{\"id\":9,\"dims\":[4,4],\"nodes\":4,\"want_mapping\":false}\n")
+        .unwrap();
+    let mut reply = String::new();
+    BufReader::new(conn).read_line(&mut reply).unwrap();
+    assert!(reply.contains("\"id\":9"), "{reply}");
+}

@@ -1,0 +1,93 @@
+//! Golden-transcript tests: the checked-in request file
+//! (`tests/data/transcript_requests.txt`) covers every request shape the
+//! protocol speaks — singles, batches, compact encoding,
+//! `want_mapping:false`, `new_rank_of`, persistence reload (`#RESTART`),
+//! and malformed lines — and the responses must match
+//! `tests/data/transcript_expected.txt` **byte-exactly**, replayed under
+//! `RAYON_NUM_THREADS ∈ {1, 4}` (child processes, because the vendored
+//! rayon reads the variable once per process).
+//!
+//! If a protocol change is deliberate, regenerate with
+//! `cargo run --release -p stencil-serve --example regen_transcript`
+//! and review the diff line by line.
+
+use stencil_serve::service::ServiceConfig;
+use stencil_serve::transcript::replay;
+
+fn data(name: &str) -> String {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/data")
+        .join(name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("reading {}: {e}", path.display()))
+}
+
+/// Replays the golden transcript with a fresh persistence log and compares
+/// every response byte-exactly against the expected file.
+fn check_golden(tag: &str) {
+    let requests = data("transcript_requests.txt");
+    let expected = data("transcript_expected.txt");
+    let persist = std::env::temp_dir().join(format!(
+        "stencil-serve-golden-{}-{tag}.log",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&persist);
+    let cfg = ServiceConfig {
+        persist_path: Some(persist.clone()),
+        ..ServiceConfig::default()
+    };
+    let responses = replay(&requests, &cfg).expect("transcript replay failed");
+    let _ = std::fs::remove_file(&persist);
+
+    let expected_lines: Vec<&str> = expected.lines().collect();
+    assert_eq!(
+        responses.len(),
+        expected_lines.len(),
+        "response count diverged from the golden file"
+    );
+    for (i, (got, want)) in responses.iter().zip(&expected_lines).enumerate() {
+        assert_eq!(
+            got,
+            want,
+            "response {} diverged from the golden transcript \
+             (regenerate with `cargo run -p stencil-serve --example \
+             regen_transcript` only if the change is deliberate)",
+            i + 1
+        );
+    }
+}
+
+#[test]
+fn golden_transcript_matches_byte_exactly() {
+    check_golden("parent");
+}
+
+/// The same golden comparison under explicit thread counts: children rerun
+/// this test binary with `RAYON_NUM_THREADS` pinned, so the byte-exact
+/// guarantee is proven for 1 and 4 threads, not just the default.
+#[test]
+fn golden_transcript_matches_across_thread_counts() {
+    const CHILD_VAR: &str = "STENCIL_SERVE_TRANSCRIPT_CHILD";
+    if let Ok(tag) = std::env::var(CHILD_VAR) {
+        check_golden(&tag);
+        return;
+    }
+    let exe = std::env::current_exe().expect("test executable path");
+    for threads in ["1", "4"] {
+        let out = std::process::Command::new(&exe)
+            .args([
+                "golden_transcript_matches_across_thread_counts",
+                "--exact",
+                "--test-threads=1",
+            ])
+            .env(CHILD_VAR, format!("threads{threads}"))
+            .env("RAYON_NUM_THREADS", threads)
+            .output()
+            .expect("spawning the child test process");
+        assert!(
+            out.status.success(),
+            "golden transcript diverged with RAYON_NUM_THREADS={threads}:\n{}{}",
+            String::from_utf8_lossy(&out.stdout),
+            String::from_utf8_lossy(&out.stderr)
+        );
+    }
+}
