@@ -26,11 +26,25 @@
 //! * **batch** — `{"batch": […]}` lines of hit requests, measuring the
 //!   batched path (in-order per-item processing, one parse/serialise per
 //!   line).
-//! * **persistence** — the p = 4800 entry is computed into a persisted
-//!   service, the service restarted, and the request re-issued: the restart
-//!   must answer it as a cache hit (no recomputation), making warm-up free.
+//! * **persistence** — the p = 4800 entry plus a 255-entry fleet are
+//!   computed into a persisted service, the service restarted, and the
+//!   request re-issued: the restart must answer it as a cache hit (no
+//!   recomputation), and the reload throughput (entries/s replayed from the
+//!   log) is a gated metric.
+//! * **write_amplification** — sustained recency-changing hit traffic
+//!   against a persisted service with a small online-compaction threshold:
+//!   reports how many records and flushes the traffic cost and proves the
+//!   log stayed bounded across compaction cycles.
+//!
+//! With `--flood ADDR` the binary instead acts as the overload smoke
+//! client: it opens `--conns N` simultaneous TCP connections against a
+//! running `stencil-serve --listen` and verifies that excess connections
+//! are shed with the well-formed overloaded error line while admitted ones
+//! are served.
 
-use std::time::Instant;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
 
 use stencil_bench::report::json::Json;
 use stencil_serve::service::{MappingService, ServiceConfig};
@@ -77,8 +91,59 @@ fn section(latencies: &[f64], extra: Vec<(&str, Json)>) -> Json {
     Json::obj(fields)
 }
 
+/// Overload smoke client: holds `conns` simultaneous connections against a
+/// live server, writes one request per connection, and classifies the first
+/// response line of each.  With more connections than the server's
+/// `--max-conns` this must observe both served and shed connections.
+fn flood(addr: &str, conns: usize) -> i32 {
+    let request = "{\"dims\":[12,8],\"nodes\":8,\"want_mapping\":false}\n";
+    let mut streams = Vec::with_capacity(conns);
+    for i in 0..conns {
+        match TcpStream::connect(addr) {
+            Ok(s) => streams.push(s),
+            Err(e) => {
+                eprintln!("flood: connect {i} to {addr} failed: {e}");
+                break;
+            }
+        }
+    }
+    let (mut served, mut shed, mut dead) = (0usize, 0usize, 0usize);
+    for stream in &mut streams {
+        let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+        // A shed connection may already be closed server-side; the write can
+        // fail with EPIPE while the overloaded line is still readable.
+        let _ = stream.write_all(request.as_bytes());
+        let mut line = String::new();
+        let mut reader = BufReader::new(&mut *stream);
+        match reader.read_line(&mut line) {
+            Ok(n) if n > 0 && line.contains("\"error\":\"overloaded\"") => shed += 1,
+            Ok(n) if n > 0 && line.contains("\"status\":\"ok\"") => served += 1,
+            _ => dead += 1,
+        }
+    }
+    eprintln!(
+        "flood: {} connections -> {served} served, {shed} shed, {dead} dead",
+        streams.len()
+    );
+    println!(
+        "{{\"connections\":{},\"served\":{served},\"shed\":{shed},\"dead\":{dead}}}",
+        streams.len()
+    );
+    if served == 0 || shed == 0 {
+        eprintln!("flood: FAILED — expected both served and shed connections");
+        return 1;
+    }
+    0
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
+    if let Some(addr) = stencil_bench::arg_value(&args, "--flood") {
+        let conns = stencil_bench::arg_value(&args, "--conns")
+            .map(|v| v.parse::<usize>().expect("--conns expects a number"))
+            .unwrap_or(16);
+        std::process::exit(flood(&addr, conns));
+    }
     let quick = args.iter().any(|a| a == "--quick");
     let out_path =
         stencil_bench::arg_value(&args, "--out").unwrap_or_else(|| "BENCH_serve.json".to_string());
@@ -212,6 +277,11 @@ fn main() {
     );
 
     // --- persistence: restart answers the expensive entry as a hit ----------
+    // The headline entry plus a 255-entry fleet of small instances: the
+    // reload replays all 256 log records, so entries/s is a real replay
+    // throughput, not a single-record open.  The fleet size is identical in
+    // --quick and full runs so the perf gate's scale guard always matches.
+    let persist_entries = 256usize;
     let persist_path =
         std::env::temp_dir().join(format!("stencil-serve-loadgen-{}.log", std::process::id()));
     let _ = std::fs::remove_file(&persist_path);
@@ -223,11 +293,26 @@ fn main() {
         let persisted = MappingService::open(&persist_cfg).expect("persistence setup");
         let warm = persisted.handle_line(&headline);
         assert!(warm.contains("\"cached\":false"));
+        for n in 2..(persist_entries + 1) {
+            let line = format!(r#"{{"dims":[{n},4],"nodes":{n},"want_mapping":false}}"#);
+            let response = persisted.handle_line(&line);
+            assert!(
+                !response.contains("\"status\":\"error\""),
+                "fleet fill: {response}"
+            );
+        }
         // dropping flushes the write-behind log
     }
     let reload_start = Instant::now();
     let restarted = MappingService::open(&persist_cfg).expect("persistence reload");
     let reload_s = reload_start.elapsed().as_secs_f64();
+    let report = restarted.load_report();
+    assert_eq!(
+        (report.entries, report.skipped),
+        (persist_entries, 0),
+        "reload must replay the whole fleet"
+    );
+    let reload_entries_per_s = report.entries as f64 / reload_s;
     let hit_start = Instant::now();
     let after = restarted.handle_line(&headline);
     let restart_hit_s = hit_start.elapsed().as_secs_f64();
@@ -242,8 +327,55 @@ fn main() {
     );
     let _ = std::fs::remove_file(&persist_path);
     eprintln!(
-        "  persistence: reload {reload_s:.6}s, warm hit after restart \
+        "  persistence: reload {reload_s:.6}s ({persist_entries} entries, \
+         {reload_entries_per_s:.0}/s), warm hit after restart \
          {restart_hit_s:.6}s (vs {cold_s:.6}s cold recompute)"
+    );
+
+    // --- write_amplification: recency traffic vs a bounded log --------------
+    // Alternating hits between two keys in the same (single) shard flip the
+    // MRU slot every request, so each hit appends a touch record; with a
+    // small online-compaction threshold the log must stay bounded no matter
+    // how long the traffic runs.  Reported counters come from the
+    // persistence worker itself.
+    let wa_requests = if quick { 500 } else { 5000 };
+    let wa_path = std::env::temp_dir().join(format!(
+        "stencil-serve-loadgen-wa-{}.log",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&wa_path);
+    let wa_cfg = ServiceConfig {
+        persist_path: Some(wa_path.clone()),
+        compact_bytes: 32 * 1024,
+        cache_shards: 1,
+        ..ServiceConfig::default()
+    };
+    let wa_service = MappingService::open(&wa_cfg).expect("write-amplification setup");
+    let wa_a = r#"{"dims":[20,12],"nodes":10,"want_mapping":false}"#.to_string();
+    let wa_b = r#"{"dims":[24,10],"nodes":12,"want_mapping":false}"#.to_string();
+    wa_service.handle_line(&wa_a);
+    wa_service.handle_line(&wa_b);
+    let wa_lines: Vec<String> = (0..wa_requests)
+        .map(|i| {
+            if i % 2 == 0 {
+                wa_a.clone()
+            } else {
+                wa_b.clone()
+            }
+        })
+        .collect();
+    let wa_latencies = replay(&wa_service, &wa_lines);
+    wa_service.flush_persistence();
+    let wa_stats = wa_service
+        .persist_stats()
+        .expect("write-amplification stats");
+    let wa_log_bytes = std::fs::metadata(&wa_path).map(|m| m.len()).unwrap_or(0);
+    drop(wa_service);
+    let _ = std::fs::remove_file(&wa_path);
+    eprintln!(
+        "  write_amplification: {wa_requests} hits -> {} records, {} flushes, \
+         {} compactions, final log {wa_log_bytes} bytes",
+        wa_stats.appended, wa_stats.flushes, wa_stats.compactions
     );
 
     let doc = Json::obj(vec![
@@ -304,10 +436,25 @@ fn main() {
             "persistence",
             Json::obj(vec![
                 ("processes", Json::Num(4800.0)),
+                ("entries", Json::Num(persist_entries as f64)),
                 ("reload_s", Json::Num(reload_s)),
+                ("reload_entries_per_s", Json::Num(reload_entries_per_s)),
                 ("hit_after_restart_s", Json::Num(restart_hit_s)),
                 ("cold_recompute_s", Json::Num(cold_s)),
             ]),
+        ),
+        (
+            "write_amplification",
+            section(
+                &wa_latencies,
+                vec![
+                    ("compact_bytes", Json::Num((32 * 1024) as f64)),
+                    ("appended_records", Json::Num(wa_stats.appended as f64)),
+                    ("flushes", Json::Num(wa_stats.flushes as f64)),
+                    ("compactions", Json::Num(wa_stats.compactions as f64)),
+                    ("final_log_bytes", Json::Num(wa_log_bytes as f64)),
+                ],
+            ),
         ),
     ]);
     std::fs::write(&out_path, doc.pretty()).unwrap_or_else(|e| {

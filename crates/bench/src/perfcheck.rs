@@ -52,7 +52,9 @@ pub const PARTITIONER_SCALE_GUARDS: &[(&str, &str)] = &[
 
 /// The mapping-service metrics gated in `BENCH_serve.json`: cache-hit
 /// throughput in every response mode — full table, compact encoding and
-/// `new_rank_of` point lookups — must not collapse (higher is better).
+/// `new_rank_of` point lookups — must not collapse, and the persistence log
+/// replay (entries restored per second on restart) must stay fast (higher is
+/// better throughout).
 pub const GATED_SERVE_METRICS: &[GatedMetric] = &[
     GatedMetric {
         section: "cache_hit",
@@ -69,6 +71,11 @@ pub const GATED_SERVE_METRICS: &[GatedMetric] = &[
         key: "throughput_rps",
         higher_is_better: true,
     },
+    GatedMetric {
+        section: "persistence",
+        key: "reload_entries_per_s",
+        higher_is_better: true,
+    },
 ];
 
 /// Scale guards for the serve document.
@@ -76,6 +83,7 @@ pub const SERVE_SCALE_GUARDS: &[(&str, &str)] = &[
     ("cache_hit", "processes"),
     ("cache_hit_compact", "processes"),
     ("new_rank_of", "processes"),
+    ("persistence", "entries"),
 ];
 
 /// One compared metric.
@@ -294,6 +302,11 @@ mod tests {
   "new_rank_of": {
     "processes": 4800,
     "throughput_rps": 300000
+  },
+  "persistence": {
+    "processes": 4800,
+    "entries": 256,
+    "reload_entries_per_s": 40000
   }
 }"#;
 
@@ -398,11 +411,26 @@ mod tests {
         let bad: Vec<_> = outcomes.iter().filter(|o| !o.ok).collect();
         assert_eq!(bad.len(), 1);
         assert_eq!(bad[0].label, "cache_hit_compact.throughput_rps");
+        // a persistence-reload collapse is caught independently
+        let slow_reload = SERVE_DOC.replace(
+            "\"reload_entries_per_s\": 40000",
+            "\"reload_entries_per_s\": 10000",
+        );
+        let outcomes = check_serve(SERVE_DOC, &slow_reload, 0.25).unwrap();
+        let bad: Vec<_> = outcomes.iter().filter(|o| !o.ok).collect();
+        assert_eq!(bad.len(), 1);
+        assert_eq!(bad[0].label, "persistence.reload_entries_per_s");
     }
 
     #[test]
     fn serve_gate_guards_the_request_scale() {
         let other = SERVE_DOC.replace("\"processes\": 4800", "\"processes\": 96");
+        assert!(check_serve(SERVE_DOC, &other, 0.25).is_err());
+    }
+
+    #[test]
+    fn serve_gate_guards_the_persisted_entry_count() {
+        let other = SERVE_DOC.replace("\"entries\": 256", "\"entries\": 16");
         assert!(check_serve(SERVE_DOC, &other, 0.25).is_err());
     }
 

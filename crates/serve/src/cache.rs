@@ -1,11 +1,25 @@
-//! A sharded LRU cache for mapping results.
+//! A sharded cache for mapping results with pluggable eviction.
 //!
 //! The cache is split into independently locked shards; a key is assigned to
 //! a shard by its hash, so concurrent requests for different keys rarely
-//! contend on the same mutex.  Each shard is a classic LRU: a hash map from
-//! key to slot index plus an intrusive doubly-linked recency list over a slot
-//! arena, giving O(1) lookup, touch, insert and eviction without per-entry
-//! allocation after the arena has grown to capacity.
+//! contend on the same mutex.  Each shard keeps a hash map from key to slot
+//! index plus an intrusive doubly-linked recency list over a slot arena,
+//! giving O(1) lookup, touch and insert without per-entry allocation after
+//! the arena has grown to capacity.
+//!
+//! Two eviction policies share that structure (see [`EvictionPolicy`]):
+//!
+//! * **LRU** (default): evict the recency-list tail, O(1).  This is the
+//!   byte-stable policy every golden transcript is pinned to.
+//! * **GDSF** (Greedy-Dual, size/frequency-flattened to *cost*): each entry
+//!   carries an integer recompute cost; its priority is `clock + cost`,
+//!   refreshed on every hit, and eviction removes the minimum-priority entry
+//!   (least recently used among ties), advancing the shard clock to the
+//!   evicted priority.  Expensive-to-recompute entries (a multilevel viem
+//!   mapping at ~45 ms) therefore outlive floods of cheap ones (rank-local
+//!   mappings at ~1 ms) until the clock ages them out.  With uniform costs
+//!   the priority order collapses to recency order, so GDSF degenerates to
+//!   *exactly* LRU — the property tests pin that equivalence.
 
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
@@ -15,9 +29,36 @@ use std::sync::Mutex;
 
 const NIL: usize = usize::MAX;
 
+/// Which entry a full shard evicts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EvictionPolicy {
+    /// Evict the least recently used entry (the default; byte-stable with
+    /// every existing golden transcript).
+    #[default]
+    Lru,
+    /// Greedy-Dual: evict the entry with the smallest `clock + cost`
+    /// priority, so high-recompute-cost entries are retained longer.
+    Gdsf,
+}
+
+impl EvictionPolicy {
+    /// Parses a policy name as spelled on the CLI (`--eviction {lru,gdsf}`).
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name {
+            "lru" => Some(EvictionPolicy::Lru),
+            "gdsf" => Some(EvictionPolicy::Gdsf),
+            _ => None,
+        }
+    }
+}
+
 struct Slot<K, V> {
     key: K,
     value: V,
+    /// Recompute cost, set at insert time (GDSF only; 1 under LRU).
+    cost: u64,
+    /// Greedy-Dual priority `clock_at_last_use + cost` (unused under LRU).
+    h: u64,
     prev: usize,
     next: usize,
 }
@@ -31,10 +72,13 @@ struct Shard<K, V> {
     /// Least recently used slot.
     tail: usize,
     capacity: usize,
+    policy: EvictionPolicy,
+    /// GDSF aging clock: the priority of the last evicted entry (monotone).
+    clock: u64,
 }
 
 impl<K: Hash + Eq + Clone, V: Clone> Shard<K, V> {
-    fn new(capacity: usize) -> Self {
+    fn new(capacity: usize, policy: EvictionPolicy) -> Self {
         Shard {
             map: HashMap::with_capacity(capacity.min(1024)),
             slots: Vec::new(),
@@ -42,6 +86,8 @@ impl<K: Hash + Eq + Clone, V: Clone> Shard<K, V> {
             head: NIL,
             tail: NIL,
             capacity,
+            policy,
+            clock: 0,
         }
     }
 
@@ -76,34 +122,71 @@ impl<K: Hash + Eq + Clone, V: Clone> Shard<K, V> {
     fn get(&mut self, key: &K) -> Option<(V, bool)> {
         let idx = *self.map.get(key)?;
         let was_mru = self.head == idx;
+        if self.policy == EvictionPolicy::Gdsf {
+            // a hit re-earns the entry its full cost above the current clock
+            self.slots[idx].h = self.clock.saturating_add(self.slots[idx].cost);
+        }
         self.unlink(idx);
         self.push_front(idx);
         Some((self.slots[idx].value.clone(), was_mru))
     }
 
-    fn insert(&mut self, key: K, value: V) {
+    /// The eviction victim for a full shard: the recency tail under LRU, the
+    /// minimum-priority slot under GDSF.  The tail-to-head scan keeps the
+    /// *first* (most tail-ward) slot among equal priorities, so with uniform
+    /// costs — where priorities are non-increasing from head to tail — the
+    /// victim is exactly the LRU tail.
+    fn victim(&self) -> usize {
+        match self.policy {
+            EvictionPolicy::Lru => self.tail,
+            EvictionPolicy::Gdsf => {
+                let mut best = self.tail;
+                let mut idx = self.tail;
+                while idx != NIL {
+                    if self.slots[idx].h < self.slots[best].h {
+                        best = idx;
+                    }
+                    idx = self.slots[idx].prev;
+                }
+                best
+            }
+        }
+    }
+
+    fn insert(&mut self, key: K, value: V, cost: u64) {
         if self.capacity == 0 {
             return;
         }
         if let Some(&idx) = self.map.get(&key) {
             self.slots[idx].value = value;
+            self.slots[idx].cost = cost;
+            self.slots[idx].h = self.clock.saturating_add(cost);
             self.unlink(idx);
             self.push_front(idx);
             return;
         }
         if self.map.len() == self.capacity {
-            // evict the least recently used entry and reuse its slot
-            let lru = self.tail;
-            debug_assert_ne!(lru, NIL);
-            self.unlink(lru);
-            self.map.remove(&self.slots[lru].key);
-            self.free.push(lru);
+            // evict the policy's victim and reuse its slot
+            let victim = self.victim();
+            debug_assert_ne!(victim, NIL);
+            if self.policy == EvictionPolicy::Gdsf {
+                // age the shard: everything cheaper than the victim is gone,
+                // so future entries start from its priority
+                self.clock = self.clock.max(self.slots[victim].h);
+            }
+            self.unlink(victim);
+            self.map.remove(&self.slots[victim].key);
+            self.free.push(victim);
         }
+        // priced after any eviction, so the clock advance is reflected
+        let h = self.clock.saturating_add(cost);
         let idx = match self.free.pop() {
             Some(idx) => {
                 self.slots[idx] = Slot {
                     key: key.clone(),
                     value,
+                    cost,
+                    h,
                     prev: NIL,
                     next: NIL,
                 };
@@ -113,6 +196,8 @@ impl<K: Hash + Eq + Clone, V: Clone> Shard<K, V> {
                 self.slots.push(Slot {
                     key: key.clone(),
                     value,
+                    cost,
+                    h,
                     prev: NIL,
                     next: NIL,
                 });
@@ -156,29 +241,42 @@ pub struct CacheStats {
     pub len: usize,
 }
 
-/// A thread-safe, sharded LRU cache.
+/// A thread-safe, sharded cache (LRU by default, GDSF via
+/// [`ShardedLru::with_policy`]).
 pub struct ShardedLru<K, V> {
     shards: Vec<Mutex<Shard<K, V>>>,
+    policy: EvictionPolicy,
     hits: AtomicU64,
     misses: AtomicU64,
 }
 
 impl<K: Hash + Eq + Clone, V: Clone> ShardedLru<K, V> {
-    /// Creates a cache holding at most `capacity` entries spread over
+    /// Creates an LRU cache holding at most `capacity` entries spread over
     /// `shards` shards (each shard holds `ceil(capacity / shards)`, so the
     /// effective total is `shards * ceil(capacity / shards)`).  A capacity
     /// of 0 disables caching entirely (every `get` misses); the shard count
     /// is clamped to at least 1.
     pub fn new(capacity: usize, shards: usize) -> Self {
+        Self::with_policy(capacity, shards, EvictionPolicy::Lru)
+    }
+
+    /// Like [`ShardedLru::new`] with an explicit eviction policy.
+    pub fn with_policy(capacity: usize, shards: usize, policy: EvictionPolicy) -> Self {
         let shards = shards.max(1);
         let per_shard = capacity.div_ceil(shards);
         ShardedLru {
             shards: (0..shards)
-                .map(|_| Mutex::new(Shard::new(per_shard)))
+                .map(|_| Mutex::new(Shard::new(per_shard, policy)))
                 .collect(),
+            policy,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
         }
+    }
+
+    /// The eviction policy this cache was built with.
+    pub fn policy(&self) -> EvictionPolicy {
+        self.policy
     }
 
     /// The shard index a key belongs to (stable for the cache's lifetime;
@@ -227,14 +325,22 @@ impl<K: Hash + Eq + Clone, V: Clone> ShardedLru<K, V> {
             .is_some()
     }
 
-    /// Inserts (or refreshes) `key`, evicting the shard's least recently
-    /// used entry if the shard is full.
+    /// Inserts (or refreshes) `key` with a unit recompute cost, evicting the
+    /// shard's policy victim if the shard is full.  Under LRU the cost is
+    /// ignored; under GDSF this is shorthand for the cheapest cost class.
     pub fn insert(&self, key: K, value: V) {
+        self.insert_with_cost(key, value, 1);
+    }
+
+    /// Inserts (or refreshes) `key` carrying an explicit recompute cost.
+    /// Under GDSF the cost scales retention (priority `clock + cost`); under
+    /// LRU it is ignored, so callers can pass real costs unconditionally.
+    pub fn insert_with_cost(&self, key: K, value: V, cost: u64) {
         let shard = &self.shards[self.shard_of(&key)];
         shard
             .lock()
             .expect("cache shard poisoned")
-            .insert(key, value);
+            .insert(key, value, cost);
     }
 
     /// Number of resident entries.
@@ -399,5 +505,104 @@ mod tests {
         assert_eq!(c.len(), 0);
         let s = c.stats();
         assert_eq!((s.hits, s.misses), (0, 1));
+    }
+
+    fn gdsf_shard(capacity: usize) -> ShardedLru<u64, u64> {
+        ShardedLru::with_policy(capacity, 1, EvictionPolicy::Gdsf)
+    }
+
+    /// With uniform costs, GDSF priorities are non-increasing from MRU to
+    /// LRU, so the minimum-priority victim is always the recency tail —
+    /// i.e. GDSF degenerates to exactly LRU.  Replays a mixed workload on
+    /// both policies and checks every observable step.
+    #[test]
+    fn gdsf_with_uniform_cost_is_exactly_lru() {
+        let lru = single_shard(3);
+        let gdsf = gdsf_shard(3);
+        // deterministic mixed workload: inserts, re-inserts, touches, misses
+        let ops: &[(u8, u64)] = &[
+            (0, 1),
+            (0, 2),
+            (0, 3),
+            (1, 1),
+            (0, 4), // evicts
+            (1, 2), // miss on both
+            (0, 5),
+            (1, 3),
+            (0, 1), // refresh of a resident key
+            (0, 6),
+            (1, 4),
+            (0, 7),
+        ];
+        for &(kind, k) in ops {
+            match kind {
+                0 => {
+                    lru.insert(k, k * 10);
+                    gdsf.insert_with_cost(k, k * 10, 7); // uniform, non-unit
+                }
+                _ => {
+                    assert_eq!(lru.get(&k), gdsf.get(&k), "divergence touching {k}");
+                }
+            }
+            assert_eq!(
+                lru.shard_keys_mru_first(0),
+                gdsf.shard_keys_mru_first(0),
+                "recency order diverged after op on {k}"
+            );
+        }
+    }
+
+    /// A single expensive entry (cost 1000, the ~45 ms viem class) must
+    /// survive a flood of cheap entries (cost 1, the ~1 ms rank-local
+    /// class) that overflows the shard many times over.
+    #[test]
+    fn gdsf_retains_expensive_entry_under_cheap_flood() {
+        let c = gdsf_shard(4);
+        c.insert_with_cost(100, 1, 1000);
+        for k in 0..32u64 {
+            c.insert_with_cost(k, k, 1);
+        }
+        assert_eq!(c.get(&100), Some(1), "expensive entry was evicted");
+        // under LRU the same flood evicts it immediately
+        let lru = single_shard(4);
+        lru.insert_with_cost(100, 1, 1000); // cost ignored
+        for k in 0..32u64 {
+            lru.insert_with_cost(k, k, 1);
+        }
+        assert_eq!(lru.get(&100), None);
+    }
+
+    /// The clock ages idle expensive entries out: every eviction advances
+    /// the shard clock to the victim's priority, so cheap-but-active
+    /// entries eventually out-rank an expensive entry that is never hit
+    /// again — GDSF is not a pin.
+    #[test]
+    fn gdsf_clock_eventually_ages_out_an_idle_expensive_entry() {
+        let c = gdsf_shard(2);
+        c.insert_with_cost(100, 1, 5);
+        // each cheap insert evicts the previous cheap one, walking the
+        // clock up by 1 per eviction until it passes the idle entry
+        for k in 0..16u64 {
+            c.insert_with_cost(k, k, 1);
+        }
+        assert_eq!(c.get(&100), None, "idle expensive entry must age out");
+    }
+
+    /// A hit re-earns an expensive entry its full priority, resetting the
+    /// aging countdown.
+    #[test]
+    fn gdsf_hit_refreshes_priority() {
+        let c = gdsf_shard(2);
+        c.insert_with_cost(100, 1, 5);
+        for round in 0..6u64 {
+            for k in 0..3u64 {
+                c.insert_with_cost(200 + round * 3 + k, k, 1);
+            }
+            assert_eq!(
+                c.get(&100),
+                Some(1),
+                "refreshed entry evicted in round {round}"
+            );
+        }
     }
 }

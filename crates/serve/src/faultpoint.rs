@@ -1,0 +1,233 @@
+//! Deterministic fault injection for crash testing.
+//!
+//! A *fault point* is a named place in a crash-critical code path (today:
+//! the persistence writer's append/flush/compaction path and the request
+//! handler entry).  Every point is compiled in unconditionally — unarmed,
+//! reaching one costs a relaxed atomic increment and a relaxed flag load —
+//! and its **hit count is observable** via [`hits`], which the robustness
+//! tests use both to prove a path was exercised (e.g. "three compactions
+//! actually ran") and to pick the Nth occurrence to kill.
+//!
+//! Arming happens once per process through the `STENCIL_FAULTPOINT`
+//! environment variable (read lazily on the first reach), or
+//! programmatically through [`arm`] from tests:
+//!
+//! ```text
+//! STENCIL_FAULTPOINT=persist.compact.tmp_written        # abort on hit 1
+//! STENCIL_FAULTPOINT=persist.flush.before:2             # abort on hit 2
+//! STENCIL_FAULTPOINT=serve.request:1:panic              # panic instead
+//! ```
+//!
+//! The default action is [`std::process::abort`] — the closest in-process
+//! stand-in for `kill -9`: no destructors, no buffered-writer flushes, no
+//! persistence drain.  The `panic` action unwinds instead, which is what
+//! the worker-isolation tests use to prove a poisoned request cannot take
+//! a pool worker down.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Every registered fault point.  [`reach`] debug-asserts membership so a
+/// typo in a call site cannot silently create an unkillable point; the
+/// crash-matrix test iterates this list, so adding a point here *is* adding
+/// it to the matrix.
+pub const POINTS: &[&str] = &[
+    // The writer decided to compact (threshold crossed or explicit
+    // request), before the cache is frozen.
+    "persist.compact.begin",
+    // Cache mutations frozen, queued records drained to the live log and
+    // flushed; nothing of the new file exists yet.
+    "persist.compact.frozen",
+    // The first snapshot line has been written to the temporary file.
+    "persist.compact.mid_tmp",
+    // The temporary file is complete and flushed, the rename has not
+    // happened.
+    "persist.compact.tmp_written",
+    // The rename landed: the compacted file *is* the log, but the append
+    // handle still points at the unlinked old file.
+    "persist.compact.renamed",
+    // Compaction finished: fresh append handle, byte counter reset.
+    "persist.compact.done",
+    // An explicit flush request arrived, before the buffered bytes reach
+    // the file.
+    "persist.flush.before",
+    // An explicit flush completed, before the caller is acked.
+    "persist.flush.after",
+    // One request line entered the service (used with the `panic` action
+    // to test worker isolation, never with abort in normal suites).
+    "serve.request",
+];
+
+/// What an armed fault point does when its hit count is reached.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Action {
+    /// `std::process::abort()` — the `kill -9` stand-in.
+    Abort,
+    /// `panic!` — unwinds into whatever isolation the caller has.
+    Panic,
+}
+
+#[derive(Debug, Clone)]
+struct Armed {
+    point: String,
+    /// Fire on the Nth hit (1-based).
+    at: u64,
+    action: Action,
+}
+
+struct Registry {
+    hits: Vec<AtomicU64>,
+    armed: Mutex<Option<Armed>>,
+    /// Fast path: skip the mutex entirely while nothing is armed.
+    any_armed: AtomicBool,
+}
+
+fn registry() -> &'static Registry {
+    static REGISTRY: std::sync::OnceLock<Registry> = std::sync::OnceLock::new();
+    REGISTRY.get_or_init(|| {
+        let reg = Registry {
+            hits: POINTS.iter().map(|_| AtomicU64::new(0)).collect(),
+            armed: Mutex::new(None),
+            any_armed: AtomicBool::new(false),
+        };
+        if let Ok(spec) = std::env::var("STENCIL_FAULTPOINT") {
+            match parse_spec(&spec) {
+                Ok(armed) => {
+                    *reg.armed.lock().unwrap() = Some(armed);
+                    reg.any_armed.store(true, Ordering::Release);
+                }
+                Err(e) => eprintln!("stencil-serve: ignoring STENCIL_FAULTPOINT: {e}"),
+            }
+        }
+        reg
+    })
+}
+
+fn parse_spec(spec: &str) -> Result<Armed, String> {
+    let mut parts = spec.split(':');
+    let point = parts.next().unwrap_or("").to_string();
+    if !POINTS.contains(&point.as_str()) {
+        return Err(format!("unknown fault point {point:?}"));
+    }
+    let at = match parts.next() {
+        None | Some("") => 1,
+        Some(n) => n
+            .parse::<u64>()
+            .ok()
+            .filter(|&n| n >= 1)
+            .ok_or_else(|| format!("hit count must be a positive integer, got {n:?}"))?,
+    };
+    let action = match parts.next() {
+        None | Some("abort") => Action::Abort,
+        Some("panic") => Action::Panic,
+        Some(other) => return Err(format!("unknown action {other:?} (abort or panic)")),
+    };
+    Ok(Armed { point, at, action })
+}
+
+fn index_of(name: &str) -> usize {
+    debug_assert!(
+        POINTS.contains(&name),
+        "fault point {name:?} is not registered in faultpoint::POINTS"
+    );
+    POINTS.iter().position(|&p| p == name).unwrap_or(0)
+}
+
+/// Marks the named fault point as reached: increments its hit counter and,
+/// when the point is armed and this is the armed occurrence, aborts (or
+/// panics).  Unarmed cost: two relaxed atomics.
+pub fn reach(name: &str) {
+    let reg = registry();
+    let count = reg.hits[index_of(name)].fetch_add(1, Ordering::Relaxed) + 1;
+    if !reg.any_armed.load(Ordering::Acquire) {
+        return;
+    }
+    let action = {
+        let armed = reg.armed.lock().unwrap();
+        match armed.as_ref() {
+            Some(a) if a.point == name && a.at == count => a.action,
+            _ => return,
+        }
+    };
+    match action {
+        Action::Abort => {
+            eprintln!("stencil-serve: fault point {name} (hit {count}): aborting");
+            std::process::abort();
+        }
+        Action::Panic => {
+            panic!("fault point {name} (hit {count}): injected panic");
+        }
+    }
+}
+
+/// How many times the named point has been reached in this process.
+pub fn hits(name: &str) -> u64 {
+    registry().hits[index_of(name)].load(Ordering::Relaxed)
+}
+
+/// Arms (or with `None`, disarms) a fault point programmatically.  Tests
+/// use this instead of the environment variable when they run in-process;
+/// the armed state is process-global, so tests that arm must serialise
+/// themselves around it.  `at` counts *future* hits: the trigger fires on
+/// the `at`-th reach counted from now.
+pub fn arm(spec: Option<(&str, u64, Action)>) {
+    let reg = registry();
+    let mut armed = reg.armed.lock().unwrap();
+    match spec {
+        None => {
+            *armed = None;
+            reg.any_armed.store(false, Ordering::Release);
+        }
+        Some((name, at, action)) => {
+            assert!(POINTS.contains(&name), "unknown fault point {name:?}");
+            assert!(at >= 1, "hit counts are 1-based");
+            let already = reg.hits[index_of(name)].load(Ordering::Relaxed);
+            *armed = Some(Armed {
+                point: name.to_string(),
+                at: already + at,
+                action,
+            });
+            reg.any_armed.store(true, Ordering::Release);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_counts_accumulate_and_specs_parse() {
+        let before = hits("persist.compact.done");
+        reach("persist.compact.done");
+        reach("persist.compact.done");
+        assert_eq!(hits("persist.compact.done"), before + 2);
+
+        let a = parse_spec("persist.flush.before").unwrap();
+        assert_eq!(
+            (a.point.as_str(), a.at, a.action),
+            ("persist.flush.before", 1, Action::Abort)
+        );
+        let a = parse_spec("persist.compact.renamed:3").unwrap();
+        assert_eq!((a.at, a.action), (3, Action::Abort));
+        let a = parse_spec("serve.request:2:panic").unwrap();
+        assert_eq!((a.at, a.action), (2, Action::Panic));
+        assert!(parse_spec("no.such.point").is_err());
+        assert!(parse_spec("serve.request:0").is_err());
+        assert!(parse_spec("serve.request:1:explode").is_err());
+    }
+
+    #[test]
+    fn armed_panic_fires_on_the_chosen_future_hit() {
+        // This test arms a point, so it must not run concurrently with other
+        // arming tests in this binary — unit tests here are the only users.
+        reach("persist.flush.after"); // pre-existing traffic
+        arm(Some(("persist.flush.after", 2, Action::Panic)));
+        reach("persist.flush.after"); // hit 1 after arming: no fire
+        let result = std::panic::catch_unwind(|| reach("persist.flush.after"));
+        arm(None);
+        assert!(result.is_err(), "second post-arm hit must panic");
+        // disarmed: further hits are silent
+        reach("persist.flush.after");
+    }
+}

@@ -51,6 +51,7 @@
 #![deny(rustdoc::broken_intra_doc_links)]
 
 pub mod cache;
+pub mod faultpoint;
 pub mod json;
 pub mod persist;
 pub mod protocol;
@@ -58,7 +59,7 @@ pub mod server;
 pub mod service;
 pub mod transcript;
 
-pub use cache::{CacheStats, ShardedLru};
+pub use cache::{CacheStats, EvictionPolicy, ShardedLru};
 pub use protocol::{
     Algorithm, Encoding, MapRequest, MapResponse, OverBudget, Payload, Query, ResponseBody,
 };

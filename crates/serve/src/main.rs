@@ -9,13 +9,18 @@
 //! See the crate docs ([`stencil_serve`]) and the README for the request and
 //! response schema.
 
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, OnceLock};
 
-use stencil_serve::service::{MappingService, ServiceConfig};
+use stencil_serve::cache::EvictionPolicy;
+use stencil_serve::server::ServeOptions;
+use stencil_serve::service::{MappingService, ServiceConfig, DEFAULT_COMPACT_BYTES};
 
 const USAGE: &str = "\
 usage: stencil-serve [--stdin | --listen ADDR] [--cache-capacity N] [--shards N]
-                     [--workers N] [--persist FILE]
+                     [--workers N] [--persist FILE] [--compact-bytes N]
+                     [--eviction lru|gdsf] [--max-conns N] [--read-timeout SECS]
+                     [--degrade-queue N]
 
 modes (default: --stdin):
   --stdin              serve newline-delimited JSON requests from stdin to stdout
@@ -29,6 +34,22 @@ options:
   --persist FILE       append-only cache persistence log: loaded (and compacted)
                        on start, written behind while serving, so cached
                        mappings survive restarts
+  --compact-bytes N    compact the persistence log online once it exceeds N
+                       bytes (default 67108864 = 64 MiB; 0 disables online
+                       compaction)
+  --eviction POLICY    cache eviction policy: lru (default) or gdsf
+                       (cost-aware: expensive-to-recompute mappings are
+                       retained over cheap ones)
+  --max-conns N        shed TCP connections past N simultaneous clients with
+                       an {\"error\":\"overloaded\"} line (default 1024)
+  --read-timeout SECS  reap connections stalled mid-line for SECS seconds
+                       (default 10; idle keep-alives are never reaped)
+  --degrade-queue N    serve cost-only responses while the worker queue holds
+                       N or more connections (default: off)
+
+signals: SIGTERM drains — the listener stops accepting, in-flight lines are
+answered, the persistence log is flushed and compacted, and the process
+exits 0.
 
 protocol: one JSON request per line, one JSON response per line, e.g.
   printf '{\"id\":1,\"dims\":[50,48],\"nodes\":50,\"want_mapping\":false}\\n' | stencil-serve --stdin
@@ -43,6 +64,39 @@ fn arg_value(args: &[String], flag: &str) -> Option<String> {
         .cloned()
 }
 
+/// SIGTERM handler plumbing: the handler must be a plain `extern "C"` fn, so
+/// the shutdown flag it sets lives in a process-global `OnceLock`.  Both the
+/// `OnceLock::get` (one atomic load) and the `AtomicBool::store` are
+/// async-signal-safe: no allocation, no locking.
+#[cfg(unix)]
+mod sigterm {
+    use super::*;
+
+    static SHUTDOWN: OnceLock<Arc<AtomicBool>> = OnceLock::new();
+
+    const SIGTERM: i32 = 15;
+
+    extern "C" {
+        // `signal(2)` from libc, which std already links.  Good enough here:
+        // one handler, installed once, no SA_RESTART subtleties matter
+        // because the accept loop is non-blocking and polls the flag.
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    extern "C" fn on_sigterm(_sig: i32) {
+        if let Some(flag) = SHUTDOWN.get() {
+            flag.store(true, Ordering::Release);
+        }
+    }
+
+    pub fn install(flag: Arc<AtomicBool>) {
+        let _ = SHUTDOWN.set(flag);
+        unsafe {
+            signal(SIGTERM, on_sigterm as *const () as usize);
+        }
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.iter().any(|a| a == "--help" || a == "-h") {
@@ -55,6 +109,11 @@ fn main() {
         "--shards",
         "--workers",
         "--persist",
+        "--compact-bytes",
+        "--eviction",
+        "--max-conns",
+        "--read-timeout",
+        "--degrade-queue",
     ];
     let mut i = 0;
     while i < args.len() {
@@ -85,12 +144,30 @@ fn main() {
             }),
         }
     };
+    let eviction = match arg_value(&args, "--eviction") {
+        None => EvictionPolicy::Lru,
+        Some(name) => EvictionPolicy::from_name(&name).unwrap_or_else(|| {
+            eprintln!("stencil-serve: --eviction expects 'lru' or 'gdsf', got {name:?}");
+            std::process::exit(2);
+        }),
+    };
     let cfg = ServiceConfig {
         cache_capacity: parse_num("--cache-capacity", 1024),
         cache_shards: parse_num("--shards", 8),
         persist_path: arg_value(&args, "--persist").map(std::path::PathBuf::from),
+        eviction,
+        compact_bytes: parse_num("--compact-bytes", DEFAULT_COMPACT_BYTES as usize) as u64,
     };
-    let workers = parse_num("--workers", 4);
+    let defaults = ServeOptions::default();
+    let opts = ServeOptions {
+        workers: parse_num("--workers", 4),
+        max_conns: parse_num("--max-conns", 1024),
+        read_timeout: std::time::Duration::from_secs(parse_num(
+            "--read-timeout",
+            defaults.read_timeout.as_secs() as usize,
+        ) as u64),
+        degrade_queue: parse_num("--degrade-queue", defaults.degrade_queue),
+    };
     let listen = arg_value(&args, "--listen");
     let service = match MappingService::open(&cfg) {
         Ok(s) => s,
@@ -106,13 +183,31 @@ fn main() {
             report.replayed, report.skipped, report.entries
         );
     }
+    let service = Arc::new(service);
+
+    let shutdown = Arc::new(AtomicBool::new(false));
+    #[cfg(unix)]
+    sigterm::install(Arc::clone(&shutdown));
 
     let result = match listen {
-        Some(addr) => stencil_serve::server::serve_tcp(Arc::new(service), addr.as_str(), workers),
+        Some(addr) => stencil_serve::server::serve_tcp_with(
+            Arc::clone(&service),
+            addr.as_str(),
+            opts,
+            Arc::clone(&shutdown),
+        ),
         None => stencil_serve::server::serve_stdin(&service),
     };
     if let Err(e) = result {
         eprintln!("stencil-serve: {e}");
         std::process::exit(1);
     }
+    // Clean exit (stdin EOF or SIGTERM drain): make the persistence log both
+    // durable and compact before handing the process back.
+    service.flush_persistence();
+    service.compact_persistence();
+    if shutdown.load(Ordering::Acquire) {
+        eprintln!("stencil-serve: drained on SIGTERM; persistence flushed and compacted");
+    }
+    std::process::exit(0);
 }

@@ -35,7 +35,9 @@
 //! query answers `"ranks":[…],"nodes":[…]` instead — `nodes[i]` is the
 //! compute node of queried position `ranks[i]`, read point-wise from the
 //! cached table.  A fallback response adds
-//! `"fallback_from":"<requested algorithm>"`.  Failures are reported as
+//! `"fallback_from":"<requested algorithm>"`.  A response answered
+//! cost-only because the server was shedding load adds `"degraded":true`
+//! (see the README's failure-modes section).  Failures are reported as
 //! `{"id":…, "status":"error", "error":"…"}`; the connection stays usable.
 
 use crate::json::Value;
@@ -92,6 +94,20 @@ impl Algorithm {
     /// cache keys avoids pointless cache fragmentation).
     pub fn uses_seed(&self) -> bool {
         matches!(self, Algorithm::Viem)
+    }
+
+    /// Relative recompute cost of one grid position under this algorithm,
+    /// used by GDSF eviction (entry cost = volume × weight).  The weights
+    /// mirror the measured asymmetry from the paper's setting: the
+    /// multilevel viem pipeline costs ~45 ms where the rank-local mappers
+    /// cost ~1 ms, so a viem entry is worth roughly 50 cheap entries of the
+    /// same size.  Deterministic (a pure function of the algorithm), so
+    /// costs never need to be persisted — replay re-derives them.
+    pub fn cost_weight(&self) -> u64 {
+        match self {
+            Algorithm::Viem => 50,
+            _ => 1,
+        }
     }
 }
 
@@ -384,6 +400,11 @@ pub enum ResponseBody {
         fallback_from: Option<Algorithm>,
         /// Whether the canonical cache already held the entry.
         cached: bool,
+        /// Whether overload degradation stripped the mapping payload (the
+        /// response answers cost-only as if `want_mapping:false`).  Never
+        /// set on the stdin path or under normal load, so golden
+        /// transcripts are unaffected; rendered only when `true`.
+        degraded: bool,
         /// Total inter-node communication edges of the served mapping.
         j_sum: u64,
         /// Bottleneck-node egress of the served mapping.
@@ -429,6 +450,7 @@ impl MapResponse {
                 algorithm,
                 fallback_from,
                 cached,
+                degraded,
                 j_sum,
                 j_max,
                 payload,
@@ -439,6 +461,9 @@ impl MapResponse {
                     fields.push(("fallback_from".to_string(), Value::str(from.wire_name())));
                 }
                 fields.push(("cached".to_string(), Value::Bool(cached)));
+                if degraded {
+                    fields.push(("degraded".to_string(), Value::Bool(true)));
+                }
                 fields.push(("j_sum".to_string(), Value::Num(j_sum as f64)));
                 fields.push(("j_max".to_string(), Value::Num(j_max as f64)));
                 match payload {
@@ -597,6 +622,41 @@ mod tests {
     }
 
     #[test]
+    fn degraded_flag_renders_only_when_set() {
+        let resp = |degraded| MapResponse {
+            id: None,
+            body: ResponseBody::Ok {
+                algorithm: Algorithm::Hyperplane,
+                fallback_from: None,
+                cached: true,
+                degraded,
+                j_sum: 2,
+                j_max: 1,
+                payload: Payload::None,
+            },
+        };
+        assert_eq!(
+            resp(true).to_value().compact(),
+            r#"{"status":"ok","algorithm":"hyperplane","cached":true,"degraded":true,"j_sum":2,"j_max":1}"#
+        );
+        assert!(!resp(false).to_value().compact().contains("degraded"));
+    }
+
+    #[test]
+    fn cost_weights_reflect_the_recompute_asymmetry() {
+        assert_eq!(Algorithm::Viem.cost_weight(), 50);
+        for alg in [
+            Algorithm::Hyperplane,
+            Algorithm::KdTree,
+            Algorithm::StencilStrips,
+            Algorithm::Nodecart,
+            Algorithm::Blocked,
+        ] {
+            assert_eq!(alg.cost_weight(), 1);
+        }
+    }
+
+    #[test]
     fn algorithm_wire_names_roundtrip() {
         for alg in [
             Algorithm::Hyperplane,
@@ -620,6 +680,7 @@ mod tests {
                 algorithm: Algorithm::KdTree,
                 fallback_from: Some(Algorithm::Viem),
                 cached: true,
+                degraded: false,
                 j_sum: 10,
                 j_max: 4,
                 payload: Payload::Table(vec![0, 0, 1, 1]),
@@ -647,6 +708,7 @@ mod tests {
                 algorithm: Algorithm::Hyperplane,
                 fallback_from: None,
                 cached: false,
+                degraded: false,
                 j_sum: 2,
                 j_max: 1,
                 payload,

@@ -23,8 +23,9 @@
 use std::collections::VecDeque;
 use std::io::{Read, Write};
 use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use crate::protocol::{MapResponse, ResponseBody};
 use crate::service::MappingService;
@@ -102,11 +103,21 @@ impl LineFramer {
             frames.push(self.take_frame());
         }
     }
+
+    /// True while an unterminated line (or an overlong line still being
+    /// discarded) is pending.  The TCP pool uses this to distinguish an idle
+    /// keep-alive connection (no deadline) from a client that stalled
+    /// mid-line (reaped after [`ServeOptions::read_timeout`]).
+    pub fn has_partial(&self) -> bool {
+        !self.buf.is_empty() || self.discarding
+    }
 }
 
 /// The response line for one frame; `None` for blank lines (skipped by the
-/// protocol).
-fn frame_response(service: &MappingService, frame: Frame) -> Option<String> {
+/// protocol).  A panic while handling a request is caught and converted into
+/// an error response so one poisoned request cannot take down the worker (and
+/// with it every connection that worker would have served).
+fn frame_response(service: &MappingService, frame: Frame, degrade: bool) -> Option<String> {
     let error = |msg: &str| {
         Some(
             MapResponse {
@@ -122,7 +133,18 @@ fn frame_response(service: &MappingService, frame: Frame) -> Option<String> {
             if line.trim().is_empty() {
                 None
             } else {
-                Some(service.handle_line(&line))
+                let handled = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    service.handle_line_mode(&line, degrade)
+                }));
+                match handled {
+                    Ok(response) => Some(response),
+                    Err(_) => {
+                        eprintln!(
+                            "stencil-serve: request handler panicked; answering with an error"
+                        );
+                        error("internal error while handling the request")
+                    }
+                }
             }
         }
         Frame::TooLong => error(&format!(
@@ -156,7 +178,7 @@ pub fn serve_io<R: Read, W: Write>(
             framer.push(&chunk[..n], &mut frames);
         }
         for frame in frames.drain(..) {
-            if let Some(response) = frame_response(service, frame) {
+            if let Some(response) = frame_response(service, frame, false) {
                 output.write_all(response.as_bytes())?;
                 output.write_all(b"\n")?;
                 output.flush()?;
@@ -173,19 +195,76 @@ pub fn serve_stdin(service: &MappingService) -> std::io::Result<()> {
     serve_io(service, std::io::stdin().lock(), std::io::stdout().lock())
 }
 
+/// Tuning for the TCP frontend's overload and fault behaviour.
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Worker-pool size (clamped to at least 1).
+    pub workers: usize,
+    /// Maximum simultaneously admitted connections.  A connection arriving
+    /// past the limit is answered with [`OVERLOADED_LINE`] and closed
+    /// immediately instead of silently queueing behind a saturated pool.
+    pub max_conns: usize,
+    /// How long a connection may sit with a *partial* line buffered before
+    /// it is reaped.  Idle keep-alive connections (empty framer) are never
+    /// reaped — only clients that started a line and stalled mid-way, which
+    /// would otherwise pin framer memory forever.
+    pub read_timeout: Duration,
+    /// Run-queue depth past which responses degrade: mapping requests that
+    /// did not ask a point query are answered cost-only (no table payload,
+    /// `"degraded":true`) so the saturated pool spends its cycles on answers
+    /// rather than table serialisation.  `usize::MAX` disables degradation.
+    pub degrade_queue: usize,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        Self {
+            workers: 4,
+            max_conns: 1024,
+            read_timeout: Duration::from_secs(10),
+            degrade_queue: usize::MAX,
+        }
+    }
+}
+
+/// The exact line written to a connection shed at admission because the
+/// server is at [`ServeOptions::max_conns`].  Well-formed protocol JSON, so
+/// clients can distinguish overload from a connection reset.
+pub const OVERLOADED_LINE: &str = "{\"status\":\"error\",\"error\":\"overloaded\"}";
+
+/// Decrements the pool's live-connection count when a connection is dropped,
+/// wherever that happens (worker close, deadline reap, drain).
+struct LiveGuard(Arc<PoolState>);
+
+impl Drop for LiveGuard {
+    fn drop(&mut self) {
+        self.0.live.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
 /// One pooled connection: its socket (non-blocking while queued) plus the
 /// framing state carrying bytes between turns.
 struct Conn {
     stream: TcpStream,
     framer: LineFramer,
     peer: String,
+    /// When the currently buffered partial line first appeared; `None`
+    /// while no partial line is pending.
+    partial_since: Option<Instant>,
+    _live: LiveGuard,
 }
 
 /// Shared worker-pool state: the run queue of connections with (possibly)
-/// pending input.
+/// pending input, plus overload/drain bookkeeping.
 struct PoolState {
     queue: Mutex<VecDeque<Conn>>,
     ready: Condvar,
+    /// Admitted-and-not-yet-closed connection count, for shedding.
+    live: AtomicUsize,
+    /// Set when the accept loop stops: workers finish in-flight lines on
+    /// queued connections, then exit instead of requeueing.
+    draining: AtomicBool,
+    opts: ServeOptions,
 }
 
 enum Turn {
@@ -214,7 +293,7 @@ const IDLE_SLEEP: Duration = Duration::from_millis(1);
 /// with every partial write).
 const WRITE_TIMEOUT: Duration = Duration::from_secs(5);
 
-fn serve_turn(service: &MappingService, conn: &mut Conn) -> Turn {
+fn serve_turn(service: &MappingService, conn: &mut Conn, degrade: bool) -> Turn {
     let mut frames = Vec::new();
     let mut chunk = [0u8; 16 * 1024];
     let mut progressed = false;
@@ -222,14 +301,14 @@ fn serve_turn(service: &MappingService, conn: &mut Conn) -> Turn {
         match conn.stream.read(&mut chunk) {
             Ok(0) => {
                 conn.framer.finish(&mut frames);
-                let _ = write_responses(service, conn, &mut frames);
+                let _ = write_responses(service, conn, &mut frames, degrade);
                 return Turn::Closed;
             }
             Ok(n) => {
                 conn.framer.push(&chunk[..n], &mut frames);
                 if !frames.is_empty() {
                     progressed = true;
-                    if write_responses(service, conn, &mut frames).is_err() {
+                    if write_responses(service, conn, &mut frames, degrade).is_err() {
                         return Turn::Closed;
                     }
                 }
@@ -260,10 +339,11 @@ fn write_responses(
     service: &MappingService,
     conn: &mut Conn,
     frames: &mut Vec<Frame>,
+    degrade: bool,
 ) -> std::io::Result<()> {
     let mut out = String::new();
     for frame in frames.drain(..) {
-        if let Some(response) = frame_response(service, frame) {
+        if let Some(response) = frame_response(service, frame, degrade) {
             out.push_str(&response);
             out.push('\n');
         }
@@ -283,16 +363,49 @@ fn write_responses(
 fn worker_loop(service: Arc<MappingService>, state: Arc<PoolState>) {
     let mut idle_streak = 0usize;
     loop {
-        let mut conn = {
+        let (mut conn, queue_depth) = {
             let mut queue = state.queue.lock().expect("pool queue poisoned");
             loop {
                 match queue.pop_front() {
-                    Some(conn) => break conn,
-                    None => queue = state.ready.wait(queue).expect("pool queue poisoned"),
+                    Some(conn) => break (conn, queue.len()),
+                    None => {
+                        if state.draining.load(Ordering::Acquire) {
+                            return;
+                        }
+                        let (guard, _) = state
+                            .ready
+                            .wait_timeout(queue, Duration::from_millis(20))
+                            .expect("pool queue poisoned");
+                        queue = guard;
+                    }
                 }
             }
         };
-        let turn = serve_turn(&service, &mut conn);
+        if state.draining.load(Ordering::Acquire) {
+            // Finish whatever complete lines this connection already sent,
+            // then close it; nothing is requeued during a drain.
+            while matches!(serve_turn(&service, &mut conn, false), Turn::Progress) {}
+            continue;
+        }
+        // A connection stalled mid-line past the deadline is reaped; idle
+        // connections with an empty framer are left alone indefinitely.
+        if let Some(since) = conn.partial_since {
+            if since.elapsed() >= state.opts.read_timeout {
+                eprintln!(
+                    "stencil-serve: {}: read deadline exceeded mid-line; dropping connection",
+                    conn.peer
+                );
+                idle_streak = 0;
+                continue;
+            }
+        }
+        let degrade = queue_depth >= state.opts.degrade_queue;
+        let turn = serve_turn(&service, &mut conn, degrade);
+        if conn.framer.has_partial() {
+            conn.partial_since.get_or_insert_with(Instant::now);
+        } else {
+            conn.partial_since = None;
+        }
         match turn {
             Turn::Closed => {
                 idle_streak = 0;
@@ -326,31 +439,91 @@ pub fn serve_tcp<A: ToSocketAddrs>(
     addr: A,
     workers: usize,
 ) -> std::io::Result<()> {
+    serve_tcp_with(
+        service,
+        addr,
+        ServeOptions {
+            workers,
+            ..ServeOptions::default()
+        },
+        Arc::new(AtomicBool::new(false)),
+    )
+}
+
+/// Binds `addr` and serves connections with full [`ServeOptions`] control,
+/// returning cleanly once `shutdown` is set (the SIGTERM drain path).
+pub fn serve_tcp_with<A: ToSocketAddrs>(
+    service: Arc<MappingService>,
+    addr: A,
+    opts: ServeOptions,
+    shutdown: Arc<AtomicBool>,
+) -> std::io::Result<()> {
     let listener = TcpListener::bind(addr)?;
     eprintln!("stencil-serve: listening on {}", listener.local_addr()?);
-    serve_listener(service, listener, workers)
+    serve_listener_with(service, listener, opts, shutdown)
 }
 
 /// Serves connections accepted from an existing listener (split out so tests
 /// can bind an ephemeral port themselves) on a pool of `workers` threads;
-/// the calling thread runs the accept loop.
+/// the calling thread runs the accept loop and never returns under normal
+/// operation.  See [`serve_listener_with`] for overload/drain control.
 pub fn serve_listener(
     service: Arc<MappingService>,
     listener: TcpListener,
     workers: usize,
 ) -> std::io::Result<()> {
+    serve_listener_with(
+        service,
+        listener,
+        ServeOptions {
+            workers,
+            ..ServeOptions::default()
+        },
+        Arc::new(AtomicBool::new(false)),
+    )
+}
+
+/// Serves connections accepted from `listener` until `shutdown` is set.
+///
+/// Overload behaviour: a connection arriving while
+/// [`ServeOptions::max_conns`] connections are already live is answered with
+/// one [`OVERLOADED_LINE`] and closed — load is shed explicitly instead of
+/// queueing unboundedly.  When the run queue is deeper than
+/// [`ServeOptions::degrade_queue`], responses degrade to cost-only (flagged
+/// `"degraded":true`).
+///
+/// Drain behaviour: once `shutdown` is observed the accept loop stops, the
+/// workers finish the complete lines already received on queued connections,
+/// every socket is closed, and the call returns `Ok(())` — the caller can
+/// then flush and compact persistence before exiting.
+pub fn serve_listener_with(
+    service: Arc<MappingService>,
+    listener: TcpListener,
+    opts: ServeOptions,
+    shutdown: Arc<AtomicBool>,
+) -> std::io::Result<()> {
     let state = Arc::new(PoolState {
         queue: Mutex::new(VecDeque::new()),
         ready: Condvar::new(),
+        live: AtomicUsize::new(0),
+        draining: AtomicBool::new(false),
+        opts,
     });
-    for _ in 0..workers.max(1) {
+    let mut handles = Vec::new();
+    for _ in 0..state.opts.workers.max(1) {
         let service = Arc::clone(&service);
         let state = Arc::clone(&state);
-        std::thread::spawn(move || worker_loop(service, state));
+        handles.push(std::thread::spawn(move || worker_loop(service, state)));
     }
-    for stream in listener.incoming() {
-        let stream = match stream {
-            Ok(s) => s,
+    listener.set_nonblocking(true)?;
+    while !shutdown.load(Ordering::Acquire) {
+        let (stream, addr) = match listener.accept() {
+            Ok(pair) => pair,
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+                continue;
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
             Err(e) => {
                 eprintln!("stencil-serve: accept failed: {e}");
                 // persistent accept errors (e.g. EMFILE when out of fds)
@@ -359,10 +532,11 @@ pub fn serve_listener(
                 continue;
             }
         };
-        let peer = stream
-            .peer_addr()
-            .map(|a| a.to_string())
-            .unwrap_or_else(|_| "<unknown>".to_string());
+        let peer = addr.to_string();
+        if state.live.load(Ordering::Acquire) >= state.opts.max_conns {
+            shed(stream, &peer);
+            continue;
+        }
         if let Err(e) = stream
             .set_nonblocking(true)
             .and_then(|()| stream.set_write_timeout(Some(WRITE_TIMEOUT)))
@@ -370,15 +544,34 @@ pub fn serve_listener(
             eprintln!("stencil-serve: {peer}: cannot configure socket: {e}");
             continue;
         }
-        let mut queue = state.queue.lock().expect("pool queue poisoned");
-        queue.push_back(Conn {
+        state.live.fetch_add(1, Ordering::AcqRel);
+        let conn = Conn {
             stream,
             framer: LineFramer::new(),
             peer,
-        });
+            partial_since: None,
+            _live: LiveGuard(Arc::clone(&state)),
+        };
+        let mut queue = state.queue.lock().expect("pool queue poisoned");
+        queue.push_back(conn);
         state.ready.notify_one();
+        drop(queue);
+    }
+    state.draining.store(true, Ordering::Release);
+    state.ready.notify_all();
+    for handle in handles {
+        let _ = handle.join();
     }
     Ok(())
+}
+
+/// Answers a connection shed at admission with one well-formed error line.
+/// Best-effort: the client may already be gone.
+fn shed(mut stream: TcpStream, peer: &str) {
+    eprintln!("stencil-serve: {peer}: shedding connection (overloaded)");
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
+    let _ = stream.write_all(OVERLOADED_LINE.as_bytes());
+    let _ = stream.write_all(b"\n");
 }
 
 #[cfg(test)]

@@ -15,11 +15,12 @@
 //! are byte-identical for every thread count (the engine's guarantee) and
 //! the hit/miss pattern is a pure function of the sequence.
 
-use std::sync::{Arc, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock};
 
-use crate::cache::{CacheStats, ShardedLru};
+use crate::cache::{CacheStats, EvictionPolicy, ShardedLru};
+use crate::faultpoint;
 use crate::json::{encode_nodes_compact, Value};
-use crate::persist::{load_and_compact, LoadReport, PersistLog};
+use crate::persist::{load_and_compact, CacheSnapshotter, LoadReport, PersistLog, PersistStats};
 use crate::protocol::{
     Algorithm, Encoding, MapRequest, MapResponse, OverBudget, Payload, Query, ResponseBody,
 };
@@ -98,6 +99,15 @@ impl Clone for CacheEntry {
     }
 }
 
+/// The GDSF recompute cost of a cache entry: grid volume × the algorithm's
+/// [`Algorithm::cost_weight`].  A pure function of the key, so the
+/// persistence log never stores costs — replay re-derives them.  Ignored
+/// under LRU eviction.
+pub fn entry_cost(key: &CacheKey) -> u64 {
+    let volume: u64 = key.dims.iter().map(|&d| d as u64).product();
+    volume.saturating_mul(key.algorithm.cost_weight())
+}
+
 /// Service tuning knobs.
 #[derive(Debug, Clone)]
 pub struct ServiceConfig {
@@ -110,7 +120,18 @@ pub struct ServiceConfig {
     /// to write-behind while serving, so a restarted server answers
     /// previously cached requests as hits without recomputation.
     pub persist_path: Option<std::path::PathBuf>,
+    /// Eviction policy: LRU (default, byte-stable goldens) or GDSF
+    /// (recompute cost scales retention).
+    pub eviction: EvictionPolicy,
+    /// Online-compaction threshold for the persistence log, in bytes: once
+    /// the live log outgrows it, the writer thread rewrites and atomically
+    /// swaps the log without a restart.  0 disables online compaction
+    /// (load-time compaction still runs).
+    pub compact_bytes: u64,
 }
+
+/// Default online-compaction threshold (`--compact-bytes`): 64 MiB.
+pub const DEFAULT_COMPACT_BYTES: u64 = 64 * 1024 * 1024;
 
 impl Default for ServiceConfig {
     fn default() -> Self {
@@ -118,6 +139,8 @@ impl Default for ServiceConfig {
             cache_capacity: 1024,
             cache_shards: 8,
             persist_path: None,
+            eviction: EvictionPolicy::Lru,
+            compact_bytes: DEFAULT_COMPACT_BYTES,
         }
     }
 }
@@ -126,15 +149,17 @@ impl Default for ServiceConfig {
 /// hand clones to every connection thread.  Dropping the service flushes
 /// and closes the persistence log.
 pub struct MappingService {
-    cache: ShardedLru<CacheKey, Arc<CacheEntry>>,
+    cache: Arc<ShardedLru<CacheKey, Arc<CacheEntry>>>,
     persist: Option<PersistLog>,
     /// One lock per cache shard, held around `(cache op, log record)` pairs
     /// when persistence is on, so the log's per-shard record order always
     /// matches the order the operations hit the shard — without it, two
     /// workers could touch the same shard and log in the opposite order,
-    /// and a replay would reproduce the wrong recency.  Unused (and
+    /// and a replay would reproduce the wrong recency.  The persistence
+    /// writer's online compaction takes *all* of them to freeze the cache
+    /// while it snapshots (see [`CacheSnapshotter`]).  Unused (and
     /// uncontended) without persistence.
-    persist_locks: Vec<std::sync::Mutex<()>>,
+    persist_locks: Arc<Vec<Mutex<()>>>,
     load_report: LoadReport,
 }
 
@@ -162,17 +187,23 @@ impl MappingService {
     /// Creates a service, loading (and compacting) the persistence log when
     /// one is configured.
     pub fn open(cfg: &ServiceConfig) -> Result<Self, String> {
-        let cache = ShardedLru::new(cfg.cache_capacity, cfg.cache_shards);
+        let cache = Arc::new(ShardedLru::with_policy(
+            cfg.cache_capacity,
+            cfg.cache_shards,
+            cfg.eviction,
+        ));
+        let persist_locks: Arc<Vec<Mutex<()>>> =
+            Arc::new((0..cache.num_shards()).map(|_| Mutex::new(())).collect());
         let (persist, load_report) = match &cfg.persist_path {
             None => (None, LoadReport::default()),
             Some(path) => {
                 let report = load_and_compact(path, &cache)?;
-                (Some(PersistLog::open_append(path)?), report)
+                let snapshotter =
+                    CacheSnapshotter::new(Arc::clone(&cache), Arc::clone(&persist_locks));
+                let log = PersistLog::open_append(path, cfg.compact_bytes, Some(snapshotter))?;
+                (Some(log), report)
             }
         };
-        let persist_locks = (0..cache.num_shards())
-            .map(|_| std::sync::Mutex::new(()))
-            .collect();
         Ok(MappingService {
             cache,
             persist,
@@ -200,6 +231,22 @@ impl MappingService {
         }
     }
 
+    /// Blocks until the persistence log has been compacted (rewritten to
+    /// one insert per resident entry and atomically swapped).  Used on
+    /// drain/shutdown and by the crash tests to trigger compaction at a
+    /// deterministic moment.  No-op without persistence.
+    pub fn compact_persistence(&self) {
+        if let Some(p) = &self.persist {
+            p.compact();
+        }
+    }
+
+    /// The persistence writer's counters (appends, drops, flushes,
+    /// compactions); `None` without persistence.
+    pub fn persist_stats(&self) -> Option<PersistStats> {
+        self.persist.as_ref().map(|p| p.stats())
+    }
+
     /// The `(key, entry)` pairs of one cache shard, least recently used
     /// first, without touching recency (diagnostics; the persistence reload
     /// tests compare these across a restart).
@@ -224,6 +271,17 @@ impl MappingService {
     /// engine's rank-parallel fan-out on every miss) and above (the TCP
     /// worker pool, where one pooled worker holds a connection at a time).
     pub fn handle_line(&self, line: &str) -> String {
+        self.handle_line_mode(line, false)
+    }
+
+    /// Like [`MappingService::handle_line`], but with `degrade` set every
+    /// table response is answered cost-only (as if `want_mapping:false`)
+    /// and flagged `"degraded":true` — the overloaded server's way of
+    /// keeping the admission-control answer flowing while shedding the
+    /// expensive serialisation.  Point queries and cost-only requests are
+    /// already cheap and are served in full.
+    pub fn handle_line_mode(&self, line: &str, degrade: bool) -> String {
+        faultpoint::reach("serve.request");
         let parsed = match Value::parse(line) {
             Ok(v) => v,
             Err(e) => {
@@ -246,18 +304,24 @@ impl MappingService {
             };
             let responses: Vec<Value> = items
                 .iter()
-                .map(|item| self.handle_value(item).into_value())
+                .map(|item| self.handle_value_mode(item, degrade).into_value())
                 .collect();
             Value::obj(vec![("batch", Value::Arr(responses))]).compact()
         } else {
-            self.handle_value(&parsed).into_value().compact()
+            self.handle_value_mode(&parsed, degrade)
+                .into_value()
+                .compact()
         }
     }
 
     /// Handles one parsed request object.
     pub fn handle_value(&self, v: &Value) -> MapResponse {
+        self.handle_value_mode(v, false)
+    }
+
+    fn handle_value_mode(&self, v: &Value, degrade: bool) -> MapResponse {
         match MapRequest::from_value(v) {
-            Ok(req) => self.handle_request(&req),
+            Ok(req) => self.handle_request_mode(&req, degrade),
             Err(e) => MapResponse {
                 id: v.get("id").cloned(),
                 body: ResponseBody::Error(e),
@@ -269,6 +333,10 @@ impl MappingService {
     /// compute, admission control, transport back to the request's own
     /// dimension order.
     pub fn handle_request(&self, req: &MapRequest) -> MapResponse {
+        self.handle_request_mode(req, false)
+    }
+
+    fn handle_request_mode(&self, req: &MapRequest, degrade: bool) -> MapResponse {
         let canon = canonicalize(&req.dims, &req.stencil);
         let (entry, cached) = match self.lookup_or_compute(req, &canon, req.algorithm, req.seed) {
             Ok(hit) => hit,
@@ -330,6 +398,9 @@ impl MappingService {
         }
 
         let (algorithm, entry, cached, fallback_from) = served;
+        // overload degradation strips exactly the table payloads — the part
+        // whose serialisation cost scales with the grid volume
+        let degraded = degrade && req.want_mapping && req.query.is_none();
         let payload = match &req.query {
             // point lookups: read the cached canonical table entry-wise,
             // transporting each queried position through the relabeling —
@@ -341,7 +412,7 @@ impl MappingService {
                     .collect(),
                 ranks: ranks.clone(),
             },
-            None if !req.want_mapping => Payload::None,
+            None if !req.want_mapping || degraded => Payload::None,
             None => match req.encoding {
                 Encoding::Verbose => {
                     Payload::Table(canon.restore_positions(&req.dims, &entry.nodes))
@@ -361,6 +432,7 @@ impl MappingService {
                 algorithm,
                 fallback_from,
                 cached,
+                degraded,
                 j_sum: entry.j_sum,
                 j_max: entry.j_max,
                 payload,
@@ -432,13 +504,14 @@ impl MappingService {
             cost.j_sum,
             cost.j_max,
         ));
+        let cost = entry_cost(&key);
         if let Some(p) = &self.persist {
             let lock = &self.persist_locks[self.cache.shard_of(&key)];
             let _guard = lock.lock().expect("persist lock poisoned");
             p.record_insert(&key, &entry);
-            self.cache.insert(key, Arc::clone(&entry));
+            self.cache.insert_with_cost(key, Arc::clone(&entry), cost);
         } else {
-            self.cache.insert(key, Arc::clone(&entry));
+            self.cache.insert_with_cost(key, Arc::clone(&entry), cost);
         }
         Ok((entry, false))
     }
@@ -734,6 +807,93 @@ mod tests {
         // the engine was never touched: zero misses on the reloaded service
         assert_eq!(s.cache_stats().misses, 0);
         let _ = std::fs::remove_file(&path);
+    }
+
+    /// The acceptance scenario: under GDSF a ~45 ms viem entry outlives a
+    /// flood of ~1 ms rank-local entries that overflows the cache many
+    /// times, while under LRU the same flood evicts it.
+    #[test]
+    fn gdsf_mode_retains_viem_entry_under_rank_local_flood() {
+        let run = |eviction: EvictionPolicy| {
+            let s = MappingService::new(&ServiceConfig {
+                cache_capacity: 4,
+                cache_shards: 1,
+                eviction,
+                ..ServiceConfig::default()
+            });
+            let viem = r#"{"dims":[6,4],"nodes":4,"algorithm":"viem","want_mapping":false}"#;
+            s.handle_line(viem);
+            // distinct cheap entries, each smaller in volume than the viem
+            // grid, so only the algorithm's cost weight can save it
+            for n in 2..14usize {
+                s.handle_line(&format!(
+                    r#"{{"dims":[{n},4],"nodes":{n},"want_mapping":false}}"#
+                ));
+            }
+            let again = s.handle_line(viem);
+            Value::parse(&again)
+                .unwrap()
+                .get("cached")
+                .and_then(Value::as_bool)
+                .unwrap()
+        };
+        assert!(run(EvictionPolicy::Gdsf), "GDSF must retain the viem entry");
+        assert!(!run(EvictionPolicy::Lru), "LRU must have evicted it");
+    }
+
+    #[test]
+    fn degraded_mode_strips_tables_and_flags_them() {
+        let s = service();
+        // table request: payload stripped, flagged
+        let out = s.handle_line_mode(r#"{"id":1,"dims":[12,8],"nodes":8}"#, true);
+        let v = Value::parse(&out).unwrap();
+        assert_eq!(v.get("status").and_then(Value::as_str), Some("ok"));
+        assert_eq!(v.get("degraded").and_then(Value::as_bool), Some(true));
+        assert!(v.get("nodes").is_none(), "{out}");
+        assert!(v.get("j_sum").is_some());
+        // cost-only and point queries are already cheap: served in full
+        let out = s.handle_line_mode(r#"{"dims":[12,8],"nodes":8,"want_mapping":false}"#, true);
+        assert!(!out.contains("degraded"), "{out}");
+        let out = s.handle_line_mode(
+            r#"{"dims":[12,8],"nodes":8,"query":"new_rank_of","ranks":[3]}"#,
+            true,
+        );
+        let v = Value::parse(&out).unwrap();
+        assert!(v.get("nodes").is_some());
+        assert!(v.get("degraded").is_none(), "{out}");
+        // batch items degrade individually
+        let out = s.handle_line_mode(
+            r#"{"batch":[{"id":"a","dims":[6,6],"nodes":4},{"id":"b","dims":[6,6],"nodes":4,"want_mapping":false}]}"#,
+            true,
+        );
+        let v = Value::parse(&out).unwrap();
+        let batch = v.get("batch").and_then(Value::as_arr).unwrap();
+        assert_eq!(
+            batch[0].get("degraded").and_then(Value::as_bool),
+            Some(true)
+        );
+        assert!(batch[1].get("degraded").is_none());
+        // and degrade=false is byte-identical to the plain entry point
+        // (warm the entry first so `cached` agrees between the two calls)
+        s.handle_line(r#"{"dims":[4,4],"nodes":4}"#);
+        let a = s.handle_line(r#"{"dims":[4,4],"nodes":4}"#);
+        let b = s.handle_line_mode(r#"{"dims":[4,4],"nodes":4}"#, false);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn entry_costs_scale_with_volume_and_algorithm() {
+        let key = |dims: Vec<usize>, algorithm| CacheKey {
+            dims,
+            stencil: vec![1, 0, -1, 0],
+            periodic: false,
+            alloc: vec![4, 4],
+            algorithm,
+            seed: 0,
+        };
+        assert_eq!(entry_cost(&key(vec![4, 2], Algorithm::Hyperplane)), 8);
+        assert_eq!(entry_cost(&key(vec![4, 2], Algorithm::Viem)), 400);
+        assert_eq!(entry_cost(&key(vec![8, 8], Algorithm::KdTree)), 64);
     }
 
     #[test]

@@ -14,7 +14,7 @@
 use proptest::prelude::*;
 use stencil_serve::json::{decode_nodes_compact, Value};
 use stencil_serve::service::{MappingService, ServiceConfig};
-use stencil_serve::ShardedLru;
+use stencil_serve::{EvictionPolicy, ShardedLru};
 
 /// Builds the request line for dims permuted by `perm` (stencil given as
 /// explicit offsets permuted the same way, so the request is equivalent).
@@ -178,6 +178,7 @@ proptest! {
             cache_capacity: capacity,
             cache_shards: 2,
             persist_path: Some(path.clone()),
+            ..ServiceConfig::default()
         };
         // a pool of distinct cheap instances; repeats become hits (touches)
         let universe: Vec<String> = (0..10).map(|i| {
@@ -229,6 +230,7 @@ fn persisted_reload_matches_under_concurrent_traffic() {
         cache_capacity: 8,
         cache_shards: 2,
         persist_path: Some(path.clone()),
+        ..ServiceConfig::default()
     };
     let before: Vec<Vec<_>>;
     {
@@ -353,6 +355,49 @@ fn lru_eviction_ordering_is_sequential_per_shard_under_concurrency() {
         }
     });
     assert!(cache.len() <= SHARDS * PER_SHARD_CAP);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// GDSF with uniform costs is *exactly* per-shard LRU: for arbitrary
+    /// mixed get/insert sequences, every observation and the final recency
+    /// order match the sequential LRU model.  This is the property that lets
+    /// `--eviction gdsf` share the LRU code path, goldens, and persistence
+    /// format — the policies only diverge when costs differ.
+    #[test]
+    fn gdsf_with_uniform_costs_matches_the_lru_oracle(
+        ops in proptest::collection::vec(0u64..48_000, 1..120),
+        cap in 1usize..6,
+    ) {
+        let cache: ShardedLru<u64, u64> =
+            ShardedLru::with_policy(cap, 1, EvictionPolicy::Gdsf);
+        let mut model = ModelLru { cap, entries: Vec::new() };
+        for (step, &encoded) in ops.iter().enumerate() {
+            // decode (key, op-kind, value) from one draw; the vendored
+            // proptest has no tuple strategies
+            let key = encoded % 12;
+            let op = (encoded / 12) % 2;
+            let val = encoded / 24;
+            if op == 0 {
+                cache.insert_with_cost(key, val, 1);
+                model.insert(key, val);
+            } else {
+                prop_assert_eq!(
+                    cache.get(&key),
+                    model.get(key),
+                    "step {}: uniform-cost GDSF diverged from LRU",
+                    step
+                );
+            }
+            prop_assert_eq!(
+                cache.shard_keys_mru_first(0),
+                model.entries.iter().map(|&(k, _)| k).collect::<Vec<_>>(),
+                "step {}: recency order diverged",
+                step
+            );
+        }
+    }
 }
 
 /// Replays a mixed request batch (singles, batches, errors, fallbacks,
