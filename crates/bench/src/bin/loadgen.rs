@@ -39,8 +39,21 @@
 //! With `--flood ADDR` the binary instead acts as the overload smoke
 //! client: it opens `--conns N` simultaneous TCP connections against a
 //! running `stencil-serve --listen` and verifies that excess connections
-//! are shed with the well-formed overloaded error line while admitted ones
-//! are served.
+//! are shed with the well-formed, newline-terminated overloaded error line
+//! while admitted ones are served.
+//!
+//! With `--send ADDR` it is a transcript replay client: request lines are
+//! read from stdin, pipelined over one TCP connection, and the response
+//! lines are echoed to stdout 1:1 — CI uses this to prove the TCP frontend
+//! answers a request file byte-identically under both poll backends (and
+//! identically to `--stdin` mode).
+//!
+//! With `--idle ADDR --pid P` it is the idle-cost smoke client: it parks
+//! `--conns N` keep-alive connections (each proven live with one request
+//! first) against a running server, then samples the server's CPU time from
+//! `/proc/P/stat` over `--secs S` and fails if the idle fleet cost more
+//! than `--cpu-budget` seconds of CPU — the epoll frontend's "idle
+//! connections cost zero" guarantee, checked against the real binary.
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
@@ -107,7 +120,7 @@ fn flood(addr: &str, conns: usize) -> i32 {
             }
         }
     }
-    let (mut served, mut shed, mut dead) = (0usize, 0usize, 0usize);
+    let (mut served, mut shed, mut torn, mut dead) = (0usize, 0usize, 0usize, 0usize);
     for stream in &mut streams {
         let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
         // A shed connection may already be closed server-side; the write can
@@ -116,21 +129,163 @@ fn flood(addr: &str, conns: usize) -> i32 {
         let mut line = String::new();
         let mut reader = BufReader::new(&mut *stream);
         match reader.read_line(&mut line) {
-            Ok(n) if n > 0 && line.contains("\"error\":\"overloaded\"") => shed += 1,
+            // every shed line must arrive whole: newline-terminated, in one
+            // piece (the server writes it as a single buffered write)
+            Ok(n) if n > 0 && line.contains("\"error\":\"overloaded\"") => {
+                if line.ends_with('\n') {
+                    shed += 1;
+                } else {
+                    eprintln!("flood: torn shed line (no trailing newline): {line:?}");
+                    torn += 1;
+                }
+            }
             Ok(n) if n > 0 && line.contains("\"status\":\"ok\"") => served += 1,
             _ => dead += 1,
         }
     }
     eprintln!(
-        "flood: {} connections -> {served} served, {shed} shed, {dead} dead",
+        "flood: {} connections -> {served} served, {shed} shed, {torn} torn, {dead} dead",
         streams.len()
     );
     println!(
-        "{{\"connections\":{},\"served\":{served},\"shed\":{shed},\"dead\":{dead}}}",
+        "{{\"connections\":{},\"served\":{served},\"shed\":{shed},\"torn\":{torn},\"dead\":{dead}}}",
         streams.len()
     );
+    if torn > 0 {
+        eprintln!("flood: FAILED — shed lines must be newline-terminated");
+        return 1;
+    }
     if served == 0 || shed == 0 {
         eprintln!("flood: FAILED — expected both served and shed connections");
+        return 1;
+    }
+    0
+}
+
+/// Transcript replay client: pipelines every stdin line over one TCP
+/// connection and echoes exactly one response line per request line to
+/// stdout.  Blank lines and `#` comments are skipped (matching the golden
+/// transcript format); the server answers every other line — malformed
+/// ones with an error line — so the mapping stays 1:1.
+fn send(addr: &str) -> i32 {
+    let mut input = String::new();
+    if let Err(e) = std::io::Read::read_to_string(&mut std::io::stdin(), &mut input) {
+        eprintln!("send: reading stdin: {e}");
+        return 1;
+    }
+    let requests: Vec<&str> = input
+        .lines()
+        .filter(|l| !l.trim().is_empty() && !l.trim_start().starts_with('#'))
+        .collect();
+    let mut stream = match TcpStream::connect(addr) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("send: connect to {addr} failed: {e}");
+            return 1;
+        }
+    };
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
+    for line in &requests {
+        if let Err(e) = stream.write_all(format!("{line}\n").as_bytes()) {
+            eprintln!("send: write failed: {e}");
+            return 1;
+        }
+    }
+    let mut reader = BufReader::new(&mut stream);
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    for i in 0..requests.len() {
+        let mut line = String::new();
+        match reader.read_line(&mut line) {
+            Ok(n) if n > 0 => {
+                if out.write_all(line.as_bytes()).is_err() {
+                    return 1;
+                }
+            }
+            other => {
+                eprintln!(
+                    "send: response {} of {} missing: {other:?}",
+                    i + 1,
+                    requests.len()
+                );
+                return 1;
+            }
+        }
+    }
+    0
+}
+
+/// Total CPU time (user + system) of `pid` in clock ticks, read from
+/// `/proc/<pid>/stat`.  The command name (field 2) may itself contain
+/// spaces, so fields are counted from the closing parenthesis.
+fn cpu_ticks(pid: u32) -> Option<u64> {
+    let stat = std::fs::read_to_string(format!("/proc/{pid}/stat")).ok()?;
+    let after_comm = stat.rsplit_once(')')?.1;
+    let fields: Vec<&str> = after_comm.split_whitespace().collect();
+    // stat(5): utime and stime are fields 14 and 15 (1-based); the slice
+    // after ')' starts at field 3 (state)
+    let utime: u64 = fields.get(11)?.parse().ok()?;
+    let stime: u64 = fields.get(12)?.parse().ok()?;
+    Some(utime + stime)
+}
+
+/// Idle-cost smoke client: parks `conns` proven-live keep-alive connections
+/// against a running server and asserts the server's CPU time over `secs`
+/// stays within `cpu_budget` seconds.  With the epoll frontend the parked
+/// fleet costs nothing; the threadpoll frontend pays a poll pass per
+/// connection per millisecond, which this smoke is sized to catch.
+fn idle(addr: &str, conns: usize, pid: u32, secs: f64, cpu_budget: f64) -> i32 {
+    let request = "{\"dims\":[12,8],\"nodes\":8,\"want_mapping\":false}\n";
+    let mut streams = Vec::with_capacity(conns);
+    for i in 0..conns {
+        let mut stream = match TcpStream::connect(addr) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("idle: connect {i} to {addr} failed: {e}");
+                return 1;
+            }
+        };
+        // one served request proves the connection is admitted and live
+        // before it goes idle
+        let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+        if stream.write_all(request.as_bytes()).is_err() {
+            eprintln!("idle: connection {i} rejected its warmup request");
+            return 1;
+        }
+        let mut line = String::new();
+        match BufReader::new(&mut stream).read_line(&mut line) {
+            Ok(n) if n > 0 && line.contains("\"status\":\"ok\"") => {}
+            other => {
+                eprintln!("idle: connection {i} warmup failed: {other:?} {line:?}");
+                return 1;
+            }
+        }
+        streams.push(stream);
+    }
+    // let the server park the now-silent fleet before sampling
+    std::thread::sleep(Duration::from_millis(300));
+    let Some(before) = cpu_ticks(pid) else {
+        eprintln!("idle: cannot read /proc/{pid}/stat (Linux only)");
+        return 1;
+    };
+    std::thread::sleep(Duration::from_secs_f64(secs));
+    let Some(after) = cpu_ticks(pid) else {
+        eprintln!("idle: server {pid} vanished mid-measurement");
+        return 1;
+    };
+    // CLK_TCK is 100 on every Linux configuration this repo targets
+    let cpu_s = (after - before) as f64 / 100.0;
+    eprintln!(
+        "idle: {} idle connections for {secs}s -> {cpu_s:.3}s server CPU \
+         (budget {cpu_budget}s)",
+        streams.len()
+    );
+    println!(
+        "{{\"connections\":{},\"window_s\":{secs},\"server_cpu_s\":{cpu_s},\"cpu_budget_s\":{cpu_budget}}}",
+        streams.len()
+    );
+    if cpu_s > cpu_budget {
+        eprintln!("idle: FAILED — idle connections are burning CPU");
         return 1;
     }
     0
@@ -143,6 +298,24 @@ fn main() {
             .map(|v| v.parse::<usize>().expect("--conns expects a number"))
             .unwrap_or(16);
         std::process::exit(flood(&addr, conns));
+    }
+    if let Some(addr) = stencil_bench::arg_value(&args, "--send") {
+        std::process::exit(send(&addr));
+    }
+    if let Some(addr) = stencil_bench::arg_value(&args, "--idle") {
+        let conns = stencil_bench::arg_value(&args, "--conns")
+            .map(|v| v.parse::<usize>().expect("--conns expects a number"))
+            .unwrap_or(64);
+        let pid = stencil_bench::arg_value(&args, "--pid")
+            .map(|v| v.parse::<u32>().expect("--pid expects a process id"))
+            .expect("--idle requires --pid SERVER_PID");
+        let secs = stencil_bench::arg_value(&args, "--secs")
+            .map(|v| v.parse::<f64>().expect("--secs expects seconds"))
+            .unwrap_or(2.0);
+        let cpu_budget = stencil_bench::arg_value(&args, "--cpu-budget")
+            .map(|v| v.parse::<f64>().expect("--cpu-budget expects seconds"))
+            .unwrap_or(0.2);
+        std::process::exit(idle(&addr, conns, pid, secs, cpu_budget));
     }
     let quick = args.iter().any(|a| a == "--quick");
     let out_path =

@@ -128,26 +128,19 @@ impl Value {
     /// Writes the value as compact single-line JSON.
     pub fn compact(&self) -> String {
         let mut out = String::new();
-        self.write(&mut out);
+        self.write_into(&mut out);
         out
     }
 
-    fn write(&self, out: &mut String) {
+    /// Appends the value as compact single-line JSON to `out`.  The direct
+    /// writers below ([`write_f64`], [`write_u32`], [`write_string`]) produce
+    /// byte-identical output for the corresponding scalar shapes, so hot
+    /// paths can stream fields without building a `Value` tree first.
+    pub fn write_into(&self, out: &mut String) {
         match self {
             Value::Null => out.push_str("null"),
             Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
-            Value::Num(x) => {
-                use std::fmt::Write;
-                if x.is_finite() {
-                    if x.fract() == 0.0 && x.abs() < 9.0e15 {
-                        let _ = write!(out, "{}", *x as i64);
-                    } else {
-                        let _ = write!(out, "{x}");
-                    }
-                } else {
-                    out.push_str("null");
-                }
-            }
+            Value::Num(x) => write_f64(out, *x),
             Value::Str(s) => write_string(out, s),
             Value::Arr(items) => {
                 out.push('[');
@@ -155,7 +148,7 @@ impl Value {
                     if i > 0 {
                         out.push(',');
                     }
-                    item.write(out);
+                    item.write_into(out);
                 }
                 out.push(']');
             }
@@ -167,7 +160,7 @@ impl Value {
                     }
                     write_string(out, k);
                     out.push(':');
-                    v.write(out);
+                    v.write_into(out);
                 }
                 out.push('}');
             }
@@ -175,7 +168,118 @@ impl Value {
     }
 }
 
-fn write_string(out: &mut String, s: &str) {
+/// Appends a number exactly as [`Value::Num`] serialises it: integral finite
+/// values inside exact-`i64` range print without a fraction, other finite
+/// values use Rust's shortest round-trip `Display`, non-finite values become
+/// `null`.  Shared by the tree writer and the direct response writer so the
+/// two paths cannot drift.
+pub fn write_f64(out: &mut String, x: f64) {
+    use std::fmt::Write;
+    if x.is_finite() {
+        if x.fract() == 0.0 && x.abs() < 9.0e15 {
+            let _ = write!(out, "{}", x as i64);
+        } else {
+            let _ = write!(out, "{x}");
+        }
+    } else {
+        out.push_str("null");
+    }
+}
+
+/// `DIGIT_PAIRS[2n..2n+2]` is the two-digit decimal rendering of `n`
+/// (`00`–`99`): one table lookup per two digits instead of two divisions.
+const DIGIT_PAIRS: [u8; 200] = {
+    let mut d = [0u8; 200];
+    let mut n = 0;
+    while n < 100 {
+        d[2 * n] = b'0' + (n / 10) as u8;
+        d[2 * n + 1] = b'0' + (n % 10) as u8;
+        n += 1;
+    }
+    d
+};
+
+/// Appends a `u32` in decimal without going through `f64` or `fmt`
+/// machinery.  Produces the same digits as `write_f64(out, x as f64)` for
+/// every `u32` (both print the exact integer), which keeps verbose node
+/// tables byte-identical to the old `Value::Num(n as f64)` path.  This is
+/// the per-entry inner loop of verbose table responses (grid-volume calls
+/// per response), hence the pair table and the unchecked append.
+#[inline]
+pub fn write_u32(out: &mut String, mut x: u32) {
+    let mut buf = [0u8; 10];
+    let mut i = buf.len();
+    while x >= 100 {
+        let pair = (x % 100) as usize * 2;
+        x /= 100;
+        i -= 2;
+        buf[i] = DIGIT_PAIRS[pair];
+        buf[i + 1] = DIGIT_PAIRS[pair + 1];
+    }
+    if x >= 10 {
+        let pair = x as usize * 2;
+        i -= 2;
+        buf[i] = DIGIT_PAIRS[pair];
+        buf[i + 1] = DIGIT_PAIRS[pair + 1];
+    } else {
+        i -= 1;
+        buf[i] = b'0' + x as u8;
+    }
+    // SAFETY: buf[i..] holds only ASCII digits, so appending the raw bytes
+    // keeps the String valid UTF-8.
+    unsafe { out.as_mut_vec() }.extend_from_slice(&buf[i..]);
+}
+
+/// Appends `[x0,x1,…]` for a `u32` slice: the whole array — brackets,
+/// commas and digits — goes through one byte buffer reserved up front, so
+/// the per-entry cost is a couple of byte pushes instead of a `String`
+/// round-trip per number.  Digits are identical to [`write_u32`] (same pair
+/// table), so the output stays byte-identical to the `Value` tree writer.
+pub fn write_u32_array(out: &mut String, xs: &[u32]) {
+    // SAFETY: every byte pushed below is ASCII ('[', ']', ',' or a digit),
+    // so the String stays valid UTF-8.
+    let v = unsafe { out.as_mut_vec() };
+    v.reserve(xs.len() * 11 + 2);
+    v.push(b'[');
+    for (k, &x) in xs.iter().enumerate() {
+        if k > 0 {
+            v.push(b',');
+        }
+        if x < 10 {
+            v.push(b'0' + x as u8);
+        } else if x < 100 {
+            let pair = x as usize * 2;
+            v.push(DIGIT_PAIRS[pair]);
+            v.push(DIGIT_PAIRS[pair + 1]);
+        } else {
+            let mut buf = [0u8; 10];
+            let mut i = buf.len();
+            let mut x = x;
+            while x >= 100 {
+                let pair = (x % 100) as usize * 2;
+                x /= 100;
+                i -= 2;
+                buf[i] = DIGIT_PAIRS[pair];
+                buf[i + 1] = DIGIT_PAIRS[pair + 1];
+            }
+            if x >= 10 {
+                let pair = x as usize * 2;
+                i -= 2;
+                buf[i] = DIGIT_PAIRS[pair];
+                buf[i + 1] = DIGIT_PAIRS[pair + 1];
+            } else {
+                i -= 1;
+                buf[i] = b'0' + x as u8;
+            }
+            v.extend_from_slice(&buf[i..]);
+        }
+    }
+    v.push(b']');
+}
+
+/// Appends a JSON string literal (quotes included), escaping exactly as the
+/// tree writer does.
+pub fn write_string(out: &mut String, s: &str) {
     out.push('"');
     // fast path for strings that need no escaping (ids, algorithm names,
     // base64 node tables — i.e. nearly everything the service writes)
@@ -783,6 +887,39 @@ mod tests {
         }
         assert_eq!(base64_encode(b"foob"), "Zm9vYg==");
         assert_eq!(base64_decode("Zm9vYmFy").unwrap(), b"foobar");
+    }
+
+    #[test]
+    fn direct_writers_match_the_tree_writer_byte_for_byte() {
+        for x in [
+            0.0,
+            -0.0,
+            1.0,
+            -1.0,
+            4800.0,
+            1.25,
+            -3.5e-7,
+            8.999e15,
+            9.1e15,
+            f64::MAX,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            f64::NAN,
+        ] {
+            let mut direct = String::new();
+            write_f64(&mut direct, x);
+            assert_eq!(direct, Value::Num(x).compact(), "f64 {x}");
+        }
+        for n in [0u32, 1, 9, 10, 47, 4799, 99_999, u32::MAX] {
+            let mut direct = String::new();
+            write_u32(&mut direct, n);
+            assert_eq!(direct, Value::Num(n as f64).compact(), "u32 {n}");
+        }
+        for s in ["", "viem", "a b", "line1\nline2\t\"q\"\\", "\u{1}\u{1f}é"] {
+            let mut direct = String::new();
+            write_string(&mut direct, s);
+            assert_eq!(direct, Value::str(s).compact(), "str {s:?}");
+        }
     }
 
     #[test]

@@ -13,14 +13,14 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, OnceLock};
 
 use stencil_serve::cache::EvictionPolicy;
-use stencil_serve::server::ServeOptions;
+use stencil_serve::server::{PollBackend, ServeOptions};
 use stencil_serve::service::{MappingService, ServiceConfig, DEFAULT_COMPACT_BYTES};
 
 const USAGE: &str = "\
 usage: stencil-serve [--stdin | --listen ADDR] [--cache-capacity N] [--shards N]
                      [--workers N] [--persist FILE] [--compact-bytes N]
                      [--eviction lru|gdsf] [--max-conns N] [--read-timeout SECS]
-                     [--degrade-queue N]
+                     [--degrade-queue N] [--poll-backend epoll|threadpoll]
 
 modes (default: --stdin):
   --stdin              serve newline-delimited JSON requests from stdin to stdout
@@ -46,6 +46,10 @@ options:
                        (default 10; idle keep-alives are never reaped)
   --degrade-queue N    serve cost-only responses while the worker queue holds
                        N or more connections (default: off)
+  --poll-backend B     TCP readiness backend: epoll (default; idle connections
+                       cost zero CPU, Linux only, falls back automatically) or
+                       threadpoll (portable polling loop, idle cost grows with
+                       connection count)
 
 signals: SIGTERM drains — the listener stops accepting, in-flight lines are
 answered, the persistence log is flushed and compacted, and the process
@@ -114,6 +118,7 @@ fn main() {
         "--max-conns",
         "--read-timeout",
         "--degrade-queue",
+        "--poll-backend",
     ];
     let mut i = 0;
     while i < args.len() {
@@ -167,6 +172,14 @@ fn main() {
             defaults.read_timeout.as_secs() as usize,
         ) as u64),
         degrade_queue: parse_num("--degrade-queue", defaults.degrade_queue),
+        write_timeout: defaults.write_timeout,
+        poll_backend: match arg_value(&args, "--poll-backend") {
+            None => PollBackend::default(),
+            Some(name) => PollBackend::from_name(&name).unwrap_or_else(|e| {
+                eprintln!("stencil-serve: {e}");
+                std::process::exit(2);
+            }),
+        },
     };
     let listen = arg_value(&args, "--listen");
     let service = match MappingService::open(&cfg) {

@@ -3,16 +3,28 @@
 //! Both frontends speak the same protocol (see [`crate::protocol`]): one
 //! request line in, one response line out, in order.  The stdin frontend
 //! makes the service usable in pipelines and offline containers.  The TCP
-//! frontend serves concurrent clients with a **fixed-size worker pool** and
-//! a readiness loop: connections are registered in a shared run queue,
-//! workers pop a connection, drain whatever complete lines its socket has
-//! ready (non-blocking reads), answer them in order, and requeue it — so
-//! the thread count is fixed at `workers` no matter how many clients are
-//! connected, unlike the thread-per-connection frontend it replaced.  A
-//! connection is only ever held by one worker at a time, which preserves
-//! the per-connection response order (and therefore batch ordering and the
-//! byte-identical-across-thread-counts guarantee: responses are produced by
-//! the same sequential [`MappingService::handle_line`] calls either way).
+//! frontend serves concurrent clients with a **fixed-size worker pool** fed
+//! by a readiness frontend with two backends ([`PollBackend`]):
+//!
+//! * **epoll** (default, Linux): the accept loop doubles as a dispatcher
+//!   sharing one `epoll` instance with the workers.  Each connection is
+//!   registered one-shot (`EPOLLONESHOT`); when its socket turns readable
+//!   the dispatcher moves it from the parked map to the run queue and a
+//!   worker wakes, drains the complete lines, answers them in order, and
+//!   re-arms the registration.  The run queue only ever holds readable
+//!   connections and nobody sleeps on a timer, so idle connections cost
+//!   zero CPU no matter how many are parked.
+//! * **threadpoll** (portable fallback): every connection stays on the run
+//!   queue and workers poll the sockets non-blocking, sleeping briefly after
+//!   a full idle pass — idle cost grows with connection count, but nothing
+//!   beyond `std` is needed.
+//!
+//! A connection is only ever held by one worker at a time under either
+//! backend, which preserves the per-connection response order (and
+//! therefore batch ordering and the byte-identical-across-thread-counts
+//! guarantee: responses are produced by the same sequential
+//! [`MappingService::handle_line`] calls either way, so transcripts are
+//! also byte-identical across backends).
 //!
 //! Both frontends frame lines through [`LineFramer`], which enforces
 //! [`MAX_LINE_BYTES`] and answers invalid UTF-8 with an error response
@@ -20,7 +32,7 @@
 //! balloon memory with an unterminated line nor kill the connection loop
 //! with a bad byte.
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::io::{Read, Write};
 use std::net::{TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -29,6 +41,7 @@ use std::time::{Duration, Instant};
 
 use crate::protocol::{MapResponse, ResponseBody};
 use crate::service::MappingService;
+use epoll::Epoll;
 
 /// Maximum bytes of one request line (terminator excluded).  Longer lines
 /// are answered with one error response and discarded; the connection stays
@@ -113,44 +126,45 @@ impl LineFramer {
     }
 }
 
-/// The response line for one frame; `None` for blank lines (skipped by the
-/// protocol).  A panic while handling a request is caught and converted into
-/// an error response so one poisoned request cannot take down the worker (and
-/// with it every connection that worker would have served).
-fn frame_response(service: &MappingService, frame: Frame, degrade: bool) -> Option<String> {
-    let error = |msg: &str| {
-        Some(
-            MapResponse {
-                id: None,
-                body: ResponseBody::Error(msg.to_string()),
-            }
-            .to_value()
-            .compact(),
-        )
-    };
+/// Appends the response line (newline-terminated) for one frame to `out`;
+/// blank lines append nothing (skipped by the protocol).  A panic while
+/// handling a request is caught and converted into an error response so one
+/// poisoned request cannot take down the worker (and with it every
+/// connection that worker would have served).
+fn frame_response(service: &MappingService, frame: Frame, degrade: bool, out: &mut String) {
+    fn error_line(out: &mut String, msg: &str) {
+        MapResponse {
+            id: None,
+            body: ResponseBody::Error(msg.to_string()),
+        }
+        .write_into(out);
+        out.push('\n');
+    }
     match frame {
         Frame::Line(line) => {
             if line.trim().is_empty() {
-                None
-            } else {
-                let handled = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                    service.handle_line_mode(&line, degrade)
-                }));
-                match handled {
-                    Ok(response) => Some(response),
-                    Err(_) => {
-                        eprintln!(
-                            "stencil-serve: request handler panicked; answering with an error"
-                        );
-                        error("internal error while handling the request")
-                    }
+                return;
+            }
+            let start = out.len();
+            let handled = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                service.handle_line_into(&line, degrade, out)
+            }));
+            match handled {
+                Ok(()) => out.push('\n'),
+                Err(_) => {
+                    // discard whatever the handler managed to write before
+                    // panicking so the line stays well-formed
+                    out.truncate(start);
+                    eprintln!("stencil-serve: request handler panicked; answering with an error");
+                    error_line(out, "internal error while handling the request");
                 }
             }
         }
-        Frame::TooLong => error(&format!(
-            "request line exceeds the {MAX_LINE_BYTES}-byte limit"
-        )),
-        Frame::BadUtf8 => error("request line is not valid UTF-8"),
+        Frame::TooLong => error_line(
+            out,
+            &format!("request line exceeds the {MAX_LINE_BYTES}-byte limit"),
+        ),
+        Frame::BadUtf8 => error_line(out, "request line is not valid UTF-8"),
     }
 }
 
@@ -166,6 +180,7 @@ pub fn serve_io<R: Read, W: Write>(
     let mut framer = LineFramer::new();
     let mut frames = Vec::new();
     let mut chunk = [0u8; 16 * 1024];
+    let mut response = String::new();
     loop {
         let n = match input.read(&mut chunk) {
             Ok(n) => n,
@@ -178,9 +193,10 @@ pub fn serve_io<R: Read, W: Write>(
             framer.push(&chunk[..n], &mut frames);
         }
         for frame in frames.drain(..) {
-            if let Some(response) = frame_response(service, frame, false) {
+            response.clear();
+            frame_response(service, frame, false, &mut response);
+            if !response.is_empty() {
                 output.write_all(response.as_bytes())?;
-                output.write_all(b"\n")?;
                 output.flush()?;
             }
         }
@@ -195,6 +211,41 @@ pub fn serve_stdin(service: &MappingService) -> std::io::Result<()> {
     serve_io(service, std::io::stdin().lock(), std::io::stdout().lock())
 }
 
+/// Readiness backend of the TCP frontend (`--poll-backend`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PollBackend {
+    /// Edge-notified readiness through one shared `epoll` instance
+    /// (default): idle connections cost zero CPU.  Falls back to
+    /// [`PollBackend::ThreadPoll`] at runtime where epoll is unavailable
+    /// (non-Linux builds).
+    #[default]
+    Epoll,
+    /// The portable polling loop: workers scan all connections non-blocking
+    /// with a 1 ms idle sleep, so idle cost grows with connection count.
+    ThreadPoll,
+}
+
+impl PollBackend {
+    /// Parses a `--poll-backend` value.
+    pub fn from_name(name: &str) -> Result<PollBackend, String> {
+        match name {
+            "epoll" => Ok(PollBackend::Epoll),
+            "threadpoll" => Ok(PollBackend::ThreadPoll),
+            other => Err(format!(
+                "unknown poll backend {other:?} (expected epoll or threadpoll)"
+            )),
+        }
+    }
+
+    /// The flag-value name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            PollBackend::Epoll => "epoll",
+            PollBackend::ThreadPoll => "threadpoll",
+        }
+    }
+}
+
 /// Tuning for the TCP frontend's overload and fault behaviour.
 #[derive(Debug, Clone)]
 pub struct ServeOptions {
@@ -205,15 +256,25 @@ pub struct ServeOptions {
     /// immediately instead of silently queueing behind a saturated pool.
     pub max_conns: usize,
     /// How long a connection may sit with a *partial* line buffered before
-    /// it is reaped.  Idle keep-alive connections (empty framer) are never
-    /// reaped — only clients that started a line and stalled mid-way, which
-    /// would otherwise pin framer memory forever.
+    /// it is reaped (answered with [`READ_TIMEOUT_LINE`] and closed).  Idle
+    /// keep-alive connections (empty framer) are never reaped — only clients
+    /// that started a line and stalled mid-way, which would otherwise pin
+    /// framer memory forever.
     pub read_timeout: Duration,
+    /// Upper bound on how long one blocking response write may stall a
+    /// worker.  Without it, `workers` clients that request large tables and
+    /// never read their sockets would block every worker in `write_all`
+    /// forever and stall the whole pool; with it, a reader stalled past the
+    /// timeout is disconnected (a draining-but-slow reader is fine — the
+    /// timer restarts with every partial write).
+    pub write_timeout: Duration,
     /// Run-queue depth past which responses degrade: mapping requests that
     /// did not ask a point query are answered cost-only (no table payload,
     /// `"degraded":true`) so the saturated pool spends its cycles on answers
     /// rather than table serialisation.  `usize::MAX` disables degradation.
     pub degrade_queue: usize,
+    /// Readiness backend.
+    pub poll_backend: PollBackend,
 }
 
 impl Default for ServeOptions {
@@ -222,7 +283,9 @@ impl Default for ServeOptions {
             workers: 4,
             max_conns: 1024,
             read_timeout: Duration::from_secs(10),
+            write_timeout: Duration::from_secs(5),
             degrade_queue: usize::MAX,
+            poll_backend: PollBackend::default(),
         }
     }
 }
@@ -232,6 +295,21 @@ impl Default for ServeOptions {
 /// clients can distinguish overload from a connection reset.
 pub const OVERLOADED_LINE: &str = "{\"status\":\"error\",\"error\":\"overloaded\"}";
 
+/// [`OVERLOADED_LINE`] with its terminator, written as **one** buffered
+/// `write_all` — two writes under a short timeout could leave a slow client
+/// a torn, newline-less line (see `overload_lines_are_single_writes`).
+const OVERLOADED_LINE_NL: &str = "{\"status\":\"error\",\"error\":\"overloaded\"}\n";
+
+/// The exact line written to a connection reaped because it sat on a
+/// partial request line past [`ServeOptions::read_timeout`].  Mirrors
+/// [`OVERLOADED_LINE`]: the client learns why it was dropped instead of
+/// seeing a bare reset.
+pub const READ_TIMEOUT_LINE: &str = "{\"status\":\"error\",\"error\":\"read timeout\"}";
+
+/// [`READ_TIMEOUT_LINE`] with its terminator (single buffered write, as
+/// with [`OVERLOADED_LINE_NL`]).
+const READ_TIMEOUT_LINE_NL: &str = "{\"status\":\"error\",\"error\":\"read timeout\"}\n";
+
 /// Decrements the pool's live-connection count when a connection is dropped,
 /// wherever that happens (worker close, deadline reap, drain).
 struct LiveGuard(Arc<PoolState>);
@@ -239,6 +317,25 @@ struct LiveGuard(Arc<PoolState>);
 impl Drop for LiveGuard {
     fn drop(&mut self) {
         self.0.live.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+/// Admits one connection against [`ServeOptions::max_conns`] with a
+/// compare-exchange increment loop.  The previous load-then-`fetch_add`
+/// pair was a TOCTOU: two racing admissions could both pass the load at
+/// `max_conns - 1` and overshoot the limit.  The loop only ever increments
+/// from a value it has verified is below the limit.
+fn try_admit(live: &AtomicUsize, max_conns: usize) -> bool {
+    let mut current = live.load(Ordering::Relaxed);
+    loop {
+        if current >= max_conns {
+            return false;
+        }
+        match live.compare_exchange_weak(current, current + 1, Ordering::AcqRel, Ordering::Relaxed)
+        {
+            Ok(_) => return true,
+            Err(actual) => current = actual,
+        }
     }
 }
 
@@ -251,27 +348,50 @@ struct Conn {
     /// When the currently buffered partial line first appeared; `None`
     /// while no partial line is pending.
     partial_since: Option<Instant>,
+    /// The connection's epoll token (unused under threadpoll).  Tokens are
+    /// never reused, so a stale event for a closed connection can never be
+    /// confused with its fd-number successor.
+    token: u64,
+    /// Whether the fd has been `EPOLL_CTL_ADD`ed already (first park adds,
+    /// later parks re-arm the existing one-shot registration).
+    registered: bool,
     _live: LiveGuard,
 }
 
-/// Shared worker-pool state: the run queue of connections with (possibly)
-/// pending input, plus overload/drain bookkeeping.
+/// Shared worker-pool state: the run queue of connections with pending
+/// input, parked idle connections (epoll backend), plus overload/drain
+/// bookkeeping.
 struct PoolState {
     queue: Mutex<VecDeque<Conn>>,
     ready: Condvar,
+    /// Connections waiting for readiness under the epoll backend, keyed by
+    /// token.  Empty under threadpoll (idle connections stay on the run
+    /// queue there).  The park/unpark lock also serialises the one-shot
+    /// re-arm against the dispatcher's event lookup, so an event can never
+    /// arrive "between" re-arm and insert and get lost.
+    parked: Mutex<HashMap<u64, Conn>>,
     /// Admitted-and-not-yet-closed connection count, for shedding.
     live: AtomicUsize,
     /// Set when the accept loop stops: workers finish in-flight lines on
     /// queued connections, then exit instead of requeueing.
     draining: AtomicBool,
+    /// The shared epoll instance; `None` under threadpoll (or when epoll is
+    /// unavailable at runtime and the frontend fell back).
+    epoll: Option<Epoll>,
     opts: ServeOptions,
 }
 
 enum Turn {
-    /// Lines were read and answered this turn.
-    Progress,
-    /// The socket had nothing to read.
-    Idle,
+    /// The read budget ran out with the socket still (possibly) readable;
+    /// the connection goes straight back on the run queue.
+    Ready,
+    /// The socket was drained to `WouldBlock` (`progressed` says whether
+    /// any bytes were read first).  The epoll backend parks the connection;
+    /// threadpoll requeues it and counts idle passes.
+    Drained {
+        /// Whether this turn read any bytes before hitting `WouldBlock`.
+        progressed: bool,
+    },
     /// EOF or a connection error; the connection is dropped.
     Closed,
 }
@@ -280,18 +400,12 @@ enum Turn {
 /// cannot monopolise a worker while other connections wait.
 const TURN_READ_BUDGET: usize = 32;
 
-/// How long a worker sleeps after a full idle pass over the queue.  This is
-/// the readiness loop's poll interval: the worst-case added latency when
-/// every connection is silent, traded against busy-spinning.
+/// How long a threadpoll worker sleeps after a full idle pass over the
+/// queue.  This is that backend's poll interval: the worst-case added
+/// latency when every connection is silent, traded against busy-spinning.
+/// The epoll backend has no equivalent — workers there only wake for ready
+/// connections.
 const IDLE_SLEEP: Duration = Duration::from_millis(1);
-
-/// Upper bound on how long one blocking response write may stall a worker.
-/// Without it, `workers` clients that request large tables and never read
-/// their sockets would block every worker in `write_all` forever and stall
-/// the whole pool; with it, a reader stalled past the timeout is
-/// disconnected (a draining-but-slow reader is fine — the timer restarts
-/// with every partial write).
-const WRITE_TIMEOUT: Duration = Duration::from_secs(5);
 
 fn serve_turn(service: &MappingService, conn: &mut Conn, degrade: bool) -> Turn {
     let mut frames = Vec::new();
@@ -306,19 +420,15 @@ fn serve_turn(service: &MappingService, conn: &mut Conn, degrade: bool) -> Turn 
             }
             Ok(n) => {
                 conn.framer.push(&chunk[..n], &mut frames);
-                if !frames.is_empty() {
-                    progressed = true;
-                    if write_responses(service, conn, &mut frames, degrade).is_err() {
-                        return Turn::Closed;
-                    }
+                progressed = true;
+                if !frames.is_empty()
+                    && write_responses(service, conn, &mut frames, degrade).is_err()
+                {
+                    return Turn::Closed;
                 }
             }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                return if progressed {
-                    Turn::Progress
-                } else {
-                    Turn::Idle
-                };
+                return Turn::Drained { progressed };
             }
             Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
             Err(e) => {
@@ -327,14 +437,15 @@ fn serve_turn(service: &MappingService, conn: &mut Conn, degrade: bool) -> Turn 
             }
         }
     }
-    Turn::Progress
+    Turn::Ready
 }
 
-/// Answers the drained frames in order.  The socket is switched to blocking
+/// Answers the drained frames in order, streamed into one buffer and
+/// written with a single `write_all`.  The socket is switched to blocking
 /// for the write so back-pressure never corrupts the response order; the
-/// per-connection [`WRITE_TIMEOUT`] bounds how long that can hold the
-/// worker, so a client that stops reading is disconnected instead of
-/// pinning a pool thread.
+/// per-connection [`ServeOptions::write_timeout`] bounds how long that can
+/// hold the worker, so a client that stops reading is disconnected instead
+/// of pinning a pool thread.
 fn write_responses(
     service: &MappingService,
     conn: &mut Conn,
@@ -343,10 +454,7 @@ fn write_responses(
 ) -> std::io::Result<()> {
     let mut out = String::new();
     for frame in frames.drain(..) {
-        if let Some(response) = frame_response(service, frame, degrade) {
-            out.push_str(&response);
-            out.push('\n');
-        }
+        frame_response(service, frame, degrade, &mut out);
     }
     if out.is_empty() {
         return Ok(());
@@ -358,6 +466,58 @@ fn write_responses(
         .and_then(|()| conn.stream.flush());
     conn.stream.set_nonblocking(true)?;
     result
+}
+
+/// Closes a connection that stalled mid-line past the read deadline,
+/// answering with one well-formed [`READ_TIMEOUT_LINE`] first (single
+/// buffered write, best-effort — the client may already be gone).
+fn reap_stalled(mut conn: Conn) {
+    eprintln!(
+        "stencil-serve: {}: read deadline exceeded mid-line; dropping connection",
+        conn.peer
+    );
+    let _ = conn.stream.set_nonblocking(false);
+    let _ = conn.stream.set_write_timeout(Some(Duration::from_secs(1)));
+    let _ = conn.stream.write_all(READ_TIMEOUT_LINE_NL.as_bytes());
+}
+
+/// Parks a drained connection until its socket turns readable again: the
+/// one-shot registration is (re-)armed and the connection moves to the
+/// parked map, both under the parked lock so the dispatcher cannot observe
+/// the event before the connection is findable.  Re-arming is
+/// level-triggered, so bytes that arrived while the worker held the
+/// connection fire immediately.
+fn park(state: &PoolState, conn: Conn) {
+    let epoll = state
+        .epoll
+        .as_ref()
+        .expect("park requires the epoll backend");
+    let mut conn = conn;
+    let fd = stream_fd(&conn.stream);
+    let mut parked = state.parked.lock().expect("parked map poisoned");
+    let armed = if conn.registered {
+        epoll.rearm(fd, conn.token)
+    } else {
+        conn.registered = true;
+        epoll.add(fd, conn.token, true)
+    };
+    match armed {
+        Ok(()) => {
+            parked.insert(conn.token, conn);
+        }
+        Err(e) => {
+            // dropping the connection closes the fd (and with it any epoll
+            // registration)
+            eprintln!("stencil-serve: {}: cannot arm readiness: {e}", conn.peer);
+        }
+    }
+}
+
+fn requeue(state: &PoolState, conn: Conn) -> usize {
+    let mut queue = state.queue.lock().expect("pool queue poisoned");
+    queue.push_back(conn);
+    state.ready.notify_one();
+    queue.len()
 }
 
 fn worker_loop(service: Arc<MappingService>, state: Arc<PoolState>) {
@@ -384,19 +544,21 @@ fn worker_loop(service: Arc<MappingService>, state: Arc<PoolState>) {
         if state.draining.load(Ordering::Acquire) {
             // Finish whatever complete lines this connection already sent,
             // then close it; nothing is requeued during a drain.
-            while matches!(serve_turn(&service, &mut conn, false), Turn::Progress) {}
+            while let Turn::Ready | Turn::Drained { progressed: true } =
+                serve_turn(&service, &mut conn, false)
+            {}
             continue;
         }
-        // A connection stalled mid-line past the deadline is reaped; idle
-        // connections with an empty framer are left alone indefinitely.
-        if let Some(since) = conn.partial_since {
-            if since.elapsed() >= state.opts.read_timeout {
-                eprintln!(
-                    "stencil-serve: {}: read deadline exceeded mid-line; dropping connection",
-                    conn.peer
-                );
-                idle_streak = 0;
-                continue;
+        // Threadpoll keeps idle connections cycling through the run queue,
+        // so the mid-line deadline is checked here.  The epoll backend
+        // parks idle connections instead; its dispatcher reaps them.
+        if state.epoll.is_none() {
+            if let Some(since) = conn.partial_since {
+                if since.elapsed() >= state.opts.read_timeout {
+                    reap_stalled(conn);
+                    idle_streak = 0;
+                    continue;
+                }
             }
         }
         let degrade = queue_depth >= state.opts.degrade_queue;
@@ -410,22 +572,27 @@ fn worker_loop(service: Arc<MappingService>, state: Arc<PoolState>) {
             Turn::Closed => {
                 idle_streak = 0;
             }
-            Turn::Progress | Turn::Idle => {
-                let queue_len = {
-                    let mut queue = state.queue.lock().expect("pool queue poisoned");
-                    queue.push_back(conn);
-                    state.ready.notify_one();
-                    queue.len()
-                };
-                if matches!(turn, Turn::Idle) {
-                    idle_streak += 1;
-                    if idle_streak >= queue_len {
-                        // a full pass found no readable socket: poll, don't spin
-                        std::thread::sleep(IDLE_SLEEP);
-                        idle_streak = 0;
-                    }
-                } else {
+            Turn::Ready => {
+                requeue(&state, conn);
+                idle_streak = 0;
+            }
+            Turn::Drained { progressed } => {
+                if state.epoll.is_some() {
+                    park(&state, conn);
                     idle_streak = 0;
+                } else {
+                    let queue_len = requeue(&state, conn);
+                    if progressed {
+                        idle_streak = 0;
+                    } else {
+                        idle_streak += 1;
+                        if idle_streak >= queue_len {
+                            // a full pass found no readable socket: poll,
+                            // don't spin
+                            std::thread::sleep(IDLE_SLEEP);
+                            idle_streak = 0;
+                        }
+                    }
                 }
             }
         }
@@ -490,7 +657,9 @@ pub fn serve_listener(
 /// one [`OVERLOADED_LINE`] and closed — load is shed explicitly instead of
 /// queueing unboundedly.  When the run queue is deeper than
 /// [`ServeOptions::degrade_queue`], responses degrade to cost-only (flagged
-/// `"degraded":true`).
+/// `"degraded":true`).  A connection stalled mid-line past
+/// [`ServeOptions::read_timeout`] is answered with [`READ_TIMEOUT_LINE`]
+/// and closed.
 ///
 /// Drain behaviour: once `shutdown` is observed the accept loop stops, the
 /// workers finish the complete lines already received on queued connections,
@@ -502,11 +671,26 @@ pub fn serve_listener_with(
     opts: ServeOptions,
     shutdown: Arc<AtomicBool>,
 ) -> std::io::Result<()> {
+    let epoll = match opts.poll_backend {
+        PollBackend::Epoll => match Epoll::new() {
+            Ok(ep) => Some(ep),
+            Err(e) => {
+                eprintln!(
+                    "stencil-serve: epoll unavailable ({e}); falling back to the threadpoll \
+                     backend"
+                );
+                None
+            }
+        },
+        PollBackend::ThreadPoll => None,
+    };
     let state = Arc::new(PoolState {
         queue: Mutex::new(VecDeque::new()),
         ready: Condvar::new(),
+        parked: Mutex::new(HashMap::new()),
         live: AtomicUsize::new(0),
         draining: AtomicBool::new(false),
+        epoll,
         opts,
     });
     let mut handles = Vec::new();
@@ -516,6 +700,56 @@ pub fn serve_listener_with(
         handles.push(std::thread::spawn(move || worker_loop(service, state)));
     }
     listener.set_nonblocking(true)?;
+    let result = if state.epoll.is_some() {
+        dispatch_epoll(&state, &listener, &shutdown)
+    } else {
+        dispatch_threadpoll(&state, &listener, &shutdown)
+    };
+    state.draining.store(true, Ordering::Release);
+    state.ready.notify_all();
+    for handle in handles {
+        let _ = handle.join();
+    }
+    // parked connections have no complete lines pending (they were drained
+    // before parking); closing them is the whole drain
+    state.parked.lock().expect("parked map poisoned").clear();
+    result
+}
+
+/// Admits, configures and wraps one accepted connection; `None` when it was
+/// shed at admission or could not be configured (the live count is already
+/// balanced either way).
+fn try_accept(state: &Arc<PoolState>, stream: TcpStream, peer: String, token: u64) -> Option<Conn> {
+    if !try_admit(&state.live, state.opts.max_conns) {
+        shed(stream, &peer);
+        return None;
+    }
+    let live = LiveGuard(Arc::clone(state));
+    if let Err(e) = stream
+        .set_nonblocking(true)
+        .and_then(|()| stream.set_write_timeout(Some(state.opts.write_timeout)))
+    {
+        eprintln!("stencil-serve: {peer}: cannot configure socket: {e}");
+        return None; // dropping `live` releases the admission slot
+    }
+    Some(Conn {
+        stream,
+        framer: LineFramer::new(),
+        peer,
+        partial_since: None,
+        token,
+        registered: false,
+        _live: live,
+    })
+}
+
+/// The threadpoll accept loop: poll-accept with a short sleep, push every
+/// admitted connection onto the run queue.
+fn dispatch_threadpoll(
+    state: &Arc<PoolState>,
+    listener: &TcpListener,
+    shutdown: &AtomicBool,
+) -> std::io::Result<()> {
     while !shutdown.load(Ordering::Acquire) {
         let (stream, addr) = match listener.accept() {
             Ok(pair) => pair,
@@ -532,46 +766,143 @@ pub fn serve_listener_with(
                 continue;
             }
         };
-        let peer = addr.to_string();
-        if state.live.load(Ordering::Acquire) >= state.opts.max_conns {
-            shed(stream, &peer);
-            continue;
+        if let Some(conn) = try_accept(state, stream, addr.to_string(), 0) {
+            requeue(state, conn);
         }
-        if let Err(e) = stream
-            .set_nonblocking(true)
-            .and_then(|()| stream.set_write_timeout(Some(WRITE_TIMEOUT)))
-        {
-            eprintln!("stencil-serve: {peer}: cannot configure socket: {e}");
-            continue;
-        }
-        state.live.fetch_add(1, Ordering::AcqRel);
-        let conn = Conn {
-            stream,
-            framer: LineFramer::new(),
-            peer,
-            partial_since: None,
-            _live: LiveGuard(Arc::clone(&state)),
-        };
-        let mut queue = state.queue.lock().expect("pool queue poisoned");
-        queue.push_back(conn);
-        state.ready.notify_one();
-        drop(queue);
-    }
-    state.draining.store(true, Ordering::Release);
-    state.ready.notify_all();
-    for handle in handles {
-        let _ = handle.join();
     }
     Ok(())
 }
 
-/// Answers a connection shed at admission with one well-formed error line.
-/// Best-effort: the client may already be gone.
+/// The epoll token of the listening socket (connections count from 1).
+const LISTENER_TOKEN: u64 = 0;
+
+/// The dispatcher's `epoll_wait` timeout: bounds how stale the shutdown
+/// flag and the mid-line reap deadlines can get.  This is *not* a
+/// per-connection poll — an idle deployment wakes one thread 20×/s total,
+/// independent of connection count.
+const DISPATCH_TICK_MS: i32 = 50;
+
+/// The epoll dispatcher: the accept loop and the readiness pump in one
+/// thread.  Listener events accept-drain new connections straight onto the
+/// run queue; connection events unpark the connection for the workers; each
+/// tick also reaps parked connections that stalled mid-line past the read
+/// deadline.
+fn dispatch_epoll(
+    state: &Arc<PoolState>,
+    listener: &TcpListener,
+    shutdown: &AtomicBool,
+) -> std::io::Result<()> {
+    let epoll = state.epoll.as_ref().expect("epoll backend");
+    // the listener stays level-triggered (not one-shot): it keeps firing
+    // until every pending connection is accepted
+    epoll.add(listener_fd(listener), LISTENER_TOKEN, false)?;
+    let mut events = Vec::with_capacity(256);
+    let mut next_token: u64 = 1;
+    while !shutdown.load(Ordering::Acquire) {
+        epoll.wait(&mut events, DISPATCH_TICK_MS)?;
+        for event in &events {
+            let token = event.token;
+            if token == LISTENER_TOKEN {
+                accept_ready(state, listener, &mut next_token);
+            } else {
+                let unparked = state
+                    .parked
+                    .lock()
+                    .expect("parked map poisoned")
+                    .remove(&token);
+                // a token already reaped (or never parked) is stale: ignore
+                if let Some(conn) = unparked {
+                    requeue(state, conn);
+                }
+            }
+        }
+        reap_expired(state);
+    }
+    Ok(())
+}
+
+/// Accepts every pending connection (the listener is level-triggered, so
+/// stopping at `WouldBlock` is lossless).
+fn accept_ready(state: &Arc<PoolState>, listener: &TcpListener, next_token: &mut u64) {
+    loop {
+        let (stream, addr) = match listener.accept() {
+            Ok(pair) => pair,
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => {
+                eprintln!("stencil-serve: accept failed: {e}");
+                // persistent accept errors (e.g. EMFILE) fail instantly —
+                // back off instead of busy-spinning on the level-triggered
+                // listener event
+                std::thread::sleep(Duration::from_millis(100));
+                return;
+            }
+        };
+        let token = *next_token;
+        *next_token += 1;
+        if let Some(conn) = try_accept(state, stream, addr.to_string(), token) {
+            // straight to the workers: a fresh socket may already hold a
+            // request, and if not the first serve turn parks it
+            requeue(state, conn);
+        }
+    }
+}
+
+/// Reaps parked connections whose partial line outlived the read deadline.
+/// Sockets are written to and closed outside the parked lock.
+fn reap_expired(state: &PoolState) {
+    let mut expired = Vec::new();
+    {
+        let mut parked = state.parked.lock().expect("parked map poisoned");
+        let deadline = state.opts.read_timeout;
+        let tokens: Vec<u64> = parked
+            .iter()
+            .filter(|(_, conn)| {
+                conn.partial_since
+                    .is_some_and(|since| since.elapsed() >= deadline)
+            })
+            .map(|(&token, _)| token)
+            .collect();
+        for token in tokens {
+            if let Some(conn) = parked.remove(&token) {
+                expired.push(conn);
+            }
+        }
+    }
+    for conn in expired {
+        reap_stalled(conn);
+    }
+}
+
+#[cfg(unix)]
+fn stream_fd(stream: &TcpStream) -> epoll::RawFd {
+    use std::os::unix::io::AsRawFd;
+    stream.as_raw_fd()
+}
+
+#[cfg(unix)]
+fn listener_fd(listener: &TcpListener) -> epoll::RawFd {
+    use std::os::unix::io::AsRawFd;
+    listener.as_raw_fd()
+}
+
+#[cfg(not(unix))]
+fn stream_fd(_stream: &TcpStream) -> epoll::RawFd {
+    unreachable!("the epoll backend is never constructed off-Linux")
+}
+
+#[cfg(not(unix))]
+fn listener_fd(_listener: &TcpListener) -> epoll::RawFd {
+    unreachable!("the epoll backend is never constructed off-Linux")
+}
+
+/// Answers a connection shed at admission with one well-formed error line
+/// in a single buffered write.  Best-effort: the client may already be gone.
 fn shed(mut stream: TcpStream, peer: &str) {
     eprintln!("stencil-serve: {peer}: shedding connection (overloaded)");
+    let _ = stream.set_nonblocking(false);
     let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
-    let _ = stream.write_all(OVERLOADED_LINE.as_bytes());
-    let _ = stream.write_all(b"\n");
+    let _ = stream.write_all(OVERLOADED_LINE_NL.as_bytes());
 }
 
 #[cfg(test)]
@@ -641,29 +972,108 @@ mod tests {
     }
 
     #[test]
-    fn tcp_roundtrip_shares_the_cache_across_connections() {
-        let service = Arc::new(MappingService::new(&ServiceConfig::default()));
-        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
-        let addr = listener.local_addr().unwrap();
-        {
-            let service = Arc::clone(&service);
-            std::thread::spawn(move || {
-                let _ = serve_listener(service, listener, 2);
-            });
+    fn overload_and_timeout_lines_pair_with_their_single_write_forms() {
+        assert_eq!(OVERLOADED_LINE_NL, format!("{OVERLOADED_LINE}\n"));
+        assert_eq!(READ_TIMEOUT_LINE_NL, format!("{READ_TIMEOUT_LINE}\n"));
+        // both are well-formed protocol error lines
+        for line in [OVERLOADED_LINE, READ_TIMEOUT_LINE] {
+            let v = crate::json::Value::parse(line).unwrap();
+            assert_eq!(
+                v.get("status").and_then(crate::json::Value::as_str),
+                Some("error")
+            );
+            assert!(v.get("error").is_some());
         }
-        let ask = |line: &str| -> String {
-            let mut conn = TcpStream::connect(addr).unwrap();
-            conn.write_all(line.as_bytes()).unwrap();
-            conn.write_all(b"\n").unwrap();
-            conn.shutdown(std::net::Shutdown::Write).unwrap();
-            let mut reply = String::new();
-            BufReader::new(conn).read_line(&mut reply).unwrap();
-            reply
-        };
-        let first = ask(r#"{"dims":[6,6],"nodes":4,"want_mapping":false}"#);
-        assert!(first.contains("\"cached\":false"), "{first}");
-        let second = ask(r#"{"dims":[6,6],"nodes":4,"want_mapping":false}"#);
-        assert!(second.contains("\"cached\":true"), "{second}");
-        assert_eq!(service.cache_stats().len, 1);
+    }
+
+    #[test]
+    fn poll_backend_names_roundtrip() {
+        for backend in [PollBackend::Epoll, PollBackend::ThreadPoll] {
+            assert_eq!(PollBackend::from_name(backend.name()).unwrap(), backend);
+        }
+        assert!(PollBackend::from_name("select").is_err());
+        assert_eq!(PollBackend::default(), PollBackend::Epoll);
+    }
+
+    #[test]
+    fn try_admit_increments_only_below_the_limit() {
+        let live = AtomicUsize::new(0);
+        assert!(try_admit(&live, 2));
+        assert!(try_admit(&live, 2));
+        assert!(!try_admit(&live, 2));
+        assert_eq!(live.load(Ordering::Relaxed), 2, "no overshoot");
+        live.fetch_sub(1, Ordering::AcqRel);
+        assert!(try_admit(&live, 2));
+        assert!(!try_admit(&live, 0), "zero limit always sheds");
+    }
+
+    #[test]
+    fn try_admit_never_overshoots_under_contention() {
+        // hammer admission at the boundary from many threads; the
+        // compare-exchange loop must keep the count at or below the limit
+        // at every instant (the old load-then-fetch_add raced here)
+        const LIMIT: usize = 4;
+        const THREADS: usize = 8;
+        const ROUNDS: usize = 5_000;
+        let live = Arc::new(AtomicUsize::new(0));
+        let peak = Arc::new(AtomicUsize::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..THREADS {
+            let live = Arc::clone(&live);
+            let peak = Arc::clone(&peak);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..ROUNDS {
+                    if try_admit(&live, LIMIT) {
+                        let now = live.load(Ordering::Acquire);
+                        peak.fetch_max(now, Ordering::AcqRel);
+                        live.fetch_sub(1, Ordering::AcqRel);
+                    }
+                }
+            }));
+        }
+        for handle in handles {
+            handle.join().unwrap();
+        }
+        assert_eq!(live.load(Ordering::Relaxed), 0);
+        let peak = peak.load(Ordering::Relaxed);
+        assert!(peak <= LIMIT, "admission overshot the limit: peak {peak}");
+    }
+
+    #[test]
+    fn tcp_roundtrip_shares_the_cache_across_connections() {
+        for backend in [PollBackend::Epoll, PollBackend::ThreadPoll] {
+            let service = Arc::new(MappingService::new(&ServiceConfig::default()));
+            let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+            let addr = listener.local_addr().unwrap();
+            {
+                let service = Arc::clone(&service);
+                std::thread::spawn(move || {
+                    let _ = serve_listener_with(
+                        service,
+                        listener,
+                        ServeOptions {
+                            workers: 2,
+                            poll_backend: backend,
+                            ..ServeOptions::default()
+                        },
+                        Arc::new(AtomicBool::new(false)),
+                    );
+                });
+            }
+            let ask = |line: &str| -> String {
+                let mut conn = TcpStream::connect(addr).unwrap();
+                conn.write_all(line.as_bytes()).unwrap();
+                conn.write_all(b"\n").unwrap();
+                conn.shutdown(std::net::Shutdown::Write).unwrap();
+                let mut reply = String::new();
+                BufReader::new(conn).read_line(&mut reply).unwrap();
+                reply
+            };
+            let first = ask(r#"{"dims":[6,6],"nodes":4,"want_mapping":false}"#);
+            assert!(first.contains("\"cached\":false"), "{backend:?}: {first}");
+            let second = ask(r#"{"dims":[6,6],"nodes":4,"want_mapping":false}"#);
+            assert!(second.contains("\"cached\":true"), "{backend:?}: {second}");
+            assert_eq!(service.cache_stats().len, 1);
+        }
     }
 }

@@ -281,36 +281,50 @@ impl MappingService {
     /// expensive serialisation.  Point queries and cost-only requests are
     /// already cheap and are served in full.
     pub fn handle_line_mode(&self, line: &str, degrade: bool) -> String {
+        let mut out = String::new();
+        self.handle_line_into(line, degrade, &mut out);
+        out
+    }
+
+    /// Like [`MappingService::handle_line_mode`], but appends the response
+    /// line (without the trailing newline) to `out` instead of allocating a
+    /// fresh `String`.  Responses stream straight into the output via
+    /// [`MapResponse::write_into`] — no intermediate [`Value`] tree is built
+    /// anywhere on the serving path (byte-identical output; see the
+    /// direct-writer tests in `protocol`) — and the TCP workers reuse one
+    /// buffer for a whole turn's worth of responses.
+    pub fn handle_line_into(&self, line: &str, degrade: bool, out: &mut String) {
         faultpoint::reach("serve.request");
         let parsed = match Value::parse(line) {
             Ok(v) => v,
             Err(e) => {
-                return MapResponse {
+                MapResponse {
                     id: None,
                     body: ResponseBody::Error(format!("invalid JSON: {e}")),
                 }
-                .into_value()
-                .compact()
+                .write_into(out);
+                return;
             }
         };
         if let Some(batch) = parsed.get("batch") {
             let Some(items) = batch.as_arr() else {
-                return MapResponse {
+                MapResponse {
                     id: None,
                     body: ResponseBody::Error("\"batch\" must be an array".to_string()),
                 }
-                .into_value()
-                .compact();
+                .write_into(out);
+                return;
             };
-            let responses: Vec<Value> = items
-                .iter()
-                .map(|item| self.handle_value_mode(item, degrade).into_value())
-                .collect();
-            Value::obj(vec![("batch", Value::Arr(responses))]).compact()
+            out.push_str("{\"batch\":[");
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                self.handle_value_mode(item, degrade).write_into(out);
+            }
+            out.push_str("]}");
         } else {
-            self.handle_value_mode(&parsed, degrade)
-                .into_value()
-                .compact()
+            self.handle_value_mode(&parsed, degrade).write_into(out);
         }
     }
 

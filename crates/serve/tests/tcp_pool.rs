@@ -3,28 +3,43 @@
 //!
 //! PR 3's loadgen and smoke step only exercised the service in-process or
 //! over stdin; these tests drive actual `TcpStream`s against
-//! `serve_listener` so the pool's readiness loop (non-blocking reads,
-//! requeueing, blocking writes) is what serves the bytes.
+//! `serve_listener_with` so the frontend's readiness machinery (epoll
+//! parking or the threadpoll requeue loop, non-blocking reads, blocking
+//! writes) is what serves the bytes.  Every test runs under both poll
+//! backends.
 
-use std::io::{BufRead, BufReader, Write};
+use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::AtomicBool;
 use std::sync::Arc;
+use std::time::Duration;
 
 use stencil_serve::json::Value;
+use stencil_serve::server::{serve_listener_with, PollBackend, ServeOptions};
 use stencil_serve::service::{MappingService, ServiceConfig};
 
-/// Binds an ephemeral port and serves it on a pool of `workers` threads.
-fn start_server(workers: usize) -> (Arc<MappingService>, std::net::SocketAddr) {
+const BACKENDS: [PollBackend; 2] = [PollBackend::Epoll, PollBackend::ThreadPoll];
+
+/// Binds an ephemeral port and serves it with the given options.
+fn start_server(opts: ServeOptions) -> (Arc<MappingService>, std::net::SocketAddr) {
     let service = Arc::new(MappingService::new(&ServiceConfig::default()));
     let listener = TcpListener::bind("127.0.0.1:0").unwrap();
     let addr = listener.local_addr().unwrap();
     {
         let service = Arc::clone(&service);
         std::thread::spawn(move || {
-            let _ = stencil_serve::server::serve_listener(service, listener, workers);
+            let _ = serve_listener_with(service, listener, opts, Arc::new(AtomicBool::new(false)));
         });
     }
     (service, addr)
+}
+
+fn pool_opts(workers: usize, backend: PollBackend) -> ServeOptions {
+    ServeOptions {
+        workers,
+        poll_backend: backend,
+        ..ServeOptions::default()
+    }
 }
 
 /// Twelve clients on a two-worker pool, requests interleaved round-robin
@@ -37,39 +52,42 @@ fn more_clients_than_workers_interleaved_requests_keep_per_connection_order() {
     const CLIENTS: usize = 12;
     const WORKERS: usize = 2;
     const ROUNDS: usize = 8;
-    let (_service, addr) = start_server(WORKERS);
+    for backend in BACKENDS {
+        let (_service, addr) = start_server(pool_opts(WORKERS, backend));
 
-    let mut conns: Vec<TcpStream> = (0..CLIENTS)
-        .map(|_| TcpStream::connect(addr).unwrap())
-        .collect();
-    let mut readers: Vec<BufReader<TcpStream>> = conns
-        .iter()
-        .map(|c| BufReader::new(c.try_clone().unwrap()))
-        .collect();
+        let mut conns: Vec<TcpStream> = (0..CLIENTS)
+            .map(|_| TcpStream::connect(addr).unwrap())
+            .collect();
+        let mut readers: Vec<BufReader<TcpStream>> = conns
+            .iter()
+            .map(|c| BufReader::new(c.try_clone().unwrap()))
+            .collect();
 
-    for round in 0..ROUNDS {
-        // interleave writes: every client sends one request before any
-        // response of this round is read
-        for (client, conn) in conns.iter_mut().enumerate() {
-            let id = round * CLIENTS + client;
-            // vary the instance per client so hits and misses interleave
-            let nodes = 2 + (client % 3) * 2;
-            let line = format!(
-                "{{\"id\":{id},\"dims\":[{nodes},6],\"nodes\":{nodes},\"want_mapping\":false}}\n"
-            );
-            conn.write_all(line.as_bytes()).unwrap();
-        }
-        for (client, reader) in readers.iter_mut().enumerate() {
-            let id = round * CLIENTS + client;
-            let mut reply = String::new();
-            reader.read_line(&mut reply).unwrap();
-            let v = Value::parse(reply.trim_end()).unwrap();
-            assert_eq!(
-                v.get("id").and_then(Value::as_usize),
-                Some(id),
-                "client {client} round {round} got someone else's response: {reply}"
-            );
-            assert_eq!(v.get("status").and_then(Value::as_str), Some("ok"));
+        for round in 0..ROUNDS {
+            // interleave writes: every client sends one request before any
+            // response of this round is read
+            for (client, conn) in conns.iter_mut().enumerate() {
+                let id = round * CLIENTS + client;
+                // vary the instance per client so hits and misses interleave
+                let nodes = 2 + (client % 3) * 2;
+                let line = format!(
+                    "{{\"id\":{id},\"dims\":[{nodes},6],\"nodes\":{nodes},\"want_mapping\":false}}\n"
+                );
+                conn.write_all(line.as_bytes()).unwrap();
+            }
+            for (client, reader) in readers.iter_mut().enumerate() {
+                let id = round * CLIENTS + client;
+                let mut reply = String::new();
+                reader.read_line(&mut reply).unwrap();
+                let v = Value::parse(reply.trim_end()).unwrap();
+                assert_eq!(
+                    v.get("id").and_then(Value::as_usize),
+                    Some(id),
+                    "{backend:?}: client {client} round {round} got someone \
+                     else's response: {reply}"
+                );
+                assert_eq!(v.get("status").and_then(Value::as_str), Some("ok"));
+            }
         }
     }
 }
@@ -78,35 +96,41 @@ fn more_clients_than_workers_interleaved_requests_keep_per_connection_order() {
 /// error) without reading; the responses must come back 1:1 in order.
 #[test]
 fn pipelined_burst_on_one_connection_answers_in_order() {
-    let (_service, addr) = start_server(2);
-    let mut conn = TcpStream::connect(addr).unwrap();
-    let mut burst = String::new();
-    for id in 0..20 {
-        burst.push_str(&format!(
-            "{{\"id\":{id},\"dims\":[6,4],\"nodes\":4,\"want_mapping\":false}}\n"
-        ));
-    }
-    burst.push_str("{\"batch\":[{\"id\":\"x\",\"dims\":[4,4],\"nodes\":4,\"want_mapping\":false},{\"id\":\"y\",\"dims\":[3,3]}]}\n");
-    burst.push_str("{broken\n");
-    conn.write_all(burst.as_bytes()).unwrap();
-    conn.shutdown(std::net::Shutdown::Write).unwrap();
+    for backend in BACKENDS {
+        let (_service, addr) = start_server(pool_opts(2, backend));
+        let mut conn = TcpStream::connect(addr).unwrap();
+        let mut burst = String::new();
+        for id in 0..20 {
+            burst.push_str(&format!(
+                "{{\"id\":{id},\"dims\":[6,4],\"nodes\":4,\"want_mapping\":false}}\n"
+            ));
+        }
+        burst.push_str("{\"batch\":[{\"id\":\"x\",\"dims\":[4,4],\"nodes\":4,\"want_mapping\":false},{\"id\":\"y\",\"dims\":[3,3]}]}\n");
+        burst.push_str("{broken\n");
+        conn.write_all(burst.as_bytes()).unwrap();
+        conn.shutdown(std::net::Shutdown::Write).unwrap();
 
-    let reader = BufReader::new(conn);
-    let lines: Vec<String> = reader.lines().map(|l| l.unwrap()).collect();
-    assert_eq!(lines.len(), 22);
-    for (id, line) in lines[..20].iter().enumerate() {
-        let v = Value::parse(line).unwrap();
-        assert_eq!(v.get("id").and_then(Value::as_usize), Some(id), "{line}");
+        let reader = BufReader::new(conn);
+        let lines: Vec<String> = reader.lines().map(|l| l.unwrap()).collect();
+        assert_eq!(lines.len(), 22, "{backend:?}");
+        for (id, line) in lines[..20].iter().enumerate() {
+            let v = Value::parse(line).unwrap();
+            assert_eq!(
+                v.get("id").and_then(Value::as_usize),
+                Some(id),
+                "{backend:?}: {line}"
+            );
+        }
+        let batch = Value::parse(&lines[20]).unwrap();
+        let items = batch.get("batch").and_then(Value::as_arr).unwrap();
+        assert_eq!(items.len(), 2);
+        assert_eq!(items[0].get("id").and_then(Value::as_str), Some("x"));
+        assert_eq!(
+            items[1].get("status").and_then(Value::as_str),
+            Some("error")
+        );
+        assert!(lines[21].contains("\"status\":\"error\""), "{backend:?}");
     }
-    let batch = Value::parse(&lines[20]).unwrap();
-    let items = batch.get("batch").and_then(Value::as_arr).unwrap();
-    assert_eq!(items.len(), 2);
-    assert_eq!(items[0].get("id").and_then(Value::as_str), Some("x"));
-    assert_eq!(
-        items[1].get("status").and_then(Value::as_str),
-        Some("error")
-    );
-    assert!(lines[21].contains("\"status\":\"error\""));
 }
 
 /// A request split into tiny TCP writes (including a mid-line pause) must
@@ -114,47 +138,130 @@ fn pipelined_burst_on_one_connection_answers_in_order() {
 /// the meantime proves the pool is not blocked on the dribbling client.
 #[test]
 fn slow_dribbling_client_does_not_block_the_pool() {
-    let (_service, addr) = start_server(1); // a single worker, even
-    let mut slow = TcpStream::connect(addr).unwrap();
-    let line = b"{\"id\":7,\"dims\":[6,4],\"nodes\":4,\"want_mapping\":false}\n";
-    let (head, tail) = line.split_at(10);
-    slow.write_all(head).unwrap();
-    slow.flush().unwrap();
+    for backend in BACKENDS {
+        let (_service, addr) = start_server(pool_opts(1, backend)); // a single worker, even
+        let mut slow = TcpStream::connect(addr).unwrap();
+        let line = b"{\"id\":7,\"dims\":[6,4],\"nodes\":4,\"want_mapping\":false}\n";
+        let (head, tail) = line.split_at(10);
+        slow.write_all(head).unwrap();
+        slow.flush().unwrap();
 
-    // while the slow client's line is incomplete, a fast client is served
-    let mut fast = TcpStream::connect(addr).unwrap();
-    fast.write_all(b"{\"id\":1,\"dims\":[4,4],\"nodes\":4,\"want_mapping\":false}\n")
-        .unwrap();
-    let mut fast_reply = String::new();
-    BufReader::new(fast.try_clone().unwrap())
-        .read_line(&mut fast_reply)
-        .unwrap();
-    assert!(fast_reply.contains("\"id\":1"), "{fast_reply}");
+        // while the slow client's line is incomplete, a fast client is served
+        let mut fast = TcpStream::connect(addr).unwrap();
+        fast.write_all(b"{\"id\":1,\"dims\":[4,4],\"nodes\":4,\"want_mapping\":false}\n")
+            .unwrap();
+        let mut fast_reply = String::new();
+        BufReader::new(fast.try_clone().unwrap())
+            .read_line(&mut fast_reply)
+            .unwrap();
+        assert!(fast_reply.contains("\"id\":1"), "{backend:?}: {fast_reply}");
 
-    slow.write_all(tail).unwrap();
-    let mut slow_reply = String::new();
-    BufReader::new(slow.try_clone().unwrap())
-        .read_line(&mut slow_reply)
-        .unwrap();
-    assert!(slow_reply.contains("\"id\":7"), "{slow_reply}");
+        slow.write_all(tail).unwrap();
+        let mut slow_reply = String::new();
+        BufReader::new(slow.try_clone().unwrap())
+            .read_line(&mut slow_reply)
+            .unwrap();
+        assert!(slow_reply.contains("\"id\":7"), "{backend:?}: {slow_reply}");
+    }
 }
 
 /// Connections closed abruptly (mid-line, or right after connecting) must
 /// not take a worker down; later clients are still served.
 #[test]
 fn abrupt_disconnects_leave_the_pool_healthy() {
-    let (_service, addr) = start_server(2);
-    for _ in 0..8 {
-        let mut c = TcpStream::connect(addr).unwrap();
-        c.write_all(b"{\"half\":").unwrap();
-        drop(c); // vanish mid-line
-        let c2 = TcpStream::connect(addr).unwrap();
-        drop(c2); // vanish without a byte
+    for backend in BACKENDS {
+        let (_service, addr) = start_server(pool_opts(2, backend));
+        for _ in 0..8 {
+            let mut c = TcpStream::connect(addr).unwrap();
+            c.write_all(b"{\"half\":").unwrap();
+            drop(c); // vanish mid-line
+            let c2 = TcpStream::connect(addr).unwrap();
+            drop(c2); // vanish without a byte
+        }
+        let mut conn = TcpStream::connect(addr).unwrap();
+        conn.write_all(b"{\"id\":9,\"dims\":[4,4],\"nodes\":4,\"want_mapping\":false}\n")
+            .unwrap();
+        let mut reply = String::new();
+        BufReader::new(conn).read_line(&mut reply).unwrap();
+        assert!(reply.contains("\"id\":9"), "{backend:?}: {reply}");
     }
-    let mut conn = TcpStream::connect(addr).unwrap();
-    conn.write_all(b"{\"id\":9,\"dims\":[4,4],\"nodes\":4,\"want_mapping\":false}\n")
-        .unwrap();
-    let mut reply = String::new();
-    BufReader::new(conn).read_line(&mut reply).unwrap();
-    assert!(reply.contains("\"id\":9"), "{reply}");
+}
+
+/// A client that pipelines large verbose responses and stops reading stalls
+/// the server's blocking `write_all`; once [`ServeOptions::write_timeout`]
+/// expires the connection must be torn down — whatever bytes made it out are
+/// well-formed lines (plus at most one torn tail), EOF follows, and the
+/// socket never serves a later request — while the pool stays healthy for
+/// other clients.
+#[test]
+fn write_timeout_tears_down_a_client_that_stops_reading() {
+    for backend in BACKENDS {
+        let (_service, addr) = start_server(ServeOptions {
+            workers: 2,
+            write_timeout: Duration::from_millis(300),
+            poll_backend: backend,
+            ..ServeOptions::default()
+        });
+        let mut stuck = TcpStream::connect(addr).unwrap();
+        // ~160 KiB of verbose node table per response; enough of them to
+        // overrun both socket buffers however the OS sizes them
+        let request = "{\"dims\":[200,200],\"nodes\":100,\"want_mapping\":true}\n";
+        for _ in 0..100 {
+            stuck.write_all(request.as_bytes()).unwrap();
+        }
+        // do not read: the server's write_all must block and then time out
+        std::thread::sleep(Duration::from_millis(1500));
+
+        // drain what did make it out: every complete line is well formed,
+        // nothing valid follows a torn tail, and the stream ends in EOF
+        stuck
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        let mut received = Vec::new();
+        let mut chunk = [0u8; 64 * 1024];
+        loop {
+            match stuck.read(&mut chunk) {
+                Ok(0) => break, // EOF: the server closed the connection
+                Ok(n) => received.extend_from_slice(&chunk[..n]),
+                Err(e) => panic!("{backend:?}: expected EOF after write timeout, got {e}"),
+            }
+        }
+        let text = String::from_utf8(received).unwrap();
+        let mut parts = text.split('\n');
+        let torn_tail = parts.next_back().unwrap(); // after the last '\n'
+        let complete = parts.collect::<Vec<_>>();
+        assert!(
+            complete.len() < 100,
+            "{backend:?}: all 100 responses arrived — the write never timed out"
+        );
+        for line in &complete {
+            assert!(
+                Value::parse(line).is_ok(),
+                "{backend:?}: torn line followed by more output: {:?}",
+                &line[..line.len().min(120)]
+            );
+        }
+        let _ = torn_tail; // a torn tail is fine — it is the final bytes
+
+        // the torn-down socket never serves a later request: a fresh write
+        // either fails outright or is answered only by EOF
+        let mut after = String::new();
+        if stuck.write_all(request.as_bytes()).is_ok() {
+            let n = stuck.read(&mut chunk).unwrap_or(0);
+            after = String::from_utf8_lossy(&chunk[..n]).into_owned();
+        }
+        assert!(
+            after.is_empty(),
+            "{backend:?}: a closed connection served a request: {after:?}"
+        );
+
+        // the pool is healthy: a fresh client is served promptly
+        let mut fresh = TcpStream::connect(addr).unwrap();
+        fresh
+            .write_all(b"{\"id\":1,\"dims\":[4,4],\"nodes\":4,\"want_mapping\":false}\n")
+            .unwrap();
+        let mut reply = String::new();
+        BufReader::new(fresh).read_line(&mut reply).unwrap();
+        assert!(reply.contains("\"status\":\"ok\""), "{backend:?}: {reply}");
+    }
 }

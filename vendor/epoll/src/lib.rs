@@ -1,0 +1,282 @@
+//! Minimal `epoll(7)` binding, vendored for the offline build.
+//!
+//! The workspace's vendoring policy is dependency-free API subsets: std has
+//! no readiness API and the `libc`/`mio` crates are unavailable offline, so
+//! this crate declares the three `epoll` syscall wrappers directly (std
+//! already links libc) and wraps them in a small safe-ish interface sized
+//! for `stencil-serve`'s needs:
+//!
+//! * [`Epoll::new`] — one epoll instance (`EPOLL_CLOEXEC`).
+//! * [`Epoll::add`] / [`Epoll::rearm`] / [`Epoll::delete`] — register a file
+//!   descriptor for *readable* readiness, level-triggered, optionally
+//!   one-shot (`EPOLLONESHOT`): the event fires once and the registration
+//!   disarms until the owner re-arms it, which is exactly the hand-off a
+//!   worker pool needs (one worker holds a connection at a time; re-arming
+//!   re-polls readiness level-style, so bytes that arrived in between are
+//!   never lost).
+//! * [`Epoll::wait`] — blocks until events arrive or the timeout elapses,
+//!   filling a caller-owned buffer of [`Event`]s.
+//!
+//! On non-Linux targets every constructor returns
+//! [`std::io::ErrorKind::Unsupported`] and the caller is expected to fall
+//! back to its portable polling path; the API still compiles so callers
+//! need no `cfg` of their own.
+
+#![deny(missing_docs)]
+
+use std::io;
+
+/// Raw file descriptor, aliased locally so callers on non-Unix targets can
+/// still name the type without `std::os::unix`.
+pub type RawFd = i32;
+
+/// One readiness event returned by [`Epoll::wait`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// The `u64` token the file descriptor was registered with.
+    pub token: u64,
+    /// Raw `EPOLL*` event bits (`EPOLLIN`, `EPOLLHUP`, `EPOLLERR`, …).
+    /// Hang-ups and errors are reported even when only `EPOLLIN` was
+    /// requested; readers should simply attempt the read and let it fail.
+    pub events: u32,
+}
+
+/// `EPOLLIN`: the fd is readable.
+pub const EPOLLIN: u32 = 0x001;
+/// `EPOLLERR`: error condition (always reported).
+pub const EPOLLERR: u32 = 0x008;
+/// `EPOLLHUP`: hang-up (always reported).
+pub const EPOLLHUP: u32 = 0x010;
+/// `EPOLLONESHOT`: disarm the registration after one reported event.
+pub const EPOLLONESHOT: u32 = 1 << 30;
+
+#[cfg(target_os = "linux")]
+mod sys {
+    use super::RawFd;
+
+    pub const EPOLL_CLOEXEC: i32 = 0x80000;
+    pub const EPOLL_CTL_ADD: i32 = 1;
+    pub const EPOLL_CTL_DEL: i32 = 2;
+    pub const EPOLL_CTL_MOD: i32 = 3;
+
+    /// Kernel ABI of `struct epoll_event`.  On x86 and x86-64 the kernel
+    /// declares it packed; on every other architecture it has natural
+    /// alignment — mirroring glibc/libc exactly.
+    #[repr(C)]
+    #[cfg_attr(any(target_arch = "x86", target_arch = "x86_64"), repr(packed))]
+    #[derive(Clone, Copy)]
+    pub struct EpollEvent {
+        pub events: u32,
+        pub data: u64,
+    }
+
+    extern "C" {
+        pub fn epoll_create1(flags: i32) -> RawFd;
+        pub fn epoll_ctl(epfd: RawFd, op: i32, fd: RawFd, event: *mut EpollEvent) -> i32;
+        pub fn epoll_wait(
+            epfd: RawFd,
+            events: *mut EpollEvent,
+            maxevents: i32,
+            timeout: i32,
+        ) -> i32;
+        pub fn close(fd: RawFd) -> i32;
+    }
+}
+
+/// An epoll instance.  Closed on drop.
+#[derive(Debug)]
+pub struct Epoll {
+    #[cfg_attr(not(target_os = "linux"), allow(dead_code))]
+    fd: RawFd,
+}
+
+#[cfg(target_os = "linux")]
+impl Epoll {
+    /// Creates an epoll instance (`EPOLL_CLOEXEC`).
+    pub fn new() -> io::Result<Epoll> {
+        let fd = unsafe { sys::epoll_create1(sys::EPOLL_CLOEXEC) };
+        if fd < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(Epoll { fd })
+    }
+
+    fn ctl(&self, op: i32, fd: RawFd, events: u32, token: u64) -> io::Result<()> {
+        let mut ev = sys::EpollEvent {
+            events,
+            data: token,
+        };
+        let rc = unsafe { sys::epoll_ctl(self.fd, op, fd, &mut ev) };
+        if rc < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(())
+    }
+
+    /// Registers `fd` for readable readiness under `token`.  With `oneshot`
+    /// the registration disarms after the first reported event until
+    /// [`Epoll::rearm`] is called.
+    pub fn add(&self, fd: RawFd, token: u64, oneshot: bool) -> io::Result<()> {
+        let flags = EPOLLIN | if oneshot { EPOLLONESHOT } else { 0 };
+        self.ctl(sys::EPOLL_CTL_ADD, fd, flags, token)
+    }
+
+    /// Re-arms a one-shot registration that has fired (or not — re-arming an
+    /// armed registration just refreshes it).  Level-triggered: if `fd` is
+    /// already readable, the event fires on the next [`Epoll::wait`].
+    pub fn rearm(&self, fd: RawFd, token: u64) -> io::Result<()> {
+        self.ctl(sys::EPOLL_CTL_MOD, fd, EPOLLIN | EPOLLONESHOT, token)
+    }
+
+    /// Removes `fd` from the interest list.  Closing the fd removes it
+    /// implicitly; this exists for callers that keep the fd open.
+    pub fn delete(&self, fd: RawFd) -> io::Result<()> {
+        self.ctl(sys::EPOLL_CTL_DEL, fd, 0, 0)
+    }
+
+    /// Blocks until at least one registered fd has events, the timeout
+    /// elapses (`Ok(0)`), or a signal interrupts the wait (`Ok(0)` as well —
+    /// callers loop anyway).  `timeout_ms < 0` blocks indefinitely.  Fills
+    /// `events` (cleared first) up to its capacity, at least one slot.
+    pub fn wait(&self, events: &mut Vec<Event>, timeout_ms: i32) -> io::Result<usize> {
+        events.clear();
+        let cap = events.capacity().clamp(1, 1024) as i32;
+        let mut raw: [sys::EpollEvent; 1024] = [sys::EpollEvent { events: 0, data: 0 }; 1024];
+        let rc = unsafe { sys::epoll_wait(self.fd, raw.as_mut_ptr(), cap, timeout_ms) };
+        if rc < 0 {
+            let err = io::Error::last_os_error();
+            if err.kind() == io::ErrorKind::Interrupted {
+                return Ok(0);
+            }
+            return Err(err);
+        }
+        for ev in raw.iter().take(rc as usize) {
+            events.push(Event {
+                token: ev.data,
+                events: ev.events,
+            });
+        }
+        Ok(rc as usize)
+    }
+}
+
+#[cfg(not(target_os = "linux"))]
+impl Epoll {
+    /// Unsupported on this target: always returns
+    /// [`io::ErrorKind::Unsupported`] so callers fall back to their portable
+    /// polling path.
+    pub fn new() -> io::Result<Epoll> {
+        Err(io::Error::new(
+            io::ErrorKind::Unsupported,
+            "epoll is only available on Linux",
+        ))
+    }
+
+    /// Unreachable on this target ([`Epoll::new`] never succeeds).
+    pub fn add(&self, _fd: RawFd, _token: u64, _oneshot: bool) -> io::Result<()> {
+        unreachable!("Epoll::new never succeeds off-Linux")
+    }
+
+    /// Unreachable on this target ([`Epoll::new`] never succeeds).
+    pub fn rearm(&self, _fd: RawFd, _token: u64) -> io::Result<()> {
+        unreachable!("Epoll::new never succeeds off-Linux")
+    }
+
+    /// Unreachable on this target ([`Epoll::new`] never succeeds).
+    pub fn delete(&self, _fd: RawFd) -> io::Result<()> {
+        unreachable!("Epoll::new never succeeds off-Linux")
+    }
+
+    /// Unreachable on this target ([`Epoll::new`] never succeeds).
+    pub fn wait(&self, _events: &mut Vec<Event>, _timeout_ms: i32) -> io::Result<usize> {
+        unreachable!("Epoll::new never succeeds off-Linux")
+    }
+}
+
+#[cfg(target_os = "linux")]
+impl Drop for Epoll {
+    fn drop(&mut self) {
+        unsafe {
+            sys::close(self.fd);
+        }
+    }
+}
+
+#[cfg(all(test, target_os = "linux"))]
+mod tests {
+    use super::*;
+    use std::io::Write;
+    use std::net::{TcpListener, TcpStream};
+    use std::os::unix::io::AsRawFd;
+
+    #[test]
+    fn listener_readiness_fires_on_connect() {
+        let epoll = Epoll::new().unwrap();
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        listener.set_nonblocking(true).unwrap();
+        epoll.add(listener.as_raw_fd(), 7, false).unwrap();
+
+        let mut events = Vec::with_capacity(8);
+        assert_eq!(epoll.wait(&mut events, 0).unwrap(), 0, "nothing pending");
+
+        let _client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let n = epoll.wait(&mut events, 2000).unwrap();
+        assert_eq!(n, 1);
+        assert_eq!(events[0].token, 7);
+        assert_ne!(events[0].events & EPOLLIN, 0);
+        // level-triggered without oneshot: still pending until accepted
+        let n = epoll.wait(&mut events, 100).unwrap();
+        assert_eq!(n, 1);
+        let _ = listener.accept().unwrap();
+        assert_eq!(epoll.wait(&mut events, 0).unwrap(), 0);
+    }
+
+    #[test]
+    fn oneshot_disarms_until_rearmed_and_rearm_sees_pending_bytes() {
+        let epoll = Epoll::new().unwrap();
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let mut client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let (server_side, _) = listener.accept().unwrap();
+        server_side.set_nonblocking(true).unwrap();
+        let fd = server_side.as_raw_fd();
+        epoll.add(fd, 42, true).unwrap();
+
+        client.write_all(b"x").unwrap();
+        let mut events = Vec::with_capacity(8);
+        assert_eq!(epoll.wait(&mut events, 2000).unwrap(), 1);
+        assert_eq!(events[0].token, 42);
+        // oneshot: the registration is disarmed even though the byte was
+        // never read
+        assert_eq!(epoll.wait(&mut events, 100).unwrap(), 0);
+        // re-arming is level-triggered: the still-unread byte fires again
+        epoll.rearm(fd, 42).unwrap();
+        assert_eq!(epoll.wait(&mut events, 2000).unwrap(), 1);
+        assert_eq!(events[0].token, 42);
+    }
+
+    #[test]
+    fn hangup_is_reported_on_peer_close() {
+        let epoll = Epoll::new().unwrap();
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let (server_side, _) = listener.accept().unwrap();
+        epoll.add(server_side.as_raw_fd(), 1, true).unwrap();
+        drop(client);
+        let mut events = Vec::with_capacity(8);
+        assert_eq!(epoll.wait(&mut events, 2000).unwrap(), 1);
+        // EOF surfaces as EPOLLIN (read returns 0) possibly with EPOLLHUP
+        assert_ne!(events[0].events & (EPOLLIN | EPOLLHUP), 0);
+    }
+
+    #[test]
+    fn delete_removes_the_registration() {
+        let epoll = Epoll::new().unwrap();
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        listener.set_nonblocking(true).unwrap();
+        epoll.add(listener.as_raw_fd(), 3, false).unwrap();
+        epoll.delete(listener.as_raw_fd()).unwrap();
+        let _client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let mut events = Vec::with_capacity(8);
+        assert_eq!(epoll.wait(&mut events, 200).unwrap(), 0);
+    }
+}
