@@ -35,6 +35,14 @@
 //!   against a persisted service with a small online-compaction threshold:
 //!   reports how many records and flushes the traffic cost and proves the
 //!   log stayed bounded across compaction cycles.
+//! * **tcp_hit / routed_hit** — the p = 4800 cost-only hit stream replayed
+//!   over real TCP: once against a single `stencil-serve --listen` process,
+//!   once through `stencil-serve --route` fronting two backend processes.
+//!   Requests are pipelined on one connection for the throughput number; a
+//!   sequential round-trip pass supplies the latency percentiles.  These
+//!   sections spawn the real server binary — build it first
+//!   (`cargo build --release -p stencil-serve`), point at another build
+//!   with `--serve-bin PATH`, or skip them with `--no-route`.
 //!
 //! With `--flood ADDR` the binary instead acts as the overload smoke
 //! client: it opens `--conns N` simultaneous TCP connections against a
@@ -213,6 +221,140 @@ fn send(addr: &str) -> i32 {
         }
     }
     0
+}
+
+/// A spawned `stencil-serve` process and the address it bound, for the
+/// TCP-path sections.  Killed on drop.
+struct ServeProc {
+    child: std::process::Child,
+    addr: String,
+}
+
+impl ServeProc {
+    /// Spawns `bin` with `--listen 127.0.0.1:0` plus `extra_args` and waits
+    /// for the "listening on" banner on stderr.  The rest of stderr drains
+    /// in a background thread so the child can never block on the pipe.
+    fn spawn(bin: &str, extra_args: &[&str]) -> Result<ServeProc, String> {
+        let mut child = std::process::Command::new(bin)
+            .args(["--listen", "127.0.0.1:0"])
+            .args(extra_args)
+            .stdout(std::process::Stdio::null())
+            .stderr(std::process::Stdio::piped())
+            .spawn()
+            .map_err(|e| format!("spawning {bin}: {e}"))?;
+        let mut stderr = BufReader::new(child.stderr.take().unwrap());
+        let addr = loop {
+            let mut line = String::new();
+            match stderr.read_line(&mut line) {
+                Ok(0) => return Err(format!("{bin} exited before printing its address")),
+                Ok(_) => {
+                    if let Some(rest) = line.trim_end().split("listening on ").nth(1) {
+                        break rest.to_string();
+                    }
+                }
+                Err(e) => return Err(format!("reading {bin} stderr: {e}")),
+            }
+        };
+        std::thread::spawn(move || {
+            let mut rest = String::new();
+            let _ = std::io::Read::read_to_string(&mut stderr, &mut rest);
+        });
+        Ok(ServeProc { child, addr })
+    }
+}
+
+impl Drop for ServeProc {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+/// Pipelines `count` copies of `line` over one connection to `addr`
+/// (writer thread; responses read on the caller) and returns the wall time
+/// for the whole window.  Every response must be an `"ok"` line.
+fn tcp_pipeline(addr: &str, line: &str, count: usize) -> Result<f64, String> {
+    let stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(60)));
+    let mut writer = stream.try_clone().map_err(|e| e.to_string())?;
+    let payload = format!("{line}\n");
+    let start = Instant::now();
+    let w = std::thread::spawn(move || -> Result<(), String> {
+        for _ in 0..count {
+            writer
+                .write_all(payload.as_bytes())
+                .map_err(|e| format!("pipelined write: {e}"))?;
+        }
+        Ok(())
+    });
+    let mut reader = BufReader::new(stream);
+    for i in 0..count {
+        let mut reply = String::new();
+        match reader.read_line(&mut reply) {
+            Ok(n) if n > 0 => {
+                if !reply.contains("\"status\":\"ok\"") {
+                    return Err(format!("pipelined response {i}: {reply}"));
+                }
+            }
+            other => return Err(format!("pipelined response {i} missing: {other:?}")),
+        }
+    }
+    let wall = start.elapsed().as_secs_f64();
+    w.join().unwrap()?;
+    Ok(wall)
+}
+
+/// Sequential round-trip latencies of `count` copies of `line` (one
+/// in-flight request at a time), for the percentile columns.
+fn tcp_roundtrips(addr: &str, line: &str, count: usize) -> Result<Vec<f64>, String> {
+    let mut stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(60)));
+    let mut reader = BufReader::new(stream.try_clone().map_err(|e| e.to_string())?);
+    let payload = format!("{line}\n");
+    let mut latencies = Vec::with_capacity(count);
+    for i in 0..count {
+        let start = Instant::now();
+        stream
+            .write_all(payload.as_bytes())
+            .map_err(|e| format!("round-trip write {i}: {e}"))?;
+        let mut reply = String::new();
+        match reader.read_line(&mut reply) {
+            Ok(n) if n > 0 && reply.contains("\"status\":\"ok\"") => {
+                latencies.push(start.elapsed().as_secs_f64());
+            }
+            other => return Err(format!("round-trip response {i} failed: {other:?} {reply:?}")),
+        }
+    }
+    Ok(latencies)
+}
+
+/// One TCP section (`tcp_hit` or `routed_hit`): pipelined throughput plus
+/// sequential-round-trip percentiles of the p = 4800 cost-only hit stream.
+fn tcp_section(
+    addr: &str,
+    line: &str,
+    pipelined: usize,
+    roundtrips: usize,
+    extra: Vec<(&str, Json)>,
+) -> Result<Json, String> {
+    // one request warms the entry (and proves the path end to end)
+    let first = tcp_roundtrips(addr, line, 1)?;
+    drop(first);
+    let wall = tcp_pipeline(addr, line, pipelined)?;
+    let latencies = tcp_roundtrips(addr, line, roundtrips)?;
+    let mut sorted = latencies.clone();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let mut fields = vec![
+        ("requests", Json::Num(pipelined as f64)),
+        ("throughput_rps", Json::Num(pipelined as f64 / wall)),
+        ("p50_s", Json::Num(percentile(&sorted, 0.50))),
+        ("p99_s", Json::Num(percentile(&sorted, 0.99))),
+        ("total_s", Json::Num(wall)),
+    ];
+    fields.extend(extra);
+    Ok(Json::obj(fields))
 }
 
 /// Total CPU time (user + system) of `pid` in clock ticks, read from
@@ -551,7 +693,71 @@ fn main() {
         wa_stats.appended, wa_stats.flushes, wa_stats.compactions
     );
 
-    let doc = Json::obj(vec![
+    // --- tcp_hit / routed_hit: the hit stream over real sockets -------------
+    // The same cost-only hit line, but answered by the real binary over
+    // TCP: first by one backend directly, then through the consistent-hash
+    // router fronting two backends.  The delta between the two sections is
+    // the router's forwarding overhead.
+    let mut net_sections: Vec<(&str, Json)> = Vec::new();
+    if !args.iter().any(|a| a == "--no-route") {
+        let serve_bin = stencil_bench::arg_value(&args, "--serve-bin").unwrap_or_else(|| {
+            let sibling = std::env::current_exe()
+                .ok()
+                .and_then(|p| p.parent().map(|d| d.join("stencil-serve")));
+            match sibling {
+                Some(p) if p.exists() => p.to_string_lossy().into_owned(),
+                _ => {
+                    eprintln!(
+                        "loadgen: stencil-serve binary not found next to loadgen; build it \
+                         (`cargo build --release -p stencil-serve`), pass --serve-bin PATH, \
+                         or skip the TCP sections with --no-route"
+                    );
+                    std::process::exit(1);
+                }
+            }
+        });
+        let net_line =
+            r#"{"id":0,"dims":[75,64],"nodes":100,"algorithm":"viem","seed":1,"want_mapping":false}"#;
+        let pipelined = if quick { 500 } else { 5000 };
+        let roundtrips = if quick { 100 } else { 500 };
+        let net = (|| -> Result<(), String> {
+            let single = ServeProc::spawn(&serve_bin, &[])?;
+            let tcp = tcp_section(
+                &single.addr,
+                net_line,
+                pipelined,
+                roundtrips,
+                vec![("processes", Json::Num(4800.0))],
+            )?;
+            drop(single);
+            let b1 = ServeProc::spawn(&serve_bin, &[])?;
+            let b2 = ServeProc::spawn(&serve_bin, &[])?;
+            let route = format!("{},{}", b1.addr, b2.addr);
+            let router = ServeProc::spawn(&serve_bin, &["--route", &route])?;
+            let routed = tcp_section(
+                &router.addr,
+                net_line,
+                pipelined,
+                roundtrips,
+                vec![
+                    ("processes", Json::Num(4800.0)),
+                    ("backends", Json::Num(2.0)),
+                ],
+            )?;
+            for (name, sec) in [("tcp_hit", &tcp), ("routed_hit", &routed)] {
+                eprintln!("  {name}: {}", sec.pretty().replace(['\n', ' '], ""));
+            }
+            net_sections.push(("tcp_hit", tcp));
+            net_sections.push(("routed_hit", routed));
+            Ok(())
+        })();
+        if let Err(e) = net {
+            eprintln!("loadgen: TCP sections failed: {e}");
+            std::process::exit(1);
+        }
+    }
+
+    let mut doc_fields = vec![
         ("schema", Json::str("stencilmap/serve-loadgen/v1")),
         ("threads", Json::Num(rayon::current_num_threads() as f64)),
         ("quick", Json::Bool(quick)),
@@ -629,7 +835,9 @@ fn main() {
                 ],
             ),
         ),
-    ]);
+    ];
+    doc_fields.extend(net_sections);
+    let doc = Json::obj(doc_fields);
     std::fs::write(&out_path, doc.pretty()).unwrap_or_else(|e| {
         eprintln!("could not write {out_path}: {e}");
         std::process::exit(1);

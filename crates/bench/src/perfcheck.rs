@@ -76,6 +76,16 @@ pub const GATED_SERVE_METRICS: &[GatedMetric] = &[
         key: "reload_entries_per_s",
         higher_is_better: true,
     },
+    GatedMetric {
+        section: "tcp_hit",
+        key: "throughput_rps",
+        higher_is_better: true,
+    },
+    GatedMetric {
+        section: "routed_hit",
+        key: "throughput_rps",
+        higher_is_better: true,
+    },
 ];
 
 /// Scale guards for the serve document.
@@ -84,7 +94,17 @@ pub const SERVE_SCALE_GUARDS: &[(&str, &str)] = &[
     ("cache_hit_compact", "processes"),
     ("new_rank_of", "processes"),
     ("persistence", "entries"),
+    ("routed_hit", "processes"),
+    ("routed_hit", "backends"),
 ];
+
+/// Absolute throughput floors for the serve document, checked against the
+/// *current* measurement (the relative gates above only catch drift from
+/// the committed baseline).  The routed-hit floor is the acceptance
+/// criterion of the router work: p = 4800 cache hits through the router
+/// must sustain at least 10k req/s.
+pub const SERVE_ABSOLUTE_FLOORS: &[(&str, &str, f64)] =
+    &[("routed_hit", "throughput_rps", 10_000.0)];
 
 /// One compared metric.
 #[derive(Debug, Clone, PartialEq)]
@@ -224,19 +244,34 @@ pub fn check_partitioner(
 }
 
 /// Compares the mapping-service metrics of two `BENCH_serve.json` documents
-/// ([`GATED_SERVE_METRICS`]).
+/// ([`GATED_SERVE_METRICS`]), then applies the [`SERVE_ABSOLUTE_FLOORS`]
+/// to the current document: a floored metric that is present but below its
+/// floor fails even when the committed baseline had already regressed.
 pub fn check_serve(
     baseline: &str,
     current: &str,
     max_regression: f64,
 ) -> Result<Vec<CheckOutcome>, String> {
-    check_metrics(
+    let mut outcomes = check_metrics(
         baseline,
         current,
         max_regression,
         GATED_SERVE_METRICS,
         SERVE_SCALE_GUARDS,
-    )
+    )?;
+    for &(section, key, floor) in SERVE_ABSOLUTE_FLOORS {
+        let Some(c) = extract_number(current, section, key) else {
+            continue;
+        };
+        outcomes.push(CheckOutcome {
+            label: format!("{section}.{key} (floor)"),
+            baseline: floor,
+            current: c,
+            higher_is_better: true,
+            ok: c >= floor,
+        });
+    }
+    Ok(outcomes)
 }
 
 /// Renders the outcomes as a GitHub-flavoured markdown table (written to
@@ -307,6 +342,15 @@ mod tests {
     "processes": 4800,
     "entries": 256,
     "reload_entries_per_s": 40000
+  },
+  "tcp_hit": {
+    "processes": 4800,
+    "throughput_rps": 150000
+  },
+  "routed_hit": {
+    "processes": 4800,
+    "backends": 2,
+    "throughput_rps": 20000
   }
 }"#;
 
@@ -394,7 +438,10 @@ mod tests {
         // … a 50% drop fails at a 25% budget (the other gated modes stay ok)
         let slow = SERVE_DOC.replace("\"throughput_rps\": 50000", "\"throughput_rps\": 25000");
         let outcomes = check_serve(SERVE_DOC, &slow, 0.25).unwrap();
-        assert_eq!(outcomes.len(), GATED_SERVE_METRICS.len());
+        assert_eq!(
+            outcomes.len(),
+            GATED_SERVE_METRICS.len() + SERVE_ABSOLUTE_FLOORS.len()
+        );
         let bad: Vec<_> = outcomes.iter().filter(|o| !o.ok).collect();
         assert_eq!(bad.len(), 1);
         assert_eq!(bad[0].label, "cache_hit.throughput_rps");
@@ -420,6 +467,25 @@ mod tests {
         let bad: Vec<_> = outcomes.iter().filter(|o| !o.ok).collect();
         assert_eq!(bad.len(), 1);
         assert_eq!(bad[0].label, "persistence.reload_entries_per_s");
+    }
+
+    #[test]
+    fn routed_floor_is_absolute_not_relative() {
+        // identical documents, but the routed throughput sits below the
+        // 10k floor: the relative gates all pass, the floor still fails
+        let slow = SERVE_DOC.replace("\"throughput_rps\": 20000", "\"throughput_rps\": 9000");
+        let outcomes = check_serve(&slow, &slow, 0.25).unwrap();
+        let bad: Vec<_> = outcomes.iter().filter(|o| !o.ok).collect();
+        assert_eq!(bad.len(), 1);
+        assert_eq!(bad[0].label, "routed_hit.throughput_rps (floor)");
+        // at the committed baseline's level the floor passes
+        let outcomes = check_serve(SERVE_DOC, SERVE_DOC, 0.25).unwrap();
+        assert!(outcomes.iter().all(|o| o.ok));
+        // a baseline without the routed section skips the floor cleanly
+        let legacy = SERVE_DOC.replace("routed_hit", "routed_hit_absent");
+        let outcomes = check_serve(&legacy, &legacy, 0.25).unwrap();
+        assert!(outcomes.iter().all(|o| o.ok));
+        assert!(!outcomes.iter().any(|o| o.label.contains("floor")));
     }
 
     #[test]

@@ -25,7 +25,7 @@
 //! ## Objective
 //!
 //! Given the communication graph induced by a grid and a stencil, the cost of
-//! a mapping is measured by [`MappingCost`](metrics::MappingCost):
+//! a mapping is measured by [`metrics::MappingCost`]:
 //! `Jsum` (total number of inter-node communication edges) and `Jmax`
 //! (edges leaving the most loaded, *bottleneck*, node).
 //!

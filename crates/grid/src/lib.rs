@@ -17,7 +17,7 @@
 //!   a stencil (optionally with periodic boundaries),
 //! * [`NodeAllocation`] — the `N × n` (or heterogeneous) allocation of
 //!   processes to compute nodes handed to the application by the scheduler,
-//! * [`dims_create`] — an `MPI_Dims_create`-style balanced factorisation used
+//! * [`dims_create()`] — an `MPI_Dims_create`-style balanced factorisation used
 //!   to build the grids of the experimental evaluation.
 //!
 //! # Example

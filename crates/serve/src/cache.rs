@@ -1,5 +1,10 @@
 //! A sharded cache for mapping results with pluggable eviction.
 //!
+//! This is the "cache" step of the request lifecycle documented in
+//! `docs/ARCHITECTURE.md`; the keys it stores are the canonical
+//! [`CacheKey`](crate::service::CacheKey)s the router also hashes for
+//! shard placement.
+//!
 //! The cache is split into independently locked shards; a key is assigned to
 //! a shard by its hash, so concurrent requests for different keys rarely
 //! contend on the same mutex.  Each shard keeps a hash map from key to slot

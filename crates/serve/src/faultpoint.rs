@@ -56,6 +56,12 @@ pub const POINTS: &[&str] = &[
     // One request line entered the service (used with the `panic` action
     // to test worker isolation, never with abort in normal suites).
     "serve.request",
+    // The router is about to forward one request (or batch item) to the
+    // backend picked by the ring, before any bytes are written.
+    "router.forward",
+    // The router is about to dial a fresh backend connection (pool empty
+    // or the pooled connection just failed).
+    "router.reconnect",
 ];
 
 /// What an armed fault point does when its hit count is reached.

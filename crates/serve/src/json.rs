@@ -328,7 +328,10 @@ const BASE64_ALPHABET: &[u8; 64] =
 /// engine serves).
 pub const MAX_COMPACT_ENTRIES: usize = 1 << 28;
 
-fn base64_encode(bytes: &[u8]) -> String {
+/// Standard base64 (RFC 4648 alphabet, `=` padding) of arbitrary bytes.
+/// Used by the compact node-table codec and by the warm-handoff admin
+/// response, which ships a whole persistence log inside one JSON string.
+pub fn base64_encode(bytes: &[u8]) -> String {
     let mut out = String::with_capacity(bytes.len().div_ceil(3) * 4);
     for chunk in bytes.chunks(3) {
         let b = [
@@ -353,7 +356,9 @@ fn base64_encode(bytes: &[u8]) -> String {
     out
 }
 
-fn base64_decode(s: &str) -> Result<Vec<u8>, String> {
+/// Decodes [`base64_encode`] output (strict: length must be a multiple of
+/// four, padding only at the end).
+pub fn base64_decode(s: &str) -> Result<Vec<u8>, String> {
     fn value_of(c: u8) -> Result<u32, String> {
         match c {
             b'A'..=b'Z' => Ok((c - b'A') as u32),

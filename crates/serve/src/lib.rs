@@ -29,6 +29,11 @@
 //! * **Determinism** — responses are byte-identical for every thread count
 //!   (asserted in CI by replaying a request batch under
 //!   `RAYON_NUM_THREADS ∈ {1, 4}` and comparing outputs).
+//! * **Horizontal scale** — `--route` turns a process into a consistent-hash
+//!   [`router`] over a pool of shared-nothing backends: canonically-equal
+//!   requests colocate on one backend shard, so routed transcripts stay
+//!   byte-identical to a single process, and `--handoff` ships a compacted
+//!   persistence log to warm a new shard (see `docs/OPERATIONS.md`).
 //!
 //! ## Quick example
 //!
@@ -55,6 +60,7 @@ pub mod faultpoint;
 pub mod json;
 pub mod persist;
 pub mod protocol;
+pub mod router;
 pub mod server;
 pub mod service;
 pub mod transcript;
@@ -63,4 +69,6 @@ pub use cache::{CacheStats, EvictionPolicy, ShardedLru};
 pub use protocol::{
     Algorithm, Encoding, MapRequest, MapResponse, OverBudget, Payload, Query, ResponseBody,
 };
+pub use router::{Ring, Router, RouterStats};
+pub use server::LineHandler;
 pub use service::{CacheEntry, CacheKey, MappingService, ServiceConfig};

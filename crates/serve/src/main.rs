@@ -1,19 +1,26 @@
-//! `stencil-serve` — the caching mapping service.
+//! `stencil-serve` — the caching mapping service and its router.
 //!
 //! ```text
 //! stencil-serve --stdin                          # NDJSON over stdin/stdout
 //! stencil-serve --listen 127.0.0.1:7077          # NDJSON over TCP
 //!     [--cache-capacity 1024] [--shards 8]
+//! stencil-serve --listen 127.0.0.1:7070 \
+//!     --route 127.0.0.1:7077,127.0.0.1:7078     # consistent-hash router
+//! stencil-serve --handoff 127.0.0.1:7077 --persist warm.log  # ship a log
 //! ```
 //!
-//! See the crate docs ([`stencil_serve`]) and the README for the request and
-//! response schema.
+//! See `docs/OPERATIONS.md` for the full operator's manual,
+//! `docs/PROTOCOL.md` for the wire protocol, and the crate docs
+//! ([`stencil_serve`]) for the library API.
 
+use std::io::{BufRead, BufReader, Write};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, OnceLock};
 
 use stencil_serve::cache::EvictionPolicy;
-use stencil_serve::server::{PollBackend, ServeOptions};
+use stencil_serve::json::{base64_decode, Value};
+use stencil_serve::router::{Router, DEFAULT_ROUTE_TIMEOUT};
+use stencil_serve::server::{LineHandler, PollBackend, ServeOptions};
 use stencil_serve::service::{MappingService, ServiceConfig, DEFAULT_COMPACT_BYTES};
 
 const USAGE: &str = "\
@@ -21,10 +28,22 @@ usage: stencil-serve [--stdin | --listen ADDR] [--cache-capacity N] [--shards N]
                      [--workers N] [--persist FILE] [--compact-bytes N]
                      [--eviction lru|gdsf] [--max-conns N] [--read-timeout SECS]
                      [--degrade-queue N] [--poll-backend epoll|threadpoll]
+                     [--route B1,B2,...] [--route-timeout SECS]
+       stencil-serve --handoff ADDR --persist FILE
 
 modes (default: --stdin):
   --stdin              serve newline-delimited JSON requests from stdin to stdout
   --listen ADDR        bind ADDR (e.g. 127.0.0.1:7077) and serve TCP clients
+  --route B1,B2,...    route mode: instead of computing locally, forward each
+                       request to one of the comma-separated backend servers
+                       (host:port each), picked by consistent-hashing its
+                       canonical key; combine with --listen (or --stdin) for
+                       the frontend.  Cache/persistence flags are ignored —
+                       caching happens on the backends.
+  --handoff ADDR       one-shot client: ask the backend at ADDR to flush and
+                       compact its persistence log and ship it; the log is
+                       written to the --persist FILE so a new backend can
+                       start warm from it.  Exits after the transfer.
 
 options:
   --cache-capacity N   total cache entries across all shards (default 1024; 0 disables caching)
@@ -50,6 +69,10 @@ options:
                        cost zero CPU, Linux only, falls back automatically) or
                        threadpoll (portable polling loop, idle cost grows with
                        connection count)
+  --route-timeout SECS per-forward deadline in route mode, covering connect,
+                       write and response read (default 10); a backend that
+                       cannot answer in time yields one
+                       {\"error\":\"backend unavailable\"} line instead of a hang
 
 signals: SIGTERM drains — the listener stops accepting, in-flight lines are
 answered, the persistence log is flushed and compacted, and the process
@@ -101,6 +124,45 @@ mod sigterm {
     }
 }
 
+/// The `--handoff` client: asks the backend at `addr` to flush + compact
+/// its persistence log and ship it, then writes the decoded log to `dest`.
+/// A fresh backend started with `--persist dest` replays it and answers the
+/// shipped keys as cache hits from its first request on.
+fn run_handoff(addr: &str, dest: &std::path::Path) -> Result<(), String> {
+    let mut conn = std::net::TcpStream::connect(addr)
+        .map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    conn.write_all(b"{\"admin\":\"handoff\"}\n")
+        .and_then(|()| conn.flush())
+        .map_err(|e| format!("cannot send the handoff request: {e}"))?;
+    let mut line = String::new();
+    BufReader::new(conn)
+        .read_line(&mut line)
+        .map_err(|e| format!("cannot read the handoff response: {e}"))?;
+    let v = Value::parse(line.trim_end())
+        .map_err(|e| format!("malformed handoff response: {e}"))?;
+    if v.get("status").and_then(Value::as_str) != Some("ok") {
+        let reason = v
+            .get("error")
+            .and_then(Value::as_str)
+            .unwrap_or("malformed response");
+        return Err(format!("backend refused the handoff: {reason}"));
+    }
+    let log = v
+        .get("log")
+        .and_then(Value::as_str)
+        .ok_or("handoff response carries no log")?;
+    let bytes = base64_decode(log).map_err(|e| format!("undecodable log payload: {e}"))?;
+    std::fs::write(dest, &bytes)
+        .map_err(|e| format!("cannot write {}: {e}", dest.display()))?;
+    eprintln!(
+        "stencil-serve: handoff from {addr}: {} entries, {} bytes -> {}",
+        v.get("entries").and_then(Value::as_u64).unwrap_or(0),
+        bytes.len(),
+        dest.display()
+    );
+    Ok(())
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.iter().any(|a| a == "--help" || a == "-h") {
@@ -119,6 +181,9 @@ fn main() {
         "--read-timeout",
         "--degrade-queue",
         "--poll-backend",
+        "--route",
+        "--route-timeout",
+        "--handoff",
     ];
     let mut i = 0;
     while i < args.len() {
@@ -182,6 +247,75 @@ fn main() {
         },
     };
     let listen = arg_value(&args, "--listen");
+
+    // --handoff: one-shot client, no frontend, no local service
+    if let Some(addr) = arg_value(&args, "--handoff") {
+        let Some(dest) = arg_value(&args, "--persist") else {
+            eprintln!("stencil-serve: --handoff needs --persist FILE as the destination\n{USAGE}");
+            std::process::exit(2);
+        };
+        if let Err(e) = run_handoff(&addr, std::path::Path::new(&dest)) {
+            eprintln!("stencil-serve: handoff: {e}");
+            std::process::exit(1);
+        }
+        std::process::exit(0);
+    }
+
+    // --route: serve the same frontends, but behind a consistent-hash
+    // router instead of a local computing service
+    if let Some(list) = arg_value(&args, "--route") {
+        if arg_value(&args, "--persist").is_some() {
+            eprintln!(
+                "stencil-serve: --persist is ignored in route mode (caching and persistence \
+                 happen on the backends)"
+            );
+        }
+        let specs: Vec<String> = list
+            .split(',')
+            .map(|s| s.trim().to_string())
+            .filter(|s| !s.is_empty())
+            .collect();
+        let timeout = std::time::Duration::from_secs(parse_num(
+            "--route-timeout",
+            DEFAULT_ROUTE_TIMEOUT.as_secs() as usize,
+        ) as u64);
+        let router = match Router::new(&specs, timeout) {
+            Ok(r) => Arc::new(r),
+            Err(e) => {
+                eprintln!("stencil-serve: {e}");
+                std::process::exit(2);
+            }
+        };
+        eprintln!(
+            "stencil-serve: routing across {} backends: {}",
+            specs.len(),
+            specs.join(", ")
+        );
+        let shutdown = Arc::new(AtomicBool::new(false));
+        #[cfg(unix)]
+        sigterm::install(Arc::clone(&shutdown));
+        let handler: Arc<dyn LineHandler> = Arc::clone(&router) as Arc<dyn LineHandler>;
+        let result = match listen {
+            Some(addr) => stencil_serve::server::serve_tcp_with(
+                handler,
+                addr.as_str(),
+                opts,
+                Arc::clone(&shutdown),
+            ),
+            None => stencil_serve::server::serve_stdin(&*router),
+        };
+        if let Err(e) = result {
+            eprintln!("stencil-serve: {e}");
+            std::process::exit(1);
+        }
+        let stats = router.stats();
+        eprintln!(
+            "stencil-serve: router drained; {} forwarded, {} unavailable, {} dials",
+            stats.forwarded, stats.unavailable, stats.reconnects
+        );
+        std::process::exit(0);
+    }
+
     let service = match MappingService::open(&cfg) {
         Ok(s) => s,
         Err(e) => {
@@ -203,13 +337,11 @@ fn main() {
     sigterm::install(Arc::clone(&shutdown));
 
     let result = match listen {
-        Some(addr) => stencil_serve::server::serve_tcp_with(
-            Arc::clone(&service),
-            addr.as_str(),
-            opts,
-            Arc::clone(&shutdown),
-        ),
-        None => stencil_serve::server::serve_stdin(&service),
+        Some(addr) => {
+            let handler: Arc<dyn LineHandler> = Arc::clone(&service) as Arc<dyn LineHandler>;
+            stencil_serve::server::serve_tcp_with(handler, addr.as_str(), opts, Arc::clone(&shutdown))
+        }
+        None => stencil_serve::server::serve_stdin(&*service),
     };
     if let Err(e) = result {
         eprintln!("stencil-serve: {e}");

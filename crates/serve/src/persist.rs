@@ -35,6 +35,10 @@
 //! Records are self-describing JSON lines (node tables in the compact
 //! base64 codec of [`crate::json`]); unparseable or inconsistent lines —
 //! e.g. the torn tail of a killed writer — are skipped, never fatal.
+//!
+//! Where this sits in the serve tier — and how the router's warm-handoff
+//! path ships a compacted log to warm a new shard — is described in
+//! `docs/ARCHITECTURE.md` (persistence section).
 
 use std::fs::{File, OpenOptions};
 use std::io::{BufRead, BufReader, BufWriter, Write};
@@ -363,6 +367,7 @@ pub struct PersistLog {
     tx: Option<SyncSender<Msg>>,
     handle: Option<std::thread::JoinHandle<()>>,
     stats: Arc<StatCells>,
+    path: PathBuf,
 }
 
 /// Everything the writer thread owns.
@@ -595,7 +600,14 @@ impl PersistLog {
             tx: Some(tx),
             handle: Some(handle),
             stats,
+            path: path.to_path_buf(),
         })
+    }
+
+    /// The path of the live log file (the warm-handoff admin request reads
+    /// it after a compact-and-flush to ship the whole cache image).
+    pub fn path(&self) -> &Path {
+        &self.path
     }
 
     fn send(&self, line: String) {

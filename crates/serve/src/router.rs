@@ -1,0 +1,664 @@
+//! Consistent-hash request routing across sharded `stencil-serve` backends.
+//!
+//! `stencil-serve --route b1:port,b2:port,…` turns the process into a
+//! protocol-transparent router: it accepts the same NDJSON protocol on the
+//! same TCP frontend (see [`crate::server`]), but instead of computing it
+//! canonicalises each request (reusing [`stencil_mapping::canonical`] via
+//! [`CacheKey::of_request`]), hashes the canonical key bytes with 64-bit
+//! FNV-1a onto a [`Ring`] of [`VNODES_PER_BACKEND`] virtual nodes per
+//! backend, forwards the line over a pooled persistent TCP connection to
+//! the chosen backend, and relays the response line verbatim.
+//!
+//! **Placement is a pure function of the canonical key and the backend
+//! set.**  Canonically-equal requests (a grid and its dimension
+//! permutations, reordered stencils) always land on the same backend, so
+//! each backend's cache sees exactly the request subsequence it would have
+//! seen in a single process and the `cached` flags — and therefore whole
+//! transcripts — stay byte-identical to an unsharded server (asserted by
+//! the router golden tests and the CI `router-smoke` step).  No rendezvous
+//! state, no coordination: adding a backend remaps only the keys whose ring
+//! successor changes.
+//!
+//! Request handling:
+//!
+//! * a **single request line is forwarded verbatim** (raw bytes, not
+//!   re-rendered), so the backend parses exactly what the client sent;
+//! * a **batch line is split per item**: each item is routed independently
+//!   by its own canonical key, forwarded wrapped as a single-item batch
+//!   (`{"batch":[item]}` — so an item that itself contains a `"batch"` key
+//!   is still treated as a plain request object, exactly as a single
+//!   process treats batch items), and the responses are unwrapped and
+//!   reassembled in item order;
+//! * **unparseable lines, empty or malformed batches and `"admin"` lines**
+//!   are forwarded whole to a backend picked by hashing the raw line bytes
+//!   — deterministic, and the backend produces the identical error (or
+//!   admin) response a single process would.
+//!
+//! Robustness: per-backend connection pools with
+//! reconnect-with-exponential-backoff, a per-forward deadline
+//! (`--route-timeout`), and `{"error":"backend unavailable"}` lines instead
+//! of hangs when a backend is down.  A backend that comes back is redialed
+//! automatically once its backoff window expires — the ring membership is
+//! static, so rejoining needs no router restart.  The fault points
+//! `router.forward` and `router.reconnect` ([`crate::faultpoint`]) bracket
+//! the forward path for the robustness suites.
+//!
+//! The router in the serve-tier picture — and the warm-handoff flow for
+//! resharding (`--handoff`, which asks a backend to compact and ship its
+//! persistence log) — is described in `docs/ARCHITECTURE.md`; the wire
+//! protocol it relays is specified in `docs/PROTOCOL.md`.
+
+use std::io::{Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use crate::faultpoint;
+use crate::json::Value;
+use crate::protocol::{MapRequest, MapResponse, ResponseBody};
+use crate::server::LineHandler;
+use crate::service::CacheKey;
+
+/// Virtual nodes per backend on the ring.  256 keeps the largest/smallest
+/// backend share within a few percent of each other while the whole ring
+/// for tens of backends still fits in one cache-friendly sorted `Vec`.
+pub const VNODES_PER_BACKEND: usize = 256;
+
+/// Default `--route-timeout`: the per-forward deadline covering connect,
+/// write and response read.  Generous enough for a cold p=4800 VieM miss
+/// on a loaded backend, short enough that a wedged backend turns into
+/// error lines instead of piled-up worker threads.
+pub const DEFAULT_ROUTE_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// The error text of a routed line that could not be forwarded — clients
+/// see `{"status":"error","error":"backend unavailable"}` (with the
+/// request id echoed when there was one) instead of a hang or a torn line.
+pub const BACKEND_UNAVAILABLE: &str = "backend unavailable";
+
+/// How long one `connect` may take before the backend counts as down.
+const CONNECT_TIMEOUT: Duration = Duration::from_secs(2);
+
+/// First retry delay after a backend is marked down; doubles per
+/// consecutive failure up to [`BACKOFF_MAX`], and any success resets it.
+const BACKOFF_BASE: Duration = Duration::from_millis(100);
+
+/// Ceiling of the reconnect backoff: a dead backend is probed at least
+/// every 2 s, which bounds how stale the router's down verdict can get
+/// after the backend restarts.
+const BACKOFF_MAX: Duration = Duration::from_secs(2);
+
+/// Idle connections kept per backend; checkouts beyond this dial extra
+/// connections that are simply dropped instead of pooled on checkin.
+const POOL_CAP: usize = 8;
+
+/// Upper bound on one buffered backend response (64 MiB — far above any
+/// legitimate response, including a shipped handoff log) so a misbehaving
+/// backend cannot balloon router memory.
+const MAX_RESPONSE_BYTES: usize = 64 << 20;
+
+/// 64-bit FNV-1a over `bytes` — the router's fixed placement hash.  Chosen
+/// for being fully specified in a dozen lines (no dependency, no
+/// platform variance): the constants below are the standard FNV-1a offset
+/// basis and prime.
+pub fn fnv1a_64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Finalising mixer (splitmix64's output stage).  FNV-1a alone spreads
+/// trailing bytes weakly: sequential vnode indices and backend specs that
+/// differ in one port digit land clustered on the ring, which skews shard
+/// ownership by an order of magnitude.  One multiply–xor–shift cascade is
+/// enough to make the spread uniform, and it is just as deterministic.
+fn mix64(mut x: u64) -> u64 {
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^= x >> 31;
+    x
+}
+
+/// The consistent-hash ring: every backend contributes
+/// [`VNODES_PER_BACKEND`] points (FNV-1a of `spec NUL vnode_index`), a key
+/// is owned by the first point at or clockwise-after its hash.  Lookup is
+/// one binary search over a sorted `Vec`.
+#[derive(Debug, Clone)]
+pub struct Ring {
+    /// `(point hash, backend index)`, sorted — ties (astronomically rare)
+    /// break deterministically toward the lower backend index.
+    points: Vec<(u64, usize)>,
+}
+
+impl Ring {
+    /// Builds the ring for the given backend specs (order defines the
+    /// backend indices).  Duplicate specs are allowed and simply double a
+    /// backend's share of the ring.
+    pub fn new(backends: &[String]) -> Ring {
+        let mut points = Vec::with_capacity(backends.len() * VNODES_PER_BACKEND);
+        for (idx, spec) in backends.iter().enumerate() {
+            let mut bytes = Vec::with_capacity(spec.len() + 5);
+            bytes.extend_from_slice(spec.as_bytes());
+            bytes.push(0);
+            for vnode in 0..VNODES_PER_BACKEND as u32 {
+                bytes.truncate(spec.len() + 1);
+                bytes.extend_from_slice(&vnode.to_le_bytes());
+                points.push((mix64(fnv1a_64(&bytes)), idx));
+            }
+        }
+        points.sort_unstable();
+        Ring { points }
+    }
+
+    /// The backend index owning `hash`: the first ring point at or after
+    /// it, wrapping past the top of the hash space back to the first point.
+    /// The hash is finalised with the same splitmix64 step used to place
+    /// the vnode points, so callers pass plain [`fnv1a_64`] output.
+    pub fn lookup(&self, hash: u64) -> usize {
+        let hash = mix64(hash);
+        let i = self.points.partition_point(|&(h, _)| h < hash);
+        self.points[i % self.points.len()].1
+    }
+
+    /// Number of ring points (backends × vnodes).
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the ring has no points (an empty backend list).
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+}
+
+/// One pooled backend connection: the socket plus any bytes already read
+/// past the last returned response line.
+struct BackendConn {
+    stream: TcpStream,
+    residual: Vec<u8>,
+}
+
+impl BackendConn {
+    /// Writes one request line (terminator appended) with the remaining
+    /// deadline as the write timeout.
+    fn write_line(&mut self, line: &str, deadline: Instant) -> std::io::Result<()> {
+        self.stream.set_write_timeout(Some(remaining(deadline)?))?;
+        self.stream.write_all(line.as_bytes())?;
+        self.stream.write_all(b"\n")?;
+        self.stream.flush()
+    }
+
+    /// Reads one newline-terminated response line (terminator stripped),
+    /// keeping any extra bytes for the next read.
+    fn read_line(&mut self, deadline: Instant) -> std::io::Result<String> {
+        let mut searched = 0;
+        loop {
+            if let Some(pos) = self.residual[searched..].iter().position(|&b| b == b'\n') {
+                let rest = self.residual.split_off(searched + pos + 1);
+                let mut line = std::mem::replace(&mut self.residual, rest);
+                line.pop();
+                return String::from_utf8(line).map_err(|_| {
+                    std::io::Error::new(
+                        std::io::ErrorKind::InvalidData,
+                        "backend sent an invalid UTF-8 response line",
+                    )
+                });
+            }
+            searched = self.residual.len();
+            if searched > MAX_RESPONSE_BYTES {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    "backend response line exceeds the relay limit",
+                ));
+            }
+            self.stream.set_read_timeout(Some(remaining(deadline)?))?;
+            let mut chunk = [0u8; 64 * 1024];
+            match self.stream.read(&mut chunk) {
+                Ok(0) => {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::UnexpectedEof,
+                        "backend closed the connection mid-response",
+                    ))
+                }
+                Ok(n) => self.residual.extend_from_slice(&chunk[..n]),
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+/// Time left until `deadline`, as a non-zero socket timeout; a
+/// `TimedOut` error once it has passed.
+fn remaining(deadline: Instant) -> std::io::Result<Duration> {
+    match deadline.checked_duration_since(Instant::now()) {
+        Some(d) if !d.is_zero() => Ok(d),
+        _ => Err(std::io::Error::new(
+            std::io::ErrorKind::TimedOut,
+            "forward deadline exceeded",
+        )),
+    }
+}
+
+/// Reconnect/backoff state of one backend, shared by all router workers.
+struct BackendState {
+    pool: Vec<BackendConn>,
+    /// While set and in the future, forwards fail fast instead of dialing.
+    down_until: Option<Instant>,
+    /// The next down window; doubles per consecutive failure.
+    backoff: Duration,
+}
+
+struct Backend {
+    spec: String,
+    state: Mutex<BackendState>,
+}
+
+/// Monotonic router counters (diagnostics and test assertions).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RouterStats {
+    /// Lines (or batch items) forwarded and answered by a backend.
+    pub forwarded: u64,
+    /// Lines (or batch items) answered with [`BACKEND_UNAVAILABLE`].
+    pub unavailable: u64,
+    /// Fresh backend connections dialed (the first connection to each
+    /// backend counts too, so this is ≥ the number of live backends ever
+    /// used).
+    pub reconnects: u64,
+}
+
+/// The consistent-hash router.  Implements [`LineHandler`], so every
+/// transport frontend in [`crate::server`] (TCP pool, stdin) can serve it
+/// in place of a local [`crate::service::MappingService`].
+pub struct Router {
+    backends: Vec<Backend>,
+    ring: Ring,
+    route_timeout: Duration,
+    forwarded: AtomicU64,
+    unavailable: AtomicU64,
+    reconnects: AtomicU64,
+}
+
+impl Router {
+    /// Builds a router over `specs` (`host:port` each, as given to
+    /// `--route`, comma-split by the CLI).  Specs are resolved eagerly so a
+    /// typo fails at startup, but the backends do not need to be up yet —
+    /// connections are dialed lazily on first forward.
+    pub fn new(specs: &[String], route_timeout: Duration) -> Result<Router, String> {
+        if specs.is_empty() {
+            return Err("--route needs at least one backend (host:port)".to_string());
+        }
+        for spec in specs {
+            spec.to_socket_addrs()
+                .map_err(|e| format!("backend {spec:?} does not resolve: {e}"))?;
+        }
+        Ok(Router {
+            ring: Ring::new(specs),
+            backends: specs
+                .iter()
+                .map(|spec| Backend {
+                    spec: spec.clone(),
+                    state: Mutex::new(BackendState {
+                        pool: Vec::new(),
+                        down_until: None,
+                        backoff: BACKOFF_BASE,
+                    }),
+                })
+                .collect(),
+            route_timeout,
+            forwarded: AtomicU64::new(0),
+            unavailable: AtomicU64::new(0),
+            reconnects: AtomicU64::new(0),
+        })
+    }
+
+    /// The backend specs, in ring-index order.
+    pub fn backend_specs(&self) -> Vec<String> {
+        self.backends.iter().map(|b| b.spec.clone()).collect()
+    }
+
+    /// Snapshot of the forward/unavailable/reconnect counters.
+    pub fn stats(&self) -> RouterStats {
+        RouterStats {
+            forwarded: self.forwarded.load(Ordering::Relaxed),
+            unavailable: self.unavailable.load(Ordering::Relaxed),
+            reconnects: self.reconnects.load(Ordering::Relaxed),
+        }
+    }
+
+    /// The backend index a parsed request object routes to: the ring
+    /// successor of the FNV-1a hash of its canonical
+    /// [`CacheKey::routing_bytes`].  Objects that do not parse as mapping
+    /// requests hash their compact rendering instead — still deterministic,
+    /// and the backend renders the identical error a single process would.
+    pub fn route_index(&self, item: &Value) -> usize {
+        match MapRequest::from_value(item) {
+            Ok(req) => self
+                .ring
+                .lookup(fnv1a_64(&CacheKey::of_request(&req).routing_bytes())),
+            Err(_) => self.ring.lookup(fnv1a_64(item.compact().as_bytes())),
+        }
+    }
+
+    fn lock_state(&self, idx: usize) -> std::sync::MutexGuard<'_, BackendState> {
+        self.backends[idx]
+            .state
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Checks out a connection to backend `idx`: a pooled one when
+    /// available (`pooled = true`), otherwise a fresh dial — unless the
+    /// backend is inside its down window, which fails fast.
+    fn checkout(&self, idx: usize) -> Result<(BackendConn, bool), ()> {
+        {
+            let mut state = self.lock_state(idx);
+            if let Some(conn) = state.pool.pop() {
+                return Ok((conn, true));
+            }
+            if let Some(until) = state.down_until {
+                if Instant::now() < until {
+                    return Err(());
+                }
+            }
+        }
+        self.dial(idx).map(|conn| (conn, false))
+    }
+
+    /// Dials a fresh connection; failure (re)marks the backend down and
+    /// doubles its backoff.
+    fn dial(&self, idx: usize) -> Result<BackendConn, ()> {
+        faultpoint::reach("router.reconnect");
+        self.reconnects.fetch_add(1, Ordering::Relaxed);
+        let addrs = match self.backends[idx].spec.to_socket_addrs() {
+            Ok(addrs) => addrs,
+            Err(_) => {
+                self.mark_down(idx);
+                return Err(());
+            }
+        };
+        for addr in addrs {
+            if let Ok(stream) = TcpStream::connect_timeout(&addr, CONNECT_TIMEOUT) {
+                let _ = stream.set_nodelay(true);
+                return Ok(BackendConn {
+                    stream,
+                    residual: Vec::new(),
+                });
+            }
+        }
+        self.mark_down(idx);
+        Err(())
+    }
+
+    /// Marks backend `idx` down for its current backoff window, discards
+    /// its pooled connections (all presumed stale), and doubles the window.
+    fn mark_down(&self, idx: usize) {
+        let mut state = self.lock_state(idx);
+        state.pool.clear();
+        state.down_until = Some(Instant::now() + state.backoff);
+        state.backoff = (state.backoff * 2).min(BACKOFF_MAX);
+    }
+
+    /// Records a successful exchange: clears the down window and resets the
+    /// backoff, so a restarted backend rejoins at full speed immediately.
+    fn mark_up(&self, idx: usize) {
+        let mut state = self.lock_state(idx);
+        state.down_until = None;
+        state.backoff = BACKOFF_BASE;
+    }
+
+    /// Returns a healthy connection to the pool (bounded by [`POOL_CAP`]).
+    fn checkin(&self, idx: usize, conn: BackendConn) {
+        let mut state = self.lock_state(idx);
+        if state.pool.len() < POOL_CAP {
+            state.pool.push(conn);
+        }
+    }
+
+    /// Forwards one complete line to backend `idx` and returns the response
+    /// line.  A failure on a *pooled* connection (typically stale after a
+    /// backend restart) clears the pool and retries once on a fresh dial
+    /// within the same deadline; a failure on a fresh connection — or the
+    /// deadline expiring — marks the backend down and reports
+    /// unavailability.
+    fn forward(&self, idx: usize, line: &str) -> Result<String, ()> {
+        faultpoint::reach("router.forward");
+        let deadline = Instant::now() + self.route_timeout;
+        let mut retried = false;
+        loop {
+            let (mut conn, pooled) = self.checkout(idx)?;
+            let result = conn
+                .write_line(line, deadline)
+                .and_then(|()| conn.read_line(deadline));
+            match result {
+                Ok(response) => {
+                    self.checkin(idx, conn);
+                    self.mark_up(idx);
+                    self.forwarded.fetch_add(1, Ordering::Relaxed);
+                    return Ok(response);
+                }
+                Err(e) => {
+                    drop(conn); // never pool a connection in an unknown state
+                    let timed_out = e.kind() == std::io::ErrorKind::TimedOut;
+                    if pooled && !retried && !timed_out {
+                        retried = true;
+                        self.lock_state(idx).pool.clear();
+                        continue;
+                    }
+                    if !timed_out {
+                        // a timeout says "slow", not "gone": drop the
+                        // connection but leave the backend dialable
+                        self.mark_down(idx);
+                    }
+                    return Err(());
+                }
+            }
+        }
+    }
+
+    /// Appends the [`BACKEND_UNAVAILABLE`] error line (id echoed) to `out`.
+    fn push_unavailable(&self, id: Option<Value>, out: &mut String) {
+        self.unavailable.fetch_add(1, Ordering::Relaxed);
+        MapResponse {
+            id,
+            body: ResponseBody::Error(BACKEND_UNAVAILABLE.to_string()),
+        }
+        .write_into(out);
+    }
+
+    /// Routes one non-empty batch: items routed independently by canonical
+    /// key, forwarded strictly in item order (so canonically-equal items
+    /// hit the same backend in the same order a single process would
+    /// process them), responses unwrapped and reassembled in order.
+    fn route_batch(&self, items: &[Value], out: &mut String) {
+        out.push_str("{\"batch\":[");
+        let mut wrapped = String::new();
+        for (i, item) in items.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let idx = self.route_index(item);
+            wrapped.clear();
+            wrapped.push_str("{\"batch\":[");
+            item.write_into(&mut wrapped);
+            wrapped.push_str("]}");
+            match self.forward(idx, &wrapped) {
+                Ok(response) => {
+                    // strip the single-item wrapper and relay the item
+                    // response verbatim; an unwrapped response (e.g. the
+                    // wrapped line outgrew the backend's line limit) is an
+                    // error object and is relayed as the item's answer
+                    match response
+                        .strip_prefix("{\"batch\":[")
+                        .and_then(|r| r.strip_suffix("]}"))
+                    {
+                        Some(inner) => out.push_str(inner),
+                        None => out.push_str(&response),
+                    }
+                }
+                Err(()) => self.push_unavailable(item.get("id").cloned(), out),
+            }
+        }
+        out.push_str("]}");
+    }
+}
+
+impl LineHandler for Router {
+    /// Routes one wire line.  The `degrade` hint is ignored: the router's
+    /// own per-line work is negligible, and table-stripping degradation is
+    /// each backend's decision based on *its* queue depth.
+    fn handle_line_into(&self, line: &str, _degrade: bool, out: &mut String) {
+        let parsed = Value::parse(line).ok();
+        if let Some(v) = &parsed {
+            // admin wins over batch at the top level, exactly as in
+            // MappingService::handle_line_into
+            if v.get("admin").is_none() {
+                if let Some(items) = v.get("batch").and_then(Value::as_arr) {
+                    if !items.is_empty() {
+                        self.route_batch(items, out);
+                        return;
+                    }
+                }
+            }
+        }
+        // whole-line forward: single requests route by canonical key and
+        // relay raw bytes; everything else (unparseable lines, empty or
+        // malformed batches, admin lines) routes by the raw line bytes and
+        // the backend produces the identical response a single process would
+        let idx = match &parsed {
+            Some(v) if v.get("batch").is_none() && v.get("admin").is_none() => self.route_index(v),
+            _ => self.ring.lookup(fnv1a_64(line.as_bytes())),
+        };
+        match self.forward(idx, line) {
+            Ok(response) => out.push_str(&response),
+            Err(()) => {
+                let id = parsed.as_ref().and_then(|v| v.get("id")).cloned();
+                self.push_unavailable(id, out);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv1a_matches_reference_vectors() {
+        // the canonical FNV-1a test vectors
+        assert_eq!(fnv1a_64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a_64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a_64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    fn specs(n: usize) -> Vec<String> {
+        (0..n).map(|i| format!("127.0.0.1:{}", 7000 + i)).collect()
+    }
+
+    #[test]
+    fn ring_lookup_is_deterministic_and_covers_all_backends() {
+        let ring = Ring::new(&specs(3));
+        assert_eq!(ring.len(), 3 * VNODES_PER_BACKEND);
+        let mut seen = [false; 3];
+        for key in 0..10_000u64 {
+            let idx = ring.lookup(fnv1a_64(&key.to_le_bytes()));
+            assert_eq!(
+                idx,
+                ring.lookup(fnv1a_64(&key.to_le_bytes())),
+                "lookup must be pure"
+            );
+            seen[idx] = true;
+        }
+        assert_eq!(seen, [true; 3], "every backend owns some keys");
+    }
+
+    #[test]
+    fn ring_shares_are_roughly_balanced() {
+        let ring = Ring::new(&specs(4));
+        let mut counts = [0usize; 4];
+        for key in 0..40_000u64 {
+            counts[ring.lookup(fnv1a_64(&key.to_le_bytes()))] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            assert!(
+                (5_000..=15_000).contains(&c),
+                "backend {i} owns {c}/40000 keys — vnode spread is broken: {counts:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn adding_a_backend_only_moves_keys_toward_it() {
+        // consistent hashing's defining property: growing the ring never
+        // moves a key between two pre-existing backends
+        let before = Ring::new(&specs(3));
+        let after = Ring::new(&specs(4));
+        let mut moved = 0usize;
+        for key in 0..20_000u64 {
+            let hash = fnv1a_64(&key.to_le_bytes());
+            let (b, a) = (before.lookup(hash), after.lookup(hash));
+            if b != a {
+                assert_eq!(a, 3, "key moved between pre-existing backends");
+                moved += 1;
+            }
+        }
+        assert!(
+            (2_000..=8_000).contains(&moved),
+            "a quarter-ish of keys should move to the new backend, moved {moved}"
+        );
+    }
+
+    #[test]
+    fn router_requires_backends_and_validates_specs() {
+        assert!(Router::new(&[], DEFAULT_ROUTE_TIMEOUT).is_err());
+        assert!(Router::new(&["not a spec".to_string()], DEFAULT_ROUTE_TIMEOUT).is_err());
+        let r = Router::new(&specs(2), DEFAULT_ROUTE_TIMEOUT).unwrap();
+        assert_eq!(r.backend_specs(), specs(2));
+        assert_eq!(r.stats(), RouterStats::default());
+    }
+
+    #[test]
+    fn canonically_equal_requests_route_to_the_same_backend() {
+        let r = Router::new(&specs(5), DEFAULT_ROUTE_TIMEOUT).unwrap();
+        let a = Value::parse(r#"{"dims":[12,8],"nodes":8,"want_mapping":false}"#).unwrap();
+        let b = Value::parse(r#"{"id":99,"dims":[8,12],"nodes":8}"#).unwrap();
+        assert_eq!(
+            r.route_index(&a),
+            r.route_index(&b),
+            "a permuted request (different id, different response shape) \
+             must colocate with its canonical sibling"
+        );
+    }
+
+    #[test]
+    fn down_backend_fails_fast_within_its_backoff_window() {
+        // an unroutable-but-resolvable address: a bound-then-dropped port
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let spec = listener.local_addr().unwrap().to_string();
+        drop(listener);
+        let r = Router::new(&[spec], Duration::from_secs(2)).unwrap();
+        let mut out = String::new();
+        r.handle_line_into(r#"{"id":7,"dims":[4,4],"nodes":4}"#, false, &mut out);
+        assert_eq!(
+            out,
+            r#"{"id":7,"status":"error","error":"backend unavailable"}"#
+        );
+        let dials = r.stats().reconnects;
+        assert!(dials >= 1);
+        // inside the backoff window the second line fails fast, no new dial
+        let mut out2 = String::new();
+        r.handle_line_into(r#"{"id":8,"dims":[4,4],"nodes":4}"#, false, &mut out2);
+        assert!(out2.contains(BACKEND_UNAVAILABLE));
+        assert_eq!(
+            r.stats().reconnects,
+            dials,
+            "fail-fast must not redial inside the backoff window"
+        );
+        assert_eq!(r.stats().unavailable, 2);
+    }
+}

@@ -31,6 +31,14 @@
 //! instead of dropping the stream — a hostile or broken client can neither
 //! balloon memory with an unterminated line nor kill the connection loop
 //! with a bad byte.
+//!
+//! The frontends are decoupled from what answers the lines through
+//! [`LineHandler`]: the same accept/park/frame machinery serves the local
+//! [`MappingService`] (`--stdin`, `--listen`) and the consistent-hash
+//! [`crate::router::Router`] (`--route`), which forwards each line to a
+//! backend shard instead of computing.  The full request lifecycle (accept
+//! → epoll park → frame → canonicalise → cache/route → serialise) is
+//! documented in `docs/ARCHITECTURE.md`.
 
 use std::collections::{HashMap, VecDeque};
 use std::io::{Read, Write};
@@ -42,6 +50,27 @@ use std::time::{Duration, Instant};
 use crate::protocol::{MapResponse, ResponseBody};
 use crate::service::MappingService;
 use epoll::Epoll;
+
+/// What the transport frontends serve: anything that turns one request line
+/// into one response line.  Implemented by [`MappingService`] (compute or
+/// answer from the local cache) and by [`crate::router::Router`] (forward to
+/// a backend shard picked by consistent hashing).  Implementations must
+/// append exactly one line of response JSON (without the trailing
+/// newline) per call and must be callable concurrently from the worker
+/// pool.
+pub trait LineHandler: Send + Sync {
+    /// Appends the response line for `line` (a request object or a
+    /// `{"batch": […]}` wrapper) to `out`, without the trailing newline.
+    /// `degrade` is the overload hint: table payloads may be stripped
+    /// (flagged `"degraded":true`) to shed serialisation cost.
+    fn handle_line_into(&self, line: &str, degrade: bool, out: &mut String);
+}
+
+impl LineHandler for MappingService {
+    fn handle_line_into(&self, line: &str, degrade: bool, out: &mut String) {
+        MappingService::handle_line_into(self, line, degrade, out)
+    }
+}
 
 /// Maximum bytes of one request line (terminator excluded).  Longer lines
 /// are answered with one error response and discarded; the connection stays
@@ -131,7 +160,7 @@ impl LineFramer {
 /// handling a request is caught and converted into an error response so one
 /// poisoned request cannot take down the worker (and with it every
 /// connection that worker would have served).
-fn frame_response(service: &MappingService, frame: Frame, degrade: bool, out: &mut String) {
+fn frame_response(service: &dyn LineHandler, frame: Frame, degrade: bool, out: &mut String) {
     fn error_line(out: &mut String, msg: &str) {
         MapResponse {
             id: None,
@@ -173,7 +202,7 @@ fn frame_response(service: &MappingService, frame: Frame, degrade: bool, out: &m
 /// immediately so interactive pipes see answers promptly.  Overlong and
 /// non-UTF-8 lines produce error responses instead of terminating the loop.
 pub fn serve_io<R: Read, W: Write>(
-    service: &MappingService,
+    service: &dyn LineHandler,
     mut input: R,
     mut output: W,
 ) -> std::io::Result<()> {
@@ -207,7 +236,7 @@ pub fn serve_io<R: Read, W: Write>(
 }
 
 /// Serves requests from stdin to stdout until EOF (`--stdin` mode).
-pub fn serve_stdin(service: &MappingService) -> std::io::Result<()> {
+pub fn serve_stdin(service: &dyn LineHandler) -> std::io::Result<()> {
     serve_io(service, std::io::stdin().lock(), std::io::stdout().lock())
 }
 
@@ -407,7 +436,7 @@ const TURN_READ_BUDGET: usize = 32;
 /// connections.
 const IDLE_SLEEP: Duration = Duration::from_millis(1);
 
-fn serve_turn(service: &MappingService, conn: &mut Conn, degrade: bool) -> Turn {
+fn serve_turn(service: &dyn LineHandler, conn: &mut Conn, degrade: bool) -> Turn {
     let mut frames = Vec::new();
     let mut chunk = [0u8; 16 * 1024];
     let mut progressed = false;
@@ -447,7 +476,7 @@ fn serve_turn(service: &MappingService, conn: &mut Conn, degrade: bool) -> Turn 
 /// hold the worker, so a client that stops reading is disconnected instead
 /// of pinning a pool thread.
 fn write_responses(
-    service: &MappingService,
+    service: &dyn LineHandler,
     conn: &mut Conn,
     frames: &mut Vec<Frame>,
     degrade: bool,
@@ -520,7 +549,7 @@ fn requeue(state: &PoolState, conn: Conn) -> usize {
     queue.len()
 }
 
-fn worker_loop(service: Arc<MappingService>, state: Arc<PoolState>) {
+fn worker_loop(service: Arc<dyn LineHandler>, state: Arc<PoolState>) {
     let mut idle_streak = 0usize;
     loop {
         let (mut conn, queue_depth) = {
@@ -545,7 +574,7 @@ fn worker_loop(service: Arc<MappingService>, state: Arc<PoolState>) {
             // Finish whatever complete lines this connection already sent,
             // then close it; nothing is requeued during a drain.
             while let Turn::Ready | Turn::Drained { progressed: true } =
-                serve_turn(&service, &mut conn, false)
+                serve_turn(&*service, &mut conn, false)
             {}
             continue;
         }
@@ -562,7 +591,7 @@ fn worker_loop(service: Arc<MappingService>, state: Arc<PoolState>) {
             }
         }
         let degrade = queue_depth >= state.opts.degrade_queue;
-        let turn = serve_turn(&service, &mut conn, degrade);
+        let turn = serve_turn(&*service, &mut conn, degrade);
         if conn.framer.has_partial() {
             conn.partial_since.get_or_insert_with(Instant::now);
         } else {
@@ -602,7 +631,7 @@ fn worker_loop(service: Arc<MappingService>, state: Arc<PoolState>) {
 /// Binds `addr` and serves connections forever on a pool of `workers`
 /// threads.  Prints the bound address to stderr (useful with port 0).
 pub fn serve_tcp<A: ToSocketAddrs>(
-    service: Arc<MappingService>,
+    service: Arc<dyn LineHandler>,
     addr: A,
     workers: usize,
 ) -> std::io::Result<()> {
@@ -620,7 +649,7 @@ pub fn serve_tcp<A: ToSocketAddrs>(
 /// Binds `addr` and serves connections with full [`ServeOptions`] control,
 /// returning cleanly once `shutdown` is set (the SIGTERM drain path).
 pub fn serve_tcp_with<A: ToSocketAddrs>(
-    service: Arc<MappingService>,
+    service: Arc<dyn LineHandler>,
     addr: A,
     opts: ServeOptions,
     shutdown: Arc<AtomicBool>,
@@ -635,7 +664,7 @@ pub fn serve_tcp_with<A: ToSocketAddrs>(
 /// the calling thread runs the accept loop and never returns under normal
 /// operation.  See [`serve_listener_with`] for overload/drain control.
 pub fn serve_listener(
-    service: Arc<MappingService>,
+    service: Arc<dyn LineHandler>,
     listener: TcpListener,
     workers: usize,
 ) -> std::io::Result<()> {
@@ -666,7 +695,7 @@ pub fn serve_listener(
 /// every socket is closed, and the call returns `Ok(())` — the caller can
 /// then flush and compact persistence before exiting.
 pub fn serve_listener_with(
-    service: Arc<MappingService>,
+    service: Arc<dyn LineHandler>,
     listener: TcpListener,
     opts: ServeOptions,
     shutdown: Arc<AtomicBool>,

@@ -51,6 +51,65 @@ pub struct CacheKey {
     pub seed: u64,
 }
 
+impl CacheKey {
+    /// The canonical cache key of one parsed request, exactly as
+    /// [`MappingService`] caches it: canonical dims/stencil from
+    /// [`stencil_mapping::canonical`], the requested algorithm, and the seed
+    /// normalised to 0 for algorithms that ignore it.  The router hashes
+    /// [`CacheKey::routing_bytes`] of this key, so canonically-equal
+    /// requests always land on the same backend shard.
+    pub fn of_request(req: &MapRequest) -> CacheKey {
+        let canon = canonicalize(&req.dims, &req.stencil);
+        CacheKey::of_canonical(req, &canon, req.algorithm, req.seed)
+    }
+
+    /// [`CacheKey::of_request`] with an already-computed canonicalisation
+    /// and an explicit `(algorithm, seed)` (the budget-fallback path probes
+    /// sibling keys of the same canonical problem).
+    pub fn of_canonical(
+        req: &MapRequest,
+        canon: &Canonical,
+        algorithm: Algorithm,
+        seed: u64,
+    ) -> CacheKey {
+        CacheKey {
+            dims: canon.dims.as_slice().to_vec(),
+            stencil: canon.stencil.to_flat(),
+            periodic: req.periodic,
+            alloc: req.alloc.sizes().to_vec(),
+            algorithm,
+            seed: if algorithm.uses_seed() { seed } else { 0 },
+        }
+    }
+
+    /// A stable, unambiguous byte encoding of the key for consistent
+    /// hashing.  Every field is length-prefixed or fixed-width
+    /// (little-endian), so distinct keys can never encode to the same
+    /// bytes.  This encoding is part of the router's placement contract:
+    /// changing it reshuffles every key across the ring.
+    pub fn routing_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(16 * (self.dims.len() + self.alloc.len()) + 32);
+        out.extend_from_slice(&(self.dims.len() as u32).to_le_bytes());
+        for &d in &self.dims {
+            out.extend_from_slice(&(d as u64).to_le_bytes());
+        }
+        out.extend_from_slice(&(self.stencil.len() as u32).to_le_bytes());
+        for &s in &self.stencil {
+            out.extend_from_slice(&s.to_le_bytes());
+        }
+        out.push(self.periodic as u8);
+        out.extend_from_slice(&(self.alloc.len() as u32).to_le_bytes());
+        for &a in &self.alloc {
+            out.extend_from_slice(&(a as u64).to_le_bytes());
+        }
+        let name = self.algorithm.wire_name().as_bytes();
+        out.extend_from_slice(&(name.len() as u32).to_le_bytes());
+        out.extend_from_slice(name);
+        out.extend_from_slice(&self.seed.to_le_bytes());
+        out
+    }
+}
+
 /// A cached mapping in canonical coordinates, with its cost.
 #[derive(Debug, Default)]
 pub struct CacheEntry {
@@ -306,6 +365,10 @@ impl MappingService {
                 return;
             }
         };
+        if let Some(cmd) = parsed.get("admin") {
+            self.handle_admin(&parsed, cmd, out);
+            return;
+        }
         if let Some(batch) = parsed.get("batch") {
             let Some(items) = batch.as_arr() else {
                 MapResponse {
@@ -325,6 +388,55 @@ impl MappingService {
             out.push_str("]}");
         } else {
             self.handle_value_mode(&parsed, degrade).write_into(out);
+        }
+    }
+
+    /// Handles an `{"admin": "..."}` control request.  The only command is
+    /// `"handoff"`: flush and compact the persistence log, then ship the
+    /// whole compacted log (one insert per resident entry) base64-encoded in
+    /// the response, so a new shard can start warm from it
+    /// (`stencil-serve --handoff ADDR --persist FILE`).  Requires
+    /// persistence; without `--persist` the command is answered with an
+    /// error line.
+    fn handle_admin(&self, v: &Value, cmd: &Value, out: &mut String) {
+        let id = v.get("id").cloned();
+        let error = |out: &mut String, msg: String| {
+            MapResponse {
+                id: id.clone(),
+                body: ResponseBody::Error(msg),
+            }
+            .write_into(out)
+        };
+        match cmd.as_str() {
+            Some("handoff") => {
+                let Some(p) = &self.persist else {
+                    error(out, "handoff requires --persist".to_string());
+                    return;
+                };
+                p.flush();
+                p.compact();
+                let bytes = match std::fs::read(p.path()) {
+                    Ok(bytes) => bytes,
+                    Err(e) => {
+                        error(out, format!("cannot read persistence log: {e}"));
+                        return;
+                    }
+                };
+                let mut fields = Vec::new();
+                if let Some(id) = id {
+                    fields.push(("id", id));
+                }
+                fields.push(("status", Value::str("ok")));
+                fields.push(("admin", Value::str("handoff")));
+                fields.push(("entries", Value::Num(self.cache.stats().len as f64)));
+                fields.push(("log_bytes", Value::Num(bytes.len() as f64)));
+                fields.push(("log", Value::str(crate::json::base64_encode(&bytes))));
+                Value::obj(fields).write_into(out);
+            }
+            _ => error(
+                out,
+                format!("unknown admin command {} (expected \"handoff\")", cmd.compact()),
+            ),
         }
     }
 
@@ -465,14 +577,7 @@ impl MappingService {
         algorithm: Algorithm,
         seed: u64,
     ) -> Result<(Arc<CacheEntry>, bool), String> {
-        let key = CacheKey {
-            dims: canon.dims.as_slice().to_vec(),
-            stencil: canon.stencil.to_flat(),
-            periodic: req.periodic,
-            alloc: req.alloc.sizes().to_vec(),
-            algorithm,
-            seed: if algorithm.uses_seed() { seed } else { 0 },
-        };
+        let key = CacheKey::of_canonical(req, canon, algorithm, seed);
         if let Some(p) = &self.persist {
             // hold the shard's persist lock across (lookup, touch record) so
             // the log's per-shard order matches the shard's operation order;

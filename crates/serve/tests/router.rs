@@ -1,0 +1,385 @@
+//! Router integration suite: the consistent-hash router in front of real
+//! backend processes.
+//!
+//! * **Placement purity** (proptest): the backend a request routes to is a
+//!   pure function of its canonical cache key and the backend set — every
+//!   dimension permutation of a request, and every change to non-key
+//!   fields (`id`, `want_mapping`, `encoding`), lands on the same shard.
+//! * **Golden byte-identity**: the checked-in transcript request file is
+//!   replayed against a single `stencil-serve` process and against a
+//!   router fronting two backend processes; the two response transcripts
+//!   must match **byte-exactly**, under `RAYON_NUM_THREADS ∈ {1, 4}`.
+//! * **Backend loss**: SIGKILL one backend under traffic — requests owned
+//!   by the dead shard answer with a well-formed
+//!   `{"error":"backend unavailable"}` line (no hang, no torn line), the
+//!   other shard keeps serving, and after a restart on the same port the
+//!   dead shard rejoins without touching the router.
+//! * **Warm handoff**: `--handoff` pulls a compacted persistence log from
+//!   a live backend and a new backend started on that file answers the
+//!   donor's cached entries as hits.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+use proptest::prelude::*;
+use stencil_serve::json::Value;
+use stencil_serve::router::{Router, BACKEND_UNAVAILABLE, DEFAULT_ROUTE_TIMEOUT};
+
+/// A `stencil-serve` child process plus the address it bound.  Killed on
+/// drop so a failing assertion cannot leak servers.
+struct Server {
+    child: Child,
+    addr: String,
+    drain: Option<std::thread::JoinHandle<String>>,
+}
+
+impl Server {
+    /// Spawns the real binary with `args` (plus `--listen addr`), waits for
+    /// its "listening on" banner, and drains the rest of stderr in the
+    /// background so the child can never block on a full pipe.
+    fn spawn(listen: &str, args: &[&str], envs: &[(&str, &str)]) -> Server {
+        let mut cmd = Command::new(env!("CARGO_BIN_EXE_stencil-serve"));
+        cmd.arg("--listen")
+            .arg(listen)
+            .args(args)
+            .stdout(Stdio::null())
+            .stderr(Stdio::piped());
+        for (k, v) in envs {
+            cmd.env(k, v);
+        }
+        let mut child = cmd.spawn().expect("spawning stencil-serve");
+        let mut stderr = BufReader::new(child.stderr.take().unwrap());
+        let addr = loop {
+            let mut line = String::new();
+            assert_ne!(
+                stderr.read_line(&mut line).unwrap(),
+                0,
+                "server exited before printing its address"
+            );
+            if let Some(rest) = line.trim_end().split("listening on ").nth(1) {
+                break rest.to_string();
+            }
+        };
+        let drain = std::thread::spawn(move || {
+            let mut rest = String::new();
+            let _ = stderr.read_to_string(&mut rest);
+            rest
+        });
+        Server {
+            child,
+            addr,
+            drain: Some(drain),
+        }
+    }
+
+    /// SIGKILLs the process — the `kill -9` half of the backend-loss test.
+    fn kill9(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+        if let Some(d) = self.drain.take() {
+            let _ = d.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.kill9();
+    }
+}
+
+/// One request line in, one response line out, over an existing connection.
+fn ask(conn: &mut TcpStream, reader: &mut BufReader<TcpStream>, line: &str) -> String {
+    conn.write_all(line.as_bytes()).unwrap();
+    conn.write_all(b"\n").unwrap();
+    let mut reply = String::new();
+    reader.read_line(&mut reply).unwrap();
+    assert!(
+        reply.ends_with('\n'),
+        "torn response line (connection closed mid-line?): {reply:?}"
+    );
+    reply.trim_end().to_string()
+}
+
+fn connect(addr: &str) -> (TcpStream, BufReader<TcpStream>) {
+    let conn = TcpStream::connect(addr).unwrap();
+    conn.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+    let reader = BufReader::new(conn.try_clone().unwrap());
+    (conn, reader)
+}
+
+/// The golden request lines: every non-comment line of the transcript
+/// file.  `#RESTART` is a persistence-restart marker for the transcript
+/// suite; here both sides run restart-free, and the post-marker lines
+/// repeat earlier requests, so they exercise the routed warm-hit path.
+fn golden_requests() -> Vec<String> {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/data/transcript_requests.txt");
+    std::fs::read_to_string(&path)
+        .unwrap()
+        .lines()
+        .filter(|l| !l.starts_with('#') && !l.trim().is_empty())
+        .map(str::to_string)
+        .collect()
+}
+
+/// Replays `requests` one at a time against `addr`, returning the response
+/// lines in order.
+fn replay(addr: &str, requests: &[String]) -> Vec<String> {
+    let (mut conn, mut reader) = connect(addr);
+    requests
+        .iter()
+        .map(|r| ask(&mut conn, &mut reader, r))
+        .collect()
+}
+
+/// Reserves a free localhost port: bind, read it back, release.  Racy in
+/// principle, but the window is tiny and the backend-loss test needs a
+/// *fixed* port so the killed backend can be reborn at the same address.
+fn free_port() -> u16 {
+    TcpListener::bind("127.0.0.1:0")
+        .unwrap()
+        .local_addr()
+        .unwrap()
+        .port()
+}
+
+// ---------------------------------------------------------------------------
+// placement purity
+// ---------------------------------------------------------------------------
+
+/// Backend specs that resolve (IP literals) without anything listening:
+/// `route_index` never dials.
+fn offline_specs(n: usize) -> Vec<String> {
+    (0..n).map(|i| format!("127.0.0.1:{}", 19_000 + i)).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Routing is a pure function of the canonical key and the backend
+    /// set: any rotation of the dimension vector, and any change to
+    /// non-key fields, routes to the same backend; the same request on
+    /// the same ring always answers the same index.
+    #[test]
+    fn route_index_is_pure_in_the_canonical_key(
+        dims in proptest::collection::vec(2usize..10, 2..4),
+        rot in 0usize..4,
+        nodes in 2usize..6,
+        id in 0u64..1000,
+        want_mapping in proptest::bool::ANY,
+    ) {
+        // keep the request valid (p divisible by nodes): invalid requests
+        // deliberately route by raw bytes, not by canonical key
+        let mut dims = dims;
+        dims[0] *= nodes;
+        let router = Router::new(&offline_specs(5), DEFAULT_ROUTE_TIMEOUT).unwrap();
+        let fmt = |d: &[usize], extra: &str| {
+            let dims = d.iter().map(|x| x.to_string()).collect::<Vec<_>>().join(",");
+            format!(r#"{{"dims":[{dims}],"nodes":{nodes}{extra}}}"#)
+        };
+        let base = Value::parse(&fmt(&dims, "")).unwrap();
+        let home = router.route_index(&base);
+        prop_assert_eq!(router.route_index(&base), home, "lookup must be pure");
+
+        let mut rotated = dims.clone();
+        rotated.rotate_left(rot % dims.len());
+        let permuted = Value::parse(&fmt(&rotated, "")).unwrap();
+        prop_assert_eq!(
+            router.route_index(&permuted), home,
+            "a dimension permutation changed the shard: {:?} vs {:?}", dims, rotated
+        );
+
+        let noisy = Value::parse(&fmt(
+            &dims,
+            &format!(r#","id":{id},"want_mapping":{want_mapping},"encoding":"compact""#),
+        )).unwrap();
+        prop_assert_eq!(
+            router.route_index(&noisy), home,
+            "a non-key field changed the shard"
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// golden byte-identity through real processes
+// ---------------------------------------------------------------------------
+
+/// The full golden request file answered through a router fronting two
+/// backends must be byte-identical to a single process answering it
+/// directly — for 1 and 4 rayon threads on the serving processes.
+#[test]
+fn routed_golden_transcript_matches_single_process() {
+    let requests = golden_requests();
+    for threads in ["1", "4"] {
+        let env = [("RAYON_NUM_THREADS", threads)];
+        let single = Server::spawn("127.0.0.1:0", &[], &env);
+        let b1 = Server::spawn("127.0.0.1:0", &[], &env);
+        let b2 = Server::spawn("127.0.0.1:0", &[], &env);
+        let route = format!("{},{}", b1.addr, b2.addr);
+        let router = Server::spawn("127.0.0.1:0", &["--route", &route], &env);
+
+        let direct = replay(&single.addr, &requests);
+        let routed = replay(&router.addr, &requests);
+        assert_eq!(direct.len(), routed.len());
+        for (i, (d, r)) in direct.iter().zip(&routed).enumerate() {
+            assert_eq!(
+                d,
+                r,
+                "response {} diverged between single process and router \
+                 (RAYON_NUM_THREADS={threads}): request {:?}",
+                i + 1,
+                requests[i]
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// backend loss and rejoin
+// ---------------------------------------------------------------------------
+
+/// Finds one request per backend: dims `[n,4]`, n grown until the ring
+/// places the request on the wanted index.
+fn request_owned_by(router: &Router, want: usize) -> String {
+    for n in 2..200usize {
+        let line = format!(r#"{{"dims":[{n},4],"nodes":4,"want_mapping":false}}"#);
+        if router.route_index(&Value::parse(&line).unwrap()) == want {
+            return line;
+        }
+    }
+    panic!("no probe request routes to backend {want}");
+}
+
+#[test]
+fn killed_backend_answers_error_lines_and_rejoins_after_restart() {
+    let (p1, p2) = (free_port(), free_port());
+    let (a1, a2) = (format!("127.0.0.1:{p1}"), format!("127.0.0.1:{p2}"));
+    let mut b1 = Server::spawn(&a1, &[], &[]);
+    let _b2 = Server::spawn(&a2, &[], &[]);
+    let route = format!("{a1},{a2}");
+    let router_proc = Server::spawn("127.0.0.1:0", &["--route", &route], &[]);
+
+    // the same specs in-process tell us which shard owns which probe
+    let oracle = Router::new(&[a1.clone(), a2.clone()], DEFAULT_ROUTE_TIMEOUT).unwrap();
+    let on_dead = request_owned_by(&oracle, 0);
+    let on_live = request_owned_by(&oracle, 1);
+
+    let (mut conn, mut reader) = connect(&router_proc.addr);
+    assert!(ask(&mut conn, &mut reader, &on_dead).contains("\"status\":\"ok\""));
+    assert!(ask(&mut conn, &mut reader, &on_live).contains("\"status\":\"ok\""));
+
+    b1.kill9();
+
+    // every response while the shard is dead must be a well-formed JSON
+    // line: either a normal answer (live shard) or the unavailable error
+    let mut saw_unavailable = false;
+    for _ in 0..6 {
+        let reply = ask(&mut conn, &mut reader, &on_dead);
+        let parsed = Value::parse(&reply)
+            .unwrap_or_else(|e| panic!("torn or malformed error line {reply:?}: {e}"));
+        let err = parsed.get("error").and_then(Value::as_str).unwrap_or("");
+        assert_eq!(
+            err, BACKEND_UNAVAILABLE,
+            "dead shard must answer the documented error line, got {reply:?}"
+        );
+        saw_unavailable = true;
+        // the other shard is untouched
+        let live = ask(&mut conn, &mut reader, &on_live);
+        assert!(live.contains("\"status\":\"ok\""), "{live}");
+    }
+    assert!(saw_unavailable);
+
+    // a batch touching both shards splits cleanly: per-item error, in order
+    let batch = format!(
+        r#"{{"batch":[{},{}]}}"#,
+        on_dead.replacen('{', r#"{"id":"dead","#, 1),
+        on_live.replacen('{', r#"{"id":"live","#, 1)
+    );
+    let reply = ask(&mut conn, &mut reader, &batch);
+    let parsed = Value::parse(&reply).expect("batch response must stay well-formed");
+    let items = match parsed.get("batch") {
+        Some(Value::Arr(items)) => items,
+        other => panic!("expected a batch response, got {other:?}"),
+    };
+    assert_eq!(items.len(), 2);
+    assert_eq!(
+        items[0].get("error").and_then(Value::as_str),
+        Some(BACKEND_UNAVAILABLE)
+    );
+    assert_eq!(items[1].get("status").and_then(Value::as_str), Some("ok"));
+
+    // rebirth on the same port: the router must pick the shard back up by
+    // itself once the backoff window (≤ 2s) lapses
+    let _b1_again = Server::spawn(&a1, &[], &[]);
+    let deadline = Instant::now() + Duration::from_secs(20);
+    loop {
+        let reply = ask(&mut conn, &mut reader, &on_dead);
+        if reply.contains("\"status\":\"ok\"") {
+            break;
+        }
+        assert!(
+            reply.contains(BACKEND_UNAVAILABLE),
+            "only the documented error is acceptable while down: {reply}"
+        );
+        assert!(
+            Instant::now() < deadline,
+            "restarted backend never rejoined the router"
+        );
+        std::thread::sleep(Duration::from_millis(200));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// warm handoff
+// ---------------------------------------------------------------------------
+
+#[test]
+fn handoff_ships_a_warm_cache_image() {
+    let dir = std::env::temp_dir().join(format!("stencil-router-handoff-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let donor_log = dir.join("donor.log");
+    let new_log = dir.join("warmed.log");
+    let _ = std::fs::remove_file(&donor_log);
+    let _ = std::fs::remove_file(&new_log);
+
+    let donor = Server::spawn(
+        "127.0.0.1:0",
+        &["--persist", donor_log.to_str().unwrap()],
+        &[],
+    );
+    let (mut conn, mut reader) = connect(&donor.addr);
+    let warm = r#"{"dims":[16,6],"nodes":8,"want_mapping":false}"#;
+    assert!(ask(&mut conn, &mut reader, warm).contains("\"cached\":false"));
+    assert!(ask(&mut conn, &mut reader, r#"{"dims":[9,9],"nodes":3,"want_mapping":false}"#)
+        .contains("\"status\":\"ok\""));
+
+    // pull the donor's compacted image into a fresh log file
+    let status = Command::new(env!("CARGO_BIN_EXE_stencil-serve"))
+        .args([
+            "--handoff",
+            &donor.addr,
+            "--persist",
+            new_log.to_str().unwrap(),
+        ])
+        .status()
+        .expect("running --handoff");
+    assert!(status.success(), "--handoff must exit 0");
+
+    // a brand-new backend on the shipped log answers the donor's entries warm
+    let reborn = Server::spawn(
+        "127.0.0.1:0",
+        &["--persist", new_log.to_str().unwrap()],
+        &[],
+    );
+    let (mut conn, mut reader) = connect(&reborn.addr);
+    let reply = ask(&mut conn, &mut reader, warm);
+    assert!(
+        reply.contains("\"cached\":true"),
+        "handed-off entry must be a warm hit: {reply}"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

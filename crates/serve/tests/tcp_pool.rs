@@ -202,15 +202,44 @@ fn write_timeout_tears_down_a_client_that_stops_reading() {
             poll_backend: backend,
             ..ServeOptions::default()
         });
+        // ~260 KiB of compact node table per response, ~16 MiB across all
+        // 60.  Two sizing constraints, both learned the hard way:
+        //
+        // * The total must overrun what the kernel will buffer for a
+        //   receiver that never reads: the server's send buffer plus the
+        //   client's *initial* receive buffer (TCP auto-tuning only grows
+        //   it for a reading peer) — measured ~3-4 MiB on loopback here.
+        //   16 MiB leaves a ~4x margin.
+        // * Responses must be cheap to *produce*, or the server is still
+        //   serialising when the client below wakes and starts draining,
+        //   and the freshly opened window rescues the blocked write right
+        //   at the timeout boundary.  Compact tables are memoised on the
+        //   cache entry (generation is a memcpy); verbose tables are
+        //   re-serialised per response and lose the race in debug builds.
+        //   Keeping the batch small (60, not hundreds) keeps generation
+        //   well under the client's sleep below.
+        let request = "{\"dims\":[500,400],\"nodes\":100,\"encoding\":\"compact\"}\n";
+
+        // Warm the cache on a well-behaved connection first so the stuck
+        // connection's responses are all memoised hits (no multi-second
+        // cold compute on the stuck path).
+        {
+            let mut warm = TcpStream::connect(addr).unwrap();
+            warm.write_all(request.as_bytes()).unwrap();
+            let mut line = String::new();
+            BufReader::new(warm).read_line(&mut line).unwrap();
+            assert!(line.contains("\"status\":\"ok\""), "{backend:?}: {line}");
+        }
+
         let mut stuck = TcpStream::connect(addr).unwrap();
-        // ~160 KiB of verbose node table per response; enough of them to
-        // overrun both socket buffers however the OS sizes them
-        let request = "{\"dims\":[200,200],\"nodes\":100,\"want_mapping\":true}\n";
-        for _ in 0..100 {
+        for _ in 0..60 {
             stuck.write_all(request.as_bytes()).unwrap();
         }
-        // do not read: the server's write_all must block and then time out
-        std::thread::sleep(Duration::from_millis(1500));
+        // Do not read: the server's write_all must block and then time out.
+        // The sleep must outlast response generation *plus* the 300 ms
+        // write timeout, or draining below re-opens the window in time to
+        // rescue the blocked write.
+        std::thread::sleep(Duration::from_millis(2500));
 
         // drain what did make it out: every complete line is well formed,
         // nothing valid follows a torn tail, and the stream ends in EOF
@@ -223,6 +252,9 @@ fn write_timeout_tears_down_a_client_that_stops_reading() {
             match stuck.read(&mut chunk) {
                 Ok(0) => break, // EOF: the server closed the connection
                 Ok(n) => received.extend_from_slice(&chunk[..n]),
+                // A reset is also a valid teardown signal: dropping the
+                // connection with bytes still queued can surface as RST.
+                Err(e) if e.kind() == std::io::ErrorKind::ConnectionReset => break,
                 Err(e) => panic!("{backend:?}: expected EOF after write timeout, got {e}"),
             }
         }
@@ -231,8 +263,8 @@ fn write_timeout_tears_down_a_client_that_stops_reading() {
         let torn_tail = parts.next_back().unwrap(); // after the last '\n'
         let complete = parts.collect::<Vec<_>>();
         assert!(
-            complete.len() < 100,
-            "{backend:?}: all 100 responses arrived — the write never timed out"
+            complete.len() < 60,
+            "{backend:?}: all 60 responses arrived — the write never timed out"
         );
         for line in &complete {
             assert!(
