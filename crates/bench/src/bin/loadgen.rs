@@ -35,9 +35,12 @@
 //!   against a persisted service with a small online-compaction threshold:
 //!   reports how many records and flushes the traffic cost and proves the
 //!   log stayed bounded across compaction cycles.
-//! * **tcp_hit / routed_hit** — the p = 4800 cost-only hit stream replayed
-//!   over real TCP: once against a single `stencil-serve --listen` process,
-//!   once through `stencil-serve --route` fronting two backend processes.
+//! * **tcp_hit / routed_hit / routed_replica_hit** — the p = 4800
+//!   cost-only hit stream replayed over real TCP: once against a single
+//!   `stencil-serve --listen` process, once through `stencil-serve
+//!   --route` fronting two backend processes, and once through a
+//!   `--replicas 2` router fronting three backends (every miss written
+//!   through to both replicas, reads from the primary).
 //!   Requests are pipelined on one connection for the throughput number; a
 //!   sequential round-trip pass supplies the latency percentiles.  These
 //!   sections spawn the real server binary — build it first
@@ -324,7 +327,11 @@ fn tcp_roundtrips(addr: &str, line: &str, count: usize) -> Result<Vec<f64>, Stri
             Ok(n) if n > 0 && reply.contains("\"status\":\"ok\"") => {
                 latencies.push(start.elapsed().as_secs_f64());
             }
-            other => return Err(format!("round-trip response {i} failed: {other:?} {reply:?}")),
+            other => {
+                return Err(format!(
+                    "round-trip response {i} failed: {other:?} {reply:?}"
+                ))
+            }
         }
     }
     Ok(latencies)
@@ -716,8 +723,7 @@ fn main() {
                 }
             }
         });
-        let net_line =
-            r#"{"id":0,"dims":[75,64],"nodes":100,"algorithm":"viem","seed":1,"want_mapping":false}"#;
+        let net_line = r#"{"id":0,"dims":[75,64],"nodes":100,"algorithm":"viem","seed":1,"want_mapping":false}"#;
         let pipelined = if quick { 500 } else { 5000 };
         let roundtrips = if quick { 100 } else { 500 };
         let net = (|| -> Result<(), String> {
@@ -744,11 +750,35 @@ fn main() {
                     ("backends", Json::Num(2.0)),
                 ],
             )?;
-            for (name, sec) in [("tcp_hit", &tcp), ("routed_hit", &routed)] {
+            drop(router);
+            drop(b1);
+            drop(b2);
+            let b1 = ServeProc::spawn(&serve_bin, &[])?;
+            let b2 = ServeProc::spawn(&serve_bin, &[])?;
+            let b3 = ServeProc::spawn(&serve_bin, &[])?;
+            let route = format!("{},{},{}", b1.addr, b2.addr, b3.addr);
+            let router = ServeProc::spawn(&serve_bin, &["--route", &route, "--replicas", "2"])?;
+            let replicated = tcp_section(
+                &router.addr,
+                net_line,
+                pipelined,
+                roundtrips,
+                vec![
+                    ("processes", Json::Num(4800.0)),
+                    ("backends", Json::Num(3.0)),
+                    ("replicas", Json::Num(2.0)),
+                ],
+            )?;
+            for (name, sec) in [
+                ("tcp_hit", &tcp),
+                ("routed_hit", &routed),
+                ("routed_replica_hit", &replicated),
+            ] {
                 eprintln!("  {name}: {}", sec.pretty().replace(['\n', ' '], ""));
             }
             net_sections.push(("tcp_hit", tcp));
             net_sections.push(("routed_hit", routed));
+            net_sections.push(("routed_replica_hit", replicated));
             Ok(())
         })();
         if let Err(e) = net {

@@ -86,6 +86,11 @@ pub const GATED_SERVE_METRICS: &[GatedMetric] = &[
         key: "throughput_rps",
         higher_is_better: true,
     },
+    GatedMetric {
+        section: "routed_replica_hit",
+        key: "throughput_rps",
+        higher_is_better: true,
+    },
 ];
 
 /// Scale guards for the serve document.
@@ -96,15 +101,22 @@ pub const SERVE_SCALE_GUARDS: &[(&str, &str)] = &[
     ("persistence", "entries"),
     ("routed_hit", "processes"),
     ("routed_hit", "backends"),
+    ("routed_replica_hit", "processes"),
+    ("routed_replica_hit", "backends"),
+    ("routed_replica_hit", "replicas"),
 ];
 
 /// Absolute throughput floors for the serve document, checked against the
 /// *current* measurement (the relative gates above only catch drift from
 /// the committed baseline).  The routed-hit floor is the acceptance
 /// criterion of the router work: p = 4800 cache hits through the router
-/// must sustain at least 10k req/s.
-pub const SERVE_ABSOLUTE_FLOORS: &[(&str, &str, f64)] =
-    &[("routed_hit", "throughput_rps", 10_000.0)];
+/// must sustain at least 10k req/s; the replicated router — which writes
+/// every miss through to two replicas but serves hits from the primary
+/// alone — must sustain at least 8k req/s over three backends.
+pub const SERVE_ABSOLUTE_FLOORS: &[(&str, &str, f64)] = &[
+    ("routed_hit", "throughput_rps", 10_000.0),
+    ("routed_replica_hit", "throughput_rps", 8_000.0),
+];
 
 /// One compared metric.
 #[derive(Debug, Clone, PartialEq)]
@@ -351,6 +363,12 @@ mod tests {
     "processes": 4800,
     "backends": 2,
     "throughput_rps": 20000
+  },
+  "routed_replica_hit": {
+    "processes": 4800,
+    "backends": 3,
+    "replicas": 2,
+    "throughput_rps": 15000
   }
 }"#;
 
@@ -478,11 +496,22 @@ mod tests {
         let bad: Vec<_> = outcomes.iter().filter(|o| !o.ok).collect();
         assert_eq!(bad.len(), 1);
         assert_eq!(bad[0].label, "routed_hit.throughput_rps (floor)");
-        // at the committed baseline's level the floor passes
+        // the replicated-router section has its own 8k floor
+        let slow_replica =
+            SERVE_DOC.replace("\"throughput_rps\": 15000", "\"throughput_rps\": 7000");
+        let outcomes = check_serve(&slow_replica, &slow_replica, 0.25).unwrap();
+        let bad: Vec<_> = outcomes.iter().filter(|o| !o.ok).collect();
+        assert_eq!(bad.len(), 1);
+        assert_eq!(bad[0].label, "routed_replica_hit.throughput_rps (floor)");
+        // at the committed baseline's level the floors pass
         let outcomes = check_serve(SERVE_DOC, SERVE_DOC, 0.25).unwrap();
         assert!(outcomes.iter().all(|o| o.ok));
-        // a baseline without the routed section skips the floor cleanly
-        let legacy = SERVE_DOC.replace("routed_hit", "routed_hit_absent");
+        // a baseline without the routed sections skips the floors cleanly
+        // (note "routed_hit" is not a substring of "routed_replica_hit";
+        // both renames are needed)
+        let legacy = SERVE_DOC
+            .replace("routed_hit", "routed_hit_absent")
+            .replace("routed_replica_hit", "routed_replica_hit_absent");
         let outcomes = check_serve(&legacy, &legacy, 0.25).unwrap();
         assert!(outcomes.iter().all(|o| o.ok));
         assert!(!outcomes.iter().any(|o| o.label.contains("floor")));

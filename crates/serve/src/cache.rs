@@ -330,6 +330,18 @@ impl<K: Hash + Eq + Clone, V: Clone> ShardedLru<K, V> {
             .is_some()
     }
 
+    /// Whether `key` is resident, without bumping recency or counting
+    /// towards the hit/miss statistics.  The absorb path (a router streaming
+    /// moved key ranges during a reshard) uses this to skip entries the
+    /// backend already holds without perturbing eviction order.
+    pub fn contains(&self, key: &K) -> bool {
+        self.shards[self.shard_of(key)]
+            .lock()
+            .expect("cache shard poisoned")
+            .map
+            .contains_key(key)
+    }
+
     /// Inserts (or refreshes) `key` with a unit recompute cost, evicting the
     /// shard's policy victim if the shard is full.  Under LRU the cost is
     /// ignored; under GDSF this is shorthand for the cheapest cost class.

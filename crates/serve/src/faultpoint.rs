@@ -62,6 +62,20 @@ pub const POINTS: &[&str] = &[
     // The router is about to dial a fresh backend connection (pool empty
     // or the pooled connection just failed).
     "router.reconnect",
+    // The request line has been written to the chosen backend; the response
+    // has not been read yet.  A kill here leaves the backend computing (and
+    // caching) an answer the router never relays.
+    "router.forward_sent",
+    // A replicated miss response is in hand and the write-through fan-out
+    // to the remaining replicas is about to start: a kill here leaves the
+    // serving replica warm and the others cold for this key.
+    "router.replica_fanout_partial",
+    // A reshard has pulled and redistributed the moving key ranges and
+    // built the new ring; the atomic swap has not happened yet.
+    "router.ring_swap_prepared",
+    // One warm-handoff image chunk has been streamed (absorbed) into a
+    // backend gaining keys during a reshard.
+    "router.handoff_streamed",
 ];
 
 /// What an armed fault point does when its hit count is reached.

@@ -64,6 +64,7 @@ pub mod router;
 pub mod server;
 pub mod service;
 pub mod transcript;
+pub mod wire;
 
 pub use cache::{CacheStats, EvictionPolicy, ShardedLru};
 pub use protocol::{

@@ -28,7 +28,7 @@ usage: stencil-serve [--stdin | --listen ADDR] [--cache-capacity N] [--shards N]
                      [--workers N] [--persist FILE] [--compact-bytes N]
                      [--eviction lru|gdsf] [--max-conns N] [--read-timeout SECS]
                      [--degrade-queue N] [--poll-backend epoll|threadpoll]
-                     [--route B1,B2,...] [--route-timeout SECS]
+                     [--route B1,B2,... [--replicas R]] [--route-timeout SECS]
        stencil-serve --handoff ADDR --persist FILE
 
 modes (default: --stdin):
@@ -69,10 +69,16 @@ options:
                        cost zero CPU, Linux only, falls back automatically) or
                        threadpoll (portable polling loop, idle cost grows with
                        connection count)
+  --replicas R         route mode: own each key on the R distinct ring-successor
+                       backends (default 1).  Misses write through to every
+                       replica; reads serve from the primary and fail over in
+                       ring order, so any single backend can die without error
+                       lines.  Requires R <= number of backends.
   --route-timeout SECS per-forward deadline in route mode, covering connect,
-                       write and response read (default 10); a backend that
-                       cannot answer in time yields one
-                       {\"error\":\"backend unavailable\"} line instead of a hang
+                       write and response read (default 10); a backend (and
+                       with --replicas, every replica) that cannot answer in
+                       time yields one {\"error\":\"backend unavailable\"} line
+                       instead of a hang
 
 signals: SIGTERM drains — the listener stops accepting, in-flight lines are
 answered, the persistence log is flushed and compacted, and the process
@@ -129,8 +135,8 @@ mod sigterm {
 /// A fresh backend started with `--persist dest` replays it and answers the
 /// shipped keys as cache hits from its first request on.
 fn run_handoff(addr: &str, dest: &std::path::Path) -> Result<(), String> {
-    let mut conn = std::net::TcpStream::connect(addr)
-        .map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    let mut conn =
+        std::net::TcpStream::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
     conn.write_all(b"{\"admin\":\"handoff\"}\n")
         .and_then(|()| conn.flush())
         .map_err(|e| format!("cannot send the handoff request: {e}"))?;
@@ -138,8 +144,8 @@ fn run_handoff(addr: &str, dest: &std::path::Path) -> Result<(), String> {
     BufReader::new(conn)
         .read_line(&mut line)
         .map_err(|e| format!("cannot read the handoff response: {e}"))?;
-    let v = Value::parse(line.trim_end())
-        .map_err(|e| format!("malformed handoff response: {e}"))?;
+    let v =
+        Value::parse(line.trim_end()).map_err(|e| format!("malformed handoff response: {e}"))?;
     if v.get("status").and_then(Value::as_str) != Some("ok") {
         let reason = v
             .get("error")
@@ -152,8 +158,7 @@ fn run_handoff(addr: &str, dest: &std::path::Path) -> Result<(), String> {
         .and_then(Value::as_str)
         .ok_or("handoff response carries no log")?;
     let bytes = base64_decode(log).map_err(|e| format!("undecodable log payload: {e}"))?;
-    std::fs::write(dest, &bytes)
-        .map_err(|e| format!("cannot write {}: {e}", dest.display()))?;
+    std::fs::write(dest, &bytes).map_err(|e| format!("cannot write {}: {e}", dest.display()))?;
     eprintln!(
         "stencil-serve: handoff from {addr}: {} entries, {} bytes -> {}",
         v.get("entries").and_then(Value::as_u64).unwrap_or(0),
@@ -182,6 +187,7 @@ fn main() {
         "--degrade-queue",
         "--poll-backend",
         "--route",
+        "--replicas",
         "--route-timeout",
         "--handoff",
     ];
@@ -279,7 +285,8 @@ fn main() {
             "--route-timeout",
             DEFAULT_ROUTE_TIMEOUT.as_secs() as usize,
         ) as u64);
-        let router = match Router::new(&specs, timeout) {
+        let replicas = parse_num("--replicas", 1);
+        let router = match Router::new(&specs, replicas, timeout) {
             Ok(r) => Arc::new(r),
             Err(e) => {
                 eprintln!("stencil-serve: {e}");
@@ -287,8 +294,10 @@ fn main() {
             }
         };
         eprintln!(
-            "stencil-serve: routing across {} backends: {}",
+            "stencil-serve: routing across {} backends ({} replica{} per key): {}",
             specs.len(),
+            replicas,
+            if replicas == 1 { "" } else { "s" },
             specs.join(", ")
         );
         let shutdown = Arc::new(AtomicBool::new(false));
@@ -310,8 +319,9 @@ fn main() {
         }
         let stats = router.stats();
         eprintln!(
-            "stencil-serve: router drained; {} forwarded, {} unavailable, {} dials",
-            stats.forwarded, stats.unavailable, stats.reconnects
+            "stencil-serve: router drained; {} forwarded, {} unavailable, {} dials, \
+             {} failovers, {} fanouts",
+            stats.forwarded, stats.unavailable, stats.reconnects, stats.failovers, stats.fanouts
         );
         std::process::exit(0);
     }
@@ -339,7 +349,12 @@ fn main() {
     let result = match listen {
         Some(addr) => {
             let handler: Arc<dyn LineHandler> = Arc::clone(&service) as Arc<dyn LineHandler>;
-            stencil_serve::server::serve_tcp_with(handler, addr.as_str(), opts, Arc::clone(&shutdown))
+            stencil_serve::server::serve_tcp_with(
+                handler,
+                addr.as_str(),
+                opts,
+                Arc::clone(&shutdown),
+            )
         }
         None => stencil_serve::server::serve_stdin(&*service),
     };

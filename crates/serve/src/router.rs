@@ -34,28 +34,57 @@
 //!   — deterministic, and the backend produces the identical error (or
 //!   admin) response a single process would.
 //!
+//! **Replication** (`--replicas R`, default 1): each key maps to the R
+//! *distinct* successor backends on the ring ([`Ring::replica_indices`]).
+//! Reads go to the primary and fail over in ring order to the next replica
+//! when a backend is down, timed out, or mid-backoff; a served **miss**
+//! (`"cached":false`) is written through to the remaining replicas (same
+//! raw line, responses discarded), so every replica computes and caches
+//! the identical entry.  Converged replica caches are what keep routed
+//! transcripts byte-identical through a failover: the replica answers
+//! `"cached":true` exactly as the lost primary — and a single process —
+//! would.  Killing any one backend with R ≥ 2 therefore yields zero
+//! `backend unavailable` lines and no cold recompute storm.
+//!
+//! **Live resharding**: `{"admin":"reshard","add":ADDR}` (or `"remove"`)
+//! is answered by the router itself.  It builds the new ring, pulls
+//! compacted `{"admin":"handoff"}` images from the old backends, streams
+//! exactly the key ranges whose replica set gains a member into the
+//! gaining backends as `{"admin":"absorb"}` chunks, then swaps the routing
+//! view atomically — in-flight lines drain on the old view (each line
+//! works against an `Arc` snapshot).  `{"admin":"stats"}` is likewise
+//! answered by the router: it fans out to every backend and aggregates
+//! cache counters plus the router's own up/down/backoff view into one
+//! line.
+//!
 //! Robustness: per-backend connection pools with
-//! reconnect-with-exponential-backoff, a per-forward deadline
-//! (`--route-timeout`), and `{"error":"backend unavailable"}` lines instead
-//! of hangs when a backend is down.  A backend that comes back is redialed
-//! automatically once its backoff window expires — the ring membership is
-//! static, so rejoining needs no router restart.  The fault points
-//! `router.forward` and `router.reconnect` ([`crate::faultpoint`]) bracket
-//! the forward path for the robustness suites.
+//! reconnect-with-exponential-backoff (deterministically jittered per
+//! backend, so a fleet-wide restart never wakes all probes at one
+//! instant), a per-forward deadline (`--route-timeout`), and
+//! `{"error":"backend unavailable"}` lines — only when *every* replica is
+//! unreachable — instead of hangs.  A backend that comes back is redialed
+//! automatically once its backoff window expires; up/down transitions are
+//! logged once each.  The fault points `router.forward`,
+//! `router.forward_sent`, `router.reconnect`,
+//! `router.replica_fanout_partial`, `router.ring_swap_prepared` and
+//! `router.handoff_streamed` ([`crate::faultpoint`]) bracket the forward,
+//! fan-out and reshard paths for the crash-matrix suites.
 //!
 //! The router in the serve-tier picture — and the warm-handoff flow for
 //! resharding (`--handoff`, which asks a backend to compact and ship its
-//! persistence log) — is described in `docs/ARCHITECTURE.md`; the wire
-//! protocol it relays is specified in `docs/PROTOCOL.md`.
+//! persistence log; reused wholesale by the reshard choreography) — is
+//! described in `docs/ARCHITECTURE.md`; the wire protocol it relays is
+//! specified in `docs/PROTOCOL.md`.
 
 use std::io::{Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex, MutexGuard, RwLock};
 use std::time::{Duration, Instant};
 
 use crate::faultpoint;
-use crate::json::Value;
+use crate::json::{base64_decode, base64_encode, Value};
+use crate::persist::{parse_record, Record};
 use crate::protocol::{MapRequest, MapResponse, ResponseBody};
 use crate::server::LineHandler;
 use crate::service::CacheKey;
@@ -71,10 +100,12 @@ pub const VNODES_PER_BACKEND: usize = 256;
 /// error lines instead of piled-up worker threads.
 pub const DEFAULT_ROUTE_TIMEOUT: Duration = Duration::from_secs(10);
 
-/// The error text of a routed line that could not be forwarded — clients
-/// see `{"status":"error","error":"backend unavailable"}` (with the
-/// request id echoed when there was one) instead of a hang or a torn line.
-pub const BACKEND_UNAVAILABLE: &str = "backend unavailable";
+/// The error text of a routed line that could not be forwarded to *any* of
+/// its replicas — clients see
+/// `{"status":"error","error":"backend unavailable"}` (with the request id
+/// echoed when there was one) instead of a hang or a torn line.  The string
+/// itself lives in [`crate::wire`] with the other transport error texts.
+pub use crate::wire::ERROR_BACKEND_UNAVAILABLE as BACKEND_UNAVAILABLE;
 
 /// How long one `connect` may take before the backend counts as down.
 const CONNECT_TIMEOUT: Duration = Duration::from_secs(2);
@@ -96,6 +127,22 @@ const POOL_CAP: usize = 8;
 /// legitimate response, including a shipped handoff log) so a misbehaving
 /// backend cannot balloon router memory.
 const MAX_RESPONSE_BYTES: usize = 64 << 20;
+
+/// Raw bytes of persistence-log records per `{"admin":"absorb"}` line when
+/// a reshard streams moved key ranges into their gaining backend.  2 MiB of
+/// raw log is ~2.7 MiB base64 — comfortably inside the backends' 4 MiB
+/// request-line limit.
+const ABSORB_CHUNK_BYTES: usize = 2 << 20;
+
+/// Deterministic per-backend addition to every reconnect-backoff window,
+/// keyed on the backend's construction index: `idx` milliseconds plus a
+/// sub-millisecond mix of `idx`.  Indices map to *disjoint* 1 ms intervals,
+/// so two backends marked down at the same instant with the same backoff
+/// can never probe at the same instant — a fleet-wide backend restart wakes
+/// the router's probes staggered instead of as one synchronized storm.
+fn probe_jitter(idx: u64) -> Duration {
+    Duration::from_micros(idx * 1000 + mix64(idx) % 1000)
+}
 
 /// 64-bit FNV-1a over `bytes` — the router's fixed placement hash.  Chosen
 /// for being fully specified in a dozen lines (no dependency, no
@@ -133,6 +180,8 @@ pub struct Ring {
     /// `(point hash, backend index)`, sorted — ties (astronomically rare)
     /// break deterministically toward the lower backend index.
     points: Vec<(u64, usize)>,
+    /// Number of backends the ring was built from (distinct indices).
+    backends: usize,
 }
 
 impl Ring {
@@ -152,7 +201,10 @@ impl Ring {
             }
         }
         points.sort_unstable();
-        Ring { points }
+        Ring {
+            points,
+            backends: backends.len(),
+        }
     }
 
     /// The backend index owning `hash`: the first ring point at or after
@@ -163,6 +215,40 @@ impl Ring {
         let hash = mix64(hash);
         let i = self.points.partition_point(|&(h, _)| h < hash);
         self.points[i % self.points.len()].1
+    }
+
+    /// The `replicas` *distinct* backend indices owning `hash`, in failover
+    /// order: the [`Ring::lookup`] owner first, then the next distinct
+    /// backends clockwise around the ring.  The walk over successor points
+    /// collapses repeated indices, so the set size is
+    /// `min(replicas, backend count)` — a pure function of the hash and the
+    /// backend set, exactly like single-owner lookup, and with the same
+    /// minimal-movement property extended to sets: growing the ring can add
+    /// the new backend to a key's replica set (evicting its last member)
+    /// but never moves a key between two pre-existing backends.
+    pub fn replica_indices(&self, hash: u64, replicas: usize) -> Vec<usize> {
+        let want = replicas.min(self.backends);
+        let mut set = Vec::with_capacity(want);
+        if want == 0 {
+            return set;
+        }
+        let hash = mix64(hash);
+        let start = self.points.partition_point(|&(h, _)| h < hash);
+        for off in 0..self.points.len() {
+            let idx = self.points[(start + off) % self.points.len()].1;
+            if !set.contains(&idx) {
+                set.push(idx);
+                if set.len() == want {
+                    break;
+                }
+            }
+        }
+        set
+    }
+
+    /// Number of backends this ring was built from.
+    pub fn backend_count(&self) -> usize {
+        self.backends
     }
 
     /// Number of ring points (backends × vnodes).
@@ -256,7 +342,91 @@ struct BackendState {
 
 struct Backend {
     spec: String,
+    /// This backend's [`probe_jitter`], fixed at construction.  Added to
+    /// every down window so no two backends ever share a probe instant.
+    jitter: Duration,
     state: Mutex<BackendState>,
+}
+
+impl Backend {
+    fn new(spec: String, jitter_index: u64) -> Backend {
+        Backend {
+            spec,
+            jitter: probe_jitter(jitter_index),
+            state: Mutex::new(BackendState {
+                pool: Vec::new(),
+                down_until: None,
+                backoff: BACKOFF_BASE,
+            }),
+        }
+    }
+
+    fn lock_state(&self) -> MutexGuard<'_, BackendState> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Marks the backend down for its current backoff window (plus its
+    /// jitter), discards its pooled connections (all presumed stale), and
+    /// doubles the window.  The up→down *transition* is logged once; probe
+    /// failures while already down stay silent.
+    fn mark_down(&self) {
+        let mut state = self.lock_state();
+        let window = state.backoff + self.jitter;
+        if state.down_until.is_none() {
+            eprintln!(
+                "router: backend {} marked down, next probe in {}ms",
+                self.spec,
+                window.as_millis()
+            );
+        }
+        state.pool.clear();
+        state.down_until = Some(Instant::now() + window);
+        state.backoff = (state.backoff * 2).min(BACKOFF_MAX);
+    }
+
+    /// Records a successful exchange: clears the down window and resets the
+    /// backoff, so a restarted backend rejoins at full speed immediately.
+    /// The down→up transition is logged once.
+    fn mark_up(&self) {
+        let mut state = self.lock_state();
+        if state.down_until.is_some() {
+            eprintln!("router: backend {} rejoined", self.spec);
+        }
+        state.down_until = None;
+        state.backoff = BACKOFF_BASE;
+    }
+
+    /// Returns a healthy connection to the pool (bounded by [`POOL_CAP`]).
+    fn checkin(&self, conn: BackendConn) {
+        let mut state = self.lock_state();
+        if state.pool.len() < POOL_CAP {
+            state.pool.push(conn);
+        }
+    }
+}
+
+/// The immutable routing view one request line works against: the backend
+/// specs, their live connection/backoff state, and the ring built from
+/// them.  The router holds the current view behind an `RwLock<Arc<…>>`;
+/// every line clones the `Arc` once, so a reshard can swap in a new view
+/// atomically while in-flight lines drain on the old one — and backends
+/// common to both views share their `Arc<Backend>` (pools, backoff state)
+/// across the swap.
+struct RouterInner {
+    specs: Vec<String>,
+    backends: Vec<Arc<Backend>>,
+    ring: Ring,
+}
+
+/// The canonical placement hash of one parsed request object: FNV-1a of the
+/// canonical [`CacheKey::routing_bytes`] for a well-formed mapping request,
+/// FNV-1a of the compact rendering otherwise (still deterministic, and the
+/// backend renders the identical error a single process would).
+fn item_hash(item: &Value) -> u64 {
+    match MapRequest::from_value(item) {
+        Ok(req) => fnv1a_64(&CacheKey::of_request(&req).routing_bytes()),
+        Err(_) => fnv1a_64(item.compact().as_bytes()),
+    }
 }
 
 /// Monotonic router counters (diagnostics and test assertions).
@@ -270,94 +440,141 @@ pub struct RouterStats {
     /// backend counts too, so this is ≥ the number of live backends ever
     /// used).
     pub reconnects: u64,
+    /// Lines answered by a non-primary replica because the primary (or an
+    /// earlier replica) was down, timed out, or mid-backoff.
+    pub failovers: u64,
+    /// Write-through copies of a miss response delivered to the remaining
+    /// replicas (one count per secondary reached, not per miss).
+    pub fanouts: u64,
 }
 
 /// The consistent-hash router.  Implements [`LineHandler`], so every
 /// transport frontend in [`crate::server`] (TCP pool, stdin) can serve it
 /// in place of a local [`crate::service::MappingService`].
 pub struct Router {
-    backends: Vec<Backend>,
-    ring: Ring,
+    /// The current routing view; swapped atomically by a reshard.
+    inner: RwLock<Arc<RouterInner>>,
+    /// Replica count per key (`--replicas`, 1 = the PR 8 single-owner mode).
+    replicas: usize,
     route_timeout: Duration,
+    /// Serialises reshards; request lines never take it.
+    reshard_lock: Mutex<()>,
+    /// Next [`probe_jitter`] index for backends added by a reshard —
+    /// monotonic over the router's lifetime, so jitters stay distinct no
+    /// matter how membership churns.
+    next_jitter: AtomicU64,
     forwarded: AtomicU64,
     unavailable: AtomicU64,
     reconnects: AtomicU64,
+    failovers: AtomicU64,
+    fanouts: AtomicU64,
 }
 
 impl Router {
     /// Builds a router over `specs` (`host:port` each, as given to
-    /// `--route`, comma-split by the CLI).  Specs are resolved eagerly so a
-    /// typo fails at startup, but the backends do not need to be up yet —
-    /// connections are dialed lazily on first forward.
-    pub fn new(specs: &[String], route_timeout: Duration) -> Result<Router, String> {
+    /// `--route`, comma-split by the CLI) with `replicas` distinct owners
+    /// per key.  Specs are resolved eagerly so a typo fails at startup, but
+    /// the backends do not need to be up yet — connections are dialed
+    /// lazily on first forward.
+    pub fn new(
+        specs: &[String],
+        replicas: usize,
+        route_timeout: Duration,
+    ) -> Result<Router, String> {
         if specs.is_empty() {
             return Err("--route needs at least one backend (host:port)".to_string());
         }
-        for spec in specs {
+        if replicas < 1 {
+            return Err("--replicas must be at least 1".to_string());
+        }
+        if replicas > specs.len() {
+            return Err(format!(
+                "--replicas {replicas} needs at least {replicas} backends, got {}",
+                specs.len()
+            ));
+        }
+        for (i, spec) in specs.iter().enumerate() {
             spec.to_socket_addrs()
                 .map_err(|e| format!("backend {spec:?} does not resolve: {e}"))?;
+            if replicas > 1 && specs[..i].contains(spec) {
+                return Err(format!(
+                    "duplicate backend {spec:?}: replicas must be distinct processes"
+                ));
+            }
         }
         Ok(Router {
-            ring: Ring::new(specs),
-            backends: specs
-                .iter()
-                .map(|spec| Backend {
-                    spec: spec.clone(),
-                    state: Mutex::new(BackendState {
-                        pool: Vec::new(),
-                        down_until: None,
-                        backoff: BACKOFF_BASE,
-                    }),
-                })
-                .collect(),
+            inner: RwLock::new(Arc::new(RouterInner {
+                specs: specs.to_vec(),
+                backends: specs
+                    .iter()
+                    .enumerate()
+                    .map(|(i, spec)| Arc::new(Backend::new(spec.clone(), i as u64)))
+                    .collect(),
+                ring: Ring::new(specs),
+            })),
+            replicas,
             route_timeout,
+            reshard_lock: Mutex::new(()),
+            next_jitter: AtomicU64::new(specs.len() as u64),
             forwarded: AtomicU64::new(0),
             unavailable: AtomicU64::new(0),
             reconnects: AtomicU64::new(0),
+            failovers: AtomicU64::new(0),
+            fanouts: AtomicU64::new(0),
         })
     }
 
-    /// The backend specs, in ring-index order.
-    pub fn backend_specs(&self) -> Vec<String> {
-        self.backends.iter().map(|b| b.spec.clone()).collect()
+    /// The current routing view.  One clone per request line: in-flight
+    /// lines keep the view they started with across a reshard swap.
+    fn snapshot(&self) -> Arc<RouterInner> {
+        Arc::clone(&self.inner.read().unwrap_or_else(|e| e.into_inner()))
     }
 
-    /// Snapshot of the forward/unavailable/reconnect counters.
+    /// The backend specs of the current view, in ring-index order.
+    pub fn backend_specs(&self) -> Vec<String> {
+        self.snapshot().specs.clone()
+    }
+
+    /// The configured replica count per key.
+    pub fn replica_count(&self) -> usize {
+        self.replicas
+    }
+
+    /// Snapshot of the monotonic router counters.
     pub fn stats(&self) -> RouterStats {
         RouterStats {
             forwarded: self.forwarded.load(Ordering::Relaxed),
             unavailable: self.unavailable.load(Ordering::Relaxed),
             reconnects: self.reconnects.load(Ordering::Relaxed),
+            failovers: self.failovers.load(Ordering::Relaxed),
+            fanouts: self.fanouts.load(Ordering::Relaxed),
         }
     }
 
-    /// The backend index a parsed request object routes to: the ring
-    /// successor of the FNV-1a hash of its canonical
-    /// [`CacheKey::routing_bytes`].  Objects that do not parse as mapping
-    /// requests hash their compact rendering instead — still deterministic,
-    /// and the backend renders the identical error a single process would.
+    /// The primary backend index a parsed request object routes to: the
+    /// ring successor of [`item_hash`] in the current view.
     pub fn route_index(&self, item: &Value) -> usize {
-        match MapRequest::from_value(item) {
-            Ok(req) => self
-                .ring
-                .lookup(fnv1a_64(&CacheKey::of_request(&req).routing_bytes())),
-            Err(_) => self.ring.lookup(fnv1a_64(item.compact().as_bytes())),
-        }
+        self.snapshot().ring.lookup(item_hash(item))
     }
 
-    fn lock_state(&self, idx: usize) -> std::sync::MutexGuard<'_, BackendState> {
-        self.backends[idx]
-            .state
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
+    /// The full replica set (primary first, failover order) a parsed
+    /// request object routes to, as backend specs of the current view.
+    pub fn replica_specs(&self, item: &Value) -> Vec<String> {
+        let inner = self.snapshot();
+        inner
+            .ring
+            .replica_indices(item_hash(item), self.replicas)
+            .into_iter()
+            .map(|i| inner.specs[i].clone())
+            .collect()
     }
 
-    /// Checks out a connection to backend `idx`: a pooled one when
-    /// available (`pooled = true`), otherwise a fresh dial — unless the
-    /// backend is inside its down window, which fails fast.
-    fn checkout(&self, idx: usize) -> Result<(BackendConn, bool), ()> {
+    /// Checks out a connection to `backend`: a pooled one when available
+    /// (`pooled = true`), otherwise a fresh dial — unless the backend is
+    /// inside its down window, which fails fast.
+    fn checkout(&self, backend: &Backend) -> Result<(BackendConn, bool), ()> {
         {
-            let mut state = self.lock_state(idx);
+            let mut state = backend.lock_state();
             if let Some(conn) = state.pool.pop() {
                 return Ok((conn, true));
             }
@@ -367,18 +584,18 @@ impl Router {
                 }
             }
         }
-        self.dial(idx).map(|conn| (conn, false))
+        self.dial(backend).map(|conn| (conn, false))
     }
 
     /// Dials a fresh connection; failure (re)marks the backend down and
     /// doubles its backoff.
-    fn dial(&self, idx: usize) -> Result<BackendConn, ()> {
+    fn dial(&self, backend: &Backend) -> Result<BackendConn, ()> {
         faultpoint::reach("router.reconnect");
         self.reconnects.fetch_add(1, Ordering::Relaxed);
-        let addrs = match self.backends[idx].spec.to_socket_addrs() {
+        let addrs = match backend.spec.to_socket_addrs() {
             Ok(addrs) => addrs,
             Err(_) => {
-                self.mark_down(idx);
+                backend.mark_down();
                 return Err(());
             }
         };
@@ -391,54 +608,30 @@ impl Router {
                 });
             }
         }
-        self.mark_down(idx);
+        backend.mark_down();
         Err(())
     }
 
-    /// Marks backend `idx` down for its current backoff window, discards
-    /// its pooled connections (all presumed stale), and doubles the window.
-    fn mark_down(&self, idx: usize) {
-        let mut state = self.lock_state(idx);
-        state.pool.clear();
-        state.down_until = Some(Instant::now() + state.backoff);
-        state.backoff = (state.backoff * 2).min(BACKOFF_MAX);
-    }
-
-    /// Records a successful exchange: clears the down window and resets the
-    /// backoff, so a restarted backend rejoins at full speed immediately.
-    fn mark_up(&self, idx: usize) {
-        let mut state = self.lock_state(idx);
-        state.down_until = None;
-        state.backoff = BACKOFF_BASE;
-    }
-
-    /// Returns a healthy connection to the pool (bounded by [`POOL_CAP`]).
-    fn checkin(&self, idx: usize, conn: BackendConn) {
-        let mut state = self.lock_state(idx);
-        if state.pool.len() < POOL_CAP {
-            state.pool.push(conn);
-        }
-    }
-
-    /// Forwards one complete line to backend `idx` and returns the response
+    /// Forwards one complete line to `backend` and returns the response
     /// line.  A failure on a *pooled* connection (typically stale after a
     /// backend restart) clears the pool and retries once on a fresh dial
     /// within the same deadline; a failure on a fresh connection — or the
     /// deadline expiring — marks the backend down and reports
     /// unavailability.
-    fn forward(&self, idx: usize, line: &str) -> Result<String, ()> {
+    fn forward(&self, backend: &Backend, line: &str) -> Result<String, ()> {
         faultpoint::reach("router.forward");
         let deadline = Instant::now() + self.route_timeout;
         let mut retried = false;
         loop {
-            let (mut conn, pooled) = self.checkout(idx)?;
-            let result = conn
-                .write_line(line, deadline)
-                .and_then(|()| conn.read_line(deadline));
+            let (mut conn, pooled) = self.checkout(backend)?;
+            let result = conn.write_line(line, deadline).and_then(|()| {
+                faultpoint::reach("router.forward_sent");
+                conn.read_line(deadline)
+            });
             match result {
                 Ok(response) => {
-                    self.checkin(idx, conn);
-                    self.mark_up(idx);
+                    backend.checkin(conn);
+                    backend.mark_up();
                     self.forwarded.fetch_add(1, Ordering::Relaxed);
                     return Ok(response);
                 }
@@ -447,16 +640,60 @@ impl Router {
                     let timed_out = e.kind() == std::io::ErrorKind::TimedOut;
                     if pooled && !retried && !timed_out {
                         retried = true;
-                        self.lock_state(idx).pool.clear();
+                        backend.lock_state().pool.clear();
                         continue;
                     }
                     if !timed_out {
                         // a timeout says "slow", not "gone": drop the
                         // connection but leave the backend dialable
-                        self.mark_down(idx);
+                        backend.mark_down();
                     }
                     return Err(());
                 }
+            }
+        }
+    }
+
+    /// Forwards one line through its replica set in failover order: the
+    /// first replica to answer wins, and an answer from a non-primary
+    /// counts as a failover.  When the winning response is a cache **miss**
+    /// (`"cached":false` anywhere in the line) and the set has more than
+    /// one member, the line is written through to the remaining replicas
+    /// (best effort, responses discarded) so every replica computes and
+    /// caches the entry — the write-through that keeps replica caches
+    /// converged, which is what makes a later failover read answer
+    /// `"cached":true` byte-identically to a single process.
+    fn forward_replicated(
+        &self,
+        inner: &RouterInner,
+        targets: &[usize],
+        line: &str,
+    ) -> Result<String, ()> {
+        for (attempt, &idx) in targets.iter().enumerate() {
+            match self.forward(&inner.backends[idx], line) {
+                Ok(response) => {
+                    if attempt > 0 {
+                        self.failovers.fetch_add(1, Ordering::Relaxed);
+                    }
+                    if targets.len() > 1 && response.contains("\"cached\":false") {
+                        self.fan_out(inner, targets, idx, line);
+                    }
+                    return Ok(response);
+                }
+                Err(()) => continue,
+            }
+        }
+        Err(())
+    }
+
+    /// Write-through of a missed line to every replica other than `served`.
+    /// Failures are ignored: a down replica warms up later via its own miss
+    /// path (or a reshard absorb), it never blocks the winning response.
+    fn fan_out(&self, inner: &RouterInner, targets: &[usize], served: usize, line: &str) {
+        faultpoint::reach("router.replica_fanout_partial");
+        for &idx in targets.iter().filter(|&&idx| idx != served) {
+            if self.forward(&inner.backends[idx], line).is_ok() {
+                self.fanouts.fetch_add(1, Ordering::Relaxed);
             }
         }
     }
@@ -475,19 +712,19 @@ impl Router {
     /// key, forwarded strictly in item order (so canonically-equal items
     /// hit the same backend in the same order a single process would
     /// process them), responses unwrapped and reassembled in order.
-    fn route_batch(&self, items: &[Value], out: &mut String) {
+    fn route_batch(&self, inner: &RouterInner, items: &[Value], out: &mut String) {
         out.push_str("{\"batch\":[");
         let mut wrapped = String::new();
         for (i, item) in items.iter().enumerate() {
             if i > 0 {
                 out.push(',');
             }
-            let idx = self.route_index(item);
+            let targets = inner.ring.replica_indices(item_hash(item), self.replicas);
             wrapped.clear();
             wrapped.push_str("{\"batch\":[");
             item.write_into(&mut wrapped);
             wrapped.push_str("]}");
-            match self.forward(idx, &wrapped) {
+            match self.forward_replicated(inner, &targets, &wrapped) {
                 Ok(response) => {
                     // strip the single-item wrapper and relay the item
                     // response verbatim; an unwrapped response (e.g. the
@@ -506,6 +743,277 @@ impl Router {
         }
         out.push_str("]}");
     }
+
+    /// `{"admin":"stats"}` — answered by the router itself instead of being
+    /// hashed to one arbitrary shard: fans `{"admin":"stats"}` out to every
+    /// backend of the current view and aggregates the per-backend cache
+    /// counters with the router's own view of each backend (up/down, pooled
+    /// connections, backoff) and its forward counters into one JSON line.
+    fn admin_stats(&self, inner: &RouterInner, v: &Value, out: &mut String) {
+        let now = Instant::now();
+        let (mut hits, mut misses, mut entries, mut up) = (0u64, 0u64, 0u64, 0u64);
+        let mut per_backend = Vec::new();
+        for backend in &inner.backends {
+            let (pooled, backoff, down_for) = {
+                let state = backend.lock_state();
+                (
+                    state.pool.len(),
+                    state.backoff,
+                    state
+                        .down_until
+                        .and_then(|until| until.checked_duration_since(now)),
+                )
+            };
+            let mut fields = vec![("backend", Value::str(backend.spec.clone()))];
+            let reply = self
+                .forward(backend, "{\"admin\":\"stats\"}")
+                .ok()
+                .and_then(|resp| Value::parse(&resp).ok())
+                .filter(|r| r.get("status").and_then(Value::as_str) == Some("ok"));
+            match reply {
+                Some(r) => {
+                    up += 1;
+                    fields.push(("up", Value::Bool(true)));
+                    for (name, total) in [
+                        ("hits", &mut hits),
+                        ("misses", &mut misses),
+                        ("entries", &mut entries),
+                    ] {
+                        let n = r.get(name).and_then(Value::as_u64).unwrap_or(0);
+                        *total += n;
+                        fields.push((name, Value::Num(n as f64)));
+                    }
+                }
+                None => fields.push(("up", Value::Bool(false))),
+            }
+            fields.push(("pooled", Value::Num(pooled as f64)));
+            fields.push(("backoff_ms", Value::Num(backoff.as_millis() as f64)));
+            if let Some(d) = down_for {
+                fields.push(("down_for_ms", Value::Num(d.as_millis() as f64)));
+            }
+            per_backend.push(Value::obj(fields));
+        }
+        let stats = self.stats();
+        let mut fields = Vec::new();
+        if let Some(id) = v.get("id").cloned() {
+            fields.push(("id", id));
+        }
+        fields.push(("status", Value::str("ok")));
+        fields.push(("admin", Value::str("stats")));
+        fields.push(("replicas", Value::Num(self.replicas as f64)));
+        fields.push(("up", Value::Num(up as f64)));
+        fields.push(("hits", Value::Num(hits as f64)));
+        fields.push(("misses", Value::Num(misses as f64)));
+        fields.push(("entries", Value::Num(entries as f64)));
+        fields.push(("backends", Value::Arr(per_backend)));
+        fields.push((
+            "router",
+            Value::obj(vec![
+                ("forwarded", Value::Num(stats.forwarded as f64)),
+                ("unavailable", Value::Num(stats.unavailable as f64)),
+                ("reconnects", Value::Num(stats.reconnects as f64)),
+                ("failovers", Value::Num(stats.failovers as f64)),
+                ("fanouts", Value::Num(stats.fanouts as f64)),
+            ]),
+        ));
+        Value::obj(fields).write_into(out);
+    }
+
+    /// `{"admin":"reshard","add":ADDR}` / `{"admin":"reshard","remove":ADDR}`
+    /// — live ring membership change, answered by the router itself.
+    fn admin_reshard(&self, v: &Value, out: &mut String) {
+        let id = v.get("id").cloned();
+        match self.reshard(v) {
+            Ok(summary) => {
+                let mut fields = Vec::new();
+                if let Some(id) = id {
+                    fields.push(("id", id));
+                }
+                fields.push(("status", Value::str("ok")));
+                fields.push(("admin", Value::str("reshard")));
+                fields.extend(summary);
+                Value::obj(fields).write_into(out);
+            }
+            Err(msg) => MapResponse {
+                id,
+                body: ResponseBody::Error(msg),
+            }
+            .write_into(out),
+        }
+    }
+
+    /// The reshard choreography: validate the membership change, build the
+    /// new ring, warm the gaining backends with exactly the key ranges that
+    /// move (pulled as compacted `{"admin":"handoff"}` images from the old
+    /// backends and streamed as `{"admin":"absorb"}` chunks), then swap the
+    /// routing view atomically.  In-flight lines drain on the old view; the
+    /// next line each worker picks up routes on the new one.  Warm-up is
+    /// best effort — a donor without `--persist` (or down) contributes
+    /// nothing and is counted in `skipped_donors`; its moved keys recompute
+    /// cold on their new owners, which is correct, just slower.
+    fn reshard(&self, v: &Value) -> Result<Vec<(&'static str, Value)>, String> {
+        let _serialised = self.reshard_lock.lock().unwrap_or_else(|e| e.into_inner());
+        let old = self.snapshot();
+        let (op, addr) = if let Some(a) = v.get("add").and_then(Value::as_str) {
+            ("add", a.to_string())
+        } else if let Some(a) = v.get("remove").and_then(Value::as_str) {
+            ("remove", a.to_string())
+        } else {
+            return Err(
+                "reshard needs \"add\" or \"remove\" with a backend host:port string".to_string(),
+            );
+        };
+        let mut new_specs = old.specs.clone();
+        if op == "add" {
+            addr.to_socket_addrs()
+                .map_err(|e| format!("backend {addr:?} does not resolve: {e}"))?;
+            if new_specs.contains(&addr) {
+                return Err(format!("backend {addr:?} is already in the ring"));
+            }
+            new_specs.push(addr.clone());
+        } else {
+            let Some(pos) = new_specs.iter().position(|s| *s == addr) else {
+                return Err(format!("backend {addr:?} is not in the ring"));
+            };
+            if new_specs.len() - 1 < self.replicas {
+                return Err(format!(
+                    "removing {addr:?} would leave {} backends for {} replicas",
+                    new_specs.len() - 1,
+                    self.replicas
+                ));
+            }
+            new_specs.remove(pos);
+        }
+        let new_backends = new_specs
+            .iter()
+            .map(|spec| match old.specs.iter().position(|s| s == spec) {
+                // kept backends carry their pools and backoff state across
+                Some(i) => Arc::clone(&old.backends[i]),
+                None => Arc::new(Backend::new(
+                    spec.clone(),
+                    self.next_jitter.fetch_add(1, Ordering::Relaxed),
+                )),
+            })
+            .collect();
+        let new = Arc::new(RouterInner {
+            ring: Ring::new(&new_specs),
+            specs: new_specs,
+            backends: new_backends,
+        });
+        let (moved, donors, skipped_donors, absorb_errors) = self.warm_moving_ranges(&old, &new);
+        faultpoint::reach("router.ring_swap_prepared");
+        *self.inner.write().unwrap_or_else(|e| e.into_inner()) = Arc::clone(&new);
+        eprintln!(
+            "router: reshard {op} {addr}: ring swapped to {} backends, {moved} entries moved from {donors} donors",
+            new.specs.len()
+        );
+        Ok(vec![
+            ("op", Value::str(op)),
+            ("backend", Value::str(addr)),
+            ("backends", Value::Num(new.specs.len() as f64)),
+            ("moved_entries", Value::Num(moved as f64)),
+            ("donors", Value::Num(donors as f64)),
+            ("skipped_donors", Value::Num(skipped_donors as f64)),
+            ("absorb_errors", Value::Num(absorb_errors as f64)),
+        ])
+    }
+
+    /// Pulls a compacted handoff image from every old backend, keeps only
+    /// the insert records whose replica set *gains* a backend in the new
+    /// view, and streams each gaining backend its lines in bounded absorb
+    /// chunks.  Returns `(entries moved, donors, skipped donors, absorb
+    /// errors)`.  Records are deduplicated across donors by their exact log
+    /// line (replicas of one key hold byte-identical insert records, so
+    /// line identity is key identity).
+    fn warm_moving_ranges(&self, old: &RouterInner, new: &RouterInner) -> (u64, u64, u64, u64) {
+        let mut seen = std::collections::HashSet::new();
+        let mut gained: Vec<Vec<String>> = vec![Vec::new(); new.backends.len()];
+        let (mut donors, mut skipped_donors) = (0u64, 0u64);
+        for backend in &old.backends {
+            let image = self
+                .forward(backend, "{\"admin\":\"handoff\"}")
+                .ok()
+                .and_then(|resp| Value::parse(&resp).ok())
+                .filter(|r| r.get("status").and_then(Value::as_str) == Some("ok"))
+                .and_then(|r| {
+                    r.get("log")
+                        .and_then(Value::as_str)
+                        .and_then(|log| base64_decode(log).ok())
+                })
+                .and_then(|bytes| String::from_utf8(bytes).ok());
+            let Some(text) = image else {
+                // down, or a donor running without --persist: its keys
+                // recompute cold on their gaining owners
+                skipped_donors += 1;
+                continue;
+            };
+            donors += 1;
+            for line in text.lines().filter(|l| !l.is_empty()) {
+                let Ok(Record::Insert(key, _)) = parse_record(line) else {
+                    continue;
+                };
+                if !seen.insert(line.to_string()) {
+                    continue;
+                }
+                let hash = fnv1a_64(&key.routing_bytes());
+                let old_owners: Vec<&String> = old
+                    .ring
+                    .replica_indices(hash, self.replicas)
+                    .into_iter()
+                    .map(|i| &old.specs[i])
+                    .collect();
+                for ni in new.ring.replica_indices(hash, self.replicas) {
+                    if !old_owners.iter().any(|s| **s == new.specs[ni]) {
+                        gained[ni].push(line.to_string());
+                    }
+                }
+            }
+        }
+        let (mut moved, mut absorb_errors) = (0u64, 0u64);
+        for (ni, lines) in gained.iter().enumerate() {
+            let backend = &new.backends[ni];
+            let mut chunk = String::new();
+            let mut in_chunk = 0u64;
+            for line in lines {
+                if !chunk.is_empty() && chunk.len() + line.len() + 1 > ABSORB_CHUNK_BYTES {
+                    match self.stream_absorb(backend, &chunk) {
+                        Ok(()) => moved += in_chunk,
+                        Err(()) => absorb_errors += 1,
+                    }
+                    chunk.clear();
+                    in_chunk = 0;
+                }
+                chunk.push_str(line);
+                chunk.push('\n');
+                in_chunk += 1;
+            }
+            if !chunk.is_empty() {
+                match self.stream_absorb(backend, &chunk) {
+                    Ok(()) => moved += in_chunk,
+                    Err(()) => absorb_errors += 1,
+                }
+            }
+        }
+        (moved, donors, skipped_donors, absorb_errors)
+    }
+
+    /// Streams one chunk of raw persistence-log lines into `backend` as an
+    /// `{"admin":"absorb"}` line and checks it was accepted.
+    fn stream_absorb(&self, backend: &Backend, chunk: &str) -> Result<(), ()> {
+        let line = format!(
+            "{{\"admin\":\"absorb\",\"log\":\"{}\"}}",
+            base64_encode(chunk.as_bytes())
+        );
+        let resp = self.forward(backend, &line)?;
+        faultpoint::reach("router.handoff_streamed");
+        match Value::parse(&resp)
+            .ok()
+            .filter(|r| r.get("status").and_then(Value::as_str) == Some("ok"))
+        {
+            Some(_) => Ok(()),
+            None => Err(()),
+        }
+    }
 }
 
 impl LineHandler for Router {
@@ -513,16 +1021,28 @@ impl LineHandler for Router {
     /// own per-line work is negligible, and table-stripping degradation is
     /// each backend's decision based on *its* queue depth.
     fn handle_line_into(&self, line: &str, _degrade: bool, out: &mut String) {
+        let inner = self.snapshot();
         let parsed = Value::parse(line).ok();
         if let Some(v) = &parsed {
             // admin wins over batch at the top level, exactly as in
             // MappingService::handle_line_into
-            if v.get("admin").is_none() {
-                if let Some(items) = v.get("batch").and_then(Value::as_arr) {
-                    if !items.is_empty() {
-                        self.route_batch(items, out);
+            if let Some(cmd) = v.get("admin") {
+                match cmd.as_str() {
+                    Some("stats") => {
+                        self.admin_stats(&inner, v, out);
                         return;
                     }
+                    Some("reshard") => {
+                        self.admin_reshard(v, out);
+                        return;
+                    }
+                    // every other admin command forwards whole below
+                    _ => {}
+                }
+            } else if let Some(items) = v.get("batch").and_then(Value::as_arr) {
+                if !items.is_empty() {
+                    self.route_batch(&inner, items, out);
+                    return;
                 }
             }
         }
@@ -530,11 +1050,16 @@ impl LineHandler for Router {
         // relay raw bytes; everything else (unparseable lines, empty or
         // malformed batches, admin lines) routes by the raw line bytes and
         // the backend produces the identical response a single process would
-        let idx = match &parsed {
-            Some(v) if v.get("batch").is_none() && v.get("admin").is_none() => self.route_index(v),
-            _ => self.ring.lookup(fnv1a_64(line.as_bytes())),
+        // — failover across the replica set applies to both
+        let targets = match &parsed {
+            Some(v) if v.get("batch").is_none() && v.get("admin").is_none() => {
+                inner.ring.replica_indices(item_hash(v), self.replicas)
+            }
+            _ => inner
+                .ring
+                .replica_indices(fnv1a_64(line.as_bytes()), self.replicas),
         };
-        match self.forward(idx, line) {
+        match self.forward_replicated(&inner, &targets, line) {
             Ok(response) => out.push_str(&response),
             Err(()) => {
                 let id = parsed.as_ref().and_then(|v| v.get("id")).cloned();
@@ -614,17 +1139,152 @@ mod tests {
     }
 
     #[test]
+    fn replica_sets_are_distinct_ordered_and_capped() {
+        let ring = Ring::new(&specs(4));
+        assert_eq!(ring.backend_count(), 4);
+        for key in 0..5_000u64 {
+            let hash = fnv1a_64(&key.to_le_bytes());
+            let set = ring.replica_indices(hash, 2);
+            assert_eq!(set.len(), 2);
+            assert_ne!(set[0], set[1], "replicas must be distinct backends");
+            assert_eq!(set[0], ring.lookup(hash), "primary must match lookup");
+            // asking for more replicas only extends the set, never reorders
+            let wider = ring.replica_indices(hash, 3);
+            assert_eq!(wider[..2], set[..]);
+            // capped at the backend count, covering every backend
+            let mut all = ring.replica_indices(hash, 9);
+            assert_eq!(all.len(), 4);
+            all.sort_unstable();
+            assert_eq!(all, [0, 1, 2, 3]);
+        }
+    }
+
+    #[test]
+    fn growing_the_ring_never_moves_a_key_between_old_backends_replicated() {
+        // minimal movement, extended to replica sets: after adding a
+        // backend, a key's new set is a subset of (old set ∪ {new backend})
+        let before = Ring::new(&specs(3));
+        let after = Ring::new(&specs(4));
+        let mut touched = 0usize;
+        for key in 0..20_000u64 {
+            let hash = fnv1a_64(&key.to_le_bytes());
+            let old_set = before.replica_indices(hash, 2);
+            let new_set = after.replica_indices(hash, 2);
+            for idx in &new_set {
+                assert!(
+                    *idx == 3 || old_set.contains(idx),
+                    "key {key}: replica moved between pre-existing backends \
+                     ({old_set:?} -> {new_set:?})"
+                );
+            }
+            if new_set != old_set {
+                touched += 1;
+            }
+        }
+        // the new backend takes over a quarter-ish of primary-or-secondary
+        // slots; well under half of all sets may change, never more
+        assert!(
+            (2_000..=12_000).contains(&touched),
+            "replica churn out of range: {touched}/20000 sets changed"
+        );
+    }
+
+    #[test]
+    fn probe_jitter_is_deterministic_and_pairwise_distinct() {
+        for idx in 0..64u64 {
+            assert_eq!(probe_jitter(idx), probe_jitter(idx), "must be pure");
+            // disjoint 1ms intervals per index
+            assert!(probe_jitter(idx) >= Duration::from_millis(idx));
+            assert!(probe_jitter(idx) < Duration::from_millis(idx + 1));
+        }
+        for a in 0..64u64 {
+            for b in (a + 1)..64 {
+                assert_ne!(probe_jitter(a), probe_jitter(b));
+            }
+        }
+    }
+
+    #[test]
+    fn two_down_backends_never_share_a_probe_instant() {
+        let a = Backend::new("127.0.0.1:19101".to_string(), 0);
+        let b = Backend::new("127.0.0.1:19102".to_string(), 1);
+        for _ in 0..3 {
+            a.mark_down();
+            b.mark_down();
+            let until_a = a.lock_state().down_until.unwrap();
+            let until_b = b.lock_state().down_until.unwrap();
+            assert_ne!(
+                until_a, until_b,
+                "down backends must wake staggered, never as one probe storm"
+            );
+        }
+    }
+
+    #[test]
     fn router_requires_backends_and_validates_specs() {
-        assert!(Router::new(&[], DEFAULT_ROUTE_TIMEOUT).is_err());
-        assert!(Router::new(&["not a spec".to_string()], DEFAULT_ROUTE_TIMEOUT).is_err());
-        let r = Router::new(&specs(2), DEFAULT_ROUTE_TIMEOUT).unwrap();
+        assert!(Router::new(&[], 1, DEFAULT_ROUTE_TIMEOUT).is_err());
+        assert!(Router::new(&["not a spec".to_string()], 1, DEFAULT_ROUTE_TIMEOUT).is_err());
+        let r = Router::new(&specs(2), 1, DEFAULT_ROUTE_TIMEOUT).unwrap();
         assert_eq!(r.backend_specs(), specs(2));
         assert_eq!(r.stats(), RouterStats::default());
+        // replica validation: bounds and distinctness
+        assert!(Router::new(&specs(2), 0, DEFAULT_ROUTE_TIMEOUT).is_err());
+        assert!(Router::new(&specs(2), 3, DEFAULT_ROUTE_TIMEOUT).is_err());
+        let dup = vec![specs(1)[0].clone(), specs(1)[0].clone()];
+        assert!(Router::new(&dup, 2, DEFAULT_ROUTE_TIMEOUT).is_err());
+        assert!(Router::new(&dup, 1, DEFAULT_ROUTE_TIMEOUT).is_ok());
+        let r = Router::new(&specs(3), 2, DEFAULT_ROUTE_TIMEOUT).unwrap();
+        assert_eq!(r.replica_count(), 2);
+        let item = Value::parse(r#"{"dims":[6,6],"nodes":4}"#).unwrap();
+        let owners = r.replica_specs(&item);
+        assert_eq!(owners.len(), 2);
+        assert_ne!(owners[0], owners[1]);
+        assert_eq!(owners[0], specs(3)[r.route_index(&item)]);
+    }
+
+    #[test]
+    fn reshard_validates_membership_changes() {
+        // backends are unreachable: validation errors must fire before any
+        // warm-up is attempted, so these are instant
+        let r = Router::new(&specs(3), 2, DEFAULT_ROUTE_TIMEOUT).unwrap();
+        let reshard = |r: &Router, line: &str| {
+            let mut out = String::new();
+            r.handle_line_into(line, false, &mut out);
+            out
+        };
+        let bad = [
+            r#"{"admin":"reshard"}"#,
+            r#"{"admin":"reshard","add":"127.0.0.1:7000"}"#,
+            r#"{"admin":"reshard","add":"not a spec"}"#,
+            r#"{"admin":"reshard","remove":"127.0.0.1:9999"}"#,
+        ];
+        for line in bad {
+            assert!(
+                reshard(&r, line).contains("\"status\":\"error\""),
+                "{line} must be rejected"
+            );
+        }
+        assert_eq!(r.backend_specs(), specs(3), "failed reshards must not swap");
+        // removing below the replica count must be refused: two backends
+        // serving two replicas cannot spare either of them
+        let r2 = Router::new(&specs(2), 2, DEFAULT_ROUTE_TIMEOUT).unwrap();
+        let out = reshard(
+            &r2,
+            r#"{"id":5,"admin":"reshard","remove":"127.0.0.1:7000"}"#,
+        );
+        assert!(out.starts_with("{\"id\":5,"));
+        assert!(out.contains("\"status\":\"error\""));
+        assert!(out.contains("1 backends for 2 replicas"));
+        assert_eq!(
+            r2.backend_specs(),
+            specs(2),
+            "failed reshards must not swap"
+        );
     }
 
     #[test]
     fn canonically_equal_requests_route_to_the_same_backend() {
-        let r = Router::new(&specs(5), DEFAULT_ROUTE_TIMEOUT).unwrap();
+        let r = Router::new(&specs(5), 1, DEFAULT_ROUTE_TIMEOUT).unwrap();
         let a = Value::parse(r#"{"dims":[12,8],"nodes":8,"want_mapping":false}"#).unwrap();
         let b = Value::parse(r#"{"id":99,"dims":[8,12],"nodes":8}"#).unwrap();
         assert_eq!(
@@ -641,7 +1301,7 @@ mod tests {
         let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
         let spec = listener.local_addr().unwrap().to_string();
         drop(listener);
-        let r = Router::new(&[spec], Duration::from_secs(2)).unwrap();
+        let r = Router::new(&[spec], 1, Duration::from_secs(2)).unwrap();
         let mut out = String::new();
         r.handle_line_into(r#"{"id":7,"dims":[4,4],"nodes":4}"#, false, &mut out);
         assert_eq!(

@@ -321,23 +321,25 @@ impl Default for ServeOptions {
 
 /// The exact line written to a connection shed at admission because the
 /// server is at [`ServeOptions::max_conns`].  Well-formed protocol JSON, so
-/// clients can distinguish overload from a connection reset.
-pub const OVERLOADED_LINE: &str = "{\"status\":\"error\",\"error\":\"overloaded\"}";
+/// clients can distinguish overload from a connection reset.  Defined in
+/// [`crate::wire`] alongside every other transport error string; re-exported
+/// here because the shed path is this module's.
+pub use crate::wire::OVERLOADED_LINE;
 
 /// [`OVERLOADED_LINE`] with its terminator, written as **one** buffered
 /// `write_all` — two writes under a short timeout could leave a slow client
 /// a torn, newline-less line (see `overload_lines_are_single_writes`).
-const OVERLOADED_LINE_NL: &str = "{\"status\":\"error\",\"error\":\"overloaded\"}\n";
+use crate::wire::OVERLOADED_LINE_NL;
 
 /// The exact line written to a connection reaped because it sat on a
 /// partial request line past [`ServeOptions::read_timeout`].  Mirrors
 /// [`OVERLOADED_LINE`]: the client learns why it was dropped instead of
 /// seeing a bare reset.
-pub const READ_TIMEOUT_LINE: &str = "{\"status\":\"error\",\"error\":\"read timeout\"}";
+pub use crate::wire::READ_TIMEOUT_LINE;
 
 /// [`READ_TIMEOUT_LINE`] with its terminator (single buffered write, as
 /// with [`OVERLOADED_LINE_NL`]).
-const READ_TIMEOUT_LINE_NL: &str = "{\"status\":\"error\",\"error\":\"read timeout\"}\n";
+use crate::wire::READ_TIMEOUT_LINE_NL;
 
 /// Decrements the pool's live-connection count when a connection is dropped,
 /// wherever that happens (worker close, deadline reap, drain).

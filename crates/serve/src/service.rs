@@ -391,13 +391,21 @@ impl MappingService {
         }
     }
 
-    /// Handles an `{"admin": "..."}` control request.  The only command is
-    /// `"handoff"`: flush and compact the persistence log, then ship the
-    /// whole compacted log (one insert per resident entry) base64-encoded in
-    /// the response, so a new shard can start warm from it
-    /// (`stencil-serve --handoff ADDR --persist FILE`).  Requires
-    /// persistence; without `--persist` the command is answered with an
-    /// error line.
+    /// Handles an `{"admin": "..."}` control request.  Three commands:
+    ///
+    /// * `"handoff"`: flush and compact the persistence log, then ship the
+    ///   whole compacted log (one insert per resident entry) base64-encoded
+    ///   in the response, so a new shard can start warm from it
+    ///   (`stencil-serve --handoff ADDR --persist FILE`, and the router's
+    ///   reshard choreography).  Requires persistence; without `--persist`
+    ///   the command is answered with an error line.
+    /// * `"stats"`: one-line cache counters (`hits`, `misses`, `entries`) —
+    ///   the per-backend payload the router's stats fan-out aggregates.
+    /// * `"absorb"`: the inverse of handoff — a base64 `"log"` of
+    ///   persistence insert records is replayed into the cache (and the
+    ///   persistence log, when enabled), **skipping keys already resident**
+    ///   so a replayed image never perturbs recency of live entries.  The
+    ///   router streams moved key ranges through this during a reshard.
     fn handle_admin(&self, v: &Value, cmd: &Value, out: &mut String) {
         let id = v.get("id").cloned();
         let error = |out: &mut String, msg: String| {
@@ -433,9 +441,83 @@ impl MappingService {
                 fields.push(("log", Value::str(crate::json::base64_encode(&bytes))));
                 Value::obj(fields).write_into(out);
             }
+            Some("stats") => {
+                let stats = self.cache.stats();
+                let mut fields = Vec::new();
+                if let Some(id) = id {
+                    fields.push(("id", id));
+                }
+                fields.push(("status", Value::str("ok")));
+                fields.push(("admin", Value::str("stats")));
+                fields.push(("hits", Value::Num(stats.hits as f64)));
+                fields.push(("misses", Value::Num(stats.misses as f64)));
+                fields.push(("entries", Value::Num(stats.len as f64)));
+                Value::obj(fields).write_into(out);
+            }
+            Some("absorb") => {
+                let Some(log) = v.get("log").and_then(Value::as_str) else {
+                    error(out, "absorb needs a base64 \"log\" string".to_string());
+                    return;
+                };
+                let bytes = match crate::json::base64_decode(log) {
+                    Ok(bytes) => bytes,
+                    Err(e) => {
+                        error(out, format!("absorb log is not valid base64: {e}"));
+                        return;
+                    }
+                };
+                let Ok(text) = String::from_utf8(bytes) else {
+                    error(out, "absorb log is not valid UTF-8".to_string());
+                    return;
+                };
+                let (mut inserted, mut skipped) = (0u64, 0u64);
+                for line in text.lines().filter(|l| !l.is_empty()) {
+                    // touches (recency only) and undecodable lines are
+                    // skipped: an absorbed image warms the cache, it never
+                    // reorders or poisons it
+                    let record = match crate::persist::parse_record(line) {
+                        Ok(record) => record,
+                        Err(_) => {
+                            skipped += 1;
+                            continue;
+                        }
+                    };
+                    let crate::persist::Record::Insert(key, entry) = record else {
+                        skipped += 1;
+                        continue;
+                    };
+                    if self.cache.contains(&key) {
+                        skipped += 1;
+                        continue;
+                    }
+                    let entry = Arc::new(entry);
+                    let cost = entry_cost(&key);
+                    if let Some(p) = &self.persist {
+                        let lock = &self.persist_locks[self.cache.shard_of(&key)];
+                        let _guard = lock.lock().expect("persist lock poisoned");
+                        p.record_insert(&key, &entry);
+                        self.cache.insert_with_cost(key, entry, cost);
+                    } else {
+                        self.cache.insert_with_cost(key, entry, cost);
+                    }
+                    inserted += 1;
+                }
+                let mut fields = Vec::new();
+                if let Some(id) = id {
+                    fields.push(("id", id));
+                }
+                fields.push(("status", Value::str("ok")));
+                fields.push(("admin", Value::str("absorb")));
+                fields.push(("inserted", Value::Num(inserted as f64)));
+                fields.push(("skipped", Value::Num(skipped as f64)));
+                Value::obj(fields).write_into(out);
+            }
             _ => error(
                 out,
-                format!("unknown admin command {} (expected \"handoff\")", cmd.compact()),
+                format!(
+                    "unknown admin command {} (expected \"handoff\", \"stats\" or \"absorb\")",
+                    cmd.compact()
+                ),
             ),
         }
     }

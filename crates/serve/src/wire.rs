@@ -1,0 +1,83 @@
+//! The transport-level wire error strings, in one place.
+//!
+//! `docs/PROTOCOL.md` specifies three error lines the transport itself can
+//! emit (as opposed to errors produced by request handling): the overload
+//! shed line, the mid-line stall reap line, and the route-mode
+//! backend-unavailable line.  They used to be spelled out where they were
+//! written — the TCP frontend ([`crate::server`]) and the router's
+//! forwarded-error path ([`crate::router`]) — which let the literals drift
+//! apart from each other and from the documented protocol.  Now every wire
+//! string is defined here, the emitters import it, and the unit test below
+//! pins the exact bytes so a change to any of them is a deliberate,
+//! reviewed protocol change.
+//!
+//! The full lines are provided pre-rendered (and newline-terminated) so the
+//! emitters can write them in **one** buffered write — the protocol promise
+//! that shed/reap lines can never arrive torn.
+
+/// The error *text* of the overload shed line.
+pub const ERROR_OVERLOADED: &str = "overloaded";
+
+/// The error *text* of the mid-line stall reap line.
+pub const ERROR_READ_TIMEOUT: &str = "read timeout";
+
+/// The error *text* of a routed line whose owning backends are all
+/// unreachable (route mode only; the request id is echoed when present).
+pub const ERROR_BACKEND_UNAVAILABLE: &str = "backend unavailable";
+
+/// The full overload shed line, as specified in `docs/PROTOCOL.md`: sent
+/// once to a connection past `--max-conns`, then the connection is closed.
+pub const OVERLOADED_LINE: &str = "{\"status\":\"error\",\"error\":\"overloaded\"}";
+
+/// [`OVERLOADED_LINE`] with its terminator, for the single-write emit path.
+pub const OVERLOADED_LINE_NL: &str = "{\"status\":\"error\",\"error\":\"overloaded\"}\n";
+
+/// The full reap line: a client that held a half-written line longer than
+/// `--read-timeout` receives this, then the connection is closed.
+pub const READ_TIMEOUT_LINE: &str = "{\"status\":\"error\",\"error\":\"read timeout\"}";
+
+/// [`READ_TIMEOUT_LINE`] with its terminator, for the single-write emit path.
+pub const READ_TIMEOUT_LINE_NL: &str = "{\"status\":\"error\",\"error\":\"read timeout\"}\n";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::Value;
+
+    /// The composed lines must be exactly the error texts rendered through
+    /// the normal response shape — and stay parseable, newline-composed and
+    /// byte-for-byte what `docs/PROTOCOL.md` specifies.
+    #[test]
+    fn wire_lines_match_their_error_texts_and_stay_well_formed() {
+        assert_eq!(
+            OVERLOADED_LINE,
+            format!("{{\"status\":\"error\",\"error\":\"{ERROR_OVERLOADED}\"}}")
+        );
+        assert_eq!(
+            READ_TIMEOUT_LINE,
+            format!("{{\"status\":\"error\",\"error\":\"{ERROR_READ_TIMEOUT}\"}}")
+        );
+        assert_eq!(OVERLOADED_LINE_NL, format!("{OVERLOADED_LINE}\n"));
+        assert_eq!(READ_TIMEOUT_LINE_NL, format!("{READ_TIMEOUT_LINE}\n"));
+        for (line, text) in [
+            (OVERLOADED_LINE, ERROR_OVERLOADED),
+            (READ_TIMEOUT_LINE, ERROR_READ_TIMEOUT),
+        ] {
+            let v = Value::parse(line).expect("wire error lines must parse");
+            assert_eq!(v.get("status").and_then(Value::as_str), Some("error"));
+            assert_eq!(v.get("error").and_then(Value::as_str), Some(text));
+        }
+        // the router renders BACKEND_UNAVAILABLE through MapResponse, so the
+        // id-less form must match the same shape
+        let mut rendered = String::new();
+        crate::protocol::MapResponse {
+            id: None,
+            body: crate::protocol::ResponseBody::Error(ERROR_BACKEND_UNAVAILABLE.to_string()),
+        }
+        .write_into(&mut rendered);
+        assert_eq!(
+            rendered,
+            format!("{{\"status\":\"error\",\"error\":\"{ERROR_BACKEND_UNAVAILABLE}\"}}")
+        );
+    }
+}

@@ -17,6 +17,18 @@
 //! * **Warm handoff**: `--handoff` pulls a compacted persistence log from
 //!   a live backend and a new backend started on that file answers the
 //!   donor's cached entries as hits.
+//! * **Replication**: with `--replicas 2` over three backends, SIGKILLing
+//!   any one backend yields zero error lines and byte-identical responses
+//!   (misses were written through to every replica, reads fail over), and
+//!   `{"admin":"stats"}` aggregates the fleet into one line.
+//! * **Live resharding**: `{"admin":"reshard","add"/"remove":ADDR}` swaps
+//!   the ring atomically after warm-handing-off exactly the moving key
+//!   ranges — no key ever answers cold across a membership change.
+//! * **Router crash matrix**: the router is SIGABRTed at each of its four
+//!   fault points (mid-forward, mid-fan-out, mid-handoff-stream, ring
+//!   prepared but unswapped); a fresh router over the same backends must
+//!   recover byte-identically, and an interrupted reshard must re-run to
+//!   completion.
 
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{TcpListener, TcpStream};
@@ -105,7 +117,8 @@ fn ask(conn: &mut TcpStream, reader: &mut BufReader<TcpStream>, line: &str) -> S
 
 fn connect(addr: &str) -> (TcpStream, BufReader<TcpStream>) {
     let conn = TcpStream::connect(addr).unwrap();
-    conn.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+    conn.set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
     let reader = BufReader::new(conn.try_clone().unwrap());
     (conn, reader)
 }
@@ -115,8 +128,8 @@ fn connect(addr: &str) -> (TcpStream, BufReader<TcpStream>) {
 /// suite; here both sides run restart-free, and the post-marker lines
 /// repeat earlier requests, so they exercise the routed warm-hit path.
 fn golden_requests() -> Vec<String> {
-    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
-        .join("tests/data/transcript_requests.txt");
+    let path =
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/data/transcript_requests.txt");
     std::fs::read_to_string(&path)
         .unwrap()
         .lines()
@@ -153,7 +166,9 @@ fn free_port() -> u16 {
 /// Backend specs that resolve (IP literals) without anything listening:
 /// `route_index` never dials.
 fn offline_specs(n: usize) -> Vec<String> {
-    (0..n).map(|i| format!("127.0.0.1:{}", 19_000 + i)).collect()
+    (0..n)
+        .map(|i| format!("127.0.0.1:{}", 19_000 + i))
+        .collect()
 }
 
 proptest! {
@@ -175,7 +190,7 @@ proptest! {
         // deliberately route by raw bytes, not by canonical key
         let mut dims = dims;
         dims[0] *= nodes;
-        let router = Router::new(&offline_specs(5), DEFAULT_ROUTE_TIMEOUT).unwrap();
+        let router = Router::new(&offline_specs(5), 1, DEFAULT_ROUTE_TIMEOUT).unwrap();
         let fmt = |d: &[usize], extra: &str| {
             let dims = d.iter().map(|x| x.to_string()).collect::<Vec<_>>().join(",");
             format!(r#"{{"dims":[{dims}],"nodes":{nodes}{extra}}}"#)
@@ -200,6 +215,67 @@ proptest! {
             router.route_index(&noisy), home,
             "a non-key field changed the shard"
         );
+    }
+
+    /// Replica sets: the R owners of any key are R *distinct* backends, are
+    /// a pure function of the canonical key (dimension permutations and
+    /// non-key fields change nothing), and growing the backend set obeys
+    /// minimal movement extended to sets — every member of the new replica
+    /// set is either the added backend or was already a replica.
+    #[test]
+    fn replica_sets_are_distinct_pure_and_minimally_moving(
+        dims in proptest::collection::vec(2usize..10, 2..4),
+        rot in 0usize..4,
+        nodes in 2usize..6,
+        id in 0u64..1000,
+    ) {
+        let mut dims = dims;
+        dims[0] *= nodes;
+        let router = Router::new(&offline_specs(5), 3, DEFAULT_ROUTE_TIMEOUT).unwrap();
+        let fmt = |d: &[usize], extra: &str| {
+            let dims = d.iter().map(|x| x.to_string()).collect::<Vec<_>>().join(",");
+            format!(r#"{{"dims":[{dims}],"nodes":{nodes}{extra}}}"#)
+        };
+        let base = Value::parse(&fmt(&dims, "")).unwrap();
+        let owners = router.replica_specs(&base);
+        prop_assert_eq!(owners.len(), 3, "three replicas requested");
+        for (i, a) in owners.iter().enumerate() {
+            for b in &owners[i + 1..] {
+                prop_assert_ne!(a, b);
+            }
+        }
+        prop_assert_eq!(
+            &owners[0],
+            &offline_specs(5)[router.route_index(&base)],
+            "the primary replica is the single-owner lookup"
+        );
+
+        let mut rotated = dims.clone();
+        rotated.rotate_left(rot % dims.len());
+        let permuted = Value::parse(&fmt(&rotated, "")).unwrap();
+        prop_assert_eq!(
+            router.replica_specs(&permuted), owners.clone(),
+            "a dimension permutation changed the replica set"
+        );
+        let noisy = Value::parse(&fmt(
+            &dims,
+            &format!(r#","id":{id},"want_mapping":true,"encoding":"compact""#),
+        )).unwrap();
+        prop_assert_eq!(
+            router.replica_specs(&noisy), owners.clone(),
+            "a non-key field changed the replica set"
+        );
+
+        // minimal movement: add a sixth backend, same replica count
+        let grown = Router::new(&offline_specs(6), 3, DEFAULT_ROUTE_TIMEOUT).unwrap();
+        let new_spec = &offline_specs(6)[5];
+        for owner in grown.replica_specs(&base) {
+            prop_assert!(
+                owner == *new_spec || owners.contains(&owner),
+                "growing the ring moved a replica between pre-existing \
+                 backends: {} not in {:?}", owner, owners
+            );
+        }
     }
 }
 
@@ -263,7 +339,7 @@ fn killed_backend_answers_error_lines_and_rejoins_after_restart() {
     let router_proc = Server::spawn("127.0.0.1:0", &["--route", &route], &[]);
 
     // the same specs in-process tell us which shard owns which probe
-    let oracle = Router::new(&[a1.clone(), a2.clone()], DEFAULT_ROUTE_TIMEOUT).unwrap();
+    let oracle = Router::new(&[a1.clone(), a2.clone()], 1, DEFAULT_ROUTE_TIMEOUT).unwrap();
     let on_dead = request_owned_by(&oracle, 0);
     let on_live = request_owned_by(&oracle, 1);
 
@@ -353,8 +429,12 @@ fn handoff_ships_a_warm_cache_image() {
     let (mut conn, mut reader) = connect(&donor.addr);
     let warm = r#"{"dims":[16,6],"nodes":8,"want_mapping":false}"#;
     assert!(ask(&mut conn, &mut reader, warm).contains("\"cached\":false"));
-    assert!(ask(&mut conn, &mut reader, r#"{"dims":[9,9],"nodes":3,"want_mapping":false}"#)
-        .contains("\"status\":\"ok\""));
+    assert!(ask(
+        &mut conn,
+        &mut reader,
+        r#"{"dims":[9,9],"nodes":3,"want_mapping":false}"#
+    )
+    .contains("\"status\":\"ok\""));
 
     // pull the donor's compacted image into a fresh log file
     let status = Command::new(env!("CARGO_BIN_EXE_stencil-serve"))
@@ -382,4 +462,367 @@ fn handoff_ships_a_warm_cache_image() {
     );
 
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+// ---------------------------------------------------------------------------
+// replicated shards: failover, stats fan-out, live resharding
+// ---------------------------------------------------------------------------
+
+/// The tentpole guarantee: with `--replicas 2` over three backends,
+/// SIGKILLing any one backend under load yields **zero** error lines and a
+/// transcript byte-identical to a single process.  The warm pass writes
+/// every miss through to both replicas; after the kill, keys owned by the
+/// dead primary fail over to their warm secondary and answer
+/// `"cached":true` exactly as the single process does.
+#[test]
+fn replica_failover_is_invisible_and_byte_identical() {
+    let requests = golden_requests();
+    let single = Server::spawn("127.0.0.1:0", &[], &[]);
+    let mut b1 = Server::spawn("127.0.0.1:0", &[], &[]);
+    let b2 = Server::spawn("127.0.0.1:0", &[], &[]);
+    let b3 = Server::spawn("127.0.0.1:0", &[], &[]);
+    let route = format!("{},{},{}", b1.addr, b2.addr, b3.addr);
+    let router = Server::spawn("127.0.0.1:0", &["--route", &route, "--replicas", "2"], &[]);
+
+    // warm pass: byte-identical while everything is up
+    let direct_warm = replay(&single.addr, &requests);
+    let routed_warm = replay(&router.addr, &requests);
+    assert_eq!(direct_warm, routed_warm, "warm pass diverged");
+
+    b1.kill9();
+
+    // every key is now served by its surviving replica — no error lines,
+    // still byte-identical to the single process replaying the same lines
+    let direct_after = replay(&single.addr, &requests);
+    let routed_after = replay(&router.addr, &requests);
+    for (i, (d, r)) in direct_after.iter().zip(&routed_after).enumerate() {
+        assert!(
+            !r.contains(BACKEND_UNAVAILABLE),
+            "request {} answered an error line despite a live replica: {r}",
+            i + 1
+        );
+        assert_eq!(
+            d,
+            r,
+            "response {} diverged after backend loss: request {:?}",
+            i + 1,
+            requests[i]
+        );
+    }
+}
+
+/// `{"admin":"stats"}` is answered by the router itself: one line
+/// aggregating every backend's cache counters and the router's own
+/// up/down/backoff view — including `up:false` for a killed backend.
+#[test]
+fn admin_stats_fans_out_and_aggregates() {
+    let mut b1 = Server::spawn("127.0.0.1:0", &[], &[]);
+    let b2 = Server::spawn("127.0.0.1:0", &[], &[]);
+    let b3 = Server::spawn("127.0.0.1:0", &[], &[]);
+    let route = format!("{},{},{}", b1.addr, b2.addr, b3.addr);
+    let router = Server::spawn("127.0.0.1:0", &["--route", &route, "--replicas", "2"], &[]);
+
+    let (mut conn, mut reader) = connect(&router.addr);
+    let miss = r#"{"dims":[20,4],"nodes":4,"want_mapping":false}"#;
+    assert!(ask(&mut conn, &mut reader, miss).contains("\"cached\":false"));
+    assert!(ask(&mut conn, &mut reader, miss).contains("\"cached\":true"));
+
+    let reply = ask(&mut conn, &mut reader, r#"{"id":42,"admin":"stats"}"#);
+    let v = Value::parse(&reply).expect("stats must be one well-formed line");
+    assert_eq!(v.get("id").and_then(Value::as_u64), Some(42));
+    assert_eq!(v.get("status").and_then(Value::as_str), Some("ok"));
+    assert_eq!(v.get("admin").and_then(Value::as_str), Some("stats"));
+    assert_eq!(v.get("replicas").and_then(Value::as_u64), Some(2));
+    assert_eq!(v.get("up").and_then(Value::as_u64), Some(3));
+    // the miss was written through to both replicas: two cached copies
+    assert_eq!(v.get("entries").and_then(Value::as_u64), Some(2));
+    assert!(v.get("hits").and_then(Value::as_u64).unwrap_or(0) >= 1);
+    let per_backend = v.get("backends").and_then(Value::as_arr).unwrap();
+    assert_eq!(per_backend.len(), 3);
+    assert!(per_backend
+        .iter()
+        .all(|b| b.get("up").and_then(Value::as_bool) == Some(true)));
+    let router_stats = v.get("router").expect("router counters");
+    assert!(
+        router_stats
+            .get("forwarded")
+            .and_then(Value::as_u64)
+            .unwrap_or(0)
+            >= 2
+    );
+    assert_eq!(router_stats.get("fanouts").and_then(Value::as_u64), Some(1));
+
+    // a killed backend shows up as down in the next aggregate
+    b1.kill9();
+    let reply = ask(&mut conn, &mut reader, r#"{"admin":"stats"}"#);
+    let v = Value::parse(&reply).unwrap();
+    assert_eq!(v.get("up").and_then(Value::as_u64), Some(2));
+    let down: Vec<_> = v
+        .get("backends")
+        .and_then(Value::as_arr)
+        .unwrap()
+        .iter()
+        .filter(|b| b.get("up").and_then(Value::as_bool) == Some(false))
+        .map(|b| {
+            b.get("backend")
+                .and_then(Value::as_str)
+                .unwrap()
+                .to_string()
+        })
+        .collect();
+    assert_eq!(down, vec![b1.addr.clone()]);
+}
+
+/// Sixteen request lines chosen against the *grown* three-backend ring so
+/// that exactly eight keys will move to the added backend (ring index 2)
+/// and eight stay put.  Ports are assigned dynamically, so the ring — and
+/// which `dims` values move — differs per run; picking keys through an
+/// in-process ring oracle keeps the moved count deterministic and
+/// guarantees the handoff path actually streams something.
+fn reshard_keys(specs3: &[String]) -> Vec<String> {
+    let oracle = Router::new(specs3, 1, DEFAULT_ROUTE_TIMEOUT).unwrap();
+    let (mut movers, mut stayers) = (0usize, 0usize);
+    let mut keys = Vec::new();
+    for n in 2usize.. {
+        let line = format!(r#"{{"dims":[{n},4],"nodes":4,"want_mapping":false}}"#);
+        let moves = oracle.route_index(&Value::parse(&line).unwrap()) == 2;
+        if moves && movers < 8 {
+            movers += 1;
+        } else if !moves && stayers < 8 {
+            stayers += 1;
+        } else if movers == 8 && stayers == 8 {
+            break;
+        } else {
+            continue;
+        }
+        keys.push(line);
+    }
+    keys
+}
+
+/// Live resharding: `{"admin":"reshard","add":ADDR}` swaps in the grown
+/// ring after warm-handing-off exactly the moving key ranges, so keys that
+/// change owners stay warm (`"cached":true`, byte-identical responses);
+/// `"remove"` shrinks the ring back and the old owners are still warm.
+#[test]
+fn reshard_moves_key_ranges_warm() {
+    let dir = std::env::temp_dir().join(format!("stencil-reshard-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let log = |name: &str| dir.join(name).to_str().unwrap().to_string();
+
+    let b1 = Server::spawn("127.0.0.1:0", &["--persist", &log("b1.log")], &[]);
+    let b2 = Server::spawn("127.0.0.1:0", &["--persist", &log("b2.log")], &[]);
+    let b3 = Server::spawn("127.0.0.1:0", &["--persist", &log("b3.log")], &[]);
+    let route = format!("{},{}", b1.addr, b2.addr);
+    let router = Server::spawn("127.0.0.1:0", &["--route", &route], &[]);
+
+    // warm a spread of keys through the two-backend ring, twice (second
+    // pass pins the warm `"cached":true` response bytes)
+    let specs3 = [b1.addr.clone(), b2.addr.clone(), b3.addr.clone()];
+    let keys = reshard_keys(&specs3);
+    replay(&router.addr, &keys);
+    let warm = replay(&router.addr, &keys);
+    assert!(warm.iter().all(|r| r.contains("\"cached\":true")));
+
+    // grow the ring: the moving ranges must be streamed to b3 before the swap
+    let (mut conn, mut reader) = connect(&router.addr);
+    let reply = ask(
+        &mut conn,
+        &mut reader,
+        &format!(r#"{{"id":1,"admin":"reshard","add":"{}"}}"#, b3.addr),
+    );
+    let v = Value::parse(&reply).expect("reshard must answer one well-formed line");
+    assert_eq!(
+        v.get("status").and_then(Value::as_str),
+        Some("ok"),
+        "{reply}"
+    );
+    assert_eq!(v.get("backends").and_then(Value::as_u64), Some(3));
+    assert_eq!(v.get("donors").and_then(Value::as_u64), Some(2));
+    assert_eq!(v.get("skipped_donors").and_then(Value::as_u64), Some(0));
+    assert_eq!(v.get("absorb_errors").and_then(Value::as_u64), Some(0));
+    let moved = v.get("moved_entries").and_then(Value::as_u64).unwrap();
+    assert_eq!(moved, 8, "exactly the eight oracle-chosen movers must move");
+
+    // every key — moved or not — still answers warm and byte-identically
+    let after_add = replay(&router.addr, &keys);
+    assert_eq!(warm, after_add, "responses changed across reshard add");
+
+    // the moved ranges really live on b3: it answers its share as hits
+    let oracle3 = Router::new(&specs3, 1, DEFAULT_ROUTE_TIMEOUT).unwrap();
+    let on_b3: Vec<String> = keys
+        .iter()
+        .filter(|k| oracle3.route_index(&Value::parse(k).unwrap()) == 2)
+        .cloned()
+        .collect();
+    assert_eq!(on_b3.len() as u64, moved, "moved count must match the ring");
+    let direct_b3 = replay(&b3.addr, &on_b3);
+    assert!(
+        direct_b3.iter().all(|r| r.contains("\"cached\":true")),
+        "b3 must hold its absorbed ranges warm: {direct_b3:?}"
+    );
+
+    // shrink back: keys return to owners that never dropped them
+    let reply = ask(
+        &mut conn,
+        &mut reader,
+        &format!(r#"{{"admin":"reshard","remove":"{}"}}"#, b3.addr),
+    );
+    let v = Value::parse(&reply).unwrap();
+    assert_eq!(
+        v.get("status").and_then(Value::as_str),
+        Some("ok"),
+        "{reply}"
+    );
+    assert_eq!(v.get("backends").and_then(Value::as_u64), Some(2));
+    let after_remove = replay(&router.addr, &keys);
+    assert_eq!(
+        warm, after_remove,
+        "responses changed across reshard remove"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+// ---------------------------------------------------------------------------
+// router crash matrix: kill -9 at every router fault point, prove recovery
+// ---------------------------------------------------------------------------
+
+/// Waits for the router child to die at its armed fault point and asserts
+/// it was SIGABRT (the in-process `kill -9` stand-in), not a clean exit.
+#[cfg(unix)]
+fn wait_abort(server: &mut Server) {
+    use std::os::unix::process::ExitStatusExt;
+    let status = server.child.wait().unwrap();
+    assert_eq!(
+        status.signal(),
+        Some(6),
+        "router must abort at the armed fault point, got {status:?}"
+    );
+    if let Some(d) = server.drain.take() {
+        let _ = d.join();
+    }
+}
+
+/// Sends one line and tolerates the connection dropping without a response
+/// — the expected shape when the armed fault point kills the router.
+fn fire_expect_drop(addr: &str, line: &str) {
+    let (mut conn, mut reader) = connect(addr);
+    conn.write_all(line.as_bytes()).unwrap();
+    conn.write_all(b"\n").unwrap();
+    let mut reply = String::new();
+    let _ = reader.read_line(&mut reply);
+}
+
+/// Forward-path crash points: the router is killed between writing a
+/// request to a backend and relaying the response (`router.forward_sent`),
+/// or between serving a miss and fanning it out to the other replicas
+/// (`router.replica_fanout_partial`).  In both cases the backend keeps the
+/// computed entry; a fresh router over the same backends must replay the
+/// full workload byte-identically to a single process that also saw the
+/// half-done request — with zero unavailable lines.
+#[cfg(unix)]
+fn forward_crash_recovers(point: &str) {
+    let requests = golden_requests();
+    let probe = requests[0].clone();
+    let single = Server::spawn("127.0.0.1:0", &[], &[]);
+    let b1 = Server::spawn("127.0.0.1:0", &[], &[]);
+    let b2 = Server::spawn("127.0.0.1:0", &[], &[]);
+    let b3 = Server::spawn("127.0.0.1:0", &[], &[]);
+    let route = format!("{},{},{}", b1.addr, b2.addr, b3.addr);
+    let args = ["--route", &route, "--replicas", "2"];
+    let arm = format!("{point}:1");
+    let mut doomed = Server::spawn("127.0.0.1:0", &args, &[("STENCIL_FAULTPOINT", &arm)]);
+
+    fire_expect_drop(&doomed.addr, &probe);
+    wait_abort(&mut doomed);
+
+    // the backends survived the router's death with the probe cached; the
+    // single process sees the probe too, then both replay the whole file
+    let recovered = Server::spawn("127.0.0.1:0", &args, &[]);
+    let direct = replay(&single.addr, std::slice::from_ref(&probe));
+    assert!(direct[0].contains("\"cached\":false"));
+    let direct = replay(&single.addr, &requests);
+    let routed = replay(&recovered.addr, &requests);
+    for (i, (d, r)) in direct.iter().zip(&routed).enumerate() {
+        assert!(!r.contains(BACKEND_UNAVAILABLE), "request {}: {r}", i + 1);
+        assert_eq!(
+            d,
+            r,
+            "response {} diverged after router crash recovery",
+            i + 1
+        );
+    }
+}
+
+#[cfg(unix)]
+#[test]
+fn crash_at_forward_sent_recovers_byte_identical() {
+    forward_crash_recovers("router.forward_sent");
+}
+
+#[cfg(unix)]
+#[test]
+fn crash_at_replica_fanout_partial_recovers_byte_identical() {
+    forward_crash_recovers("router.replica_fanout_partial");
+}
+
+/// Reshard-path crash points: the router is killed after streaming a warm
+/// handoff chunk into the gaining backend (`router.handoff_streamed`) or
+/// with the new ring fully prepared but not yet swapped
+/// (`router.ring_swap_prepared`).  Nothing was swapped, so a fresh router
+/// over the *old* backend set serves every key warm; re-running the
+/// reshard completes it (absorb skips the half-streamed entries), and the
+/// responses never change.
+#[cfg(unix)]
+fn reshard_crash_recovers(point: &str) {
+    let dir = std::env::temp_dir().join(format!("stencil-crash-{point}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let log = |name: &str| dir.join(name).to_str().unwrap().to_string();
+    let b1 = Server::spawn("127.0.0.1:0", &["--persist", &log("b1.log")], &[]);
+    let b2 = Server::spawn("127.0.0.1:0", &["--persist", &log("b2.log")], &[]);
+    let b3 = Server::spawn("127.0.0.1:0", &["--persist", &log("b3.log")], &[]);
+    let route = format!("{},{}", b1.addr, b2.addr);
+    let args = ["--route", &route];
+    let arm = format!("{point}:1");
+    let mut doomed = Server::spawn("127.0.0.1:0", &args, &[("STENCIL_FAULTPOINT", &arm)]);
+
+    let keys = reshard_keys(&[b1.addr.clone(), b2.addr.clone(), b3.addr.clone()]);
+    replay(&doomed.addr, &keys);
+    let warm = replay(&doomed.addr, &keys);
+    assert!(warm.iter().all(|r| r.contains("\"cached\":true")));
+
+    let reshard_line = format!(r#"{{"admin":"reshard","add":"{}"}}"#, b3.addr);
+    fire_expect_drop(&doomed.addr, &reshard_line);
+    wait_abort(&mut doomed);
+
+    // the swap never landed: a fresh router on the old pair is whole
+    let recovered = Server::spawn("127.0.0.1:0", &args, &[]);
+    assert_eq!(replay(&recovered.addr, &keys), warm, "old ring lost keys");
+
+    // the interrupted reshard re-runs to completion on the fresh router
+    let (mut conn, mut reader) = connect(&recovered.addr);
+    let reply = ask(&mut conn, &mut reader, &reshard_line);
+    let v = Value::parse(&reply).unwrap();
+    assert_eq!(
+        v.get("status").and_then(Value::as_str),
+        Some("ok"),
+        "{reply}"
+    );
+    assert_eq!(v.get("absorb_errors").and_then(Value::as_u64), Some(0));
+    assert_eq!(replay(&recovered.addr, &keys), warm, "new ring lost keys");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[cfg(unix)]
+#[test]
+fn crash_at_handoff_streamed_recovers_and_reshard_completes() {
+    reshard_crash_recovers("router.handoff_streamed");
+}
+
+#[cfg(unix)]
+#[test]
+fn crash_at_ring_swap_prepared_recovers_and_reshard_completes() {
+    reshard_crash_recovers("router.ring_swap_prepared");
 }
