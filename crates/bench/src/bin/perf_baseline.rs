@@ -186,6 +186,51 @@ fn main() {
         (large_problem.num_processes(), nodes, best)
     });
 
+    // --- extreme-scale partitioning: p = 10^6, k = 10^4, single core --------
+    // The tentpole scale of the flat-array coarsening rework: a million
+    // processes split into ten thousand parts must stay in single-digit
+    // seconds on one core (the serve tier's coldest possible miss).  Unlike
+    // partitioner_large this section is never skipped: --quick scales the
+    // instance down (p = 5*10^4, k = 10^3) so the section stays exercised,
+    // and the scale guard on `processes` keeps quick and full documents from
+    // being compared against each other.
+    let xl = {
+        let (nodes, per, reps) = if quick {
+            (1000usize, 50usize, 1usize)
+        } else {
+            (10_000usize, 100usize, 2usize)
+        };
+        let dims = dims_create(nodes * per, 2);
+        let xl_problem = MappingProblem::new(
+            Dims::new(dims).expect("valid dims"),
+            Stencil::nearest_neighbor(2),
+            NodeAllocation::homogeneous(nodes, per),
+        )
+        .expect("consistent xl instance");
+        let cart = CartGraph::build(xl_problem.dims(), xl_problem.stencil(), false);
+        let graph = Graph::from_directed_csr(cart.xadj(), cart.adjncy());
+        let sizes: Vec<usize> = xl_problem.alloc().sizes().to_vec();
+        let mut best = f64::INFINITY;
+        for _ in 0..reps {
+            let start = Instant::now();
+            std::hint::black_box(
+                partition(
+                    &graph,
+                    &PartitionConfig::new(sizes.clone())
+                        .with_seed(1)
+                        .with_parallel(false),
+                )
+                .unwrap(),
+            );
+            best = best.min(start.elapsed().as_secs_f64());
+        }
+        eprintln!(
+            "  partitioner p={} (k={nodes}): sequential {best:.6}s",
+            xl_problem.num_processes()
+        );
+        (xl_problem.num_processes(), nodes, best)
+    };
+
     let doc = Json::obj(vec![
         ("schema", Json::str("stencilmap/perf-baseline/v1")),
         ("threads", Json::Num(rayon::current_num_threads() as f64)),
@@ -228,6 +273,14 @@ fn main() {
                 ]),
                 None => Json::Null,
             },
+        ),
+        (
+            "partitioner_xl",
+            Json::obj(vec![
+                ("processes", Json::Num(xl.0 as f64)),
+                ("parts", Json::Num(xl.1 as f64)),
+                ("single_core_s", Json::Num(xl.2)),
+            ]),
         ),
     ]);
     std::fs::write(&out_path, doc.pretty()).unwrap_or_else(|e| {

@@ -41,6 +41,11 @@ pub const GATED_PARTITIONER_METRICS: &[GatedMetric] = &[
         key: "single_core_s",
         higher_is_better: false,
     },
+    GatedMetric {
+        section: "partitioner_xl",
+        key: "single_core_s",
+        higher_is_better: false,
+    },
 ];
 
 /// Scale guards for the partitioner document: these keys must agree between
@@ -48,6 +53,21 @@ pub const GATED_PARTITIONER_METRICS: &[GatedMetric] = &[
 pub const PARTITIONER_SCALE_GUARDS: &[(&str, &str)] = &[
     ("partitioner", "processes"),
     ("partitioner_large", "processes"),
+    ("partitioner_xl", "processes"),
+];
+
+/// Absolute wall-clock ceilings for the partitioner document, checked against
+/// the *current* measurement (the relative gates above only catch drift from
+/// the committed baseline, so repeated small regressions could creep past any
+/// budget).  The xl ceiling is the acceptance criterion of the coarsening
+/// rework: p = 10^6 split into k = 10^4 parts must finish in at most 9 s on a
+/// single core; the large instance (p = 10^5, k = 10^3) must stay under
+/// 1.9 s.  `--quick` documents measure a scaled-down xl instance, so their
+/// (much faster) timing passes these ceilings trivially — the relative gates'
+/// scale guards already prevent quick and full documents from being compared.
+pub const PARTITIONER_ABSOLUTE_CEILINGS: &[(&str, &str, f64)] = &[
+    ("partitioner_xl", "single_core_s", 9.0),
+    ("partitioner_large", "single_core_s", 1.9),
 ];
 
 /// The mapping-service metrics gated in `BENCH_serve.json`: cache-hit
@@ -240,19 +260,35 @@ pub fn check_metrics(
 }
 
 /// Compares the partitioner timings of two `BENCH_mapping.json` documents
-/// ([`GATED_PARTITIONER_METRICS`]).
+/// ([`GATED_PARTITIONER_METRICS`]), then applies the
+/// [`PARTITIONER_ABSOLUTE_CEILINGS`] to the current document: a ceilinged
+/// timing that is present but above its ceiling fails even when the committed
+/// baseline had already regressed.
 pub fn check_partitioner(
     baseline: &str,
     current: &str,
     max_regression: f64,
 ) -> Result<Vec<CheckOutcome>, String> {
-    check_metrics(
+    let mut outcomes = check_metrics(
         baseline,
         current,
         max_regression,
         GATED_PARTITIONER_METRICS,
         PARTITIONER_SCALE_GUARDS,
-    )
+    )?;
+    for &(section, key, ceiling) in PARTITIONER_ABSOLUTE_CEILINGS {
+        let Some(c) = extract_number(current, section, key) else {
+            continue;
+        };
+        outcomes.push(CheckOutcome {
+            label: format!("{section}.{key} (ceiling)"),
+            baseline: ceiling,
+            current: c,
+            higher_is_better: false,
+            ok: c <= ceiling,
+        });
+    }
+    Ok(outcomes)
 }
 
 /// Compares the mapping-service metrics of two `BENCH_serve.json` documents
@@ -330,7 +366,12 @@ mod tests {
   "partitioner_large": {
     "processes": 100000,
     "parts": 1000,
-    "single_core_s": 2.0
+    "single_core_s": 1.8
+  },
+  "partitioner_xl": {
+    "processes": 1000000,
+    "parts": 10000,
+    "single_core_s": 8.5
   }
 }"#;
 
@@ -381,7 +422,11 @@ mod tests {
         assert_eq!(extract_number(DOC, "partitioner", "parallel_s"), Some(0.04));
         assert_eq!(
             extract_number(DOC, "partitioner_large", "single_core_s"),
-            Some(2.0)
+            Some(1.8)
+        );
+        assert_eq!(
+            extract_number(DOC, "partitioner_xl", "single_core_s"),
+            Some(8.5)
         );
         assert_eq!(extract_number(DOC, "partitioner", "missing"), None);
         assert_eq!(extract_number(DOC, "absent_section", "processes"), None);
@@ -389,7 +434,7 @@ mod tests {
         assert_eq!(extract_number(DOC, "partitioner", "single_core_s"), None);
         // a section holding null (quick runs) yields no values
         let quick = DOC.replace(
-            "{\n    \"processes\": 100000,\n    \"parts\": 1000,\n    \"single_core_s\": 2.0\n  }",
+            "{\n    \"processes\": 100000,\n    \"parts\": 1000,\n    \"single_core_s\": 1.8\n  }",
             "null",
         );
         assert_eq!(
@@ -405,7 +450,10 @@ mod tests {
     #[test]
     fn identical_documents_pass() {
         let outcomes = check_partitioner(DOC, DOC, 0.25).unwrap();
-        assert_eq!(outcomes.len(), GATED_PARTITIONER_METRICS.len());
+        assert_eq!(
+            outcomes.len(),
+            GATED_PARTITIONER_METRICS.len() + PARTITIONER_ABSOLUTE_CEILINGS.len()
+        );
         assert!(outcomes.iter().all(|o| o.ok));
     }
 
@@ -442,7 +490,32 @@ mod tests {
     fn quick_baselines_without_large_section_still_compare() {
         let quick = DOC.replace("single_core_s", "omitted");
         let outcomes = check_partitioner(DOC, &quick, 0.25).unwrap();
+        // the two small-instance relative gates survive; the ceilings are
+        // skipped because the current document carries no ceilinged timing
         assert_eq!(outcomes.len(), 2);
+        assert!(!outcomes.iter().any(|o| o.label.contains("ceiling")));
+    }
+
+    #[test]
+    fn xl_ceiling_is_absolute_not_relative() {
+        // identical documents, but the xl timing sits above the 9 s ceiling:
+        // the relative gates all pass, the ceiling still fails
+        let slow = DOC.replace("\"single_core_s\": 8.5", "\"single_core_s\": 9.4");
+        let outcomes = check_partitioner(&slow, &slow, 0.25).unwrap();
+        let bad: Vec<_> = outcomes.iter().filter(|o| !o.ok).collect();
+        assert_eq!(bad.len(), 1);
+        assert_eq!(bad[0].label, "partitioner_xl.single_core_s (ceiling)");
+        // the large instance has its own 1.9 s ceiling
+        let slow_large = DOC.replace("\"single_core_s\": 1.8", "\"single_core_s\": 2.0");
+        let outcomes = check_partitioner(&slow_large, &slow_large, 0.25).unwrap();
+        let bad: Vec<_> = outcomes.iter().filter(|o| !o.ok).collect();
+        assert_eq!(bad.len(), 1);
+        assert_eq!(bad[0].label, "partitioner_large.single_core_s (ceiling)");
+        // at the committed baseline's level the ceilings pass
+        assert!(check_partitioner(DOC, DOC, 0.25)
+            .unwrap()
+            .iter()
+            .all(|o| o.ok));
     }
 
     #[test]

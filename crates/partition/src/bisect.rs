@@ -41,26 +41,36 @@ pub fn greedy_bisection_with(
     seed: u64,
     ws: &mut Workspace,
 ) -> Vec<u32> {
+    let mut out = Vec::new();
+    greedy_bisection_into(graph, target0, attempts, seed, ws, &mut out);
+    out
+}
+
+/// [`greedy_bisection_with`] writing the best partition into a caller-owned
+/// buffer (cleared and refilled, capacity reused), so the recursive
+/// bisection performs no per-node partition allocation.
+pub(crate) fn greedy_bisection_into(
+    graph: &Graph,
+    target0: u64,
+    attempts: usize,
+    seed: u64,
+    ws: &mut Workspace,
+    out: &mut Vec<u32>,
+) {
     let n = graph.num_vertices();
     assert!(n > 0, "cannot bisect an empty graph");
     let gain_bound = gain_bucket_bound(graph);
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
-    let mut best: Option<(u64, Vec<u32>)> = None;
+    let mut best_cut: Option<u64> = None;
     for _ in 0..attempts.max(1) {
         let start = rng.gen_range(0..n);
         grow_from(graph, target0, start, gain_bound, ws);
         let cut = graph.cut(&ws.grow_part);
-        if best.as_ref().is_none_or(|(bc, _)| cut < *bc) {
-            match best.as_mut() {
-                Some((bc, part)) => {
-                    *bc = cut;
-                    part.copy_from_slice(&ws.grow_part);
-                }
-                None => best = Some((cut, ws.grow_part.clone())),
-            }
+        if best_cut.is_none_or(|bc| cut < bc) {
+            best_cut = Some(cut);
+            out.clone_from(&ws.grow_part);
         }
     }
-    best.expect("at least one attempt ran").1
 }
 
 /// Grows part 0 from a single start vertex into `ws.grow_part`.

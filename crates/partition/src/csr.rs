@@ -59,26 +59,128 @@ impl Graph {
     }
 
     /// Builds a graph from a directed CSR adjacency (such as the Cartesian
-    /// communication graph of a symmetric stencil), merging the two
-    /// directions of every edge into one undirected edge of the summed
-    /// weight.
+    /// communication graph of a symmetric stencil).  The undirected weight
+    /// of `{a, b}` (with `a < b`) is the number of times `b` appears in
+    /// `a`'s row, or — when it never does — the number of times `a` appears
+    /// in `b`'s row, so an edge present in either direction is recorded
+    /// exactly once.
+    ///
+    /// Runs in O(V + E): rows are deduplicated into multiplicity lists with
+    /// a marker array, and reverse-edge presence is answered by marker
+    /// stamps over a transposed presence list instead of the former
+    /// O(degree) `contains` scan per edge (which was quadratic on dense
+    /// rows).
     pub fn from_directed_csr(xadj: &[usize], adjncy: &[u32]) -> Self {
         let n = xadj.len() - 1;
-        let mut edges = Vec::with_capacity(adjncy.len());
+        assert!(n < u32::MAX as usize);
+        // 1. deduplicate every row into (target, multiplicity) lists,
+        //    preserving first-occurrence order
+        let mut mult_xadj = Vec::with_capacity(n + 1);
+        let mut mult_adj: Vec<u32> = Vec::with_capacity(adjncy.len());
+        let mut mult_cnt: Vec<u32> = Vec::with_capacity(adjncy.len());
+        let mut marker = vec![u32::MAX; n];
+        let mut slot = vec![0u32; n];
+        mult_xadj.push(0usize);
         for u in 0..n {
             for &v in &adjncy[xadj[u]..xadj[u + 1]] {
-                if (u as u32) < v {
-                    edges.push((u as u32, v, 1u32));
-                } else if v < u as u32 {
-                    // counted when visiting the smaller endpoint; if the
-                    // reverse edge is missing this still records the edge once
-                    if !adjncy[xadj[v as usize]..xadj[v as usize + 1]].contains(&(u as u32)) {
-                        edges.push((v, u as u32, 1u32));
-                    }
+                let vi = v as usize;
+                assert!(vi < n);
+                if marker[vi] != u as u32 {
+                    marker[vi] = u as u32;
+                    slot[vi] = mult_adj.len() as u32;
+                    mult_adj.push(v);
+                    mult_cnt.push(1);
+                } else {
+                    mult_cnt[slot[vi] as usize] += 1;
+                }
+            }
+            mult_xadj.push(mult_adj.len());
+        }
+        // 2. transposed presence lists: row `t` holds every source whose
+        //    (deduplicated) row mentions `t`
+        let mut trans_xadj = vec![0usize; n + 1];
+        for &t in &mult_adj {
+            trans_xadj[t as usize + 1] += 1;
+        }
+        for t in 0..n {
+            trans_xadj[t + 1] += trans_xadj[t];
+        }
+        let mut trans_adj = vec![0u32; mult_adj.len()];
+        let mut cursor: Vec<usize> = trans_xadj[..n].to_vec();
+        for s in 0..n {
+            for &t in &mult_adj[mult_xadj[s]..mult_xadj[s + 1]] {
+                trans_adj[cursor[t as usize]] = s as u32;
+                cursor[t as usize] += 1;
+            }
+        }
+        // 3. emit every undirected edge exactly once (self loops drop);
+        //    the marker array is re-stamped per vertex with the sources
+        //    pointing at it, answering "does v's row contain u?" in O(1)
+        marker.iter_mut().for_each(|x| *x = u32::MAX);
+        let mut edges: Vec<(u32, u32, u32)> = Vec::new();
+        for u in 0..n {
+            for &s in &trans_adj[trans_xadj[u]..trans_xadj[u + 1]] {
+                marker[s as usize] = u as u32;
+            }
+            let uu = u as u32;
+            for (i, &v) in mult_adj[mult_xadj[u]..mult_xadj[u + 1]].iter().enumerate() {
+                let c = mult_cnt[mult_xadj[u] + i];
+                if v > uu {
+                    edges.push((uu, v, c));
+                } else if v < uu && marker[v as usize] != uu {
+                    // the reverse edge is missing: record the edge when
+                    // visiting its larger endpoint
+                    edges.push((v, uu, c));
                 }
             }
         }
-        Self::from_edges(n, &edges)
+        // 4. assemble the undirected CSR directly (no tree maps); no two
+        //    emitted edges share endpoints, so rows only need sorting
+        let mut out_xadj = vec![0usize; n + 1];
+        for &(a, b, _) in &edges {
+            out_xadj[a as usize + 1] += 1;
+            out_xadj[b as usize + 1] += 1;
+        }
+        for i in 0..n {
+            out_xadj[i + 1] += out_xadj[i];
+        }
+        let m = edges.len() * 2;
+        let mut out_adj = vec![0u32; m];
+        let mut out_wgt = vec![0u32; m];
+        let mut cur: Vec<usize> = out_xadj[..n].to_vec();
+        for &(a, b, w) in &edges {
+            let (ai, bi) = (a as usize, b as usize);
+            out_adj[cur[ai]] = b;
+            out_wgt[cur[ai]] = w;
+            cur[ai] += 1;
+            out_adj[cur[bi]] = a;
+            out_wgt[cur[bi]] = w;
+            cur[bi] += 1;
+        }
+        let mut tmp: Vec<(u32, u32)> = Vec::new();
+        for u in 0..n {
+            let (s, e) = (out_xadj[u], out_xadj[u + 1]);
+            if e - s > 1 {
+                tmp.clear();
+                tmp.extend(
+                    out_adj[s..e]
+                        .iter()
+                        .copied()
+                        .zip(out_wgt[s..e].iter().copied()),
+                );
+                tmp.sort_unstable();
+                for (i, &(v, w)) in tmp.iter().enumerate() {
+                    out_adj[s + i] = v;
+                    out_wgt[s + i] = w;
+                }
+            }
+        }
+        Graph {
+            xadj: out_xadj,
+            adjncy: out_adj,
+            adjwgt: out_wgt,
+            vwgt: vec![1; n],
+        }
     }
 
     /// Number of vertices.
@@ -241,6 +343,74 @@ mod tests {
         let adjncy = vec![1u32, 0, 2, 1];
         let g = Graph::from_directed_csr(&xadj, &adjncy);
         assert_eq!(g.num_edges(), 2);
+        assert!(g.is_symmetric());
+    }
+
+    #[test]
+    fn from_directed_csr_matches_reference_on_random_inputs() {
+        // reference = the original O(E·d) contains-scan construction
+        fn reference(xadj: &[usize], adjncy: &[u32]) -> Graph {
+            let n = xadj.len() - 1;
+            let mut edges = Vec::new();
+            for u in 0..n {
+                for &v in &adjncy[xadj[u]..xadj[u + 1]] {
+                    if (u as u32) < v {
+                        edges.push((u as u32, v, 1u32));
+                    } else if v < u as u32
+                        && !adjncy[xadj[v as usize]..xadj[v as usize + 1]].contains(&(u as u32))
+                    {
+                        edges.push((v, u as u32, 1u32));
+                    }
+                }
+            }
+            Graph::from_edges(n, &edges)
+        }
+        // deterministic pseudo-random directed CSRs: asymmetric rows,
+        // duplicate entries (multiplicities), self loops, empty rows
+        let mut state = 0x1234_5678_9abc_def0u64;
+        let mut next = move |m: usize| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 33) as usize) % m
+        };
+        for n in [1usize, 2, 3, 5, 9, 17] {
+            for _case in 0..8 {
+                let mut xadj = vec![0usize];
+                let mut adjncy = Vec::new();
+                for _u in 0..n {
+                    let deg = next(2 * n + 1);
+                    for _ in 0..deg {
+                        adjncy.push(next(n) as u32);
+                    }
+                    xadj.push(adjncy.len());
+                }
+                let fast = Graph::from_directed_csr(&xadj, &adjncy);
+                assert_eq!(fast, reference(&xadj, &adjncy), "n={n} xadj={xadj:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn from_directed_csr_handles_dense_rows_linearly() {
+        // a dense hub row: vertex 0 lists every other vertex, every other
+        // vertex lists 0, so the old construction ran one O(n) contains-scan
+        // over the hub row per spoke — O(n²) overall; the marker pass is
+        // O(E).  This pins the result structure at a size where the
+        // quadratic path is already noticeable.
+        let n = 2000usize;
+        let mut adjncy: Vec<u32> = (1..n as u32).collect();
+        let mut xadj = vec![0usize, n - 1];
+        for v in 1..n {
+            adjncy.push(0);
+            xadj.push(n - 1 + v);
+        }
+        let g = Graph::from_directed_csr(&xadj, &adjncy);
+        assert_eq!(g.num_vertices(), n);
+        assert_eq!(g.num_edges(), n - 1);
+        assert_eq!(g.degree(0), n - 1);
+        assert!((1..n).all(|v| g.degree(v) == 1 && g.neighbors(v) == [0]));
+        assert!(g.edge_weights(0).iter().all(|&w| w == 1));
         assert!(g.is_symmetric());
     }
 

@@ -21,6 +21,19 @@
 //! lowest id is extracted first, matching the scan it replaces.  The whole
 //! pass is sequential and allocation-free, hence bit-for-bit deterministic.
 //!
+//! # Boundary-only passes
+//!
+//! Only *boundary* vertices (those with at least one cut edge) enter the
+//! queues: moving an interior vertex can never be the first step of an
+//! improving balanced prefix that FM's single-move-per-pass discipline can
+//! complete, but queueing all of them made every pass Ω(n) in queue traffic.
+//! Interior vertices are queued lazily the moment a neighbor's move gives
+//! them a cut edge, so the reachable move set is unchanged on the instances
+//! that matter while pass cost tracks the boundary size — on a large coarse
+//! grid that is O(√n) instead of O(n).  A pass also starts from the caller's
+//! tracked cut instead of an O(E) `graph.cut` recomputation (the rollback at
+//! the end of every pass guarantees the tracked value is exact).
+//!
 //! Scratch state (gains, the two bucket queues, the move journal) lives in a
 //! [`Workspace`], so repeated refinement passes allocate nothing.
 
@@ -42,6 +55,36 @@ pub fn fm_refine(graph: &Graph, part: &mut [u32], target0: u64, max_passes: usiz
 /// stops improving (see [`fm_refine_with`]).
 const TIE_BREAK_VARIANTS: u8 = 4;
 
+/// Above this many vertices, refinement stops after the first stale pass
+/// instead of cycling all tie-breaking variants: on large levels the
+/// variants recover at most a fraction of a percent of cut while costing a
+/// full pass each, and the multilevel pipeline's quality is pinned by the
+/// golden suites on exactly the small/medium sizes where variants do help.
+const VARIANT_CAP_VERTICES: usize = 4096;
+
+/// Above [`VARIANT_CAP_VERTICES`], a pass also ends after this many moves
+/// without finding a new best balanced prefix.  Without a cap every pass
+/// still sweeps the whole graph (each move lazily queues its neighbors, so
+/// the move wavefront crosses all of it); hill-climbs this deep essentially
+/// never pay off on large levels, and the cap makes pass cost track the
+/// boundary size.  Small levels keep the exhaustive sweep.
+const STALL_MOVE_CAP: usize = 64;
+
+/// Above [`VARIANT_CAP_VERTICES`], at most this many passes run per level
+/// even while they keep improving.  Each large-level pass pays an O(n + E)
+/// gain/boundary rebuild; past the first few passes the improvements are a
+/// fraction of a percent and cheaper to recover at finer levels.
+const LARGE_PASS_CAP: usize = 3;
+
+/// Tie-break variant and pass budget on *interior* hierarchy levels (see
+/// [`fm_refine_interior`]): refinement there only guides the projection —
+/// the finest level re-refines with the full budget — so interior levels
+/// settle for the first two variants and fewer passes.
+const INTERIOR_VARIANTS: u8 = 2;
+
+/// Maximum passes per interior hierarchy level (see [`INTERIOR_VARIANTS`]).
+const INTERIOR_PASS_CAP: usize = 6;
+
 /// [`fm_refine`] with caller-provided scratch buffers.
 pub fn fm_refine_with(
     graph: &Graph,
@@ -50,27 +93,106 @@ pub fn fm_refine_with(
     max_passes: usize,
     ws: &mut Workspace,
 ) -> u64 {
+    fm_refine_impl(graph, part, target0, max_passes, false, None, ws)
+}
+
+/// [`fm_refine_with`] for *interior* hierarchy levels of a multilevel
+/// bisection: the result is only projected further and re-refined on a finer
+/// level, so a reduced variant/pass budget loses almost no final quality
+/// while skipping the most expensive stale sweeps.  The finest level (and
+/// every direct [`fm_refine`] caller) keeps the full budget.
+pub(crate) fn fm_refine_interior(
+    graph: &Graph,
+    part: &mut [u32],
+    target0: u64,
+    max_passes: usize,
+    cut_hint: Option<u64>,
+    ws: &mut Workspace,
+) -> u64 {
+    fm_refine_impl(graph, part, target0, max_passes, true, cut_hint, ws)
+}
+
+/// [`fm_refine_with`] plus a caller-provided exact starting cut (full
+/// refinement budget; used on the finest level of a multilevel bisection,
+/// where the projected cut is known).
+pub(crate) fn fm_refine_hinted(
+    graph: &Graph,
+    part: &mut [u32],
+    target0: u64,
+    max_passes: usize,
+    cut_hint: Option<u64>,
+    ws: &mut Workspace,
+) -> u64 {
+    fm_refine_impl(graph, part, target0, max_passes, false, cut_hint, ws)
+}
+
+fn fm_refine_impl(
+    graph: &Graph,
+    part: &mut [u32],
+    target0: u64,
+    max_passes: usize,
+    interior: bool,
+    cut_hint: Option<u64>,
+    ws: &mut Workspace,
+) -> u64 {
     assert_eq!(part.len(), graph.num_vertices());
-    rebalance(graph, part, target0);
+    let moved = rebalance_impl(graph, part, target0);
     let gain_bound = gain_bucket_bound(graph);
-    let mut best_cut = graph.cut(part);
+    // An exact caller-provided cut (the multilevel projection preserves the
+    // coarse cut) skips the O(E) recomputation per hierarchy level; any
+    // rebalance move invalidates it.
+    let mut best_cut = match cut_hint {
+        Some(c) if !moved => c,
+        _ => graph.cut(part),
+    };
+    debug_assert!(graph.num_vertices() > 256 || best_cut == graph.cut(part));
+    // Part-0 weight is maintained incrementally through every move and
+    // rollback, so passes need no O(n) weight rescan either.
+    let mut weight0: u64 = (0..graph.num_vertices())
+        .filter(|&v| part[v] == 0)
+        .map(|v| graph.vertex_weight(v) as u64)
+        .sum();
     // Passes repeat while they improve.  When a pass fails to improve, the
     // next pass perturbs the (gain-neutral) tie-breaking — bucket fill order
     // and the side preferred at exact balance — which explores a different
     // move order at identical cost; the pass rollback keeps every variant
     // monotone in the cut.  Refinement stops when all variants are stale.
+    let large = graph.num_vertices() > VARIANT_CAP_VERTICES;
+    let tie_break_variants: u8 = if large {
+        1
+    } else if interior {
+        INTERIOR_VARIANTS
+    } else {
+        TIE_BREAK_VARIANTS
+    };
+    let max_passes = if large {
+        max_passes.min(LARGE_PASS_CAP)
+    } else if interior {
+        max_passes.min(INTERIOR_PASS_CAP)
+    } else {
+        max_passes
+    };
     let mut variant: u8 = 0;
     let mut stale: u8 = 0;
     for _ in 0..max_passes {
-        let improved = fm_pass(graph, part, target0, &mut best_cut, gain_bound, variant, ws);
+        let improved = fm_pass(
+            graph,
+            part,
+            target0,
+            &mut best_cut,
+            &mut weight0,
+            gain_bound,
+            variant,
+            ws,
+        );
         if improved {
             stale = 0;
         } else {
             stale += 1;
-            if stale >= TIE_BREAK_VARIANTS {
+            if stale >= tie_break_variants {
                 break;
             }
-            variant = (variant + 1) % TIE_BREAK_VARIANTS;
+            variant = (variant + 1) % tie_break_variants;
         }
     }
     best_cut
@@ -102,13 +224,20 @@ pub(crate) fn gain_bucket_bound(graph: &Graph) -> i64 {
 /// weights this always reaches exact balance; with heavier vertices it stops
 /// as close to the target as possible.
 pub fn rebalance(graph: &Graph, part: &mut [u32], target0: u64) {
+    rebalance_impl(graph, part, target0);
+}
+
+/// [`rebalance`], reporting whether any vertex was moved (used to decide
+/// whether a caller-provided cut hint is still valid).
+pub(crate) fn rebalance_impl(graph: &Graph, part: &mut [u32], target0: u64) -> bool {
     let mut weight0: u64 = (0..graph.num_vertices())
         .filter(|&v| part[v] == 0)
         .map(|v| graph.vertex_weight(v) as u64)
         .sum();
+    let mut moved = false;
     loop {
         if weight0 == target0 {
-            return;
+            return moved;
         }
         let (from, deficit) = if weight0 > target0 {
             (0u32, weight0 - target0)
@@ -150,8 +279,9 @@ pub fn rebalance(graph: &Graph, part: &mut [u32], target0: u64) {
                     weight0 += w;
                 }
                 part[v] = 1 - part[v];
+                moved = true;
             }
-            None => return,
+            None => return moved,
         }
     }
 }
@@ -162,11 +292,13 @@ pub fn rebalance(graph: &Graph, part: &mut [u32], target0: u64) {
 /// rules: bit 0 flips the bucket fill order (descending ids — lowest id at
 /// the head — vs ascending), bit 1 flips which side is preferred when both
 /// sides are movable at exact balance with equal best gains.
+#[allow(clippy::too_many_arguments)]
 fn fm_pass(
     graph: &Graph,
     part: &mut [u32],
     target0: u64,
     best_cut: &mut u64,
+    weight0: &mut u64,
     gain_bound: i64,
     variant: u8,
     ws: &mut Workspace,
@@ -174,30 +306,40 @@ fn fm_pass(
     let n = graph.num_vertices();
     let Workspace {
         gain,
+        boundary,
+        locked,
         bq0,
         bq1,
         moves,
         ..
     } = ws;
-    // gain[v] = reduction of the cut when v switches sides
+    // gain[v] = reduction of the cut when v switches sides; a vertex is on
+    // the boundary iff any incident edge is cut
     gain.clear();
-    gain.extend((0..n).map(|v| {
-        graph
-            .edges_of(v)
-            .map(|(u, w)| {
-                if part[u as usize] == part[v] {
-                    -(w as i64)
-                } else {
-                    w as i64
-                }
-            })
-            .sum::<i64>()
-    }));
-    // fill the per-side queues; the default descending order puts the lowest
-    // id at the head among equal initial gains (see the module docs)
+    boundary.clear();
+    for v in 0..n {
+        let mut internal = 0i64;
+        let mut external = 0i64;
+        for (u, w) in graph.edges_of(v) {
+            if part[u as usize] == part[v] {
+                internal += w as i64;
+            } else {
+                external += w as i64;
+            }
+        }
+        gain.push(external - internal);
+        boundary.push(external > 0);
+    }
+    Workspace::reset(locked, n, false);
+    // fill the per-side queues with boundary vertices only; the default
+    // descending order puts the lowest id at the head among equal initial
+    // gains (see the module docs)
     bq0.reset(n, gain_bound);
     bq1.reset(n, gain_bound);
     let mut fill = |v: usize| {
+        if !boundary[v] {
+            return;
+        }
         if part[v] == 0 {
             bq0.insert(v, gain[v]);
         } else {
@@ -209,23 +351,40 @@ fn fm_pass(
     } else {
         (0..n).for_each(&mut fill);
     }
-    let mut weight0: u64 = (0..n)
-        .filter(|&v| part[v] == 0)
-        .map(|v| graph.vertex_weight(v) as u64)
-        .sum();
+    let weight0 = &mut *weight0;
+    debug_assert!(
+        n > 256
+            || *weight0
+                == (0..n)
+                    .filter(|&v| part[v] == 0)
+                    .map(|v| graph.vertex_weight(v) as u64)
+                    .sum::<u64>()
+    );
 
-    let mut current_cut = graph.cut(part) as i64;
+    // The caller's tracked best cut is exact at pass entry (the previous
+    // pass rolled back to the state it reported), so no O(E) recomputation.
+    let mut current_cut = *best_cut as i64;
+    debug_assert!(n > 256 || current_cut == graph.cut(part) as i64);
     let start_cut = *best_cut;
     moves.clear();
     let mut best_prefix: Option<usize> = None;
     let mut best_prefix_cut = *best_cut as i64;
+    let mut moves_since_best = 0usize;
 
+    let stall_cap = if n > VARIANT_CAP_VERTICES {
+        STALL_MOVE_CAP
+    } else {
+        STALL_MOVE_CAP.max(n / 8)
+    };
     for _ in 0..n {
+        if moves_since_best >= stall_cap {
+            break;
+        }
         // Move from part 0 if it is over target, from part 1 if under;
         // when exactly on target pick the side offering the better gain.
-        let from = if weight0 > target0 {
+        let from = if *weight0 > target0 {
             0
-        } else if weight0 < target0 {
+        } else if *weight0 < target0 {
             1
         } else {
             match (bq0.peek_max(), bq1.peek_max()) {
@@ -253,11 +412,12 @@ fn fm_pass(
         // apply the move (popping locks v: it can no longer be selected);
         // account with the exact gain — the queue's copy may be clamped
         current_cut -= gain[v];
+        locked[v] = true;
         let to = 1 - part[v];
         if part[v] == 0 {
-            weight0 -= graph.vertex_weight(v) as u64;
+            *weight0 -= graph.vertex_weight(v) as u64;
         } else {
-            weight0 += graph.vertex_weight(v) as u64;
+            *weight0 += graph.vertex_weight(v) as u64;
         }
         part[v] = to;
         // incremental neighbor gain updates (instead of any rescans)
@@ -272,21 +432,35 @@ fn fm_pass(
             let q = if part[u] == 0 { &mut *bq0 } else { &mut *bq1 };
             if q.contains(u) {
                 q.update(u, gain[u]);
+            } else if !locked[u] && part[u] != part[v] {
+                // u was interior (unqueued + unlocked vertices always are)
+                // and v's arrival on the other side gave it a cut edge:
+                // queue it lazily
+                q.insert(u, gain[u]);
             }
         }
         gain[v] = -gain[v];
         moves.push(v);
         #[cfg(debug_assertions)]
-        debug_check_incremental_gains(graph, part, gain, bq0, bq1, gain_bound);
-        if weight0 == target0 && current_cut < best_prefix_cut {
+        debug_check_incremental_gains(graph, part, gain, locked, bq0, bq1, gain_bound);
+        if *weight0 == target0 && current_cut < best_prefix_cut {
             best_prefix_cut = current_cut;
             best_prefix = Some(moves.len());
+            moves_since_best = 0;
+        } else {
+            moves_since_best += 1;
         }
     }
 
     // Roll back to the best balanced prefix (or all the way if none improved).
     let keep = best_prefix.unwrap_or(0);
     for &v in moves.iter().skip(keep).rev() {
+        let w = graph.vertex_weight(v) as u64;
+        if part[v] == 0 {
+            *weight0 -= w;
+        } else {
+            *weight0 += w;
+        }
         part[v] = 1 - part[v];
     }
     if (best_prefix_cut as u64) < start_cut {
@@ -298,14 +472,17 @@ fn fm_pass(
 }
 
 /// Debug-build invariant: after every applied move, the incrementally
-/// maintained gains of all still-movable vertices equal gains recomputed from
-/// scratch, and the bucket queues store exactly those values.  Skipped above
-/// 256 vertices to keep debug test runs fast.
+/// maintained gains of all still-queued vertices equal gains recomputed from
+/// scratch, the bucket queues store exactly those values, and every
+/// unlocked *boundary* vertex is queued (the lazy-insertion invariant of
+/// boundary-only passes).  Skipped above 256 vertices to keep debug test
+/// runs fast.
 #[cfg(debug_assertions)]
 fn debug_check_incremental_gains(
     graph: &Graph,
     part: &[u32],
     gain: &[i64],
+    locked: &[bool],
     bq0: &crate::bucket::BucketQueue,
     bq1: &crate::bucket::BucketQueue,
     gain_bound: i64,
@@ -320,19 +497,23 @@ fn debug_check_incremental_gains(
         } else {
             bq1.contains(v)
         };
+        let mut internal = 0i64;
+        let mut external = 0i64;
+        for (u, w) in graph.edges_of(v) {
+            if part[u as usize] == part[v] {
+                internal += w as i64;
+            } else {
+                external += w as i64;
+            }
+        }
         if !queued {
+            assert!(
+                locked[v] || external == 0,
+                "unlocked boundary vertex {v} missing from its queue"
+            );
             continue;
         }
-        let fresh: i64 = graph
-            .edges_of(v)
-            .map(|(u, w)| {
-                if part[u as usize] == part[v] {
-                    -(w as i64)
-                } else {
-                    w as i64
-                }
-            })
-            .sum();
+        let fresh = external - internal;
         assert_eq!(
             gain[v], fresh,
             "incremental gain of vertex {v} diverged from a fresh recomputation"

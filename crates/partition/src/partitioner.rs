@@ -11,24 +11,31 @@
 //!
 //! The two halves of every bisection are independent sub-problems; they are
 //! executed with [`rayon::join`] whenever the sub-problem is large enough
-//! ([`PartitionConfig::parallel`], on by default).  Every parallel branch
-//! owns its own [`Workspace`], part assignments are written into disjoint
-//! slots of a shared atomic array, and all seeds derive deterministically
-//! from the parent seed — so the result is **identical for every thread
-//! count** (including fully sequential execution with
-//! `RAYON_NUM_THREADS=1`).
+//! ([`PartitionConfig::parallel`], on by default), and coarsening inside a
+//! bisection additionally runs its propose-then-commit matching and per-row
+//! contraction in parallel on large levels.  Every parallel branch owns its
+//! own [`Workspace`], part assignments are written into disjoint slots of a
+//! shared atomic array, and all seeds derive deterministically from the
+//! parent seed — so the result is **identical for every thread count**
+//! (including fully sequential execution with `RAYON_NUM_THREADS=1`).
 //!
-//! # Allocation
+//! # Allocation and memory
 //!
 //! All per-level scratch lives in a [`Workspace`] threaded through the
 //! pipeline; a steady-state multilevel run only allocates the retained
 //! outputs (the coarse graphs of the hierarchy and the final assignment).
+//! The recursion itself is allocation-free in steady state too: each node
+//! splits its vertex list in place (left half) plus one buffer recycled
+//! through the workspace pool (right half), the bisection side array is a
+//! single reused workspace buffer, and hierarchy levels are dropped as soon
+//! as the projection passes through them, so with geometrically shrinking
+//! levels (see [`crate::coarsen`]) peak retained memory is O(n).
 
 use std::sync::atomic::{AtomicU32, Ordering};
 
-use crate::bisect::greedy_bisection_with;
-use crate::coarsen::coarsen_hierarchy_with;
-use crate::fm::{fm_refine_with, rebalance};
+use crate::bisect::greedy_bisection_into;
+use crate::coarsen::coarsen_hierarchy_impl;
+use crate::fm::{fm_refine_hinted, fm_refine_interior, rebalance};
 use crate::workspace::Workspace;
 use crate::Graph;
 
@@ -153,10 +160,15 @@ pub fn partition_with(
 
 /// Recursively bisects the sub-problem consisting of `vertices` (global ids,
 /// ascending) and the parts `part_ids` (indices into `cfg.target_sizes`).
+///
+/// Takes ownership of `vertices`: the left half is split off in place and
+/// the buffer is recycled through the workspace pool once the sub-problem
+/// bottoms out, so the sequential spine of the recursion reuses a bounded
+/// set of vertex-list buffers instead of allocating two fresh ones per node.
 fn recurse(
     graph: &Graph,
     cfg: &PartitionConfig,
-    vertices: Vec<u32>,
+    mut vertices: Vec<u32>,
     part_ids: &[u32],
     assignment: &[AtomicU32],
     seed: u64,
@@ -166,6 +178,7 @@ fn recurse(
         for &v in &vertices {
             assignment[v as usize].store(part_ids[0], Ordering::Relaxed);
         }
+        ws.recycle(vertices);
         return;
     }
     // split the parts into two groups of roughly equal total size
@@ -176,22 +189,30 @@ fn recurse(
         .map(|&p| cfg.target_sizes[p as usize] as u64)
         .sum();
 
-    // build the subgraph induced by `vertices`
-    let sub = induced_subgraph(graph, &vertices, ws);
+    // build the subgraph induced by `vertices` and bisect it; the subgraph
+    // drops before recursing so only one induced level is live at a time
+    let mut side = std::mem::take(&mut ws.side);
+    {
+        let sub = induced_subgraph(graph, &vertices, ws);
+        multilevel_bisection(&sub, left_target, cfg, seed, ws, &mut side);
+    }
 
-    // multilevel bisection of the subgraph
-    let side = multilevel_bisection(&sub, left_target, cfg, seed, ws);
-
-    let mut left_vertices = Vec::new();
-    let mut right_vertices = Vec::new();
-    for (local, &global) in vertices.iter().enumerate() {
+    // split in place: the left half compacts into `vertices`, the right half
+    // fills a pooled buffer
+    let mut right_vertices = ws.take_spare();
+    let mut keep = 0usize;
+    for local in 0..vertices.len() {
+        let global = vertices[local];
         if side[local] == 0 {
-            left_vertices.push(global);
+            vertices[keep] = global;
+            keep += 1;
         } else {
             right_vertices.push(global);
         }
     }
-    drop(vertices);
+    vertices.truncate(keep);
+    ws.side = side;
+    let left_vertices = vertices;
 
     let left_seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
     let right_seed = seed.wrapping_mul(6364136223846793005).wrapping_add(2);
@@ -245,32 +266,60 @@ fn recurse(
 }
 
 /// Bisects `graph` into parts of weight `target0` / rest using the multilevel
-/// pipeline.
+/// pipeline, writing the side of every vertex into `out`.
+///
+/// Hierarchy levels are dropped as soon as the projection has passed through
+/// them, so the peak retained memory is the (geometrically shrinking)
+/// unprojected suffix of the hierarchy — O(n) overall.
 fn multilevel_bisection(
     graph: &Graph,
     target0: u64,
     cfg: &PartitionConfig,
     seed: u64,
     ws: &mut Workspace,
-) -> Vec<u32> {
-    let levels = coarsen_hierarchy_with(graph, cfg.coarsen_threshold.max(4), seed, ws);
+    out: &mut Vec<u32>,
+) {
+    let mut levels =
+        coarsen_hierarchy_impl(graph, cfg.coarsen_threshold.max(4), seed, cfg.parallel, ws);
     // initial bisection on the coarsest graph
     let coarsest = levels.last().map(|l| &l.graph).unwrap_or(graph);
-    let mut part = greedy_bisection_with(coarsest, target0, cfg.bisection_attempts, seed, ws);
-    rebalance(coarsest, &mut part, target0);
-    fm_refine_with(coarsest, &mut part, target0, cfg.fm_passes, ws);
-    // project back through the hierarchy, refining at every level
+    greedy_bisection_into(coarsest, target0, cfg.bisection_attempts, seed, ws, out);
+    rebalance(coarsest, out, target0);
+    let mut cut = fm_refine_hinted(coarsest, out, target0, cfg.fm_passes, None, ws);
+    // project back through the hierarchy, refining at every level; popping
+    // drops each level right after its projection (drop-as-you-project)
     let mut finer_part = std::mem::take(&mut ws.part_a);
-    for i in (0..levels.len()).rev() {
-        let finer: &Graph = if i == 0 { graph } else { &levels[i - 1].graph };
-        let mapping = &levels[i].fine_to_coarse;
+    while let Some(level) = levels.pop() {
+        let finer: &Graph = levels.last().map(|l| &l.graph).unwrap_or(graph);
         finer_part.clear();
-        finer_part.extend((0..finer.num_vertices()).map(|v| part[mapping[v] as usize]));
-        fm_refine_with(finer, &mut finer_part, target0, cfg.fm_passes, ws);
-        std::mem::swap(&mut part, &mut finer_part);
+        finer_part.extend((0..finer.num_vertices()).map(|v| out[level.fine_to_coarse[v] as usize]));
+        // Projection preserves the cut exactly (contraction sums parallel
+        // edge weights), so each level starts from the coarser level's
+        // refined cut instead of an O(E) recomputation.
+        cut = if levels.is_empty() {
+            // finest level: full refinement budget
+            fm_refine_hinted(
+                finer,
+                &mut finer_part,
+                target0,
+                cfg.fm_passes,
+                Some(cut),
+                ws,
+            )
+        } else {
+            fm_refine_interior(
+                finer,
+                &mut finer_part,
+                target0,
+                cfg.fm_passes,
+                Some(cut),
+                ws,
+            )
+        };
+        let _ = cut;
+        std::mem::swap(out, &mut finer_part);
     }
     ws.part_a = finer_part;
-    part
 }
 
 /// Builds the subgraph induced by `vertices` (edges with both endpoints
@@ -278,7 +327,9 @@ fn multilevel_bisection(
 ///
 /// The global→local id table persists in the workspace at full graph size and
 /// is cleared lazily (only the entries of the previous induction are reset),
-/// so induction at every recursion node costs `O(|sub| + |edges(sub)|)`.
+/// so induction at every recursion node costs `O(|sub| + |edges(sub)|)`.  A
+/// counting pass sizes the arrays exactly, so no over-allocation outlives
+/// the node.
 fn induced_subgraph(graph: &Graph, vertices: &[u32], ws: &mut Workspace) -> Graph {
     debug_assert!(vertices.windows(2).all(|w| w[0] < w[1]));
     if ws.global_to_local.len() != graph.num_vertices() {
@@ -289,9 +340,17 @@ fn induced_subgraph(graph: &Graph, vertices: &[u32], ws: &mut Workspace) -> Grap
     }
 
     let m = vertices.len();
+    let mut edge_count = 0usize;
+    for &global in vertices {
+        for &u in graph.neighbors(global as usize) {
+            if ws.global_to_local[u as usize] != u32::MAX {
+                edge_count += 1;
+            }
+        }
+    }
     let mut xadj = Vec::with_capacity(m + 1);
-    let mut adjncy = Vec::new();
-    let mut adjwgt = Vec::new();
+    let mut adjncy = Vec::with_capacity(edge_count);
+    let mut adjwgt = Vec::with_capacity(edge_count);
     let mut vwgt = Vec::with_capacity(m);
     xadj.push(0usize);
     for &global in vertices {
@@ -412,6 +471,19 @@ mod tests {
     }
 
     #[test]
+    fn partition_with_reused_workspace_is_deterministic() {
+        // the recycled buffer pool and reused side buffer must not leak
+        // state between runs
+        let g = grid_graph(10, 9);
+        let cfg = PartitionConfig::new(vec![30, 30, 30]).with_seed(8);
+        let mut ws = Workspace::new();
+        let a = partition_with(&g, &cfg, &mut ws).unwrap();
+        let b = partition_with(&g, &cfg, &mut ws).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a, partition(&g, &cfg).unwrap());
+    }
+
+    #[test]
     fn parallel_and_sequential_agree() {
         // 48x48 grid (2304 vertices, above the parallel threshold) into 12
         // parts: the parallel and sequential runs must produce the identical
@@ -428,6 +500,23 @@ mod tests {
         .unwrap();
         assert_eq!(par, seq);
         assert_eq!(g.part_weights(&par, 12), vec![192u64; 12]);
+    }
+
+    #[test]
+    fn parallel_and_sequential_agree_above_coarsening_par_threshold() {
+        // 150x120 = 18000 vertices crosses the parallel matching/contraction
+        // threshold inside coarsening; assignments must still be identical.
+        let g = grid_graph(150, 120);
+        let sizes = vec![3000usize; 6];
+        let par = partition(&g, &PartitionConfig::new(sizes.clone()).with_seed(4)).unwrap();
+        let seq = partition(
+            &g,
+            &PartitionConfig::new(sizes)
+                .with_seed(4)
+                .with_parallel(false),
+        )
+        .unwrap();
+        assert_eq!(par, seq);
     }
 
     proptest! {

@@ -552,7 +552,7 @@ impl Router {
     }
 
     /// The primary backend index a parsed request object routes to: the
-    /// ring successor of [`item_hash`] in the current view.
+    /// ring successor of the item's routing hash in the current view.
     pub fn route_index(&self, item: &Value) -> usize {
         self.snapshot().ring.lookup(item_hash(item))
     }
